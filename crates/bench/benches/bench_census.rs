@@ -1,0 +1,55 @@
+//! Criterion benches for the census pipeline (E12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_census::{
+    dp_tabulate_block, reconstruct_block, tabulate_block, CensusConfig, CensusData,
+    DpTablesConfig, SolverBudget,
+};
+use so_data::rng::seeded_rng;
+
+fn bench_census(c: &mut Criterion) {
+    let census = CensusData::generate(
+        &CensusConfig {
+            n_blocks: 50,
+            block_size_lo: 2,
+            block_size_hi: 9,
+            ..CensusConfig::default()
+        },
+        &mut seeded_rng(1),
+    );
+    c.bench_function("tabulate_50_blocks", |b| {
+        b.iter(|| {
+            (0..census.n_blocks())
+                .map(|i| tabulate_block(census.block(i)).total)
+                .sum::<usize>()
+        });
+    });
+    let mut group = c.benchmark_group("reconstruct");
+    group.sample_size(10);
+    group.bench_function("solver_50_blocks", |b| {
+        let tables: Vec<_> = (0..census.n_blocks())
+            .map(|i| tabulate_block(census.block(i)))
+            .collect();
+        b.iter(|| {
+            tables
+                .iter()
+                .filter(|t| reconstruct_block(t, &SolverBudget::default()).is_unique())
+                .count()
+        });
+    });
+    group.finish();
+    c.bench_function("dp_tabulate_50_blocks", |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| {
+            (0..census.n_blocks())
+                .map(|i| {
+                    dp_tabulate_block(census.block(i), &DpTablesConfig { epsilon: 1.0 }, &mut rng)
+                        .total
+                })
+                .sum::<usize>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_census);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the DP mechanisms (Laplace vs geometric ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_data::rng::seeded_rng;
+use so_dp::{
+    noisy_histogram, sample_laplace, sample_two_sided_geometric, GeometricCount, LaplaceCount,
+};
+
+fn bench_samplers(c: &mut Criterion) {
+    c.bench_function("sample_laplace", |b| {
+        let mut rng = seeded_rng(1);
+        b.iter(|| sample_laplace(1.0, &mut rng));
+    });
+    c.bench_function("sample_two_sided_geometric", |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| sample_two_sided_geometric(0.5, &mut rng));
+    });
+}
+
+fn bench_count_mechanisms(c: &mut Criterion) {
+    c.bench_function("laplace_count_release", |b| {
+        let mut rng = seeded_rng(3);
+        let m = LaplaceCount::new(1.0);
+        b.iter(|| m.release(100, &mut rng));
+    });
+    c.bench_function("geometric_count_release", |b| {
+        let mut rng = seeded_rng(4);
+        let m = GeometricCount::new(1.0);
+        b.iter(|| m.release(100, &mut rng));
+    });
+    c.bench_function("noisy_histogram_200_buckets", |b| {
+        let mut rng = seeded_rng(5);
+        let counts: Vec<usize> = (0..200).collect();
+        b.iter(|| noisy_histogram(&counts, 1.0, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_samplers, bench_count_mechanisms);
+criterion_main!(benches);

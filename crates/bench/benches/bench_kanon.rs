@@ -1,0 +1,49 @@
+//! Criterion benches for the anonymizers (Mondrian vs Datafly ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use singling_out_core::game::DataModel;
+use so_bench::models::{wide_model_hierarchies, wide_tabular_model, WIDE_QI_COLS};
+use so_data::rng::seeded_rng;
+use so_data::{Dataset, DatasetBuilder};
+use so_kanon::{datafly_anonymize, mondrian_anonymize, DataflyConfig, MondrianConfig};
+
+fn dataset(n: usize) -> Dataset {
+    let model = wide_tabular_model();
+    let rows = model.sample_dataset(n, &mut seeded_rng(1));
+    let mut b = DatasetBuilder::from_parts(
+        model.sampler().distribution().schema().clone(),
+        (**model.sampler().interner()).clone(),
+    );
+    for r in &rows {
+        b.push_row(r.clone());
+    }
+    b.finish()
+}
+
+fn bench_anonymizers(c: &mut Criterion) {
+    let hier = wide_model_hierarchies();
+    let mut group = c.benchmark_group("anonymizers");
+    for &n in &[1_000usize, 5_000] {
+        let ds = dataset(n);
+        group.bench_with_input(BenchmarkId::new("mondrian_k5", n), &ds, |b, ds| {
+            b.iter(|| mondrian_anonymize(ds, &WIDE_QI_COLS, &MondrianConfig { k: 5 }));
+        });
+        group.bench_with_input(BenchmarkId::new("datafly_k5", n), &ds, |b, ds| {
+            b.iter(|| {
+                datafly_anonymize(
+                    ds,
+                    &WIDE_QI_COLS,
+                    &hier,
+                    &DataflyConfig {
+                        k: 5,
+                        max_suppression_fraction: 0.05,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anonymizers);
+criterion_main!(benches);

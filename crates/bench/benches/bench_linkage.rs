@@ -1,0 +1,67 @@
+//! Criterion benches for the re-identification attacks (E10, E11, E13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_data::population::{Population, PopulationConfig};
+use so_data::ratings::{RatingsConfig, RatingsData};
+use so_data::rng::seeded_rng;
+use so_linkage::membership::{membership_advantage, MembershipExperiment};
+use so_linkage::narayanan::{deanonymize, NarayananConfig};
+use so_linkage::quasi::uniqueness_fraction;
+use so_linkage::sweeney::link_releases;
+
+fn bench_sweeney(c: &mut Criterion) {
+    let pop = Population::generate(
+        &PopulationConfig {
+            n: 20_000,
+            ..PopulationConfig::default()
+        },
+        &mut seeded_rng(1),
+    );
+    let med = pop.medical_release();
+    let voters = pop.voter_registry();
+    let mq: Vec<usize> = [0usize, 1, 2].to_vec();
+    let vq: Vec<usize> = [1usize, 2, 3].to_vec();
+    c.bench_function("sweeney_linkage_20k", |b| {
+        b.iter(|| link_releases(&med, &mq, &voters, &vq, 0));
+    });
+    c.bench_function("uniqueness_analysis_20k", |b| {
+        b.iter(|| uniqueness_fraction(pop.master(), &[1, 2, 3]));
+    });
+}
+
+fn bench_narayanan(c: &mut Criterion) {
+    let release = RatingsData::generate(
+        &RatingsConfig {
+            n_users: 2_000,
+            n_titles: 3_000,
+            ..RatingsConfig::default()
+        },
+        &mut seeded_rng(2),
+    );
+    let mut rng = seeded_rng(3);
+    let aux = release.auxiliary_sample(17, 8, 3, &mut rng);
+    c.bench_function("narayanan_scoreboard_2k_users", |b| {
+        b.iter(|| deanonymize(&release, &aux, &NarayananConfig::default()));
+    });
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    group.sample_size(10);
+    group.bench_function("homer_advantage_d1000_t20", |b| {
+        b.iter(|| {
+            membership_advantage(
+                &MembershipExperiment {
+                    d_attributes: 1_000,
+                    trials: 20,
+                    ..MembershipExperiment::default()
+                },
+                &mut seeded_rng(4),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeney, bench_narayanan, bench_membership);
+criterion_main!(benches);

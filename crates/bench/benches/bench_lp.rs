@@ -1,0 +1,45 @@
+//! Criterion benches for the simplex solver (substrate of E2/E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use so_data::rng::seeded_rng;
+use so_lp::{solve, Bound, Constraint, Objective, Problem, Relation, SolverConfig};
+
+/// Builds an LP-decoding-shaped instance: n box variables, m residual
+/// variables, 2m constraints.
+fn decode_instance(n: usize, m: usize, seed: u64) -> Problem {
+    let mut rng = seeded_rng(seed);
+    let x: Vec<f64> = (0..n).map(|_| f64::from(u8::from(rng.gen::<bool>()))).collect();
+    let mut p = Problem::new(n + m, Objective::Minimize);
+    for i in 0..n {
+        p.set_bound(i, Bound::between(0.0, 1.0));
+    }
+    for j in 0..m {
+        let e = n + j;
+        p.set_objective_coeff(e, 1.0);
+        let members: Vec<usize> = (0..n).filter(|_| rng.gen::<bool>()).collect();
+        let a: f64 = members.iter().map(|&i| x[i]).sum::<f64>() + rng.gen_range(-2.0..2.0);
+        let mut le: Vec<(usize, f64)> = members.iter().map(|&i| (i, 1.0)).collect();
+        le.push((e, -1.0));
+        p.add_constraint(Constraint::new(le, Relation::Le, a));
+        let mut ge: Vec<(usize, f64)> = members.iter().map(|&i| (i, 1.0)).collect();
+        ge.push((e, 1.0));
+        p.add_constraint(Constraint::new(ge, Relation::Ge, a));
+    }
+    p
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp_decode_shape");
+    group.sample_size(10);
+    for &(n, m) in &[(16usize, 64usize), (32, 128)] {
+        let p = decode_instance(n, m, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &p, |b, p| {
+            b.iter(|| solve(p, &SolverConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

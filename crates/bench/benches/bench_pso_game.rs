@@ -1,0 +1,55 @@
+//! Criterion benches for the PSO security game (E5–E9 hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use singling_out_core::attackers::{KAnonClassAttacker, PrefixDescentAttacker};
+use singling_out_core::game::{run_pso_game, BitModel, GameConfig};
+use singling_out_core::mechanisms::{AdaptiveCountOracle, Anonymizer, KAnonMechanism};
+use so_bench::models::{wide_tabular_model, WIDE_QI_COLS};
+use so_data::rng::seeded_rng;
+use so_kanon::MondrianConfig;
+
+fn bench_composition_game(c: &mut Criterion) {
+    let model = BitModel::uniform(64);
+    c.bench_function("pso_game_composition_20_trials", |b| {
+        b.iter(|| {
+            run_pso_game(
+                &model,
+                &AdaptiveCountOracle::exact(18),
+                &PrefixDescentAttacker,
+                &GameConfig::new(100, 20),
+                &mut seeded_rng(1),
+            )
+        });
+    });
+}
+
+fn bench_kanon_game(c: &mut Criterion) {
+    let model = wide_tabular_model();
+    let mech = KAnonMechanism::new(
+        &model,
+        WIDE_QI_COLS.to_vec(),
+        Anonymizer::Mondrian(MondrianConfig { k: 5 }),
+    );
+    let attacker = KAnonClassAttacker {
+        dist: model.sampler().distribution().clone(),
+        qi_cols: WIDE_QI_COLS.to_vec(),
+        interner: model.sampler().interner().clone(),
+    };
+    let mut group = c.benchmark_group("pso_game_kanon");
+    group.sample_size(10);
+    group.bench_function("10_trials_n200", |b| {
+        b.iter(|| {
+            run_pso_game(
+                &model,
+                &mech,
+                &attacker,
+                &GameConfig::new(200, 10),
+                &mut seeded_rng(2),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition_game, bench_kanon_game);
+criterion_main!(benches);

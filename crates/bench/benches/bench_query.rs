@@ -1,0 +1,60 @@
+//! Criterion benches for the statistical-query engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use singling_out_core::game::DataModel;
+use so_bench::models::wide_tabular_model;
+use so_data::dist::RecordDistribution;
+use so_data::rng::seeded_rng;
+use so_data::{DatasetBuilder, UniformBits};
+use so_query::{
+    count_dataset, BoundedNoiseSum, IntRangePredicate, KeyedHashPredicate, Predicate,
+    SubsetQuery, SubsetSumMechanism,
+};
+
+fn bench_subset_queries(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut rng = seeded_rng(1);
+    let x = UniformBits::new(n).sample(&mut rng);
+    let q = SubsetQuery::from_indices(n, &(0..n).step_by(2).collect::<Vec<_>>());
+    c.bench_function("subset_sum_true_answer_10k", |b| {
+        b.iter(|| q.true_answer(&x));
+    });
+    let mut mech = BoundedNoiseSum::new(x, 5.0, seeded_rng(2));
+    c.bench_function("bounded_noise_answer_10k", |b| {
+        b.iter(|| mech.answer(&q));
+    });
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let d = UniformBits::new(64);
+    let mut rng = seeded_rng(3);
+    let records = d.sample_n(10_000, &mut rng);
+    let p = KeyedHashPredicate::new(7, 100, 0);
+    c.bench_function("keyed_hash_predicate_10k_records", |b| {
+        b.iter(|| records.iter().filter(|r| p.eval(*r)).count());
+    });
+}
+
+fn bench_dataset_scan(c: &mut Criterion) {
+    let model = wide_tabular_model();
+    let rows = model.sample_dataset(50_000, &mut seeded_rng(4));
+    let mut b = DatasetBuilder::from_parts(
+        model.sampler().distribution().schema().clone(),
+        (**model.sampler().interner()).clone(),
+    );
+    for r in &rows {
+        b.push_row(r.clone());
+    }
+    let ds = b.finish();
+    let pred = IntRangePredicate {
+        col: 1,
+        lo: 1_000,
+        hi: 20_000,
+    };
+    c.bench_function("count_dataset_range_50k_rows", |bch| {
+        bch.iter(|| count_dataset(&ds, &pred));
+    });
+}
+
+criterion_group!(benches, bench_subset_queries, bench_predicates, bench_dataset_scan);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for the reconstruction attacks (E1–E3), including the
+//! LP-vs-least-squares decoder ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use so_data::dist::RecordDistribution;
+use so_data::rng::seeded_rng;
+use so_data::UniformBits;
+use so_query::BoundedNoiseSum;
+use so_recon::least_squares::{least_squares_reconstruct, LsqConfig};
+use so_recon::{differencing_attack, exhaustive_reconstruct, lp_reconstruct};
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_reconstruction");
+    group.sample_size(10);
+    for &n in &[10usize, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = seeded_rng(1);
+                let x = UniformBits::new(n).sample(&mut rng);
+                let mut mech = BoundedNoiseSum::new(x, 1.0, seeded_rng(2));
+                exhaustive_reconstruct(&mut mech, 1.0).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoder_ablation");
+    group.sample_size(10);
+    let n = 48usize;
+    let alpha = 0.5 * (n as f64).sqrt();
+    group.bench_function("lp_decode_n48", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(3);
+            let x = UniformBits::new(n).sample(&mut rng);
+            let mut mech = BoundedNoiseSum::new(x, alpha, seeded_rng(4));
+            lp_reconstruct(&mut mech, 6 * n, &mut seeded_rng(5)).unwrap()
+        });
+    });
+    group.bench_function("least_squares_n48", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(3);
+            let x = UniformBits::new(n).sample(&mut rng);
+            let mut mech = BoundedNoiseSum::new(x, alpha, seeded_rng(4));
+            least_squares_reconstruct(&mut mech, 6 * n, &LsqConfig::default(), &mut seeded_rng(5))
+        });
+    });
+    group.bench_function("least_squares_n512", |b| {
+        let n = 512usize;
+        let alpha = 0.5 * (n as f64).sqrt();
+        b.iter(|| {
+            let mut rng = seeded_rng(6);
+            let x = UniformBits::new(n).sample(&mut rng);
+            let mut mech = BoundedNoiseSum::new(x, alpha, seeded_rng(7));
+            least_squares_reconstruct(&mut mech, 4 * n, &LsqConfig::default(), &mut seeded_rng(8))
+        });
+    });
+    group.finish();
+}
+
+fn bench_differencing(c: &mut Criterion) {
+    c.bench_function("differencing_attack_n500", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(9);
+            let x = UniformBits::new(500).sample(&mut rng);
+            let mut mech = so_query::ExactSum::new(x);
+            differencing_attack(&mut mech)
+        });
+    });
+}
+
+criterion_group!(benches, bench_exhaustive, bench_decoders, bench_differencing);
+criterion_main!(benches);

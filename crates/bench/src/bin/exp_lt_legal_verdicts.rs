@@ -1,0 +1,7 @@
+//! Binary wrapper for experiment module `lt_legal_verdicts` (pass `--quick` to reduce scale).
+
+fn main() {
+    let scale = so_bench::Scale::from_args();
+    let tables = so_bench::experiments::lt_legal_verdicts::run(scale);
+    so_bench::print_tables(&tables);
+}

@@ -1,0 +1,35 @@
+//! Runs every experiment in sequence (pass `--quick` to reduce scale).
+
+use so_bench::{experiments as e, print_tables, Scale};
+
+/// One experiment entry: label + runner.
+type Experiment = (&'static str, fn(Scale) -> Vec<so_bench::Table>);
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs: Vec<Experiment> = vec![
+        ("E1", e::e01_exhaustive_reconstruction::run),
+        ("E2", e::e02_lp_reconstruction::run),
+        ("E3", e::e03_fundamental_law::run),
+        ("E4", e::e04_baseline_isolation::run),
+        ("E5", e::e05_count_pso::run),
+        ("E6", e::e06_composition_attack::run),
+        ("E7", e::e07_dp_pso::run),
+        ("E8", e::e08_kanon_pso::run),
+        ("E9", e::e09_downcoding::run),
+        ("E10", e::e10_sweeney_linkage::run),
+        ("E11", e::e11_netflix::run),
+        ("E12", e::e12_census::run),
+        ("E13", e::e13_membership::run),
+        ("E14", e::e14_utility::run),
+        ("E15", e::e15_kanon_composition::run),
+        ("LT", e::lt_legal_verdicts::run),
+    ];
+    for (name, f) in runs {
+        eprintln!(">>> running {name} ...");
+        let start = std::time::Instant::now();
+        let tables = f(scale);
+        print_tables(&tables);
+        eprintln!(">>> {name} done in {:.1?}\n", start.elapsed());
+    }
+}

@@ -1,0 +1,81 @@
+//! E3 — the Fundamental Law of Information Recovery.
+//!
+//! "Overly accurate answers to too many questions will destroy privacy in a
+//! spectacular way." The matrix sweeps noise magnitude × number of queries
+//! and reports reconstruction accuracy (least-squares decoder, which scales
+//! to the larger grid). The frontier is visible in the table: accuracy ≈ 1
+//! in the low-noise/many-queries corner, ≈ 0.5 (coin flipping) in the
+//! high-noise/few-queries corner.
+
+use so_data::dist::RecordDistribution;
+use so_data::rng::{derive_seed, seeded_rng};
+use so_data::UniformBits;
+use so_query::BoundedNoiseSum;
+use so_recon::least_squares::{least_squares_reconstruct, LsqConfig};
+use so_recon::reconstruction_accuracy;
+
+use crate::table::{prob, Table};
+use crate::Scale;
+
+/// Runs E3.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(64usize, 128);
+    let trials = scale.pick(2, 4);
+    let query_factors = [1usize, 2, 4, 8];
+    let noise_levels: Vec<(String, f64)> = vec![
+        ("0".into(), 0.0),
+        ("sqrt(n)/2".into(), 0.5 * (n as f64).sqrt()),
+        ("sqrt(n)".into(), (n as f64).sqrt()),
+        ("n/8".into(), n as f64 / 8.0),
+        ("n/2".into(), n as f64 / 2.0),
+    ];
+    let mut t = Table::new(
+        &format!("E3: fundamental law of information recovery — LSQ accuracy, n = {n}"),
+        &["noise alpha", "m=n", "m=2n", "m=4n", "m=8n"],
+    );
+    for (label, alpha) in &noise_levels {
+        let mut cells = vec![label.clone()];
+        for &f in &query_factors {
+            let m = f * n;
+            let mut acc = 0.0;
+            for trial in 0..trials {
+                let seed = derive_seed(0xE303, (f * 1000 + trial) as u64 + (*alpha * 10.0) as u64);
+                let mut rng = seeded_rng(seed);
+                let x = UniformBits::new(n).sample(&mut rng);
+                let mut mech = BoundedNoiseSum::new(x.clone(), *alpha, seeded_rng(seed ^ 1));
+                let res = least_squares_reconstruct(
+                    &mut mech,
+                    m,
+                    &LsqConfig::default(),
+                    &mut seeded_rng(seed ^ 2),
+                );
+                acc += reconstruction_accuracy(&x, &res.reconstruction);
+            }
+            cells.push(prob(acc / trials as f64));
+        }
+        t.row(cells);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_shape_holds() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<&str>> = csv.lines().skip(2).map(|l| l.split(',').collect()).collect();
+        // Zero-noise, 8n queries: essentially perfect.
+        let top_right: f64 = rows[0][4].parse().unwrap();
+        assert!(top_right > 0.95, "zero-noise accuracy {top_right}");
+        // Heavy noise (n/2), n queries: near chance.
+        let bottom_left: f64 = rows[4][1].parse().unwrap();
+        assert!(bottom_left < 0.8, "heavy-noise accuracy {bottom_left}");
+        // Monotone-ish in queries at sqrt(n) noise.
+        let mid_few: f64 = rows[2][1].parse().unwrap();
+        let mid_many: f64 = rows[2][4].parse().unwrap();
+        assert!(mid_many >= mid_few - 0.05, "few {mid_few} many {mid_many}");
+    }
+}

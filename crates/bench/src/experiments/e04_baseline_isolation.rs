@@ -1,0 +1,104 @@
+//! E4 — §2.2's trivial attacker and the 37% baseline.
+//!
+//! Two tables: (a) the isolation probability of a weight-`w` predicate as a
+//! function of `n·w` — closed form vs Monte Carlo — peaking at `1/e` when
+//! `w = 1/n`; (b) the paper's birthday example (`n = 365`, uniform dates,
+//! one fixed date ⇒ ≈ 37%).
+
+use singling_out_core::baseline::{baseline_isolation_probability, BaselineAttacker};
+use singling_out_core::isolation::isolates;
+use so_data::dist::{Categorical, RecordDistribution};
+use so_data::rng::seeded_rng;
+use so_data::UniformBits;
+
+use crate::table::{prob, Table};
+use crate::Scale;
+
+/// Runs E4.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(4_000usize, 40_000);
+    let n = 100usize;
+    let d = UniformBits::new(64);
+    let mut rng = seeded_rng(0xE404);
+
+    let mut t1 = Table::new(
+        "E4a: trivial-attacker isolation probability vs n*w (n = 100)",
+        &["n*w", "closed form n*w*(1-w)^(n-1)", "monte carlo", "|diff|"],
+    );
+    for nw in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let w = nw / n as f64;
+        let closed = baseline_isolation_probability(n, w);
+        let modulus = (1.0 / w).round() as u64;
+        let attacker = BaselineAttacker { modulus };
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let records = d.sample_n(n, &mut rng);
+            let p = attacker.predicate(&mut rng);
+            if isolates(&records, p.as_ref()) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        // The integer modulus shifts the effective weight slightly; compare
+        // against the closed form at the *effective* weight.
+        let eff = baseline_isolation_probability(n, 1.0 / modulus as f64);
+        t1.row(vec![
+            format!("{nw:.2}"),
+            prob(closed),
+            prob(emp),
+            prob((emp - eff).abs()),
+        ]);
+    }
+
+    // Birthday example: 365 people, uniform birthdays, predicate "born on
+    // Apr-30".
+    let mut t2 = Table::new(
+        "E4b: the birthday example (n = 365, uniform dates, fixed-date predicate)",
+        &["quantity", "value"],
+    );
+    let birthday_trials = scale.pick(10_000usize, 100_000);
+    let dates = Categorical::uniform(365);
+    let mut hits = 0usize;
+    for _ in 0..birthday_trials {
+        let sample = dates.sample_n(365, &mut rng);
+        // The fixed date: index 119 (Apr-30 in a non-leap year).
+        let count = sample.iter().filter(|&&d| d == 119).count();
+        if count == 1 {
+            hits += 1;
+        }
+    }
+    let emp = hits as f64 / birthday_trials as f64;
+    t2.row(vec![
+        "closed form (paper: ≈ 37%)".into(),
+        prob(baseline_isolation_probability(365, 1.0 / 365.0)),
+    ]);
+    t2.row(vec!["monte carlo".into(), prob(emp)]);
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_near_one_over_e_and_mc_matches() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        // Row with n*w = 1.00 is the peak.
+        let peak: f64 = rows[2][1].parse().unwrap();
+        assert!((peak - 0.3697).abs() < 0.01, "peak {peak}");
+        for r in &rows {
+            let diff: f64 = r[3].parse().unwrap();
+            assert!(diff < 0.03, "MC deviates: {r:?}");
+        }
+        // Birthday table ≈ 0.37.
+        let b = tables[1].to_csv();
+        let mc: f64 = b.lines().nth(3).unwrap().split(',').nth(1).unwrap().parse().unwrap();
+        assert!((mc - 0.368).abs() < 0.03, "birthday {mc}");
+    }
+}

@@ -1,0 +1,102 @@
+//! E7 — Theorem 2.9: differential privacy prevents predicate singling out.
+//!
+//! The *same* composition attack that demolishes exact counts (E6) is aimed
+//! at the ε-DP count oracle, sweeping the per-query privacy loss. The table
+//! shows PSO success collapsing toward the baseline as ε shrinks, with the
+//! total (basic-composition) budget reported per row.
+
+use singling_out_core::attackers::PrefixDescentAttacker;
+use singling_out_core::game::{run_pso_game, BitModel, GameConfig};
+use singling_out_core::mechanisms::AdaptiveCountOracle;
+use singling_out_core::negligible::NegligibilityPolicy;
+use singling_out_core::stats::Z999;
+use so_data::rng::seeded_rng;
+
+use crate::table::{interval, prob, Table};
+use crate::Scale;
+
+/// Runs E7.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(80usize, 400);
+    let n = 100usize;
+    let model = BitModel::uniform(64);
+    let policy = NegligibilityPolicy::default();
+    let levels = policy.required_prefix_bits(n) + 4;
+    let mut t = Table::new(
+        &format!(
+            "E7: the E6 attack vs DP count oracle (Thm 2.9), n = {n}, levels = {levels}"
+        ),
+        &[
+            "eps/query",
+            "total eps",
+            "isolation rate",
+            "PSO success",
+            "99.9% CI",
+            "breaks PSO security",
+        ],
+    );
+    // Exact (ε = ∞) first, then decreasing ε.
+    let mut rows: Vec<(String, Option<f64>)> = vec![("exact".into(), None)];
+    for eps in [2.0f64, 0.5, 0.1, 0.02] {
+        rows.push((format!("{eps}"), Some(eps)));
+    }
+    for (label, eps) in rows {
+        let oracle = match eps {
+            None => AdaptiveCountOracle::exact(levels),
+            Some(e) => AdaptiveCountOracle::noisy(levels, e),
+        };
+        let total = oracle.total_epsilon();
+        let cfg = GameConfig {
+            policy,
+            ..GameConfig::new(n, trials)
+        };
+        let res = run_pso_game(
+            &model,
+            &oracle,
+            &PrefixDescentAttacker,
+            &cfg,
+            &mut seeded_rng(0xE707 ^ (total.to_bits())),
+        );
+        let iv = res.success_interval(Z999);
+        t.row(vec![
+            label,
+            if total.is_finite() {
+                format!("{total:.1}")
+            } else {
+                "inf".into()
+            },
+            prob(res.isolation_rate()),
+            prob(res.success_rate()),
+            interval(iv.lo, iv.hi),
+            res.breaks_pso_security(Z999, 0.05).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_collapses_the_attack() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        // Exact: success ≈ 1, broken.
+        let exact: f64 = rows[0][3].parse().unwrap();
+        assert!(exact > 0.9, "exact {exact}");
+        assert_eq!(rows[0][5], "true");
+        // Small ε: success near zero, not broken.
+        let tight: f64 = rows[rows.len() - 1][3].parse().unwrap();
+        assert!(tight < 0.1, "tight-ε success {tight}");
+        assert_eq!(rows[rows.len() - 1][5], "false");
+        // Monotone-ish decrease with ε.
+        let mid: f64 = rows[2][3].parse().unwrap();
+        assert!(mid <= exact + 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! E13 — Homer-style membership inference on aggregate statistics.
+//!
+//! The paper's \[26\]/\[40\]: publishing exact marginals of a study group lets
+//! an adversary holding a target's attribute vector test membership. The
+//! table shows the advantage (TPR − FPR) growing with the number of
+//! released attributes and collapsing under properly-calibrated DP.
+
+use so_data::rng::{derive_seed, seeded_rng};
+use so_linkage::membership::{auc, membership_advantage, membership_score_samples, MembershipExperiment};
+
+use crate::table::{prob, Table};
+use crate::Scale;
+
+/// Runs E13.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(80usize, 300);
+    let mut t = Table::new(
+        &format!("E13: membership inference from aggregate marginals (100 members, {trials} trials)"),
+        &["released attributes d", "publication", "TPR", "FPR", "advantage", "AUC"],
+    );
+    for &d in &[20usize, 200, 1_000, 4_000] {
+        // Independent stream per row so rows don't perturb one another.
+        let mut rng = seeded_rng(derive_seed(0xE1313, d as u64));
+        let exp = MembershipExperiment {
+            d_attributes: d,
+            trials,
+            ..MembershipExperiment::default()
+        };
+        let exact = membership_advantage(&exp, &mut rng);
+        let (m, o) = membership_score_samples(&exp, &mut rng);
+        t.row(vec![
+            d.to_string(),
+            "exact".into(),
+            prob(exact.true_positive_rate),
+            prob(exact.false_positive_rate),
+            prob(exact.advantage()),
+            prob(auc(&m, &o)),
+        ]);
+    }
+    // DP release at the largest d.
+    for eps in [10.0f64, 1.0] {
+        let mut rng = seeded_rng(derive_seed(0xE1314, (eps * 10.0) as u64));
+        let exp = MembershipExperiment {
+            d_attributes: 1_000,
+            trials,
+            dp_epsilon: Some(eps),
+            ..MembershipExperiment::default()
+        };
+        let dp = membership_advantage(&exp, &mut rng);
+        let (m, o) = membership_score_samples(&exp, &mut rng);
+        t.row(vec![
+            "1000".into(),
+            format!("dp (eps = {eps})"),
+            prob(dp.true_positive_rate),
+            prob(dp.false_positive_rate),
+            prob(dp.advantage()),
+            prob(auc(&m, &o)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantage_grows_with_d_and_dies_under_dp() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let small_d: f64 = rows[0][4].parse().unwrap();
+        let large_d: f64 = rows[3][4].parse().unwrap();
+        assert!(large_d > small_d + 0.1, "advantage must grow: {small_d} → {large_d}");
+        assert!(large_d > 0.5, "large-d advantage {large_d}");
+        let dp: f64 = rows[rows.len() - 1][4].parse().unwrap();
+        assert!(dp < 0.2, "DP advantage {dp}");
+        // Threshold-free view: exact AUC ≈ 1 at large d, DP AUC ≈ 0.5.
+        let exact_auc: f64 = rows[3][5].parse().unwrap();
+        let dp_auc: f64 = rows[rows.len() - 1][5].parse().unwrap();
+        assert!(exact_auc > 0.9, "exact AUC {exact_auc}");
+        assert!((dp_auc - 0.5).abs() < 0.2, "DP AUC {dp_auc}");
+    }
+}

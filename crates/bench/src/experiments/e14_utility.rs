@@ -1,0 +1,173 @@
+//! E14 — utility/privacy trade-offs (§1.1 of the paper).
+//!
+//! (a) "A lower value of ε corresponds to a better privacy guarantee, but
+//! also restricts the utility": Laplace vs geometric counting error vs ε,
+//! plus composed budgets under basic vs advanced composition;
+//! (b) k-anonymity information content vs k for both anonymizers
+//! (generalization loss, discernibility, average class-size ratio).
+
+use singling_out_core::game::DataModel;
+use so_data::rng::seeded_rng;
+use so_data::{DatasetBuilder};
+use so_dp::{AdvancedComposition, BasicComposition, GaussianCount, GeometricCount, LaplaceCount};
+use so_kanon::{
+    average_class_size_ratio, datafly_anonymize, discernibility_metric, generalization_loss,
+    mondrian_anonymize, DataflyConfig, MondrianConfig,
+};
+
+use crate::models::{wide_model_hierarchies, wide_tabular_model, WIDE_QI_COLS};
+use crate::table::{prob, Table};
+use crate::Scale;
+
+/// Runs E14.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let reps = scale.pick(20_000usize, 100_000);
+    let mut rng = seeded_rng(0xE1414);
+
+    let mut t1 = Table::new(
+        &format!("E14a: DP counting error vs eps (true count 100, {reps} releases)"),
+        &["eps", "laplace MAE", "geometric MAE", "gaussian MAE (delta=1e-5)", "theory 1/eps"],
+    );
+    for eps in [0.05f64, 0.1, 0.5, 1.0, 2.0] {
+        let lap = LaplaceCount::new(eps);
+        let geo = GeometricCount::new(eps);
+        // Classic Gaussian calibration only exists for eps < 1.
+        let gauss = (eps < 1.0).then(|| GaussianCount::new(eps, 1e-5));
+        let mut lap_err = 0.0;
+        let mut geo_err = 0.0;
+        let mut gauss_err = 0.0;
+        for _ in 0..reps {
+            lap_err += (lap.release(100, &mut rng) - 100.0).abs();
+            geo_err += (geo.release(100, &mut rng) - 100).abs() as f64;
+            if let Some(g) = &gauss {
+                gauss_err += (g.release(100, &mut rng) - 100.0).abs();
+            }
+        }
+        t1.row(vec![
+            format!("{eps}"),
+            format!("{:.3}", lap_err / reps as f64),
+            format!("{:.3}", geo_err / reps as f64),
+            if gauss.is_some() {
+                format!("{:.3}", gauss_err / reps as f64)
+            } else {
+                "n/a".into()
+            },
+            format!("{:.3}", 1.0 / eps),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E14b: composed privacy loss of k queries at eps = 0.01 each",
+        &["k", "basic eps", "advanced eps (delta = 1e-6)"],
+    );
+    let advanced = AdvancedComposition::new(1e-6);
+    for k in [10usize, 100, 1_000, 10_000] {
+        let b = BasicComposition.compose_uniform(0.01, k);
+        let a = advanced.compose_uniform(0.01, k);
+        t2.row(vec![
+            k.to_string(),
+            format!("{:.3}", b.epsilon),
+            format!("{:.3}", a.epsilon),
+        ]);
+    }
+
+    // k-anonymity utility.
+    let model = wide_tabular_model();
+    let n = scale.pick(400usize, 2_000);
+    let rows = model.sample_dataset(n, &mut seeded_rng(0xE1415));
+    let ds = {
+        let mut b = DatasetBuilder::from_parts(
+            model.sampler().distribution().schema().clone(),
+            (**model.sampler().interner()).clone(),
+        );
+        for r in &rows {
+            b.push_row(r.clone());
+        }
+        b.finish()
+    };
+    let hier = wide_model_hierarchies();
+    let mut t3 = Table::new(
+        &format!("E14c: k-anonymity information loss vs k (n = {n})"),
+        &[
+            "anonymizer",
+            "k",
+            "generalization loss",
+            "discernibility",
+            "avg class size ratio",
+            "suppressed",
+        ],
+    );
+    for k in [2usize, 5, 10, 25] {
+        let anon = mondrian_anonymize(&ds, &WIDE_QI_COLS, &MondrianConfig { k });
+        t3.row(vec![
+            "mondrian".into(),
+            k.to_string(),
+            prob(generalization_loss(&anon, &ds)),
+            discernibility_metric(&anon).to_string(),
+            format!("{:.2}", average_class_size_ratio(&anon, k)),
+            anon.suppressed_rows().len().to_string(),
+        ]);
+        let anon = datafly_anonymize(
+            &ds,
+            &WIDE_QI_COLS,
+            &hier,
+            &DataflyConfig {
+                k,
+                max_suppression_fraction: 0.05,
+            },
+        );
+        t3.row(vec![
+            "datafly".into(),
+            k.to_string(),
+            prob(generalization_loss(&anon, &ds)),
+            discernibility_metric(&anon).to_string(),
+            format!("{:.2}", average_class_size_ratio(&anon, k)),
+            anon.suppressed_rows().len().to_string(),
+        ]);
+    }
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_scales_inversely_with_eps_and_loss_grows_with_k() {
+        let tables = run(Scale::Quick);
+        // DP: MAE at ε = 0.05 ≈ 20; at ε = 2 ≈ 0.5.
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let mae_tight: f64 = rows[0][1].parse().unwrap();
+        let mae_loose: f64 = rows[rows.len() - 1][1].parse().unwrap();
+        assert!((mae_tight - 20.0).abs() < 1.5, "MAE(0.05) = {mae_tight}");
+        assert!(mae_loose < 1.0, "MAE(2.0) = {mae_loose}");
+        // The (ε, δ)-Gaussian pays for its relaxation with much more noise
+        // at small ε (σ = √(2 ln(1.25/δ))/ε ≈ 4.8/ε vs Laplace MAE 1/ε).
+        let gauss_tight: f64 = rows[0][3].parse().unwrap();
+        assert!(gauss_tight > 3.0 * mae_tight, "gaussian {gauss_tight}");
+
+        // Advanced composition wins at large k.
+        let comp = tables[1].to_csv();
+        let last: Vec<&str> = comp.lines().last().unwrap().split(',').collect();
+        let basic: f64 = last[1].parse().unwrap();
+        let adv: f64 = last[2].parse().unwrap();
+        assert!(adv < basic / 5.0, "advanced {adv} vs basic {basic}");
+
+        // Mondrian loss grows with k.
+        let kan = tables[2].to_csv();
+        let mondrian_rows: Vec<Vec<String>> = kan
+            .lines()
+            .skip(2)
+            .filter(|l| l.starts_with("mondrian"))
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let loss_k2: f64 = mondrian_rows[0][2].parse().unwrap();
+        let loss_k25: f64 = mondrian_rows[mondrian_rows.len() - 1][2].parse().unwrap();
+        assert!(loss_k25 > loss_k2, "loss must grow with k: {loss_k2} → {loss_k25}");
+    }
+}

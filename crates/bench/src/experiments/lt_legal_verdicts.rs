@@ -1,0 +1,108 @@
+//! LT1/LT2 — the legal theorems of §2.4.
+//!
+//! Runs the PSO games for k-anonymity (Theorem 2.10 evidence) and the DP
+//! count oracle (Theorem 2.9 evidence), feeds the results to the
+//! legal-theorem engine, and prints the full claims with derivation chains:
+//!
+//! * Legal Theorem 2.1 + Corollary: k-anonymity fails GDPR singling out and
+//!   hence the anonymization standard;
+//! * §2.4.1: differential privacy passes the necessary condition;
+//!   sufficiency requires further analysis.
+
+use singling_out_core::attackers::{KAnonClassAttacker, PrefixDescentAttacker};
+use singling_out_core::game::{run_pso_game, BitModel, GameConfig};
+use singling_out_core::legal::{dp_singling_out_assessment, kanon_singling_out_theorem, Verdict};
+use singling_out_core::mechanisms::{AdaptiveCountOracle, Anonymizer, KAnonMechanism};
+use singling_out_core::negligible::NegligibilityPolicy;
+use so_data::rng::seeded_rng;
+use so_kanon::MondrianConfig;
+
+use crate::models::{wide_tabular_model, WIDE_QI_COLS};
+use crate::table::Table;
+use crate::Scale;
+
+/// Runs LT1/LT2; returns the rendered claims embedded in tables plus the
+/// raw claim objects' verdicts.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (claims, _) = run_claims(scale);
+    let mut t = Table::new("LT: legal theorems derived from game evidence", &["claim"]);
+    for c in &claims {
+        for line in c.render().lines() {
+            t.row(vec![line.to_owned()]);
+        }
+        t.row(vec![String::new()]);
+    }
+    vec![t]
+}
+
+/// Produces the claims and their verdicts (library entry for tests and the
+/// facade examples).
+pub fn run_claims(scale: Scale) -> (Vec<singling_out_core::legal::Claim>, Vec<Verdict>) {
+    let trials = scale.pick(150usize, 500);
+    let n = 200usize;
+
+    // Evidence for Legal Theorem 2.1: the k-anonymity games.
+    let model = wide_tabular_model();
+    let attacker = KAnonClassAttacker {
+        dist: model.sampler().distribution().clone(),
+        qi_cols: WIDE_QI_COLS.to_vec(),
+        interner: model.sampler().interner().clone(),
+    };
+    let k = 5usize;
+    let mech = KAnonMechanism::new(
+        &model,
+        WIDE_QI_COLS.to_vec(),
+        Anonymizer::Mondrian(MondrianConfig { k }),
+    );
+    let kanon_game = run_pso_game(
+        &model,
+        &mech,
+        &attacker,
+        &GameConfig::new(n, trials),
+        &mut seeded_rng(0x171),
+    );
+    let kanon_claim = kanon_singling_out_theorem(k, &[kanon_game]);
+
+    // Evidence for the DP assessment: the composition attack vs a tightly
+    // budgeted DP oracle.
+    let bit_model = BitModel::uniform(64);
+    let policy = NegligibilityPolicy::default();
+    let levels = policy.required_prefix_bits(n) + 4;
+    let eps_per_query = 0.02;
+    let dp_game = run_pso_game(
+        &bit_model,
+        &AdaptiveCountOracle::noisy(levels, eps_per_query),
+        &PrefixDescentAttacker,
+        &GameConfig {
+            policy,
+            ..GameConfig::new(n, trials)
+        },
+        &mut seeded_rng(0x172),
+    );
+    let total_eps = eps_per_query * levels as f64;
+    let dp_claim = dp_singling_out_assessment(total_eps, &[dp_game]);
+
+    let verdicts = vec![kanon_claim.verdict, dp_claim.verdict];
+    (vec![kanon_claim, dp_claim], verdicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_match_the_paper() {
+        let (claims, verdicts) = run_claims(Scale::Quick);
+        assert_eq!(verdicts[0], Verdict::FailsRequirement, "Legal Theorem 2.1");
+        assert_eq!(
+            verdicts[1],
+            Verdict::SatisfiesNecessaryCondition,
+            "§2.4.1 DP assessment"
+        );
+        let rendered = claims[0].render();
+        assert!(rendered.contains("fails to prevent"));
+        assert!(rendered.contains("Recital 26"));
+        let rendered_dp = claims[1].render();
+        assert!(rendered_dp.contains("further analysis"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per experiment of DESIGN.md §3.
+
+pub mod e01_exhaustive_reconstruction;
+pub mod e02_lp_reconstruction;
+pub mod e03_fundamental_law;
+pub mod e04_baseline_isolation;
+pub mod e05_count_pso;
+pub mod e06_composition_attack;
+pub mod e07_dp_pso;
+pub mod e08_kanon_pso;
+pub mod e09_downcoding;
+pub mod e10_sweeney_linkage;
+pub mod e11_netflix;
+pub mod e12_census;
+pub mod e13_membership;
+pub mod e14_utility;
+pub mod e15_kanon_composition;
+pub mod lt_legal_verdicts;

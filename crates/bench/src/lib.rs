@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # so-bench — experiment harness
+//!
+//! One module per experiment in DESIGN.md §3 (E1–E15, LT1/LT2), each
+//! exposing `run(scale) -> Vec<Table>` so the binaries, the `run_all`
+//! driver, and the integration tests share one code path. Binaries accept
+//! `--quick` for a reduced-scale run.
+
+pub mod experiments;
+pub mod models;
+pub mod table;
+
+pub use table::Table;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced parameters for smoke tests and `--quick`.
+    Quick,
+    /// The parameters recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parses process arguments (`--quick` selects [`Scale::Quick`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Selects between the two scale presets.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Prints the tables of one experiment, text form then CSV.
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+    println!("--- CSV ---");
+    for t in tables {
+        println!("{}", t.to_csv());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

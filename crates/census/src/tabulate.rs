@@ -1,0 +1,166 @@
+//! The publication system: census-style tables per block.
+//!
+//! Modeled on the 2010 SF1 tables the real attack consumed: a total count
+//! (P1), sex-by-five-year-age-band counts *per race* (the P12A–I family —
+//! its race × sex × age coupling is what makes joint reconstruction
+//! possible), and summary statistics of age (mean rounded to two decimals
+//! and median, as the Census Bureau published). Exact single years of age
+//! are never released — the attack recovers them anyway.
+
+use crate::microdata::{Person, Race, Sex};
+
+/// Number of five-year age bands (ages 0–99).
+pub const N_BANDS: usize = 20;
+
+/// Published tables for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTables {
+    /// P1: total population of the block.
+    pub total: usize,
+    /// P12A-I: counts by race × sex × five-year age band.
+    pub race_sex_band: [[[usize; N_BANDS]; 2]; 5],
+    /// Mean age, rounded to 2 decimal places.
+    pub mean_age: f64,
+    /// Median age (lower-interpolated to 0.5 precision, as published).
+    pub median_age: f64,
+}
+
+impl BlockTables {
+    /// Count for a `(race, sex, band)` cell.
+    pub fn cell(&self, race: Race, sex: Sex, band: usize) -> usize {
+        self.race_sex_band[race.index()][sex.index()][band]
+    }
+
+    /// Marginal count by sex.
+    pub fn by_sex(&self, sex: Sex) -> usize {
+        self.race_sex_band
+            .iter()
+            .map(|by_sex| by_sex[sex.index()].iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Marginal count by race.
+    pub fn by_race(&self, race: Race) -> usize {
+        self.race_sex_band[race.index()]
+            .iter()
+            .map(|d| d.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// The exact age sum recoverable from the rounded mean: `mean` is
+    /// rounded to 2 decimals, so the true sum lies within `±0.005·total` of
+    /// `mean·total`; for block sizes below 100 that pins the integer sum
+    /// exactly.
+    pub fn exact_age_sum(&self) -> Option<u32> {
+        let approx = self.mean_age * self.total as f64;
+        let candidate = approx.round();
+        let slack = 0.005 * self.total as f64 + 1e-9;
+        if (approx - candidate).abs() <= slack {
+            Some(candidate as u32)
+        } else {
+            None
+        }
+    }
+}
+
+/// Median with 0.5 precision: middle element (odd) or average of the two
+/// middles (even).
+pub fn median_of_sorted(ages: &[u8]) -> f64 {
+    assert!(!ages.is_empty());
+    debug_assert!(ages.windows(2).all(|w| w[0] <= w[1]));
+    let n = ages.len();
+    if n % 2 == 1 {
+        f64::from(ages[n / 2])
+    } else {
+        f64::from(u16::from(ages[n / 2 - 1]) + u16::from(ages[n / 2])) / 2.0
+    }
+}
+
+/// Publishes the tables for one block.
+///
+/// # Panics
+/// Panics on an empty block (the Census suppresses empty blocks).
+pub fn tabulate_block(people: &[Person]) -> BlockTables {
+    assert!(!people.is_empty(), "empty block is suppressed, not published");
+    let mut race_sex_band = [[[0usize; N_BANDS]; 2]; 5];
+    let mut ages: Vec<u8> = Vec::with_capacity(people.len());
+    let mut sum = 0u32;
+    for p in people {
+        let band = usize::from(p.age / 5).min(N_BANDS - 1);
+        race_sex_band[p.race.index()][p.sex.index()][band] += 1;
+        ages.push(p.age);
+        sum += u32::from(p.age);
+    }
+    ages.sort_unstable();
+    let mean = f64::from(sum) / people.len() as f64;
+    BlockTables {
+        total: people.len(),
+        race_sex_band,
+        mean_age: (mean * 100.0).round() / 100.0,
+        median_age: median_of_sorted(&ages),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(age: u8, sex: Sex, race: Race) -> Person {
+        Person { age, sex, race }
+    }
+
+    #[test]
+    fn tabulation_counts_are_consistent() {
+        let people = vec![
+            p(34, Sex::F, Race::White),
+            p(37, Sex::M, Race::White),
+            p(8, Sex::F, Race::Black),
+            p(71, Sex::M, Race::Asian),
+            p(65, Sex::F, Race::White),
+        ];
+        let t = tabulate_block(&people);
+        assert_eq!(t.total, 5);
+        assert_eq!(t.by_sex(Sex::F), 3);
+        assert_eq!(t.by_sex(Sex::M), 2);
+        assert_eq!(t.by_race(Race::White), 3);
+        assert_eq!(t.cell(Race::White, Sex::F, 6), 1); // 34 → band 6
+        assert_eq!(t.cell(Race::White, Sex::M, 7), 1); // 37 → band 7
+        assert_eq!(t.cell(Race::Black, Sex::F, 1), 1); // 8 → band 1
+        assert_eq!(t.cell(Race::Asian, Sex::M, 14), 1); // 71 → band 14
+        assert_eq!(t.cell(Race::White, Sex::F, 13), 1); // 65 → band 13
+        assert_eq!(t.median_age, 37.0);
+        assert_eq!(t.mean_age, 43.0);
+    }
+
+    #[test]
+    fn mean_rounding_still_reveals_exact_sum_for_small_blocks() {
+        let people = vec![
+            p(33, Sex::F, Race::White),
+            p(34, Sex::M, Race::White),
+            p(36, Sex::F, Race::Black),
+        ];
+        let t = tabulate_block(&people);
+        // mean = 34.333... → published 34.33; 34.33*3 = 102.99 → 103.
+        assert_eq!(t.mean_age, 34.33);
+        assert_eq!(t.exact_age_sum(), Some(103));
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1, 2, 3]), 2.0);
+        assert_eq!(median_of_sorted(&[1, 2, 3, 10]), 2.5);
+        assert_eq!(median_of_sorted(&[5]), 5.0);
+    }
+
+    #[test]
+    fn age_99_lands_in_last_band() {
+        let t = tabulate_block(&[p(99, Sex::F, Race::Other)]);
+        assert_eq!(t.cell(Race::Other, Sex::F, 19), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty block")]
+    fn empty_block_rejected() {
+        tabulate_block(&[]);
+    }
+}

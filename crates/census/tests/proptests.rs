@@ -1,0 +1,79 @@
+//! Property-based tests for the census pipeline.
+
+use proptest::prelude::*;
+use so_census::reconstruct::{records_matched, records_matched_within};
+use so_census::{reconstruct_block, tabulate_block, Person, Race, Sex, SolverBudget};
+
+fn arb_person() -> impl Strategy<Value = Person> {
+    (0u8..100, any::<bool>(), 0usize..5).prop_map(|(age, sex, race)| Person {
+        age,
+        sex: if sex { Sex::F } else { Sex::M },
+        race: Race::ALL[race],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tabulation invariants: counts sum to the block size; mean/median lie
+    /// in the age range; the exact age sum is recovered for small blocks.
+    #[test]
+    fn tabulation_invariants(people in proptest::collection::vec(arb_person(), 1..12)) {
+        let t = tabulate_block(&people);
+        prop_assert_eq!(t.total, people.len());
+        let cell_sum: usize = t
+            .race_sex_band
+            .iter()
+            .flat_map(|bysex| bysex.iter())
+            .flat_map(|bands| bands.iter())
+            .sum();
+        prop_assert_eq!(cell_sum, people.len());
+        let ages: Vec<u8> = people.iter().map(|p| p.age).collect();
+        let (lo, hi) = (
+            *ages.iter().min().unwrap() as f64,
+            *ages.iter().max().unwrap() as f64,
+        );
+        prop_assert!(t.mean_age >= lo - 0.01 && t.mean_age <= hi + 0.01);
+        prop_assert!(t.median_age >= lo && t.median_age <= hi);
+        let truth_sum: u32 = people.iter().map(|p| u32::from(p.age)).sum();
+        prop_assert_eq!(t.exact_age_sum(), Some(truth_sum));
+    }
+
+    /// Any reconstruction guess reproduces the exact published tables, and
+    /// a Unique outcome equals the true block up to record order.
+    #[test]
+    fn reconstruction_soundness(people in proptest::collection::vec(arb_person(), 1..8)) {
+        let t = tabulate_block(&people);
+        let out = reconstruct_block(&t, &SolverBudget::default());
+        let guess = out.guess().expect("exact tables are always solvable");
+        prop_assert_eq!(tabulate_block(guess), t.clone());
+        if out.is_unique() {
+            let mut a = people.clone();
+            let mut b = guess.to_vec();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "unique solution must be the truth");
+        }
+        // The guess never contains more records than the block.
+        prop_assert_eq!(guess.len(), people.len());
+    }
+
+    /// records_matched_within is monotone in the tolerance and bounded by
+    /// the block size.
+    #[test]
+    fn match_metric_monotone(
+        a in proptest::collection::vec(arb_person(), 0..10),
+        b in proptest::collection::vec(arb_person(), 0..10),
+    ) {
+        let exact = records_matched(&a, &b);
+        let tol1 = records_matched_within(&a, &b, 1);
+        let tol5 = records_matched_within(&a, &b, 5);
+        prop_assert!(exact <= tol1);
+        prop_assert!(tol1 <= tol5);
+        prop_assert!(tol5 <= a.len().min(b.len()));
+        // Symmetry.
+        prop_assert_eq!(tol1, records_matched_within(&b, &a, 1));
+        // Self-match is total.
+        prop_assert_eq!(records_matched(&a, &a), a.len());
+    }
+}

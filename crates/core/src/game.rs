@@ -1,0 +1,626 @@
+//! The predicate-singling-out security game — Definition 2.4, executable.
+//!
+//! > A mechanism `M` prevents predicate singling out if for every attacker
+//! > `A`,
+//! > `Pr[x ∼ D^n; y := M(x); p := A(y)  s.t.  w_D(p) = negl(n) ∧ Σ p(x_i) = 1]`
+//! > is a negligible function of `n`.
+//!
+//! [`run_pso_game`] plays the quantified experiment by Monte Carlo: sample
+//! the dataset i.i.d., run the mechanism, hand *only the output* to the
+//! attacker, then score the returned predicate against the original records
+//! (per Definition 2.1) and against the negligible-weight gate. The result
+//! carries everything a "legal theorem" needs: success counts, Wilson
+//! intervals, and the baseline success achievable by trivial attackers at
+//! the same weight threshold.
+
+use rand::Rng;
+
+use so_data::dist::{ProductBernoulli, RecordDistribution, RowSampler, UniformBits};
+use so_data::{BitVec, Value};
+
+use crate::baseline::baseline_isolation_probability;
+use crate::isolation::{isolates, PsoPredicate};
+use crate::negligible::NegligibilityPolicy;
+use crate::stats::{wilson_interval, Interval};
+
+/// A data-generation model: the paper's `D ∈ Δ(X)` together with its record
+/// type `X`.
+pub trait DataModel: Send + Sync {
+    /// The record type `X`.
+    type Record: Clone + Send + Sync;
+
+    /// Samples one record from `D`.
+    fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Record;
+
+    /// Samples `x ∼ D^n`.
+    fn sample_dataset<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Self::Record> {
+        (0..n).map(|_| self.sample_record(rng)).collect()
+    }
+}
+
+/// Bit-string records (`X = {0,1}^d`).
+#[derive(Debug, Clone)]
+pub enum BitModel {
+    /// Uniform over `{0,1}^d`.
+    Uniform(UniformBits),
+    /// Independent per-bit probabilities.
+    Bernoulli(ProductBernoulli),
+}
+
+impl BitModel {
+    /// Uniform model of the given width.
+    pub fn uniform(width: usize) -> Self {
+        BitModel::Uniform(UniformBits::new(width))
+    }
+
+    /// Record width in bits.
+    pub fn width(&self) -> usize {
+        match self {
+            BitModel::Uniform(d) => d.width(),
+            BitModel::Bernoulli(d) => d.width(),
+        }
+    }
+}
+
+impl DataModel for BitModel {
+    type Record = BitVec;
+
+    fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        match self {
+            BitModel::Uniform(d) => d.sample(rng),
+            BitModel::Bernoulli(d) => d.sample(rng),
+        }
+    }
+}
+
+/// Tabular records (`X` = typed rows under a product distribution).
+#[derive(Debug, Clone)]
+pub struct TabularModel {
+    sampler: RowSampler,
+}
+
+impl TabularModel {
+    /// Wraps a pre-interned row sampler.
+    pub fn new(sampler: RowSampler) -> Self {
+        TabularModel { sampler }
+    }
+
+    /// The row sampler (gives access to the distribution and interner).
+    pub fn sampler(&self) -> &RowSampler {
+        &self.sampler
+    }
+}
+
+impl DataModel for TabularModel {
+    type Record = Vec<Value>;
+
+    fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Value> {
+        self.sampler.sample_row(rng)
+    }
+}
+
+/// An anonymization mechanism `M : X^n → Y` in the PSO game.
+pub trait PsoMechanism<M: DataModel>: Send + Sync {
+    /// The output type `Y`.
+    type Output;
+
+    /// Runs the mechanism on a dataset.
+    fn run<R: Rng + ?Sized>(&self, data: &[M::Record], rng: &mut R) -> Self::Output;
+
+    /// Mechanism name for reports.
+    fn name(&self) -> String;
+}
+
+/// A PSO attacker `A : Y → (X → {0,1})`.
+pub trait PsoAttacker<M: DataModel, O>: Send + Sync {
+    /// Produces an isolating predicate from the mechanism output alone.
+    fn attack<R: Rng + ?Sized>(&self, output: &O, rng: &mut R)
+        -> Box<dyn PsoPredicate<M::Record>>;
+
+    /// Attacker name for reports.
+    fn name(&self) -> String;
+}
+
+/// How the game verifies predicate weights.
+#[derive(Debug, Clone, Copy)]
+pub enum WeightCheck {
+    /// Use the attacker's `weight_hint()` when present, falling back to
+    /// Monte Carlo with the given sample count. Hints are audited by the
+    /// crate's tests; this is the fast path for experiments.
+    TrustHints {
+        /// MC samples when no hint is available.
+        fallback_samples: usize,
+    },
+    /// Always estimate by Monte Carlo.
+    MonteCarlo {
+        /// MC samples per trial.
+        samples: usize,
+    },
+}
+
+/// Game parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GameConfig {
+    /// Dataset size `n`.
+    pub n: usize,
+    /// Monte Carlo trials of the full experiment.
+    pub trials: usize,
+    /// Finite-`n` negligibility policy.
+    pub policy: NegligibilityPolicy,
+    /// Weight verification mode.
+    pub weight_check: WeightCheck,
+}
+
+impl GameConfig {
+    /// A sensible default: trust hints, fall back to 2 000 samples.
+    pub fn new(n: usize, trials: usize) -> Self {
+        GameConfig {
+            n,
+            trials,
+            policy: NegligibilityPolicy::default(),
+            weight_check: WeightCheck::TrustHints {
+                fallback_samples: 2_000,
+            },
+        }
+    }
+}
+
+/// Outcome of a PSO game run.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Dataset size.
+    pub n: usize,
+    /// Trials played.
+    pub trials: usize,
+    /// Trials where the predicate isolated (regardless of weight).
+    pub isolations: usize,
+    /// Trials where the predicate isolated *and* had negligible weight —
+    /// the event Definition 2.4 bounds.
+    pub pso_successes: usize,
+    /// Trials where isolation happened but the weight gate rejected it
+    /// (the trivial-attacker regime).
+    pub weight_rejections: usize,
+    /// The negligibility threshold used, `n^-c`.
+    pub weight_threshold: f64,
+    /// Baseline success of a trivial attacker operating exactly at the
+    /// threshold weight: `n · t · (1−t)^{n−1}` — the yardstick a mechanism
+    /// must hold every attacker to.
+    pub baseline_at_threshold: f64,
+    /// Names for reporting.
+    pub mechanism: String,
+    /// Attacker name.
+    pub attacker: String,
+}
+
+impl GameResult {
+    /// Point estimate of the PSO success probability.
+    pub fn success_rate(&self) -> f64 {
+        self.pso_successes as f64 / self.trials as f64
+    }
+
+    /// Wilson interval of the PSO success probability.
+    pub fn success_interval(&self, z: f64) -> Interval {
+        wilson_interval(self.pso_successes, self.trials, z)
+    }
+
+    /// Point estimate of raw isolation (ignoring the weight gate).
+    pub fn isolation_rate(&self) -> f64 {
+        self.isolations as f64 / self.trials as f64
+    }
+
+    /// True when, at confidence `z`, the success probability provably
+    /// exceeds the trivial baseline by `margin` — the evidence needed to
+    /// declare that the mechanism FAILS to prevent predicate singling out.
+    pub fn breaks_pso_security(&self, z: f64, margin: f64) -> bool {
+        self.success_interval(z).lo > self.baseline_at_threshold + margin
+    }
+}
+
+/// Plays the game of Definition 2.4.
+pub fn run_pso_game<M, Mech, Att, R>(
+    model: &M,
+    mechanism: &Mech,
+    attacker: &Att,
+    config: &GameConfig,
+    rng: &mut R,
+) -> GameResult
+where
+    M: DataModel,
+    Mech: PsoMechanism<M>,
+    Att: PsoAttacker<M, Mech::Output>,
+    R: Rng + ?Sized,
+{
+    assert!(config.n > 0 && config.trials > 0, "empty game");
+    let threshold = config.policy.threshold(config.n);
+    let mut isolations = 0usize;
+    let mut pso_successes = 0usize;
+    let mut weight_rejections = 0usize;
+    for _ in 0..config.trials {
+        let data = model.sample_dataset(config.n, rng);
+        let output = mechanism.run(&data, rng);
+        let predicate = attacker.attack(&output, rng);
+        if !isolates(&data, predicate.as_ref()) {
+            continue;
+        }
+        isolations += 1;
+        let weight = match (config.weight_check, predicate.weight_hint()) {
+            (WeightCheck::TrustHints { .. }, Some(hint)) => hint,
+            (WeightCheck::TrustHints { fallback_samples }, None) => {
+                estimate_weight(model, predicate.as_ref(), fallback_samples, rng)
+            }
+            (WeightCheck::MonteCarlo { samples }, _) => {
+                estimate_weight(model, predicate.as_ref(), samples, rng)
+            }
+        };
+        if config.policy.is_negligible(weight, config.n) {
+            pso_successes += 1;
+        } else {
+            weight_rejections += 1;
+        }
+    }
+    GameResult {
+        n: config.n,
+        trials: config.trials,
+        isolations,
+        pso_successes,
+        weight_rejections,
+        weight_threshold: threshold,
+        baseline_at_threshold: baseline_isolation_probability(config.n, threshold),
+        mechanism: mechanism.name(),
+        attacker: attacker.name(),
+    }
+}
+
+/// Plays the game of Definition 2.4 with **per-trial derived seeds**, split
+/// across `threads` OS threads. Unlike [`run_pso_game`] (which consumes one
+/// RNG stream sequentially), every trial `t` runs on its own
+/// `seeded_rng(derive_seed(master_seed, t))`, so the result is bit-for-bit
+/// identical for ANY thread count — parallelism without losing the
+/// reproducibility the experiment suite depends on.
+pub fn run_pso_game_parallel<M, Mech, Att>(
+    model: &M,
+    mechanism: &Mech,
+    attacker: &Att,
+    config: &GameConfig,
+    master_seed: u64,
+    threads: usize,
+) -> GameResult
+where
+    M: DataModel,
+    Mech: PsoMechanism<M>,
+    Att: PsoAttacker<M, Mech::Output>,
+{
+    assert!(config.n > 0 && config.trials > 0, "empty game");
+    assert!(threads >= 1, "need at least one thread");
+    let threshold = config.policy.threshold(config.n);
+
+    /// Per-trial outcome, combined associatively so ordering cannot matter.
+    #[derive(Default, Clone, Copy)]
+    struct Tally {
+        isolations: usize,
+        pso_successes: usize,
+        weight_rejections: usize,
+    }
+
+    let run_trial = |trial: usize| -> Tally {
+        let mut rng = so_data::rng::seeded_rng(so_data::rng::derive_seed(master_seed, trial as u64));
+        let data = model.sample_dataset(config.n, &mut rng);
+        let output = mechanism.run(&data, &mut rng);
+        let predicate = attacker.attack(&output, &mut rng);
+        if !isolates(&data, predicate.as_ref()) {
+            return Tally::default();
+        }
+        let weight = match (config.weight_check, predicate.weight_hint()) {
+            (WeightCheck::TrustHints { .. }, Some(hint)) => hint,
+            (WeightCheck::TrustHints { fallback_samples }, None) => {
+                estimate_weight(model, predicate.as_ref(), fallback_samples, &mut rng)
+            }
+            (WeightCheck::MonteCarlo { samples }, _) => {
+                estimate_weight(model, predicate.as_ref(), samples, &mut rng)
+            }
+        };
+        if config.policy.is_negligible(weight, config.n) {
+            Tally {
+                isolations: 1,
+                pso_successes: 1,
+                weight_rejections: 0,
+            }
+        } else {
+            Tally {
+                isolations: 1,
+                pso_successes: 0,
+                weight_rejections: 1,
+            }
+        }
+    };
+
+    let total = std::thread::scope(|scope| {
+        let chunk = config.trials.div_ceil(threads);
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(config.trials);
+                scope.spawn(move || {
+                    let mut acc = Tally::default();
+                    for t in lo..hi {
+                        let r = run_trial(t);
+                        acc.isolations += r.isolations;
+                        acc.pso_successes += r.pso_successes;
+                        acc.weight_rejections += r.weight_rejections;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut acc = Tally::default();
+        for h in handles {
+            let r = h.join().expect("game worker panicked");
+            acc.isolations += r.isolations;
+            acc.pso_successes += r.pso_successes;
+            acc.weight_rejections += r.weight_rejections;
+        }
+        acc
+    });
+
+    GameResult {
+        n: config.n,
+        trials: config.trials,
+        isolations: total.isolations,
+        pso_successes: total.pso_successes,
+        weight_rejections: total.weight_rejections,
+        weight_threshold: threshold,
+        baseline_at_threshold: baseline_isolation_probability(config.n, threshold),
+        mechanism: mechanism.name(),
+        attacker: attacker.name(),
+    }
+}
+
+fn estimate_weight<M: DataModel, R: Rng + ?Sized>(
+    model: &M,
+    predicate: &dyn PsoPredicate<M::Record>,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        if predicate.matches(&model.sample_record(rng)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isolation::FnPsoPredicate;
+    use so_data::rng::seeded_rng;
+
+    /// Mechanism that outputs nothing (the strongest possible privacy).
+    struct NullMechanism;
+
+    impl PsoMechanism<BitModel> for NullMechanism {
+        type Output = ();
+
+        fn run<R: Rng + ?Sized>(&self, _data: &[BitVec], _rng: &mut R) {}
+
+        fn name(&self) -> String {
+            "null".into()
+        }
+    }
+
+    /// Mechanism that leaks the first record verbatim (no privacy at all).
+    struct LeakFirstRecord;
+
+    impl PsoMechanism<BitModel> for LeakFirstRecord {
+        type Output = BitVec;
+
+        fn run<R: Rng + ?Sized>(&self, data: &[BitVec], _rng: &mut R) -> BitVec {
+            data[0].clone()
+        }
+
+        fn name(&self) -> String {
+            "leak-first-record".into()
+        }
+    }
+
+    /// Attacker exploiting the leak: "equals the leaked record", weight
+    /// 2^-width (negligible).
+    struct ExactMatchAttacker;
+
+    impl PsoAttacker<BitModel, BitVec> for ExactMatchAttacker {
+        fn attack<R: Rng + ?Sized>(
+            &self,
+            output: &BitVec,
+            _rng: &mut R,
+        ) -> Box<dyn PsoPredicate<BitVec>> {
+            let target = output.clone();
+            let weight = 0.5f64.powi(target.len() as i32);
+            FnPsoPredicate::boxed("== leaked record", Some(weight), move |r: &BitVec| {
+                *r == target
+            })
+        }
+
+        fn name(&self) -> String {
+            "exact-match".into()
+        }
+    }
+
+    /// Trivial attacker at weight 1/n — isolates often, but never with a
+    /// negligible-weight predicate.
+    struct TrivialAttacker {
+        n: usize,
+    }
+
+    impl PsoAttacker<BitModel, ()> for TrivialAttacker {
+        fn attack<R: Rng + ?Sized>(&self, _: &(), rng: &mut R) -> Box<dyn PsoPredicate<BitVec>> {
+            crate::baseline::BaselineAttacker {
+                modulus: self.n as u64,
+            }
+            .predicate(rng)
+        }
+
+        fn name(&self) -> String {
+            "trivial-1/n".into()
+        }
+    }
+
+    #[test]
+    fn leaky_mechanism_is_broken_by_the_game() {
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig::new(100, 400);
+        let res = run_pso_game(
+            &model,
+            &LeakFirstRecord,
+            &ExactMatchAttacker,
+            &cfg,
+            &mut seeded_rng(140),
+        );
+        // The leaked record is unique in the dataset w.h.p. (2^-64 collisions),
+        // so the attacker isolates it almost every trial at negligible weight.
+        assert!(res.success_rate() > 0.95, "rate {}", res.success_rate());
+        assert!(res.breaks_pso_security(crate::stats::Z999, 0.05));
+    }
+
+    #[test]
+    fn trivial_attacker_is_filtered_by_the_weight_gate() {
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig::new(100, 1_000);
+        let res = run_pso_game(
+            &model,
+            &NullMechanism,
+            &TrivialAttacker { n: 100 },
+            &cfg,
+            &mut seeded_rng(141),
+        );
+        // Isolation happens at the ≈37% baseline...
+        assert!(
+            (res.isolation_rate() - 0.37).abs() < 0.06,
+            "isolation {}",
+            res.isolation_rate()
+        );
+        // ...but never counts as PSO success: weight 1/n is not negligible.
+        assert_eq!(res.pso_successes, 0);
+        assert_eq!(res.weight_rejections, res.isolations);
+        assert!(!res.breaks_pso_security(crate::stats::Z999, 0.0));
+    }
+
+    #[test]
+    fn null_mechanism_with_negligible_weight_attacker_rarely_succeeds() {
+        // Attacker emitting negligible-weight predicates against no output:
+        // success probability is the (negligible) baseline.
+        struct NegligibleTrivial;
+        impl PsoAttacker<BitModel, ()> for NegligibleTrivial {
+            fn attack<R: Rng + ?Sized>(
+                &self,
+                _: &(),
+                rng: &mut R,
+            ) -> Box<dyn PsoPredicate<BitVec>> {
+                // Weight 2^-40 ≪ 100^-2.
+                crate::baseline::BaselineAttacker {
+                    modulus: 1 << 40,
+                }
+                .predicate(rng)
+            }
+            fn name(&self) -> String {
+                "trivial-negligible".into()
+            }
+        }
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig::new(100, 2_000);
+        let res = run_pso_game(
+            &model,
+            &NullMechanism,
+            &NegligibleTrivial,
+            &cfg,
+            &mut seeded_rng(142),
+        );
+        assert_eq!(res.pso_successes, 0, "negligible weight ⇒ ~zero success");
+    }
+
+    #[test]
+    fn monte_carlo_weight_check_agrees_with_hints() {
+        // Force MC weight estimation; the exact-match attacker's predicate
+        // has weight 2^-64 ≈ 0 and must still pass the gate.
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig {
+            weight_check: WeightCheck::MonteCarlo { samples: 200 },
+            ..GameConfig::new(50, 100)
+        };
+        let res = run_pso_game(
+            &model,
+            &LeakFirstRecord,
+            &ExactMatchAttacker,
+            &cfg,
+            &mut seeded_rng(143),
+        );
+        assert!(res.success_rate() > 0.95, "rate {}", res.success_rate());
+    }
+
+    #[test]
+    fn parallel_runner_is_thread_count_invariant() {
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig::new(80, 120);
+        let results: Vec<super::GameResult> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&threads| {
+                super::run_pso_game_parallel(
+                    &model,
+                    &LeakFirstRecord,
+                    &ExactMatchAttacker,
+                    &cfg,
+                    0xDEED,
+                    threads,
+                )
+            })
+            .collect();
+        for r in &results[1..] {
+            assert_eq!(r.pso_successes, results[0].pso_successes);
+            assert_eq!(r.isolations, results[0].isolations);
+            assert_eq!(r.weight_rejections, results[0].weight_rejections);
+        }
+        // And the attack still wins.
+        assert!(results[0].success_rate() > 0.9);
+    }
+
+    #[test]
+    fn parallel_runner_matches_expected_statistics() {
+        // Against the null mechanism the trivial attacker's isolation rate
+        // stays ≈ 37% under the parallel runner too.
+        let model = BitModel::uniform(64);
+        let cfg = GameConfig::new(100, 600);
+        let res = super::run_pso_game_parallel(
+            &model,
+            &NullMechanism,
+            &TrivialAttacker { n: 100 },
+            &cfg,
+            0xBEEF,
+            4,
+        );
+        assert!(
+            (res.isolation_rate() - 0.37).abs() < 0.07,
+            "isolation {}",
+            res.isolation_rate()
+        );
+        assert_eq!(res.pso_successes, 0);
+    }
+
+    #[test]
+    fn result_bookkeeping_is_consistent() {
+        let model = BitModel::uniform(32);
+        let cfg = GameConfig::new(30, 200);
+        let res = run_pso_game(
+            &model,
+            &NullMechanism,
+            &TrivialAttacker { n: 30 },
+            &cfg,
+            &mut seeded_rng(144),
+        );
+        assert_eq!(res.trials, 200);
+        assert_eq!(res.isolations, res.pso_successes + res.weight_rejections);
+        assert_eq!(res.mechanism, "null");
+        assert_eq!(res.attacker, "trivial-1/n");
+        // n = 30 ⇒ threshold 30^-2 ≈ 1.1e-3 ⇒ baseline ≈ 0.03.
+        assert!(res.baseline_at_threshold < 0.05);
+    }
+}

@@ -1,0 +1,153 @@
+//! Isolation — Definition 2.1 of the paper.
+//!
+//! > A predicate `p : X → {0,1}` *isolates* in the database
+//! > `x = (x_1, ..., x_n) ∈ X^n` if `p(x_i) = 1` for exactly one record.
+//!
+//! Isolation is a property of the *original* records, never of the
+//! mechanism output, and never by reference to a record's position — both
+//! points the paper makes explicitly when setting up the formalization.
+
+/// A predicate over records of type `R`, as produced by a PSO attacker.
+///
+/// This is the core-crate counterpart of `so_query::Predicate`, extended
+/// with an optional *design weight*: attackers built from keyed hashes or
+/// prefix predicates know the weight of what they output by construction,
+/// which the game can then verify by Monte Carlo instead of estimating from
+/// scratch.
+pub trait PsoPredicate<R: ?Sized>: Send + Sync {
+    /// Evaluates the predicate on a record.
+    fn matches(&self, record: &R) -> bool;
+
+    /// The attacker's claimed weight `w_D(p)`, if known by construction.
+    fn weight_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        "<predicate>".to_owned()
+    }
+}
+
+impl<R: ?Sized, P: PsoPredicate<R> + ?Sized> PsoPredicate<R> for Box<P> {
+    fn matches(&self, record: &R) -> bool {
+        (**self).matches(record)
+    }
+
+    fn weight_hint(&self) -> Option<f64> {
+        (**self).weight_hint()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Boxed predicate closure.
+type PredicateFn<R> = Box<dyn Fn(&R) -> bool + Send + Sync>;
+
+/// Closure-backed predicate with an optional weight hint.
+pub struct FnPsoPredicate<R: ?Sized> {
+    label: String,
+    weight: Option<f64>,
+    f: PredicateFn<R>,
+}
+
+impl<R: ?Sized> FnPsoPredicate<R> {
+    /// Wraps a closure.
+    pub fn new(
+        label: &str,
+        weight: Option<f64>,
+        f: impl Fn(&R) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnPsoPredicate {
+            label: label.to_owned(),
+            weight,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<R: ?Sized> PsoPredicate<R> for FnPsoPredicate<R> {
+    fn matches(&self, record: &R) -> bool {
+        (self.f)(record)
+    }
+
+    fn weight_hint(&self) -> Option<f64> {
+        self.weight
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl<R: ?Sized + 'static> FnPsoPredicate<R> {
+    /// Boxes a closure directly (convenience for attacker implementations).
+    pub fn boxed(
+        label: &str,
+        weight: Option<f64>,
+        f: impl Fn(&R) -> bool + Send + Sync + 'static,
+    ) -> Box<dyn PsoPredicate<R>> {
+        Box::new(Self::new(label, weight, f))
+    }
+}
+
+/// Number of records in `x` matching `p`.
+pub fn matching_count<R>(records: &[R], p: &(impl PsoPredicate<R> + ?Sized)) -> usize {
+    records.iter().filter(|r| p.matches(r)).count()
+}
+
+/// Definition 2.1: true iff `p` matches exactly one record of `x`.
+pub fn isolates<R>(records: &[R], p: &(impl PsoPredicate<R> + ?Sized)) -> bool {
+    // Early exit after the second match.
+    let mut seen = 0usize;
+    for r in records {
+        if p.matches(r) {
+            seen += 1;
+            if seen > 1 {
+                return false;
+            }
+        }
+    }
+    seen == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq_pred(target: u32) -> FnPsoPredicate<u32> {
+        FnPsoPredicate::new(&format!("== {target}"), None, move |r: &u32| *r == target)
+    }
+
+    #[test]
+    fn isolation_requires_exactly_one_match() {
+        let records = vec![1u32, 2, 3, 2];
+        assert!(isolates(&records, &eq_pred(1)));
+        assert!(!isolates(&records, &eq_pred(2))); // two matches
+        assert!(!isolates(&records, &eq_pred(9))); // zero matches
+    }
+
+    #[test]
+    fn matching_count_counts() {
+        let records = vec![1u32, 2, 2, 2];
+        assert_eq!(matching_count(&records, &eq_pred(2)), 3);
+        assert_eq!(matching_count(&records, &eq_pred(7)), 0);
+    }
+
+    #[test]
+    fn empty_dataset_never_isolated() {
+        let records: Vec<u32> = vec![];
+        assert!(!isolates(&records, &eq_pred(1)));
+    }
+
+    #[test]
+    fn weight_hint_round_trips() {
+        let p = FnPsoPredicate::new("w", Some(0.125), |_: &u32| true);
+        assert_eq!(p.weight_hint(), Some(0.125));
+        let boxed: Box<dyn PsoPredicate<u32>> = Box::new(p);
+        assert_eq!(boxed.weight_hint(), Some(0.125));
+        assert_eq!(boxed.describe(), "w");
+    }
+}

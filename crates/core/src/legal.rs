@@ -1,0 +1,388 @@
+//! Legal theorems — §2.4 of the paper.
+//!
+//! The paper's endgame: turn mathematical results about predicate singling
+//! out into *rigorous statements of legal implication*. The key logical
+//! asymmetry (from §2.2's design choices):
+//!
+//! * PSO security is **weaker** than the GDPR's intended notion of
+//!   preventing singling out (no auxiliary information, i.i.d. data), and
+//!   preventing singling out is **necessary** (Recital 26) for data to be
+//!   considered anonymous;
+//! * therefore **failing** PSO security implies failing the GDPR
+//!   requirement (a legal theorem with teeth — Legal Theorem 2.1 and its
+//!   Corollary for k-anonymity), while **satisfying** it only establishes a
+//!   necessary condition (the paper's §2.4.1 verdict on differential
+//!   privacy: "may provide the right level of anonymization ... further
+//!   analysis is needed").
+//!
+//! [`Claim`] packages a verdict with its full derivation chain and the
+//! empirical [`Evidence`] (game results with confidence intervals) so the
+//! reasoning is auditable end to end.
+
+use crate::game::GameResult;
+use crate::stats::Z999;
+
+/// The privacy technology a claim is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Technology {
+    /// k-anonymity with the given parameter (also covers ℓ-diversity /
+    /// t-closeness per footnote 3 of the paper).
+    KAnonymity {
+        /// The anonymity parameter.
+        k: usize,
+    },
+    /// ε-differential privacy.
+    DifferentialPrivacy {
+        /// Total privacy loss (basic composition), ×1000 to stay `Eq`.
+        epsilon_milli: u64,
+    },
+    /// Exact counting (Theorem 2.5's mechanism).
+    ExactCount,
+    /// A composition of count mechanisms (Theorems 2.7/2.8).
+    ComposedCounts {
+        /// Number of composed count queries.
+        queries: usize,
+    },
+    /// Any other mechanism, by name.
+    Other(String),
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technology::KAnonymity { k } => write!(f, "{k}-anonymity"),
+            Technology::DifferentialPrivacy { epsilon_milli } => {
+                write!(f, "ε-differential privacy (ε = {})", *epsilon_milli as f64 / 1000.0)
+            }
+            Technology::ExactCount => write!(f, "exact count mechanism"),
+            Technology::ComposedCounts { queries } => {
+                write!(f, "composition of {queries} count mechanisms")
+            }
+            Technology::Other(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// The legal standard being tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegalStandard {
+    /// GDPR Recital 26's "singling out" criterion for identifiability.
+    GdprSinglingOut,
+    /// The GDPR anonymization standard as a whole (Recital 26).
+    GdprAnonymization,
+}
+
+impl std::fmt::Display for LegalStandard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalStandard::GdprSinglingOut => {
+                write!(f, "GDPR Recital 26 — prevention of singling out")
+            }
+            LegalStandard::GdprAnonymization => {
+                write!(f, "GDPR Recital 26 — anonymization standard")
+            }
+        }
+    }
+}
+
+/// Outcome of a legal-technical analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The technology provably fails the standard (the strong direction:
+    /// PSO failure ⇒ GDPR failure).
+    FailsRequirement,
+    /// The technology passes the *necessary* condition tested; sufficiency
+    /// for the standard remains open (the paper's DP verdict).
+    SatisfiesNecessaryCondition,
+    /// The evidence does not support either conclusion at the required
+    /// confidence.
+    Inconclusive,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::FailsRequirement => write!(f, "FAILS THE REQUIREMENT"),
+            Verdict::SatisfiesNecessaryCondition => {
+                write!(f, "SATISFIES THE NECESSARY CONDITION (sufficiency open)")
+            }
+            Verdict::Inconclusive => write!(f, "INCONCLUSIVE"),
+        }
+    }
+}
+
+/// One piece of empirical evidence: a PSO game result.
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    /// What was measured.
+    pub label: String,
+    /// Dataset size.
+    pub n: usize,
+    /// Game trials.
+    pub trials: usize,
+    /// PSO successes (isolation with negligible-weight predicate).
+    pub successes: usize,
+    /// Success-rate 99.9% Wilson interval lower bound.
+    pub rate_lo: f64,
+    /// Success-rate 99.9% Wilson interval upper bound.
+    pub rate_hi: f64,
+    /// Trivial-attacker baseline at the weight threshold.
+    pub baseline: f64,
+}
+
+impl Evidence {
+    /// Extracts evidence from a game result.
+    pub fn from_game(label: &str, result: &GameResult) -> Evidence {
+        let iv = result.success_interval(Z999);
+        Evidence {
+            label: label.to_owned(),
+            n: result.n,
+            trials: result.trials,
+            successes: result.pso_successes,
+            rate_lo: iv.lo,
+            rate_hi: iv.hi,
+            baseline: result.baseline_at_threshold,
+        }
+    }
+
+    /// Point estimate.
+    pub fn rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+}
+
+/// A legal theorem: a verdict plus its complete derivation.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Technology under analysis.
+    pub technology: Technology,
+    /// The standard tested.
+    pub standard: LegalStandard,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The formal statement (the "legal theorem" text).
+    pub statement: String,
+    /// Step-by-step derivation from legal text to verdict.
+    pub derivation: Vec<String>,
+    /// Supporting empirical evidence.
+    pub evidence: Vec<Evidence>,
+}
+
+impl Claim {
+    /// Renders the claim as a report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("LEGAL THEOREM — {}\n", self.technology));
+        out.push_str(&format!("  Standard:  {}\n", self.standard));
+        out.push_str(&format!("  Verdict:   {}\n", self.verdict));
+        out.push_str(&format!("  Statement: {}\n", self.statement));
+        out.push_str("  Derivation:\n");
+        for (i, step) in self.derivation.iter().enumerate() {
+            out.push_str(&format!("    {}. {}\n", i + 1, step));
+        }
+        if !self.evidence.is_empty() {
+            out.push_str("  Evidence:\n");
+            for e in &self.evidence {
+                out.push_str(&format!(
+                    "    - {}: {}/{} successes (rate {:.4}, 99.9% CI [{:.4}, {:.4}]), baseline {:.2e}, n = {}\n",
+                    e.label, e.successes, e.trials, e.rate(), e.rate_lo, e.rate_hi, e.baseline, e.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Margin (absolute probability) the success rate must exceed the baseline
+/// by, at 99.9% confidence, before we declare a PSO-security failure.
+pub const FAILURE_MARGIN: f64 = 0.05;
+
+/// Legal Theorem 2.1 + Legal Corollary 2.1, instantiated from evidence:
+/// if the games show PSO success probability significantly above the
+/// trivial baseline, k-anonymity fails to prevent singling out as required
+/// by the GDPR, and hence does not meet the GDPR anonymization standard.
+pub fn kanon_singling_out_theorem(k: usize, games: &[GameResult]) -> Claim {
+    let evidence: Vec<Evidence> = games
+        .iter()
+        .map(|g| Evidence::from_game(&format!("{} vs {}", g.attacker, g.mechanism), g))
+        .collect();
+    let breaks = games
+        .iter()
+        .any(|g| g.breaks_pso_security(Z999, FAILURE_MARGIN));
+    let verdict = if breaks {
+        Verdict::FailsRequirement
+    } else {
+        Verdict::Inconclusive
+    };
+    let statement = if breaks {
+        format!(
+            "{k}-anonymity (similarly, ℓ-diversity and t-closeness) fails to prevent \
+             singling out as required by the GDPR, and therefore does not meet the \
+             GDPR standard for anonymization."
+        )
+    } else {
+        format!(
+            "The measured attacks did not demonstrate a PSO-security failure of \
+             {k}-anonymity at the required confidence; no legal conclusion follows."
+        )
+    };
+    Claim {
+        technology: Technology::KAnonymity { k },
+        standard: LegalStandard::GdprAnonymization,
+        verdict,
+        statement,
+        derivation: vec![
+            "GDPR Recital 26: data is anonymous only if the data subject is no longer \
+             identifiable, accounting for all means reasonably likely to be used, \
+             'such as singling out'."
+                .into(),
+            "Hence preventing singling out is a NECESSARY condition for GDPR \
+             anonymization (§2.1)."
+                .into(),
+            "Security against predicate singling out (Definition 2.4) is a WEAKER \
+             requirement than the GDPR's notion: no auxiliary information, i.i.d. \
+             data (§2.2). Failing the weaker requirement implies failing the \
+             stronger one."
+                .into(),
+            "The games below exhibit an attacker that, given only the k-anonymized \
+             release, isolates a record with a negligible-weight predicate with \
+             probability far above the trivial baseline — failing Definition 2.4 \
+             (Theorem 2.10)."
+                .into(),
+            "Therefore k-anonymity fails to prevent GDPR singling out (Legal \
+             Theorem 2.1), and does not meet the GDPR anonymization standard \
+             (Legal Corollary 2.1)."
+                .into(),
+        ],
+        evidence,
+    }
+}
+
+/// §2.4.1's assessment of differential privacy: Theorem 2.9 (ε-DP ⇒ PSO
+/// security), empirically corroborated, establishes the necessary condition;
+/// sufficiency for the GDPR standard requires further analysis.
+pub fn dp_singling_out_assessment(epsilon: f64, games: &[GameResult]) -> Claim {
+    let evidence: Vec<Evidence> = games
+        .iter()
+        .map(|g| Evidence::from_game(&format!("{} vs {}", g.attacker, g.mechanism), g))
+        .collect();
+    let any_break = games
+        .iter()
+        .any(|g| g.breaks_pso_security(Z999, FAILURE_MARGIN));
+    let verdict = if any_break {
+        // Would contradict Theorem 2.9 — surface it loudly rather than hide it.
+        Verdict::FailsRequirement
+    } else {
+        Verdict::SatisfiesNecessaryCondition
+    };
+    let statement = if any_break {
+        format!(
+            "MEASURED CONTRADICTION of Theorem 2.9 at ε = {epsilon}: an attack broke PSO \
+             security of a differentially private mechanism — check the mechanism's \
+             DP proof or the game configuration."
+        )
+    } else {
+        format!(
+            "ε-differential privacy (ε = {epsilon}) prevents predicate singling out \
+             (Theorem 2.9); preventing singling out being necessary-but-possibly-\
+             insufficient, differential privacy may provide the level of anonymization \
+             the GDPR requires — a determination that needs further analysis (§2.4.1)."
+        )
+    };
+    Claim {
+        technology: Technology::DifferentialPrivacy {
+            epsilon_milli: (epsilon * 1000.0).round() as u64,
+        },
+        standard: LegalStandard::GdprSinglingOut,
+        verdict,
+        statement,
+        derivation: vec![
+            "Theorem 2.9: an ε-differentially private mechanism (constant ε) prevents \
+             predicate singling out."
+                .into(),
+            "The games below corroborate the theorem: every attack's PSO success stays \
+             within the trivial baseline envelope."
+                .into(),
+            "Preventing singling out is necessary but possibly insufficient for the \
+             GDPR anonymization standard (§2.2, §2.4.1), so the verdict is limited to \
+             the necessary condition."
+                .into(),
+        ],
+        evidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_game(successes: usize, trials: usize, baseline: f64) -> GameResult {
+        GameResult {
+            n: 200,
+            trials,
+            isolations: successes,
+            pso_successes: successes,
+            weight_rejections: 0,
+            weight_threshold: 2.5e-5,
+            baseline_at_threshold: baseline,
+            mechanism: "mech".into(),
+            attacker: "att".into(),
+        }
+    }
+
+    #[test]
+    fn strong_attack_evidence_yields_failure_verdict() {
+        let claim = kanon_singling_out_theorem(5, &[fake_game(370, 1000, 1e-3)]);
+        assert_eq!(claim.verdict, Verdict::FailsRequirement);
+        assert!(claim.statement.contains("fails to prevent"));
+        assert_eq!(claim.evidence.len(), 1);
+        let rendered = claim.render();
+        assert!(rendered.contains("LEGAL THEOREM"));
+        assert!(rendered.contains("Derivation:"));
+        assert!(rendered.contains("5-anonymity"));
+    }
+
+    #[test]
+    fn weak_evidence_is_inconclusive() {
+        // Success ≈ baseline: nothing follows.
+        let claim = kanon_singling_out_theorem(5, &[fake_game(2, 1000, 1e-3)]);
+        assert_eq!(claim.verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn dp_games_at_baseline_pass_necessary_condition() {
+        let claim = dp_singling_out_assessment(1.0, &[fake_game(0, 1000, 1e-3)]);
+        assert_eq!(claim.verdict, Verdict::SatisfiesNecessaryCondition);
+        assert!(claim.statement.contains("further analysis"));
+    }
+
+    #[test]
+    fn dp_contradiction_is_surfaced() {
+        let claim = dp_singling_out_assessment(1.0, &[fake_game(500, 1000, 1e-3)]);
+        assert_eq!(claim.verdict, Verdict::FailsRequirement);
+        assert!(claim.statement.contains("CONTRADICTION"));
+    }
+
+    #[test]
+    fn evidence_extraction_matches_game() {
+        let g = fake_game(37, 100, 1e-4);
+        let e = Evidence::from_game("test", &g);
+        assert_eq!(e.successes, 37);
+        assert_eq!(e.trials, 100);
+        assert!((e.rate() - 0.37).abs() < 1e-12);
+        assert!(e.rate_lo < 0.37 && 0.37 < e.rate_hi);
+    }
+
+    #[test]
+    fn technology_display() {
+        assert_eq!(Technology::KAnonymity { k: 3 }.to_string(), "3-anonymity");
+        assert_eq!(
+            Technology::DifferentialPrivacy { epsilon_milli: 500 }.to_string(),
+            "ε-differential privacy (ε = 0.5)"
+        );
+        assert_eq!(
+            Technology::ComposedCounts { queries: 20 }.to_string(),
+            "composition of 20 count mechanisms"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # singling-out-core — predicate singling out and legal theorems
+//!
+//! The paper's primary contribution, as a library: a mathematical
+//! formalization of the GDPR's notion of *singling out* (§2), machinery to
+//! evaluate whether concrete privacy technologies provide *security against
+//! predicate singling out* (PSO security, Cohen–Nissim), and an engine that
+//! turns the resulting evidence into structured **legal theorems** (§2.4).
+//!
+//! The pieces follow the paper's development:
+//!
+//! * [`isolation`] — Definition 2.1: a predicate `p` *isolates* in
+//!   `x = (x_1..x_n)` when `Σ p(x_i) = 1`;
+//! * [`baseline`] — §2.2's trivial attackers: a weight-`w` predicate chosen
+//!   independently of the data isolates with probability
+//!   `n·w·(1−w)^{n−1}` (≈ 37% at `w = 1/n`; the birthday example);
+//! * [`negligible`] — the finite-`n` surrogate for "negligible weight"
+//!   (Definition 2.4 quantifies asymptotically; experiments run at fixed n);
+//! * [`weight`] — predicate weight `w_D(p) = Pr_{x∼D}[p(x) = 1]`, exact
+//!   where the distribution allows and Monte Carlo otherwise;
+//! * [`game`] — Definition 2.4 as an executable security game: sample
+//!   `x ∼ D^n`, run the mechanism, run the attacker, score isolation by a
+//!   negligible-weight predicate;
+//! * [`attackers`] — the attacks behind Theorems 2.5–2.10: baseline,
+//!   count-composition (prefix descent), k-anonymity equivalence-class,
+//!   boundary/downcoding, DP-output, and the k-anonymity intersection
+//!   (composition) analysis;
+//! * [`mechanisms`] — PSO-game wrappers for count queries, DP histograms,
+//!   and k-anonymizers;
+//! * [`legal`] — §2.4's legal theorems: claims with derivation chains from
+//!   GDPR text (Recital 26) through Definition 2.4 to a verdict, backed by
+//!   game evidence;
+//! * [`variants`] — §2.3.5's invitation to explore other formulations,
+//!   taken up with *group isolation*;
+//! * [`stats`] — Wilson confidence intervals for the Monte Carlo estimates.
+
+pub mod attackers;
+pub mod baseline;
+pub mod game;
+pub mod isolation;
+pub mod legal;
+pub mod mechanisms;
+pub mod negligible;
+pub mod report;
+pub mod stats;
+pub mod variants;
+pub mod weight;
+
+pub use baseline::{baseline_isolation_probability, BaselineAttacker};
+pub use game::{
+    run_pso_game, run_pso_game_parallel, DataModel, GameConfig, GameResult, PsoAttacker,
+    PsoMechanism,
+};
+pub use isolation::{isolates, matching_count, PsoPredicate};
+pub use legal::{Claim, Evidence, LegalStandard, Technology, Verdict};
+pub use negligible::NegligibilityPolicy;
+pub use report::AuditReport;
+pub use stats::wilson_interval;
+pub use variants::{baseline_group_isolation_probability, heavy_weight_threshold, isolates_group};
+pub use weight::monte_carlo_weight;

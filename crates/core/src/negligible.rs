@@ -1,0 +1,106 @@
+//! Finite-`n` negligibility policies.
+//!
+//! Definition 2.4 requires the isolating predicate to have *negligible*
+//! weight — an asymptotic notion (`f(n) = n^{-ω(1)}`). Experiments run at a
+//! fixed `n`, so the workspace adopts an explicit surrogate: weight `w` is
+//! treated as negligible at size `n` when `w ≤ n^{-c}` for a configurable
+//! exponent `c` (default 2). Validating a claim then means observing the
+//! predicted trend across a range of `n` — which is exactly what the
+//! experiment sweeps do.
+//!
+//! The same policy object also answers the dual question from §2.2: weights
+//! `w = ω(log n / n)` make isolation *unlikely for the trivial reason* that
+//! too many records match; the in-between band is where trivial attackers
+//! live.
+
+/// Policy for declaring a weight negligible at finite `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct NegligibilityPolicy {
+    /// The exponent `c` in the threshold `n^-c`.
+    pub exponent: f64,
+}
+
+impl Default for NegligibilityPolicy {
+    fn default() -> Self {
+        NegligibilityPolicy { exponent: 2.0 }
+    }
+}
+
+impl NegligibilityPolicy {
+    /// Policy with threshold `n^-c`.
+    ///
+    /// # Panics
+    /// Panics unless `c > 1` (at `c = 1`, weight `1/n` — the trivial
+    /// attacker's sweet spot — would count as negligible, trivializing
+    /// Definition 2.4).
+    pub fn new(exponent: f64) -> Self {
+        assert!(
+            exponent > 1.0 && exponent.is_finite(),
+            "exponent must exceed 1 (got {exponent})"
+        );
+        NegligibilityPolicy { exponent }
+    }
+
+    /// The weight threshold at dataset size `n`.
+    pub fn threshold(&self, n: usize) -> f64 {
+        (n as f64).powf(-self.exponent)
+    }
+
+    /// True iff `w` counts as negligible at size `n`.
+    pub fn is_negligible(&self, weight: f64, n: usize) -> bool {
+        weight <= self.threshold(n)
+    }
+
+    /// The minimal prefix length (in bits) making a uniform-bits prefix
+    /// predicate negligible at size `n`: smallest `L` with `2^-L ≤ n^-c`.
+    pub fn required_prefix_bits(&self, n: usize) -> usize {
+        (self.exponent * (n as f64).log2()).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scales_with_exponent() {
+        let p2 = NegligibilityPolicy::new(2.0);
+        let p3 = NegligibilityPolicy::new(3.0);
+        assert!((p2.threshold(100) - 1e-4).abs() < 1e-12);
+        assert!((p3.threshold(100) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_attacker_weight_is_not_negligible() {
+        let policy = NegligibilityPolicy::default();
+        for n in [10usize, 100, 1000, 100_000] {
+            assert!(!policy.is_negligible(1.0 / n as f64, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sufficiently_small_weights_are_negligible() {
+        let policy = NegligibilityPolicy::default();
+        assert!(policy.is_negligible(1e-7, 1000));
+        assert!(!policy.is_negligible(1e-5, 1000));
+    }
+
+    #[test]
+    fn required_prefix_bits_matches_threshold() {
+        let policy = NegligibilityPolicy::default();
+        for n in [16usize, 100, 1024] {
+            let bits = policy.required_prefix_bits(n);
+            let weight = 0.5f64.powi(bits as i32);
+            assert!(policy.is_negligible(weight, n), "n = {n}, bits = {bits}");
+            // One bit fewer must not suffice.
+            let weight_short = 0.5f64.powi(bits as i32 - 1);
+            assert!(!policy.is_negligible(weight_short, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must exceed 1")]
+    fn rejects_weak_exponent() {
+        NegligibilityPolicy::new(1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Assembles legal claims into a single audit report.
+//!
+//! The paper's program is that statements like "technology T satisfies
+//! legal standard S" should be *falsifiable* and published with their
+//! supporting analysis (§2.4.3). [`AuditReport`] is the publishable object:
+//! a titled collection of [`Claim`]s rendered as plain text or Markdown,
+//! with a verdict summary up front.
+
+use crate::legal::{Claim, Verdict};
+
+/// A bundle of legal-technical claims with shared context.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Report title.
+    pub title: String,
+    /// Free-form context lines (dataset, date, configuration).
+    pub context: Vec<String>,
+    /// The claims, in presentation order.
+    pub claims: Vec<Claim>,
+}
+
+impl AuditReport {
+    /// Starts an empty report.
+    pub fn new(title: &str) -> Self {
+        AuditReport {
+            title: title.to_owned(),
+            context: Vec::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Adds a context line.
+    pub fn context(mut self, line: &str) -> Self {
+        self.context.push(line.to_owned());
+        self
+    }
+
+    /// Adds a claim.
+    pub fn claim(mut self, claim: Claim) -> Self {
+        self.claims.push(claim);
+        self
+    }
+
+    /// Count of claims with the given verdict.
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.claims.iter().filter(|c| c.verdict == verdict).count()
+    }
+
+    /// Renders as plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n{}\n\n", self.title, "=".repeat(self.title.len())));
+        for line in &self.context {
+            out.push_str(&format!("{line}\n"));
+        }
+        if !self.context.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "Summary: {} claim(s) — {} fail the requirement, {} satisfy the necessary \
+             condition, {} inconclusive.\n\n",
+            self.claims.len(),
+            self.count(Verdict::FailsRequirement),
+            self.count(Verdict::SatisfiesNecessaryCondition),
+            self.count(Verdict::Inconclusive),
+        ));
+        for c in &self.claims {
+            out.push_str(&c.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as Markdown (for EXPERIMENTS.md-style documents).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n\n", self.title));
+        for line in &self.context {
+            out.push_str(&format!("> {line}\n"));
+        }
+        out.push('\n');
+        for c in &self.claims {
+            out.push_str(&format!("## {} — {}\n\n", c.technology, c.verdict));
+            out.push_str(&format!("**Statement.** {}\n\n", c.statement));
+            out.push_str("**Derivation.**\n\n");
+            for (i, step) in c.derivation.iter().enumerate() {
+                out.push_str(&format!("{}. {}\n", i + 1, step));
+            }
+            if !c.evidence.is_empty() {
+                out.push_str("\n**Evidence.**\n\n");
+                out.push_str("| game | successes | rate | 99.9% CI | baseline | n |\n");
+                out.push_str("|---|---|---|---|---|---|\n");
+                for e in &c.evidence {
+                    out.push_str(&format!(
+                        "| {} | {}/{} | {:.4} | [{:.4}, {:.4}] | {:.2e} | {} |\n",
+                        e.label, e.successes, e.trials, e.rate(), e.rate_lo, e.rate_hi,
+                        e.baseline, e.n
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legal::{kanon_singling_out_theorem, Technology};
+    use crate::game::GameResult;
+
+    fn strong_game() -> GameResult {
+        GameResult {
+            n: 200,
+            trials: 500,
+            isolations: 190,
+            pso_successes: 190,
+            weight_rejections: 0,
+            weight_threshold: 2.5e-5,
+            baseline_at_threshold: 5e-3,
+            mechanism: "mondrian-k-anonymity[k=5]".into(),
+            attacker: "kanon-equivalence-class".into(),
+        }
+    }
+
+    fn report() -> AuditReport {
+        AuditReport::new("GDPR anonymization audit")
+            .context("dataset: synthetic medical, n = 200")
+            .claim(kanon_singling_out_theorem(5, &[strong_game()]))
+    }
+
+    #[test]
+    fn text_report_contains_summary_and_claims() {
+        let r = report();
+        let text = r.render_text();
+        assert!(text.starts_with("GDPR anonymization audit\n====="));
+        assert!(text.contains("1 fail the requirement"));
+        assert!(text.contains("LEGAL THEOREM — 5-anonymity"));
+        assert!(text.contains("dataset: synthetic medical"));
+    }
+
+    #[test]
+    fn markdown_report_has_tables() {
+        let md = report().render_markdown();
+        assert!(md.contains("# GDPR anonymization audit"));
+        assert!(md.contains("## 5-anonymity — FAILS THE REQUIREMENT"));
+        assert!(md.contains("| game | successes |"));
+        assert!(md.contains("| kanon-equivalence-class vs mondrian-k-anonymity[k=5] | 190/500 |"));
+    }
+
+    #[test]
+    fn verdict_counts() {
+        let r = report();
+        assert_eq!(r.count(Verdict::FailsRequirement), 1);
+        assert_eq!(r.count(Verdict::Inconclusive), 0);
+        let _ = Technology::ExactCount; // silence unused-import pedantry
+    }
+}

@@ -1,0 +1,104 @@
+//! Statistics for Monte Carlo estimates.
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// True iff the interval contains `p`.
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo && p <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Wilson score interval for `successes / trials` at confidence `z` standard
+/// normal quantiles (z = 1.96 for 95%, 2.576 for 99%, 3.29 for 99.9%).
+///
+/// Preferred over the normal approximation because it behaves at the
+/// boundaries — PSO success probabilities are often near 0.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+///
+/// ```
+/// use singling_out_core::stats::{wilson_interval, Z95};
+/// let iv = wilson_interval(37, 100, Z95);
+/// assert!(iv.contains(0.37));
+/// assert!(iv.lo > 0.27 && iv.hi < 0.47);
+/// ```
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> Interval {
+    assert!(trials > 0, "no trials");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Interval {
+        lo: (centre - half).max(0.0),
+        hi: (centre + half).min(1.0),
+    }
+}
+
+/// Conventional z value for 95% two-sided confidence.
+pub const Z95: f64 = 1.959_963_985;
+/// Conventional z value for 99.9% two-sided confidence (used by statistical
+/// assertions in tests so flake probability stays tiny).
+pub const Z999: f64 = 3.290_526_73;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let iv = wilson_interval(50, 100, Z95);
+        assert!(iv.contains(0.5));
+        assert!(iv.lo > 0.39 && iv.hi < 0.61);
+    }
+
+    #[test]
+    fn zero_successes_interval_starts_at_zero() {
+        let iv = wilson_interval(0, 1000, Z95);
+        assert!(iv.lo.abs() < 1e-12, "lo {}", iv.lo);
+        assert!(iv.hi < 0.01, "hi {}", iv.hi);
+    }
+
+    #[test]
+    fn full_successes_interval_ends_at_one() {
+        let iv = wilson_interval(1000, 1000, Z95);
+        assert!((iv.hi - 1.0).abs() < 1e-12, "hi {}", iv.hi);
+        assert!(iv.lo > 0.99);
+    }
+
+    #[test]
+    fn width_shrinks_with_more_trials() {
+        let narrow = wilson_interval(500, 10_000, Z95);
+        let wide = wilson_interval(5, 100, Z95);
+        assert!(narrow.width() < wide.width());
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let a = wilson_interval(30, 100, Z95);
+        let b = wilson_interval(30, 100, Z999);
+        assert!(b.width() > a.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn zero_trials_rejected() {
+        wilson_interval(0, 0, Z95);
+    }
+}

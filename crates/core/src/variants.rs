@@ -1,0 +1,207 @@
+//! Alternative formalizations of singling out — §2.3.5 of the paper.
+//!
+//! > "Before ending this subsection, we note that other formulations of
+//! > singling out may emerge from the very same text of the GDPR ... The
+//! > emergence of such concepts can be of great benefit."
+//!
+//! This module explores one natural variant: **group isolation**. The
+//! Article 29 Working Party's text speaks of isolating "some or all records
+//! which identify an individual" — arguably a predicate that pins down a
+//! *small group* (a household, a family) is also a singling-out harm. We
+//! define `t`-group isolation (`1 ≤ Σ p(x_i) ≤ t`) and its baseline, and
+//! show the machinery of Definition 2.4 carries over.
+//!
+//! Two facts fall out immediately (both unit-tested below):
+//!
+//! * the trivial baseline for `t`-group isolation is
+//!   `Σ_{j=1..t} C(n,j) w^j (1−w)^{n−j}` — still ≈ constant at `w ≈ 1/n`
+//!   and still negligible at negligible weights, so the Definition 2.4
+//!   calibration survives the generalization;
+//! * k-anonymity fails `t`-group isolation *immediately* for `t ≥ k`: the
+//!   released class predicate itself (no refinement needed) isolates a
+//!   group of size `k' ≤ t` with probability ≈ 1.
+
+use crate::isolation::PsoPredicate;
+
+/// True iff `p` matches at least one and at most `t` records — the group
+/// generalization of Definition 2.1 (which is the `t = 1` case).
+pub fn isolates_group<R>(
+    records: &[R],
+    p: &(impl PsoPredicate<R> + ?Sized),
+    t: usize,
+) -> bool {
+    assert!(t >= 1, "group bound must be at least 1");
+    let mut seen = 0usize;
+    for r in records {
+        if p.matches(r) {
+            seen += 1;
+            if seen > t {
+                return false;
+            }
+        }
+    }
+    seen >= 1
+}
+
+/// Baseline probability that a data-independent weight-`w` predicate
+/// `t`-group-isolates in an i.i.d. sample of size `n`:
+/// `Σ_{j=1..t} C(n,j) w^j (1−w)^{n−j}`.
+pub fn baseline_group_isolation_probability(n: usize, w: f64, t: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&w), "weight out of range: {w}");
+    assert!(t >= 1);
+    let mut sum = 0.0;
+    // Iterative binomial pmf: P(j) = C(n,j) w^j (1-w)^(n-j).
+    let mut pmf = (1.0 - w).powi(n as i32); // j = 0
+    for j in 1..=t.min(n) {
+        pmf *= (n - j + 1) as f64 / j as f64 * w / (1.0 - w);
+        if !pmf.is_finite() {
+            break;
+        }
+        sum += pmf;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Footnote 11's other regime: *heavy* predicates with
+/// `w = ω(log n / n)`. Such predicates match many records, so they isolate
+/// with negligible probability for the opposite reason — formally,
+/// `n·w·(1−w)^{n−1} ≤ n·e^{−(n−1)w}`, which is `n^{1−c(n−1)/n} → negl` at
+/// `w = c·ln(n)/n`. This helper gives the threshold above which a weight
+/// counts as heavy (and hence could be admitted to the success event
+/// "analogously", as the footnote says).
+pub fn heavy_weight_threshold(n: usize, c: f64) -> f64 {
+    assert!(n >= 2 && c > 0.0);
+    (c * (n as f64).ln() / n as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::baseline_isolation_probability;
+    use crate::isolation::FnPsoPredicate;
+    use crate::negligible::NegligibilityPolicy;
+
+    #[test]
+    fn heavy_predicates_isolate_negligibly() {
+        // Footnote 11: weights ω(log n / n) give negligible isolation
+        // probability; check the decay across n at c = 3.
+        let mut prev_ratio = f64::INFINITY;
+        for n in [100usize, 1_000, 10_000, 100_000] {
+            let w = heavy_weight_threshold(n, 3.0);
+            let p = baseline_isolation_probability(n, w);
+            // Compare against 1/n: the heavy baseline decays faster.
+            let ratio = p / (1.0 / n as f64);
+            assert!(ratio < prev_ratio, "n = {n}: ratio {ratio}");
+            prev_ratio = ratio;
+        }
+        // And at n = 100_000 it is already tiny in absolute terms.
+        let p = baseline_isolation_probability(100_000, heavy_weight_threshold(100_000, 3.0));
+        assert!(p < 1e-7, "p = {p}");
+    }
+
+    #[test]
+    fn t_equals_one_recovers_definition_2_1() {
+        for n in [10usize, 100, 365] {
+            for w in [0.001, 0.01, 0.1] {
+                let a = baseline_group_isolation_probability(n, w, 1);
+                let b = baseline_isolation_probability(n, w);
+                assert!((a - b).abs() < 1e-9, "n={n} w={w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_isolation_is_monotone_in_t() {
+        let n = 100;
+        let w = 0.02;
+        let mut prev = 0.0;
+        for t in 1..=10 {
+            let p = baseline_group_isolation_probability(n, w, t);
+            assert!(p >= prev, "t={t}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn negligible_weight_keeps_group_baseline_negligible() {
+        // The Definition 2.4 calibration survives: at w = n^-2 the group
+        // baseline stays ≈ n · w = 1/n even for generous t.
+        let policy = NegligibilityPolicy::default();
+        let n = 1_000;
+        let w = policy.threshold(n);
+        let p = baseline_group_isolation_probability(n, w, 10);
+        assert!(p < 2.0 / n as f64, "group baseline {p}");
+    }
+
+    #[test]
+    fn isolates_group_counts_matches() {
+        let records = vec![1u32, 2, 2, 3, 3, 3];
+        let eq = |v: u32| FnPsoPredicate::new("eq", None, move |r: &u32| *r == v);
+        assert!(isolates_group(&records, &eq(1), 1));
+        assert!(!isolates_group(&records, &eq(2), 1));
+        assert!(isolates_group(&records, &eq(2), 2));
+        assert!(!isolates_group(&records, &eq(3), 2));
+        assert!(isolates_group(&records, &eq(3), 3));
+        assert!(!isolates_group(&records, &eq(9), 6), "zero matches never isolate");
+    }
+
+    #[test]
+    fn kanon_class_predicate_group_isolates_without_refinement() {
+        // For t ≥ k', the released class predicate alone group-isolates:
+        // the paper's 37% refinement step becomes unnecessary under the
+        // group variant, making k-anonymity's failure even starker.
+        use crate::game::{DataModel, TabularModel};
+        use crate::game::PsoMechanism;
+        use crate::mechanisms::{Anonymizer, KAnonMechanism};
+        use so_data::dist::{AttributeDistribution, Categorical, RowDistribution};
+        use so_data::rng::seeded_rng;
+        use so_data::schema::{AttributeDef, AttributeRole, DataType};
+        use so_data::Schema;
+        use so_kanon::MondrianConfig;
+
+        let schema = Schema::new(vec![
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        let dist = RowDistribution::new(
+            schema,
+            vec![
+                AttributeDistribution::IntUniform { lo: 0, hi: 99_999 },
+                AttributeDistribution::IntUniform { lo: 0, hi: 36_499 },
+                AttributeDistribution::StrChoice {
+                    values: (0..50).map(|i| format!("d{i}")).collect(),
+                    dist: Categorical::uniform(50),
+                },
+            ],
+        );
+        let model = TabularModel::new(dist.sampler());
+        let k = 5usize;
+        let mech = KAnonMechanism::new(
+            &model,
+            vec![0, 1],
+            Anonymizer::Mondrian(MondrianConfig { k }),
+        );
+        let mut rng = seeded_rng(500);
+        let mut hits = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let data = model.sample_dataset(150, &mut rng);
+            let classes = mech.run(&data, &mut rng);
+            // Take the first class; its box predicate (over QI cols only).
+            let class = &classes[0];
+            let qi_box = class.qi_box.clone();
+            let pred = FnPsoPredicate::new("class box", None, move |r: &Vec<so_data::Value>| {
+                qi_box[0].covers(&r[0], None) && qi_box[1].covers(&r[1], None)
+            });
+            // t = 4k is a generous group bound; the class has k..~4k rows.
+            if isolates_group(&data, &pred, 4 * k) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits as f64 / trials as f64 > 0.9,
+            "class predicates group-isolate almost always, got {hits}/{trials}"
+        );
+    }
+}

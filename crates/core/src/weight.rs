@@ -1,0 +1,215 @@
+//! Predicate weight `w_D(p) = Pr_{x ∼ D}[p(x) = 1]` (§2.2).
+//!
+//! The weight is the quantity Definition 2.4 gates success on. Two paths:
+//!
+//! * **Monte Carlo** ([`monte_carlo_weight`]) — works for any model and
+//!   predicate; returns the estimate with a Wilson interval;
+//! * **exact** — available for structured predicates under product
+//!   distributions: [`box_weight`] computes the weight of a k-anonymity
+//!   equivalence-class box under a [`RowDistribution`], which is how
+//!   Theorem 2.10's "the predicates corresponding to the equivalence
+//!   classes would have negligible weights" is checked without sampling
+//!   error.
+
+use rand::Rng;
+
+use so_data::dist::{AttributeDistribution, RowDistribution};
+use so_kanon::{GenValue, Taxonomy};
+
+use crate::game::DataModel;
+use crate::isolation::PsoPredicate;
+use crate::stats::{wilson_interval, Interval, Z95};
+
+/// Monte Carlo weight estimate with a 95% Wilson interval.
+pub fn monte_carlo_weight<M: DataModel, R: Rng + ?Sized>(
+    model: &M,
+    predicate: &(impl PsoPredicate<M::Record> + ?Sized),
+    samples: usize,
+    rng: &mut R,
+) -> (f64, Interval) {
+    assert!(samples > 0, "need at least one sample");
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let r = model.sample_record(rng);
+        if predicate.matches(&r) {
+            hits += 1;
+        }
+    }
+    (
+        hits as f64 / samples as f64,
+        wilson_interval(hits, samples, Z95),
+    )
+}
+
+/// Exact weight of a single generalized cell under one attribute
+/// distribution.
+///
+/// `taxonomy` is needed only for `CategoryNode` cells. Returns the
+/// probability a fresh sample of that attribute lands in the cell.
+pub fn gen_value_weight(
+    g: &GenValue,
+    attr: &AttributeDistribution,
+    taxonomy: Option<&Taxonomy>,
+    resolve: &dyn Fn(so_data::Symbol) -> String,
+) -> f64 {
+    match g {
+        GenValue::Suppressed => 1.0,
+        GenValue::Exact(v) => attr.point_probability(v, resolve),
+        GenValue::IntRange { lo, hi } => attr.interval_probability(*lo, *hi),
+        GenValue::CategoryNode(node) => {
+            let Some(tax) = taxonomy else { return 0.0 };
+            // Sum the probabilities of all leaf labels under the node.
+            tax.leaves_under(*node)
+                .into_iter()
+                .map(|leaf| match attr {
+                    AttributeDistribution::StrChoice { values, dist } => values
+                        .iter()
+                        .position(|v| v == tax.label(leaf))
+                        .map_or(0.0, |i| dist.probability(i)),
+                    _ => 0.0,
+                })
+                .sum()
+        }
+    }
+}
+
+/// Exact weight of a "value ∈ released set" conjunct under one attribute
+/// distribution: the sum of the point masses of the set members. This is
+/// the factor each *non-generalized* column contributes to an
+/// equivalence-class predicate (the `Disease ∈ PULM`-style conjunct of the
+/// paper's toy example).
+pub fn value_set_weight(
+    attr: &AttributeDistribution,
+    values: &[so_data::Value],
+    resolve: &dyn Fn(so_data::Symbol) -> String,
+) -> f64 {
+    values
+        .iter()
+        .map(|v| attr.point_probability(v, resolve))
+        .sum()
+}
+
+/// Exact weight of an equivalence-class box under a product row
+/// distribution: the product over quasi-identifier columns of the cell
+/// weights (non-QI columns are unconstrained by the box).
+pub fn box_weight(
+    dist: &RowDistribution,
+    qi_cols: &[usize],
+    qi_box: &[GenValue],
+    taxonomies: &[Option<&Taxonomy>],
+    resolve: &dyn Fn(so_data::Symbol) -> String,
+) -> f64 {
+    assert_eq!(qi_cols.len(), qi_box.len(), "box arity mismatch");
+    assert_eq!(qi_cols.len(), taxonomies.len(), "taxonomy arity mismatch");
+    qi_cols
+        .iter()
+        .zip(qi_box)
+        .zip(taxonomies)
+        .map(|((&col, g), tax)| gen_value_weight(g, &dist.attrs()[col], *tax, resolve))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::BitModel;
+    use crate::isolation::FnPsoPredicate;
+    use so_data::dist::Categorical;
+    use so_data::rng::seeded_rng;
+    use so_data::schema::{AttributeDef, AttributeRole, DataType};
+    use so_data::{Schema, UniformBits, Value};
+
+    #[test]
+    fn monte_carlo_weight_matches_design() {
+        let model = BitModel::uniform(32);
+        let p = FnPsoPredicate::new("bit0", None, |r: &so_data::BitVec| r.get(0));
+        let (w, iv) = monte_carlo_weight(&model, &p, 20_000, &mut seeded_rng(130));
+        assert!((w - 0.5).abs() < 0.02, "w = {w}");
+        assert!(iv.contains(0.5));
+        let _ = UniformBits::new(1);
+    }
+
+    fn toy_dist() -> RowDistribution {
+        let schema = Schema::new(vec![
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        RowDistribution::new(
+            schema,
+            vec![
+                AttributeDistribution::IntUniform { lo: 10_000, hi: 10_099 },
+                AttributeDistribution::IntUniform { lo: 0, hi: 99 },
+                AttributeDistribution::StrChoice {
+                    values: vec!["COVID".into(), "Asthma".into(), "CF".into(), "Flu".into()],
+                    dist: Categorical::new(&[1.0, 1.0, 1.0, 1.0]),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn box_weight_is_product_of_cell_weights() {
+        let d = toy_dist();
+        let resolve = |_s: so_data::Symbol| String::new();
+        let qi_box = vec![
+            GenValue::IntRange { lo: 10_000, hi: 10_009 }, // 10/100
+            GenValue::IntRange { lo: 30, hi: 39 },          // 10/100
+        ];
+        let w = box_weight(&d, &[0, 1], &qi_box, &[None, None], &resolve);
+        assert!((w - 0.01).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn suppressed_cells_do_not_constrain() {
+        let d = toy_dist();
+        let resolve = |_s: so_data::Symbol| String::new();
+        let qi_box = vec![GenValue::Suppressed, GenValue::IntRange { lo: 0, hi: 49 }];
+        let w = box_weight(&d, &[0, 1], &qi_box, &[None, None], &resolve);
+        assert!((w - 0.5).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn exact_cell_uses_point_mass() {
+        let d = toy_dist();
+        let resolve = |_s: so_data::Symbol| String::new();
+        let qi_box = vec![
+            GenValue::Exact(Value::Int(10_042)),
+            GenValue::Suppressed,
+        ];
+        let w = box_weight(&d, &[0, 1], &qi_box, &[None, None], &resolve);
+        assert!((w - 0.01).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn category_node_weight_sums_leaf_masses() {
+        let d = toy_dist();
+        let mut tax = Taxonomy::new("ANY");
+        let pulm = tax.add_child(0, "PULM");
+        tax.add_child(pulm, "COVID");
+        tax.add_child(pulm, "Asthma");
+        tax.add_child(pulm, "CF");
+        tax.add_child(0, "Flu");
+        let resolve = |_s: so_data::Symbol| String::new();
+        let w = gen_value_weight(
+            &GenValue::CategoryNode(pulm),
+            &d.attrs()[2],
+            Some(&tax),
+            &resolve,
+        );
+        assert!((w - 0.75).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn out_of_support_exact_cell_has_zero_weight() {
+        let d = toy_dist();
+        let resolve = |_s: so_data::Symbol| String::new();
+        let w = gen_value_weight(
+            &GenValue::Exact(Value::Int(99_999)),
+            &d.attrs()[0],
+            None,
+            &resolve,
+        );
+        assert_eq!(w, 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the PSO core.
+
+use proptest::prelude::*;
+use singling_out_core::baseline::baseline_isolation_probability;
+use singling_out_core::isolation::{isolates, matching_count, FnPsoPredicate};
+use singling_out_core::negligible::NegligibilityPolicy;
+use singling_out_core::stats::{wilson_interval, Z95};
+
+proptest! {
+    /// The baseline closed form is a probability and is maximized near
+    /// w = 1/n over a grid of weights.
+    #[test]
+    fn baseline_is_a_probability(n in 1usize..10_000, w in 0.0f64..=1.0) {
+        let p = baseline_isolation_probability(n, w);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    /// Monotonicity in w on either side of the optimum 1/n.
+    #[test]
+    fn baseline_unimodal(n in 2usize..1_000) {
+        let opt = 1.0 / n as f64;
+        let below = baseline_isolation_probability(n, opt / 2.0);
+        let peak = baseline_isolation_probability(n, opt);
+        let above = baseline_isolation_probability(n, (opt * 4.0).min(1.0));
+        prop_assert!(peak >= below, "peak {peak} below {below}");
+        prop_assert!(peak >= above, "peak {peak} above {above}");
+    }
+
+    /// isolates() agrees with matching_count() == 1.
+    #[test]
+    fn isolation_consistent_with_count(records in proptest::collection::vec(0u32..20, 0..60), target in 0u32..20) {
+        let p = FnPsoPredicate::new("eq", None, move |r: &u32| *r == target);
+        prop_assert_eq!(isolates(&records, &p), matching_count(&records, &p) == 1);
+    }
+
+    /// The Wilson interval always contains the point estimate and stays in
+    /// [0, 1].
+    #[test]
+    fn wilson_contains_point_estimate(trials in 1usize..10_000, frac in 0.0f64..=1.0) {
+        let successes = ((trials as f64) * frac) as usize;
+        let iv = wilson_interval(successes, trials, Z95);
+        let p = successes as f64 / trials as f64;
+        prop_assert!(iv.lo <= p + 1e-12 && p <= iv.hi + 1e-12);
+        prop_assert!(iv.lo >= 0.0 && iv.hi <= 1.0);
+    }
+
+    /// Negligibility thresholds are monotone: larger n ⇒ smaller threshold;
+    /// larger exponent ⇒ smaller threshold.
+    #[test]
+    fn negligibility_monotone(n in 2usize..100_000, c in 11u32..40) {
+        let c = f64::from(c) / 10.0;
+        let p1 = NegligibilityPolicy::new(c);
+        let p2 = NegligibilityPolicy::new(c + 0.5);
+        prop_assert!(p2.threshold(n) <= p1.threshold(n));
+        prop_assert!(p1.threshold(n * 2) <= p1.threshold(n));
+        // The required prefix bits really achieve the threshold.
+        let bits = p1.required_prefix_bits(n);
+        prop_assert!(p1.is_negligible(0.5f64.powi(bits as i32), n));
+    }
+}

@@ -1,0 +1,283 @@
+//! Bit vectors and bit-string datasets.
+//!
+//! Two of the paper's settings live over binary domains:
+//!
+//! * Theorem 1.1 (Dinur–Nissim) reconstructs a dataset
+//!   `x ∈ {0,1}^n` from noisy subset-sum answers. We represent `x` as a
+//!   [`BitVec`] of length `n`.
+//! * Theorem 2.8's composition attack isolates one record in a dataset of
+//!   `n` records each drawn from `{0,1}^d`; we represent that as a
+//!   [`BitDataset`] (`n` rows × `d` bits).
+
+use std::fmt;
+
+/// A packed, fixed-length bit vector.
+///
+/// ```
+/// use so_data::BitVec;
+/// let mut x = BitVec::zeros(8);
+/// x.set(0, true);
+/// x.set(7, true);
+/// assert_eq!(x.count_ones(), 2);
+/// let y = BitVec::from_bools(&[true, false, false, false, false, false, false, false]);
+/// assert_eq!(x.hamming_distance(&y), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds from a slice of bools.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Builds from an iterator of bools.
+    pub fn from_iter_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Self::from_bools(&bits)
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over bits as bools.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The underlying words (trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Serializes the first `min(len, 64)` bits into a `u64`, bit `i` at
+    /// position `i`. Useful as a compact record key when `len <= 64`.
+    pub fn low_u64(&self) -> u64 {
+        self.words.first().copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for b in self.iter() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dataset of `n` fixed-width bit-string records (`{0,1}^d` per record),
+/// stored row-major in packed words.
+#[derive(Clone, Debug)]
+pub struct BitDataset {
+    rows: Vec<BitVec>,
+    width: usize,
+}
+
+impl BitDataset {
+    /// Creates an empty dataset of records with `width` bits each.
+    pub fn new(width: usize) -> Self {
+        BitDataset {
+            rows: Vec::new(),
+            width,
+        }
+    }
+
+    /// Creates from rows, checking uniform width.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `width`.
+    pub fn from_rows(width: usize, rows: Vec<BitVec>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), width, "row width mismatch");
+        }
+        BitDataset { rows, width }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    /// Panics if the record width differs.
+    pub fn push(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of records `n`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Record width `d`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Borrow record `i`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Iterate over records.
+    pub fn rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.rows.iter()
+    }
+
+    /// Counts records matching `pred`.
+    pub fn count_matching<F: Fn(&BitVec) -> bool>(&self, pred: F) -> usize {
+        self.rows.iter().filter(|r| pred(r)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn from_bools_round_trip() {
+        let bits = [true, false, true, true, false];
+        let v = BitVec::from_bools(&bits);
+        let back: Vec<bool> = v.iter().collect();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let a = BitVec::from_bools(&[true, false, true, false]);
+        let b = BitVec::from_bools(&[true, true, false, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_distance_length_mismatch_panics() {
+        let _ = BitVec::zeros(3).hamming_distance(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn low_u64_packs_first_word() {
+        let v = BitVec::from_bools(&[true, false, true]); // bits 0 and 2
+        assert_eq!(v.low_u64(), 0b101);
+    }
+
+    #[test]
+    fn bit_dataset_push_and_count() {
+        let mut ds = BitDataset::new(3);
+        ds.push(BitVec::from_bools(&[true, true, false]));
+        ds.push(BitVec::from_bools(&[false, true, false]));
+        ds.push(BitVec::from_bools(&[true, true, true]));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.width(), 3);
+        assert_eq!(ds.count_matching(|r| r.get(1)), 3);
+        assert_eq!(ds.count_matching(|r| r.get(0)), 2);
+        assert_eq!(ds.count_matching(|r| r.get(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bit_dataset_rejects_wrong_width() {
+        let mut ds = BitDataset::new(4);
+        ds.push(BitVec::zeros(5));
+    }
+
+    #[test]
+    fn empty_bitvec_edge_cases() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.low_u64(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

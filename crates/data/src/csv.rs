@@ -1,0 +1,404 @@
+//! Minimal CSV serialization for [`Dataset`].
+//!
+//! Experiment binaries dump generated datasets and results as CSV so runs
+//! can be inspected and diffed without extra tooling. The dialect is
+//! deliberately simple: comma separator, RFC-4180-style quoting for fields
+//! containing commas/quotes/newlines, one header row of `name:type` pairs.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::date::Date;
+use crate::schema::{AttributeDef, AttributeRole, DataType, Schema};
+use crate::value::Value;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// Input had no header row.
+    MissingHeader,
+    /// A header entry was not `name:type`.
+    BadHeader(String),
+    /// A data row had the wrong number of fields.
+    ArityMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field failed to parse as its column type.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column index.
+        col: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// Unterminated quoted field.
+    UnterminatedQuote {
+        /// 1-based line number where the field started.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::BadHeader(h) => write!(f, "bad header entry {h:?} (want name:type)"),
+            CsvError::ArityMismatch { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::BadField { line, col, text } => {
+                write!(f, "line {line}, column {col}: cannot parse {text:?}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+fn write_field(out: &mut String, s: &str) {
+    if needs_quoting(s) {
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Serializes a dataset to CSV text. Header cells are `name:type`; the
+/// attribute role is encoded as a `#role=` suffix so round-trips preserve it.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for (i, attr) in ds.schema().attrs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let role = match attr.role {
+            AttributeRole::DirectIdentifier => "id",
+            AttributeRole::QuasiIdentifier => "qi",
+            AttributeRole::Sensitive => "sens",
+            AttributeRole::Insensitive => "none",
+        };
+        let header = format!("{}:{}#role={}", attr.name, attr.dtype, role);
+        write_field(&mut out, &header);
+    }
+    out.push('\n');
+    for r in 0..ds.n_rows() {
+        for c in 0..ds.n_cols() {
+            if c > 0 {
+                out.push(',');
+            }
+            match ds.get(r, c) {
+                Value::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Float(v) => {
+                    // `{:?}` keeps full round-trip precision for f64.
+                    let _ = write!(out, "{v:?}");
+                }
+                Value::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Date(d) => {
+                    let _ = write!(out, "{d}");
+                }
+                Value::Str(s) => write_field(&mut out, ds.resolve(s)),
+                Value::Missing => {}
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits one logical CSV record (handles quoted fields; `lines` is the raw
+/// remaining input iterator so quoted newlines can span lines).
+fn parse_record(
+    first_line: &str,
+    line_no: usize,
+    rest: &mut std::str::Lines<'_>,
+) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars: Vec<char> = first_line.chars().collect();
+    let mut i = 0;
+    let mut in_quotes = false;
+    loop {
+        if i >= chars.len() {
+            if in_quotes {
+                // Quoted newline: pull the next physical line.
+                match rest.next() {
+                    Some(next) => {
+                        cur.push('\n');
+                        chars = next.chars().collect();
+                        i = 0;
+                        continue;
+                    }
+                    None => return Err(CsvError::UnterminatedQuote { line: line_no }),
+                }
+            }
+            fields.push(std::mem::take(&mut cur));
+            return Ok(fields);
+        }
+        let ch = chars[i];
+        if in_quotes {
+            if ch == '"' {
+                if chars.get(i + 1) == Some(&'"') {
+                    cur.push('"');
+                    i += 2;
+                    continue;
+                }
+                in_quotes = false;
+                i += 1;
+                continue;
+            }
+            cur.push(ch);
+            i += 1;
+        } else {
+            match ch {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                    i += 1;
+                }
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                _ => {
+                    cur.push(ch);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_header_entry(entry: &str) -> Result<AttributeDef, CsvError> {
+    let (name_ty, role_str) = match entry.split_once("#role=") {
+        Some((a, b)) => (a, b),
+        None => (entry, "none"),
+    };
+    let (name, ty) = name_ty
+        .rsplit_once(':')
+        .ok_or_else(|| CsvError::BadHeader(entry.to_owned()))?;
+    let dtype = match ty {
+        "int" => DataType::Int,
+        "float" => DataType::Float,
+        "str" => DataType::Str,
+        "bool" => DataType::Bool,
+        "date" => DataType::Date,
+        _ => return Err(CsvError::BadHeader(entry.to_owned())),
+    };
+    let role = match role_str {
+        "id" => AttributeRole::DirectIdentifier,
+        "qi" => AttributeRole::QuasiIdentifier,
+        "sens" => AttributeRole::Sensitive,
+        "none" => AttributeRole::Insensitive,
+        _ => return Err(CsvError::BadHeader(entry.to_owned())),
+    };
+    Ok(AttributeDef::new(name, dtype, role))
+}
+
+fn parse_date(s: &str) -> Option<Date> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u8 = parts.next()?.parse().ok()?;
+    let d: u8 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Date::new(y, m, d)
+}
+
+/// Parses CSV text produced by [`to_csv`] back into a [`Dataset`].
+pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or(CsvError::MissingHeader)?;
+    let mut line_no = 1;
+    let header = parse_record(header_line, line_no, &mut lines)?;
+    let attrs: Vec<AttributeDef> = header
+        .iter()
+        .map(|h| parse_header_entry(h))
+        .collect::<Result<_, _>>()?;
+    let schema: Arc<Schema> = Schema::new(attrs);
+    let mut b = DatasetBuilder::new(schema.clone());
+    while let Some(line) = lines.next() {
+        line_no += 1;
+        // Blank lines are skipped as formatting noise — except for
+        // single-column schemas, where an empty line is a legitimate record
+        // (one empty field, i.e. a missing cell).
+        if line.is_empty() && schema.len() > 1 {
+            continue;
+        }
+        let fields = parse_record(line, line_no, &mut lines)?;
+        if fields.len() != schema.len() {
+            return Err(CsvError::ArityMismatch {
+                line: line_no,
+                got: fields.len(),
+                expected: schema.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (c, field) in fields.iter().enumerate() {
+            let bad = || CsvError::BadField {
+                line: line_no,
+                col: c,
+                text: field.clone(),
+            };
+            let v = if field.is_empty() && schema.attr(c).dtype != DataType::Str {
+                Value::Missing
+            } else {
+                match schema.attr(c).dtype {
+                    DataType::Int => Value::Int(field.parse().map_err(|_| bad())?),
+                    DataType::Float => Value::Float(field.parse().map_err(|_| bad())?),
+                    DataType::Bool => Value::Bool(field.parse().map_err(|_| bad())?),
+                    DataType::Date => Value::Date(parse_date(field).ok_or_else(bad)?),
+                    DataType::Str => Value::Str(b.intern(field)),
+                }
+            };
+            row.push(v);
+        }
+        b.push_row(row);
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeRole;
+
+    fn sample() -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("note", DataType::Str, AttributeRole::Insensitive),
+            AttributeDef::new("score", DataType::Float, AttributeRole::Sensitive),
+            AttributeDef::new("active", DataType::Bool, AttributeRole::Insensitive),
+            AttributeDef::new("born", DataType::Date, AttributeRole::QuasiIdentifier),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        let plain = b.intern("plain");
+        let tricky = b.intern("has,comma \"and\" quotes\nand newline");
+        b.push_row(vec![
+            Value::Int(12345),
+            Value::Str(plain),
+            Value::Float(0.125),
+            Value::Bool(true),
+            Value::Date(Date::new(1980, 2, 29).unwrap()),
+        ]);
+        b.push_row(vec![
+            Value::Int(-7),
+            Value::Str(tricky),
+            Value::Missing,
+            Value::Bool(false),
+            Value::Missing,
+        ]);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let text = to_csv(&ds);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.schema().attrs(), ds.schema().attrs());
+        for r in 0..ds.n_rows() {
+            for c in 0..ds.n_cols() {
+                let (a, b) = (ds.get(r, c), back.get(r, c));
+                match (a, b) {
+                    (Value::Str(x), Value::Str(y)) => {
+                        assert_eq!(ds.resolve(x), back.resolve(y));
+                    }
+                    _ => assert_eq!(a, b, "cell ({r},{c})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_encodes_roles() {
+        let text = to_csv(&sample());
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("zip:int#role=qi"));
+        assert!(header.contains("score:float#role=sens"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(from_csv(""), Err(CsvError::MissingHeader)));
+    }
+
+    #[test]
+    fn arity_mismatch_reported_with_line() {
+        let text = "a:int#role=none,b:int#role=none\n1,2\n3\n";
+        match from_csv(text) {
+            Err(CsvError::ArityMismatch { line, got, expected }) => {
+                assert_eq!((line, got, expected), (3, 1, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_field_reported() {
+        let text = "a:int#role=none\nxyz\n";
+        assert!(matches!(from_csv(text), Err(CsvError::BadField { .. })));
+    }
+
+    #[test]
+    fn bad_header_reported() {
+        assert!(matches!(
+            from_csv("justaname\n"),
+            Err(CsvError::BadHeader(_))
+        ));
+        assert!(matches!(
+            from_csv("a:unknown\n"),
+            Err(CsvError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_reported() {
+        let text = "a:str#role=none\n\"open\n";
+        assert!(matches!(
+            from_csv(text),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "x",
+            DataType::Float,
+            AttributeRole::Insensitive,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        b.push_row(vec![Value::Float(std::f64::consts::PI)]);
+        b.push_row(vec![Value::Float(1.0e-300)]);
+        let ds = b.finish();
+        let back = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(back.get(0, 0), Value::Float(std::f64::consts::PI));
+        assert_eq!(back.get(1, 0), Value::Float(1.0e-300));
+    }
+}

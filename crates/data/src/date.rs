@@ -1,0 +1,206 @@
+//! Minimal proleptic-Gregorian calendar dates.
+//!
+//! The linkage experiments (Sweeney's ZIP × birth date × sex quasi-identifier)
+//! need calendar dates with day-level arithmetic; pulling in a full datetime
+//! crate is unnecessary. Dates are stored as a day number relative to
+//! 1970-01-01 (negative for earlier dates), so ordering and distance are
+//! integer operations.
+
+use std::fmt;
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(i32);
+
+const DAYS_PER_400Y: i64 = 146_097;
+/// Days from 0000-03-01 to 1970-01-01 in the proleptic Gregorian calendar.
+const EPOCH_SHIFT: i64 = 719_468;
+
+impl Date {
+    /// Builds a date from year / month (1–12) / day (1–31), validating the
+    /// day against the month length.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date(days_from_civil(year, month, day) as i32))
+    }
+
+    /// Builds a date directly from a day number since 1970-01-01.
+    pub fn from_day_number(days: i32) -> Date {
+        Date(days)
+    }
+
+    /// Day number since 1970-01-01 (negative before the epoch).
+    pub fn day_number(&self) -> i32 {
+        self.0
+    }
+
+    /// Decomposes into `(year, month, day)`.
+    pub fn ymd(&self) -> (i32, u8, u8) {
+        civil_from_days(self.0 as i64)
+    }
+
+    /// The year component.
+    pub fn year(&self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.ymd().1
+    }
+
+    /// The day-of-month component (1–31).
+    pub fn day(&self) -> u8 {
+        self.ymd().2
+    }
+
+    /// Date `n` days after this one (negative `n` moves backwards).
+    pub fn plus_days(&self, n: i32) -> Date {
+        Date(self.0 + n)
+    }
+
+    /// Signed distance in days from `other` to `self`.
+    pub fn days_since(&self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Age in whole years at reference date `at`.
+    pub fn age_at(&self, at: Date) -> i32 {
+        let (by, bm, bd) = self.ymd();
+        let (ay, am, ad) = at.ymd();
+        let mut age = ay - by;
+        if (am, ad) < (bm, bd) {
+            age -= 1;
+        }
+        age
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// True iff `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+// Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((m as i32 + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * DAYS_PER_400Y + doe - EPOCH_SHIFT
+}
+
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + EPOCH_SHIFT;
+    let era = if z >= 0 { z } else { z - DAYS_PER_400Y + 1 } / DAYS_PER_400Y;
+    let doe = z - era * DAYS_PER_400Y;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::new(1970, 1, 1).unwrap();
+        assert_eq!(d.day_number(), 0);
+        assert_eq!(d.ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        assert_eq!(Date::new(1970, 1, 2).unwrap().day_number(), 1);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().day_number(), -1);
+        assert_eq!(Date::new(2000, 3, 1).unwrap().day_number(), 11_017);
+        // 2024-01-01 is 19723 days after the epoch.
+        assert_eq!(Date::new(2024, 1, 1).unwrap().day_number(), 19_723);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2021, 2, 29).is_none());
+        assert!(Date::new(2020, 2, 29).is_some());
+        assert!(Date::new(2021, 13, 1).is_none());
+        assert!(Date::new(2021, 0, 1).is_none());
+        assert!(Date::new(2021, 4, 31).is_none());
+        assert!(Date::new(2021, 4, 0).is_none());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+    }
+
+    #[test]
+    fn round_trip_every_day_for_a_decade() {
+        let start = Date::new(1995, 1, 1).unwrap().day_number();
+        let end = Date::new(2005, 12, 31).unwrap().day_number();
+        for dn in start..=end {
+            let d = Date::from_day_number(dn);
+            let (y, m, day) = d.ymd();
+            assert_eq!(Date::new(y, m, day).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_chronology() {
+        let a = Date::new(1980, 6, 15).unwrap();
+        let b = Date::new(1980, 6, 16).unwrap();
+        assert!(a < b);
+        assert_eq!(b.days_since(a), 1);
+        assert_eq!(a.plus_days(1), b);
+    }
+
+    #[test]
+    fn age_computation() {
+        let birth = Date::new(1980, 6, 15).unwrap();
+        assert_eq!(birth.age_at(Date::new(2020, 6, 14).unwrap()), 39);
+        assert_eq!(birth.age_at(Date::new(2020, 6, 15).unwrap()), 40);
+        assert_eq!(birth.age_at(Date::new(2020, 6, 16).unwrap()), 40);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Date::new(2021, 3, 7).unwrap().to_string(), "2021-03-07");
+    }
+}

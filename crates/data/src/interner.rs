@@ -1,0 +1,143 @@
+//! String interning.
+//!
+//! Tabular datasets store categorical strings (disease names, ZIP codes as
+//! labels, race categories) as compact [`Symbol`] handles so that equality in
+//! equivalence-class grouping and linkage joins is an integer comparison.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned string; valid only for the [`Interner`] that
+/// produced it (datasets carry their interner alongside the columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Raw index into the interner's table.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+
+    /// Crate-internal constructor used for the missing-cell placeholder
+    /// (index 0, which builders reserve by interning `""` eagerly).
+    pub(crate) fn from_index(index: u32) -> Symbol {
+        Symbol(index)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string table with O(1) two-way lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if already present.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.strings.len()).expect("interner overflow: >4e9 distinct strings"),
+        );
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("COVID");
+        let b = i.intern("COVID");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("Asthma");
+        let b = i.intern("CF");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Asthma");
+        assert_eq!(i.resolve(b), "CF");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        let syms: Vec<_> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        let collected: Vec<_> = i.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (k, (sym, s)) in collected.iter().enumerate() {
+            assert_eq!(*sym, syms[k]);
+            assert_eq!(*s, ["a", "b", "c"][k]);
+        }
+    }
+
+    #[test]
+    fn empty_state() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic US-style population generator.
+//!
+//! Stand-in for the datasets behind Sweeney's GIC re-identification: a master
+//! population with directly identifying (`person_id`), quasi-identifying
+//! (`zip`, `birth_date`, `sex`), and sensitive (`disease`) attributes, from
+//! which two releases can be derived:
+//!
+//! * a **medical release** with direct identifiers redacted (what GIC
+//!   published), and
+//! * a **voter registry** with direct identifiers and quasi-identifiers but
+//!   no sensitive data (the Cambridge MA voter list).
+//!
+//! The substitution preserves what the attack depends on: the *uniqueness
+//! statistics* of the quasi-identifier triple. With ZIP-level geography and
+//! day-level birth dates, the QI space is vastly larger than the population,
+//! so most individuals are unique — the phenomenon Sweeney measured at ~87%
+//! for the US population.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::date::Date;
+use crate::dist::Categorical;
+use crate::schema::{AttributeDef, AttributeRole, DataType, Schema};
+use crate::value::Value;
+
+/// Configuration for the synthetic population.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of individuals.
+    pub n: usize,
+    /// Number of distinct ZIP codes (population spread over these with a
+    /// mildly skewed distribution, mimicking town sizes).
+    pub n_zips: usize,
+    /// Earliest birth year (inclusive).
+    pub birth_year_lo: i32,
+    /// Latest birth year (inclusive).
+    pub birth_year_hi: i32,
+    /// Disease labels with relative prevalence weights.
+    pub diseases: Vec<(String, f64)>,
+    /// Fraction of the population present in the voter registry.
+    pub voter_coverage: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            n: 10_000,
+            n_zips: 50,
+            birth_year_lo: 1930,
+            birth_year_hi: 2000,
+            diseases: vec![
+                ("COVID".into(), 4.0),
+                ("Asthma".into(), 3.0),
+                ("Diabetes".into(), 3.0),
+                ("CF".into(), 0.2),
+                ("Hypertension".into(), 4.0),
+                ("Healthy".into(), 10.0),
+            ],
+            voter_coverage: 0.7,
+        }
+    }
+}
+
+/// The generated master population plus derived-release helpers.
+#[derive(Debug, Clone)]
+pub struct Population {
+    master: Dataset,
+    voter_rows: Vec<usize>,
+}
+
+/// Column order of the master population schema.
+pub mod columns {
+    /// Direct identifier.
+    pub const PERSON_ID: usize = 0;
+    /// Quasi-identifier: ZIP code.
+    pub const ZIP: usize = 1;
+    /// Quasi-identifier: birth date.
+    pub const BIRTH_DATE: usize = 2;
+    /// Quasi-identifier: sex.
+    pub const SEX: usize = 3;
+    /// Sensitive attribute.
+    pub const DISEASE: usize = 4;
+}
+
+/// Schema of the master population.
+pub fn population_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttributeDef::new("person_id", DataType::Int, AttributeRole::DirectIdentifier),
+        AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("birth_date", DataType::Date, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("sex", DataType::Str, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+    ])
+}
+
+impl Population {
+    /// Generates a population according to `config`.
+    pub fn generate<R: Rng + ?Sized>(config: &PopulationConfig, rng: &mut R) -> Population {
+        assert!(config.n_zips > 0, "need at least one ZIP");
+        assert!(
+            config.birth_year_lo <= config.birth_year_hi,
+            "bad birth-year range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.voter_coverage),
+            "voter coverage must be in [0,1]"
+        );
+        let mut b = DatasetBuilder::new(population_schema());
+        let sex_syms = [b.intern("F"), b.intern("M")];
+        let disease_syms: Vec<_> = config
+            .diseases
+            .iter()
+            .map(|(name, _)| b.intern(name))
+            .collect();
+        let disease_weights: Vec<f64> = config.diseases.iter().map(|(_, w)| *w).collect();
+        let disease_dist = Categorical::new(&disease_weights);
+        // ZIP sizes: Zipf-ish skew so some towns are big and some tiny.
+        let zip_weights: Vec<f64> = (0..config.n_zips)
+            .map(|i| 1.0 / ((i + 1) as f64).sqrt())
+            .collect();
+        let zip_dist = Categorical::new(&zip_weights);
+
+        let day_lo = Date::new(config.birth_year_lo, 1, 1)
+            .expect("valid date")
+            .day_number();
+        let day_hi = Date::new(config.birth_year_hi, 12, 31)
+            .expect("valid date")
+            .day_number();
+
+        use crate::dist::RecordDistribution;
+        for id in 0..config.n {
+            let zip = 10_000 + zip_dist.sample(rng) as i64;
+            let birth = Date::from_day_number(rng.gen_range(day_lo..=day_hi));
+            let sex = sex_syms[usize::from(rng.gen::<bool>())];
+            let disease = disease_syms[disease_dist.sample(rng)];
+            b.push_row(vec![
+                Value::Int(id as i64),
+                Value::Int(zip),
+                Value::Date(birth),
+                Value::Str(sex),
+                Value::Str(disease),
+            ]);
+        }
+        let master = b.finish();
+        let voter_rows = (0..config.n)
+            .filter(|_| rng.gen::<f64>() < config.voter_coverage)
+            .collect();
+        Population { master, voter_rows }
+    }
+
+    /// The full master dataset (ground truth, never released).
+    pub fn master(&self) -> &Dataset {
+        &self.master
+    }
+
+    /// The medical release: direct identifiers redacted (HIPAA-style),
+    /// quasi-identifiers and sensitive attribute retained — exactly the GIC
+    /// publication model the paper describes.
+    pub fn medical_release(&self) -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("birth_date", DataType::Date, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("sex", DataType::Str, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        let mut b = DatasetBuilder::from_parts(schema, (**self.master.interner()).clone());
+        for r in self.master.rows() {
+            b.push_row(vec![
+                r.get(columns::ZIP),
+                r.get(columns::BIRTH_DATE),
+                r.get(columns::SEX),
+                r.get(columns::DISEASE),
+            ]);
+        }
+        b.finish()
+    }
+
+    /// The voter registry: identified, with quasi-identifiers, covering a
+    /// configured fraction of the population.
+    pub fn voter_registry(&self) -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("person_id", DataType::Int, AttributeRole::DirectIdentifier),
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("birth_date", DataType::Date, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("sex", DataType::Str, AttributeRole::QuasiIdentifier),
+        ]);
+        let mut b = DatasetBuilder::from_parts(schema, (**self.master.interner()).clone());
+        for &i in &self.voter_rows {
+            let r = self.master.row(i);
+            b.push_row(vec![
+                r.get(columns::PERSON_ID),
+                r.get(columns::ZIP),
+                r.get(columns::BIRTH_DATE),
+                r.get(columns::SEX),
+            ]);
+        }
+        b.finish()
+    }
+
+    /// Row indices (into the master) present in the voter registry.
+    pub fn voter_rows(&self) -> &[usize] {
+        &self.voter_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn small() -> Population {
+        let cfg = PopulationConfig {
+            n: 2_000,
+            ..PopulationConfig::default()
+        };
+        Population::generate(&cfg, &mut seeded_rng(11))
+    }
+
+    #[test]
+    fn master_has_expected_shape() {
+        let p = small();
+        assert_eq!(p.master().n_rows(), 2_000);
+        assert_eq!(p.master().n_cols(), 5);
+        // person_id is a unique direct identifier.
+        let mut seen = std::collections::HashSet::new();
+        for r in p.master().rows() {
+            assert!(seen.insert(r.get(columns::PERSON_ID)));
+        }
+    }
+
+    #[test]
+    fn birth_dates_in_range() {
+        let p = small();
+        for r in p.master().rows() {
+            let d = r.get(columns::BIRTH_DATE).as_date().unwrap();
+            let y = d.year();
+            assert!((1930..=2000).contains(&y), "year {y}");
+        }
+    }
+
+    #[test]
+    fn zips_in_configured_block() {
+        let p = small();
+        for r in p.master().rows() {
+            let z = r.get(columns::ZIP).as_int().unwrap();
+            assert!((10_000..10_050).contains(&z), "zip {z}");
+        }
+    }
+
+    #[test]
+    fn medical_release_redacts_identifier() {
+        let p = small();
+        let med = p.medical_release();
+        assert_eq!(med.n_rows(), 2_000);
+        assert!(med.column_index("person_id").is_none());
+        assert!(med.column_index("disease").is_some());
+        // Rows align with the master.
+        for i in 0..med.n_rows() {
+            assert_eq!(med.get(i, 0), p.master().get(i, columns::ZIP));
+        }
+    }
+
+    #[test]
+    fn voter_registry_covers_roughly_the_configured_fraction() {
+        let p = small();
+        let voters = p.voter_registry();
+        let frac = voters.n_rows() as f64 / 2_000.0;
+        assert!((0.62..=0.78).contains(&frac), "coverage {frac}");
+        assert!(voters.column_index("disease").is_none());
+        assert!(voters.column_index("person_id").is_some());
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let cfg = PopulationConfig {
+            n: 100,
+            ..PopulationConfig::default()
+        };
+        let a = Population::generate(&cfg, &mut seeded_rng(7));
+        let b = Population::generate(&cfg, &mut seeded_rng(7));
+        for i in 0..100 {
+            assert_eq!(a.master().row_values(i), b.master().row_values(i));
+        }
+    }
+
+    #[test]
+    fn sexes_are_balanced() {
+        let p = small();
+        let groups = p.master().group_by(&[columns::SEX]);
+        assert_eq!(groups.len(), 2);
+        for rows in groups.values() {
+            let frac = rows.len() as f64 / 2_000.0;
+            assert!((0.44..=0.56).contains(&frac), "sex frac {frac}");
+        }
+    }
+}

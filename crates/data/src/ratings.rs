@@ -1,0 +1,274 @@
+//! Synthetic sparse rating data (Netflix-Prize stand-in).
+//!
+//! Narayanan and Shmatikov showed that "the movies rated by a subscriber and
+//! the approximate times of their rating often makes the subscriber unique in
+//! the dataset". What their attack exploits is (a) extreme sparsity — each
+//! user rates a tiny subset of a large catalog — and (b) a long-tailed title
+//! popularity, so that rating any non-blockbuster title is highly
+//! identifying. The generator reproduces both: titles are chosen from a Zipf
+//! distribution, ratings are skewed toward high scores, and rating dates are
+//! spread over a multi-year window.
+
+use rand::Rng;
+
+use crate::dist::{Categorical, RecordDistribution, Zipf};
+
+/// One (title, rating, day) triple in a user's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatingEntry {
+    /// Title index in `0..n_titles`.
+    pub title: u32,
+    /// Star rating 1–5.
+    pub rating: u8,
+    /// Day offset within the observation window.
+    pub day: u32,
+}
+
+/// Configuration for the synthetic rating matrix.
+#[derive(Debug, Clone)]
+pub struct RatingsConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Catalog size.
+    pub n_titles: usize,
+    /// Zipf exponent for title popularity (NS08 operates in the long tail).
+    pub zipf_exponent: f64,
+    /// Mean number of ratings per user (geometric-ish spread around this).
+    pub mean_ratings_per_user: usize,
+    /// Length of the observation window in days.
+    pub window_days: u32,
+}
+
+impl Default for RatingsConfig {
+    fn default() -> Self {
+        RatingsConfig {
+            n_users: 5_000,
+            n_titles: 2_000,
+            zipf_exponent: 1.1,
+            mean_ratings_per_user: 30,
+            window_days: 730,
+        }
+    }
+}
+
+/// A sparse user × title rating matrix.
+#[derive(Debug, Clone)]
+pub struct RatingsData {
+    users: Vec<Vec<RatingEntry>>,
+    n_titles: usize,
+}
+
+impl RatingsData {
+    /// Generates a rating matrix according to `config`.
+    pub fn generate<R: Rng + ?Sized>(config: &RatingsConfig, rng: &mut R) -> RatingsData {
+        assert!(config.n_titles > 0 && config.n_users > 0);
+        let popularity = Zipf::new(config.n_titles, config.zipf_exponent);
+        // Star ratings skew positive, like real rating data.
+        let stars = Categorical::new(&[1.0, 1.5, 3.0, 4.0, 3.5]);
+        let mut users = Vec::with_capacity(config.n_users);
+        for _ in 0..config.n_users {
+            // Ratings-per-user: uniform in [mean/2, 3*mean/2] — enough spread
+            // to exercise both sparse and dense histories.
+            let lo = (config.mean_ratings_per_user / 2).max(1);
+            let hi = (config.mean_ratings_per_user * 3) / 2;
+            let k = rng.gen_range(lo..=hi.max(lo));
+            let mut history: Vec<RatingEntry> = Vec::with_capacity(k);
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut attempts = 0;
+            while history.len() < k && attempts < k * 50 {
+                attempts += 1;
+                let title = popularity.sample(rng) as u32;
+                if !seen.insert(title) {
+                    continue; // at most one rating per (user, title)
+                }
+                history.push(RatingEntry {
+                    title,
+                    rating: (stars.sample(rng) + 1) as u8,
+                    day: rng.gen_range(0..config.window_days),
+                });
+            }
+            history.sort_by_key(|e| e.title);
+            users.push(history);
+        }
+        RatingsData {
+            users,
+            n_titles: config.n_titles,
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Catalog size.
+    pub fn n_titles(&self) -> usize {
+        self.n_titles
+    }
+
+    /// A user's full history, sorted by title.
+    pub fn user(&self, u: usize) -> &[RatingEntry] {
+        &self.users[u]
+    }
+
+    /// Looks up user `u`'s rating of `title`, if any (binary search).
+    pub fn rating_of(&self, u: usize, title: u32) -> Option<RatingEntry> {
+        let h = &self.users[u];
+        h.binary_search_by_key(&title, |e| e.title)
+            .ok()
+            .map(|i| h[i])
+    }
+
+    /// Global number of ratings.
+    pub fn total_ratings(&self) -> usize {
+        self.users.iter().map(Vec::len).sum()
+    }
+
+    /// Number of users who rated `title` (support size — low in the Zipf
+    /// tail, which is what makes tail titles identifying).
+    pub fn title_support(&self, title: u32) -> usize {
+        self.users
+            .iter()
+            .filter(|h| h.binary_search_by_key(&title, |e| e.title).is_ok())
+            .count()
+    }
+
+    /// Samples an *auxiliary-knowledge* view of user `u`, as NS08 model it:
+    /// `k` of the user's ratings, each with its rating value kept exactly and
+    /// its date perturbed by up to `date_fuzz_days` (uniform, both
+    /// directions). Returns fewer than `k` entries if the history is short.
+    pub fn auxiliary_sample<R: Rng + ?Sized>(
+        &self,
+        u: usize,
+        k: usize,
+        date_fuzz_days: u32,
+        rng: &mut R,
+    ) -> Vec<RatingEntry> {
+        let h = &self.users[u];
+        let mut idx: Vec<usize> = (0..h.len()).collect();
+        // Fisher–Yates prefix shuffle for a k-subset.
+        let take = k.min(h.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..take]
+            .iter()
+            .map(|&i| {
+                let e = h[i];
+                let fuzz = if date_fuzz_days == 0 {
+                    0
+                } else {
+                    rng.gen_range(-(date_fuzz_days as i64)..=(date_fuzz_days as i64))
+                };
+                RatingEntry {
+                    title: e.title,
+                    rating: e.rating,
+                    day: (e.day as i64 + fuzz).clamp(0, i64::MAX) as u32,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn small() -> RatingsData {
+        let cfg = RatingsConfig {
+            n_users: 300,
+            n_titles: 500,
+            mean_ratings_per_user: 20,
+            ..RatingsConfig::default()
+        };
+        RatingsData::generate(&cfg, &mut seeded_rng(21))
+    }
+
+    #[test]
+    fn histories_are_sorted_and_deduplicated() {
+        let d = small();
+        for u in 0..d.n_users() {
+            let h = d.user(u);
+            for w in h.windows(2) {
+                assert!(w[0].title < w[1].title, "unsorted or duplicate titles");
+            }
+        }
+    }
+
+    #[test]
+    fn ratings_are_valid_stars() {
+        let d = small();
+        for u in 0..d.n_users() {
+            for e in d.user(u) {
+                assert!((1..=5).contains(&e.rating));
+                assert!(e.day < 730);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        let d = small();
+        let head = d.title_support(0);
+        // Average support over a tail slice.
+        let tail_avg: f64 =
+            (400..500).map(|t| d.title_support(t) as f64).sum::<f64>() / 100.0;
+        assert!(
+            head as f64 > 5.0 * (tail_avg + 0.1),
+            "head {head} vs tail {tail_avg}"
+        );
+    }
+
+    #[test]
+    fn rating_lookup_round_trips() {
+        let d = small();
+        let h = d.user(7);
+        assert!(!h.is_empty());
+        let e = h[h.len() / 2];
+        assert_eq!(d.rating_of(7, e.title), Some(e));
+        // A title the user did not rate.
+        let unrated = (0..d.n_titles() as u32)
+            .find(|t| h.binary_search_by_key(t, |e| e.title).is_err())
+            .unwrap();
+        assert_eq!(d.rating_of(7, unrated), None);
+    }
+
+    #[test]
+    fn auxiliary_sample_subset_semantics() {
+        let d = small();
+        let mut rng = seeded_rng(5);
+        let aux = d.auxiliary_sample(3, 5, 0, &mut rng);
+        assert!(aux.len() <= 5);
+        for e in &aux {
+            // With zero fuzz, every auxiliary entry matches the history.
+            assert_eq!(d.rating_of(3, e.title), Some(*e));
+        }
+        // Distinct titles within the sample.
+        let mut titles: Vec<_> = aux.iter().map(|e| e.title).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), aux.len());
+    }
+
+    #[test]
+    fn auxiliary_sample_fuzzes_dates_only() {
+        let d = small();
+        let mut rng = seeded_rng(6);
+        let aux = d.auxiliary_sample(3, 8, 14, &mut rng);
+        for e in &aux {
+            let orig = d.rating_of(3, e.title).expect("title from history");
+            assert_eq!(orig.rating, e.rating);
+            let drift = (i64::from(orig.day) - i64::from(e.day)).abs();
+            assert!(drift <= 14, "drift {drift}");
+        }
+    }
+
+    #[test]
+    fn mean_history_length_near_configured() {
+        let d = small();
+        let mean = d.total_ratings() as f64 / d.n_users() as f64;
+        assert!((15.0..=25.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Schemas for tabular datasets.
+//!
+//! Attributes carry a [`AttributeRole`], mirroring the disclosure-limitation
+//! vocabulary the paper uses: *direct identifiers* (redacted by HIPAA-style
+//! safe harbor), *quasi-identifiers* (Sweeney's ZIP × birth date × sex), and
+//! *sensitive* attributes (the disease column in the paper's toy example).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Cell type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Interned categorical strings.
+    Str,
+    /// Booleans.
+    Bool,
+    /// Calendar dates.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Disclosure-limitation role of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// Directly identifying (name, SSN); redacted before release.
+    DirectIdentifier,
+    /// Indirectly identifying in combination (ZIP, birth date, sex).
+    QuasiIdentifier,
+    /// The private payload (disease, salary).
+    Sensitive,
+    /// Neither identifying nor sensitive.
+    Insensitive,
+}
+
+/// Definition of one attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Column name; unique within a schema.
+    pub name: String,
+    /// Cell type.
+    pub dtype: DataType,
+    /// Disclosure-limitation role.
+    pub role: AttributeRole,
+}
+
+impl AttributeDef {
+    /// Convenience constructor.
+    pub fn new(name: &str, dtype: DataType, role: AttributeRole) -> Self {
+        AttributeDef {
+            name: name.to_owned(),
+            dtype,
+            role,
+        }
+    }
+}
+
+/// An ordered collection of attribute definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Builds a schema, validating name uniqueness.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name.
+    pub fn new(attrs: Vec<AttributeDef>) -> Arc<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Arc::new(Schema { attrs })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute definition at `idx`.
+    pub fn attr(&self, idx: usize) -> &AttributeDef {
+        &self.attrs[idx]
+    }
+
+    /// All attribute definitions in order.
+    pub fn attrs(&self) -> &[AttributeDef] {
+        &self.attrs
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Indices of all attributes with the given role.
+    pub fn indices_with_role(&self, role: AttributeRole) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the quasi-identifier attributes.
+    pub fn quasi_identifiers(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::QuasiIdentifier)
+    }
+
+    /// Indices of the direct-identifier attributes.
+    pub fn direct_identifiers(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::DirectIdentifier)
+    }
+
+    /// Indices of the sensitive attributes.
+    pub fn sensitive(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::Sensitive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Arc<Schema> {
+        Schema::new(vec![
+            AttributeDef::new("name", DataType::Str, AttributeRole::DirectIdentifier),
+            AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("sex", DataType::Str, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = toy();
+        assert_eq!(s.index_of("zip"), Some(1));
+        assert_eq!(s.index_of("disease"), Some(4));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn role_queries() {
+        let s = toy();
+        assert_eq!(s.quasi_identifiers(), vec![1, 2, 3]);
+        assert_eq!(s.direct_identifiers(), vec![0]);
+        assert_eq!(s.sensitive(), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            AttributeDef::new("a", DataType::Int, AttributeRole::Insensitive),
+            AttributeDef::new("a", DataType::Str, AttributeRole::Insensitive),
+        ]);
+    }
+
+    #[test]
+    fn attr_access() {
+        let s = toy();
+        assert_eq!(s.attr(2).name, "age");
+        assert_eq!(s.attr(2).dtype, DataType::Int);
+        assert_eq!(s.attr(2).role, AttributeRole::QuasiIdentifier);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert!(s.quasi_identifiers().is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Dynamically-typed cell values for tabular datasets.
+//!
+//! Values deliberately implement *total* equality, ordering, and hashing —
+//! floats compare via [`f64::total_cmp`] and hash via their bit pattern — so
+//! they can key equivalence classes in the k-anonymity substrate and be
+//! grouped in linkage attacks without `NaN` footguns.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::date::Date;
+use crate::interner::Symbol;
+
+/// A single typed cell value.
+#[derive(Debug, Clone, Copy)]
+pub enum Value {
+    /// Signed integer (ages, counts, ZIP codes, category codes).
+    Int(i64),
+    /// IEEE-754 double, compared and hashed totally.
+    Float(f64),
+    /// Interned string; resolve through the owning [`crate::Interner`].
+    Str(Symbol),
+    /// Boolean flag.
+    Bool(bool),
+    /// Calendar date, stored as a day number internally.
+    Date(Date),
+    /// Missing / suppressed cell (`*` in the paper's k-anonymity example).
+    Missing,
+}
+
+impl Value {
+    /// Discriminant rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Missing => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Date(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening `Int` losslessly when possible.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the interned-string payload, if this is a `Str`.
+    pub fn as_str_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Str(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the date payload, if this is a `Date`.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// True iff this cell is [`Value::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Missing, Missing) => Ordering::Equal,
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Int(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Date(d) => d.hash(state),
+            Value::Missing => {}
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "sym#{}", s.index()),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Missing => write!(f, "*"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_equality_and_order() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert!(Value::Int(2) < Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        // NaN equals itself under total ordering — usable as a map key.
+        assert_eq!(nan, nan);
+        assert_ne!(nan, one);
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn float_negative_zero_distinct_bits() {
+        // total_cmp distinguishes -0.0 from +0.0; we inherit that, which is
+        // fine because generators never emit -0.0.
+        assert!(Value::Float(-0.0) < Value::Float(0.0));
+    }
+
+    #[test]
+    fn cross_type_order_is_total_and_consistent() {
+        let vals = [
+            Value::Missing,
+            Value::Bool(true),
+            Value::Int(5),
+            Value::Float(2.5),
+            Value::Date(Date::new(2020, 1, 1).unwrap()),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                match i.cmp(&j) {
+                    Ordering::Less => assert!(a < b, "{a:?} vs {b:?}"),
+                    Ordering::Equal => assert_eq!(a, b),
+                    Ordering::Greater => assert!(a > b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Missing.is_missing());
+        assert_eq!(Value::Missing.as_int(), None);
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let pairs = [
+            (Value::Int(42), Value::Int(42)),
+            (Value::Bool(false), Value::Bool(false)),
+            (Value::Missing, Value::Missing),
+            (Value::Float(2.25), Value::Float(2.25)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Privacy-loss ("privacy budget") accounting.
+//!
+//! The paper: "The privacy loss parameter ε (also referred to as the
+//! 'privacy budget') quantifies and bounds the excessive risk to an
+//! individual... differential privacy is closed under composition, i.e., the
+//! result of applying two or more differentially private analyses ...
+//! preserves differential privacy (albeit with worse privacy loss parameter)."
+//!
+//! Two composition rules are implemented:
+//!
+//! * **basic composition** — `k` mechanisms at ε_i compose to `Σ ε_i`
+//!   (pure ε-DP);
+//! * **advanced composition** (Dwork–Rothblum–Vadhan) — `k` mechanisms at ε
+//!   compose to `ε' = ε√(2k ln(1/δ')) + k ε (e^ε − 1)` with additional
+//!   failure probability δ', trading a δ for a √k growth rate.
+
+/// Result of composing `k` ε-DP mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposedLoss {
+    /// Composite ε.
+    pub epsilon: f64,
+    /// Composite δ (0 for basic composition of pure DP).
+    pub delta: f64,
+}
+
+/// Basic (linear) composition of pure ε-DP losses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicComposition;
+
+impl BasicComposition {
+    /// Composes `k` copies of an ε-DP mechanism.
+    pub fn compose_uniform(&self, epsilon: f64, k: usize) -> ComposedLoss {
+        ComposedLoss {
+            epsilon: epsilon * k as f64,
+            delta: 0.0,
+        }
+    }
+
+    /// Composes heterogeneous losses.
+    pub fn compose(&self, epsilons: &[f64]) -> ComposedLoss {
+        ComposedLoss {
+            epsilon: epsilons.iter().sum(),
+            delta: 0.0,
+        }
+    }
+}
+
+/// Advanced composition with slack δ'.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvancedComposition {
+    /// The failure-probability slack δ' spent on tighter ε accounting.
+    pub delta_slack: f64,
+}
+
+impl AdvancedComposition {
+    /// Creates the rule with slack `δ' ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics for δ' outside (0, 1).
+    pub fn new(delta_slack: f64) -> Self {
+        assert!(
+            delta_slack > 0.0 && delta_slack < 1.0,
+            "bad delta slack {delta_slack}"
+        );
+        AdvancedComposition { delta_slack }
+    }
+
+    /// Composes `k` copies of an ε-DP mechanism:
+    /// `ε' = ε √(2k ln(1/δ')) + k ε (e^ε − 1)`, δ = δ'.
+    pub fn compose_uniform(&self, epsilon: f64, k: usize) -> ComposedLoss {
+        let k_f = k as f64;
+        let eps = epsilon * (2.0 * k_f * (1.0 / self.delta_slack).ln()).sqrt()
+            + k_f * epsilon * (epsilon.exp() - 1.0);
+        ComposedLoss {
+            epsilon: eps,
+            delta: self.delta_slack,
+        }
+    }
+}
+
+/// A spendable privacy budget with a running ledger (basic composition).
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    budget: f64,
+    spent: f64,
+    ledger: Vec<(String, f64)>,
+}
+
+impl PrivacyAccountant {
+    /// Opens an accountant with total budget `ε_total`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite budget.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget > 0.0 && budget.is_finite(), "bad budget {budget}");
+        PrivacyAccountant {
+            budget,
+            spent: 0.0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Attempts to spend `epsilon` on an analysis; returns false (and spends
+    /// nothing) if the budget would be exceeded.
+    pub fn try_spend(&mut self, label: &str, epsilon: f64) -> bool {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "bad epsilon {epsilon}"
+        );
+        if self.spent + epsilon > self.budget + 1e-12 {
+            return false;
+        }
+        self.spent += epsilon;
+        self.ledger.push((label.to_owned(), epsilon));
+        true
+    }
+
+    /// Total ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// The ledger of `(label, ε)` expenditures in order.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_composition_is_linear() {
+        let c = BasicComposition.compose_uniform(0.1, 10);
+        assert!((c.epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(c.delta, 0.0);
+        let h = BasicComposition.compose(&[0.1, 0.2, 0.3]);
+        assert!((h.epsilon - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_composition_beats_basic_for_many_small_queries() {
+        let eps = 0.01;
+        let k = 10_000;
+        let basic = BasicComposition.compose_uniform(eps, k);
+        let adv = AdvancedComposition::new(1e-6).compose_uniform(eps, k);
+        assert!(basic.epsilon > 99.0);
+        assert!(
+            adv.epsilon < basic.epsilon / 10.0,
+            "advanced {} vs basic {}",
+            adv.epsilon,
+            basic.epsilon
+        );
+        assert_eq!(adv.delta, 1e-6);
+    }
+
+    #[test]
+    fn advanced_composition_worse_for_single_query() {
+        // For k = 1 the advanced bound's √ term alone exceeds ε.
+        let adv = AdvancedComposition::new(1e-6).compose_uniform(1.0, 1);
+        assert!(adv.epsilon > 1.0);
+    }
+
+    #[test]
+    fn advanced_composition_monotone_in_k() {
+        let rule = AdvancedComposition::new(1e-5);
+        let mut prev = 0.0;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let c = rule.compose_uniform(0.1, k);
+            assert!(c.epsilon > prev, "k={k}");
+            prev = c.epsilon;
+        }
+    }
+
+    #[test]
+    fn accountant_enforces_budget() {
+        let mut a = PrivacyAccountant::new(1.0);
+        assert!(a.try_spend("q1", 0.4));
+        assert!(a.try_spend("q2", 0.4));
+        assert!(!a.try_spend("q3", 0.4), "would exceed");
+        assert!(a.try_spend("q3-small", 0.2));
+        assert!((a.spent() - 1.0).abs() < 1e-12);
+        assert!(a.remaining() < 1e-12);
+        assert_eq!(a.ledger().len(), 3);
+        assert_eq!(a.ledger()[0].0, "q1");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon")]
+    fn accountant_rejects_nonpositive_spend() {
+        PrivacyAccountant::new(1.0).try_spend("bad", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad delta slack")]
+    fn advanced_rejects_bad_slack() {
+        AdvancedComposition::new(0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Noise samplers, implemented from first principles.
+//!
+//! `rand` provides uniform variates only (by design — we keep the DP noise
+//! path fully auditable in this crate). The Laplace sampler uses the inverse
+//! CDF; the two-sided geometric (discrete Laplace) inverts the geometric CDF
+//! on each side; the Gaussian uses Box–Muller.
+
+use rand::Rng;
+
+/// Samples `Lap(b)`: density `f(x) = exp(-|x|/b) / 2b`.
+///
+/// The paper's Theorem 1.3 adds `Y ~ Lap(1/ε)` to a count to obtain
+/// ε-differential privacy.
+///
+/// # Panics
+/// Panics if `b <= 0` or non-finite.
+pub fn sample_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
+    assert!(b > 0.0 && b.is_finite(), "bad Laplace scale {b}");
+    // Inverse CDF: for u ~ Uniform(-1/2, 1/2),
+    //   X = -b * sign(u) * ln(1 - 2|u|)  ~ Lap(b).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    // Guard the logarithm's argument away from 0 (u = ±0.5 has prob. 0 but
+    // floating point can graze it).
+    let t = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -b * u.signum() * t.ln()
+}
+
+/// Samples the two-sided geometric distribution with parameter
+/// `p = 1 - exp(-ε/Δ)`: the *discrete Laplace*, `Pr[X = k] ∝ exp(-ε|k|/Δ)`.
+/// Adding it to an integer count gives ε-DP with integer outputs — the
+/// "geometric mechanism".
+///
+/// # Panics
+/// Panics if `epsilon_over_delta <= 0` or non-finite.
+pub fn sample_two_sided_geometric<R: Rng + ?Sized>(epsilon_over_delta: f64, rng: &mut R) -> i64 {
+    assert!(
+        epsilon_over_delta > 0.0 && epsilon_over_delta.is_finite(),
+        "bad geometric parameter {epsilon_over_delta}"
+    );
+    let alpha = (-epsilon_over_delta).exp(); // in (0, 1)
+    // Sample magnitude: P[|X| = 0] = (1-α)/(1+α); P[|X| = k] = that * 2α^k...
+    // Equivalent construction: X = G1 - G2 with G1, G2 iid Geometric(1-α)
+    // (number of failures before first success).
+    let g1 = sample_geometric_failures(1.0 - alpha, rng);
+    let g2 = sample_geometric_failures(1.0 - alpha, rng);
+    g1 - g2
+}
+
+/// Number of failures before the first success of a Bernoulli(p) sequence,
+/// sampled by CDF inversion: `floor(ln(U) / ln(1-p))`.
+fn sample_geometric_failures<R: Rng + ?Sized>(p: f64, rng: &mut R) -> i64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).floor() as i64
+}
+
+/// Samples `N(0, sigma^2)` via Box–Muller. Used for the Gaussian-mechanism
+/// ablation (approximate DP), not for the core ε-DP results.
+///
+/// # Panics
+/// Panics if `sigma <= 0` or non-finite.
+pub fn sample_gaussian<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
+    assert!(sigma > 0.0 && sigma.is_finite(), "bad Gaussian sigma {sigma}");
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::rng::seeded_rng;
+
+    const N: usize = 200_000;
+
+    #[test]
+    fn laplace_mean_and_scale() {
+        let mut rng = seeded_rng(100);
+        let b = 2.0;
+        let samples: Vec<f64> = (0..N).map(|_| sample_laplace(b, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        // Lap(b) has mean 0, variance 2b² = 8, stddev ≈ 2.83; SE ≈ 0.0063.
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let mean_abs = samples.iter().map(|x| x.abs()).sum::<f64>() / N as f64;
+        // E|X| = b.
+        assert!((mean_abs - b).abs() < 0.05, "E|X| = {mean_abs}");
+    }
+
+    #[test]
+    fn laplace_median_is_zero() {
+        let mut rng = seeded_rng(101);
+        let pos = (0..N).filter(|_| sample_laplace(1.0, &mut rng) > 0.0).count();
+        let frac = pos as f64 / N as f64;
+        assert!((0.49..=0.51).contains(&frac), "positive fraction {frac}");
+    }
+
+    #[test]
+    fn laplace_tail_decay() {
+        // P[|X| > t] = exp(-t/b).
+        let mut rng = seeded_rng(102);
+        let b = 1.0;
+        let t = 2.0;
+        let exceed = (0..N)
+            .filter(|_| sample_laplace(b, &mut rng).abs() > t)
+            .count();
+        let frac = exceed as f64 / N as f64;
+        let expected = (-t / b).exp(); // ≈ 0.1353
+        assert!((frac - expected).abs() < 0.01, "tail {frac} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad Laplace scale")]
+    fn laplace_rejects_nonpositive_scale() {
+        sample_laplace(0.0, &mut seeded_rng(0));
+    }
+
+    #[test]
+    fn geometric_symmetric_and_integer() {
+        let mut rng = seeded_rng(103);
+        let eps = 0.5;
+        let samples: Vec<i64> = (0..N)
+            .map(|_| sample_two_sided_geometric(eps, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<i64>() as f64 / N as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // P[X = 0] = (1-α)/(1+α) with α = e^-ε.
+        let alpha = (-eps).exp();
+        let p0_expected = (1.0 - alpha) / (1.0 + alpha);
+        let p0 = samples.iter().filter(|&&x| x == 0).count() as f64 / N as f64;
+        assert!((p0 - p0_expected).abs() < 0.01, "P0 {p0} vs {p0_expected}");
+    }
+
+    #[test]
+    fn geometric_ratio_matches_epsilon() {
+        // Pr[X = k+1] / Pr[X = k] = e^-ε for k ≥ 0.
+        let mut rng = seeded_rng(104);
+        let eps = 1.0;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..N {
+            *counts
+                .entry(sample_two_sided_geometric(eps, &mut rng))
+                .or_insert(0usize) += 1;
+        }
+        let p0 = counts[&0] as f64;
+        let p1 = counts[&1] as f64;
+        let ratio = p1 / p0;
+        let expected = (-eps).exp();
+        assert!((ratio - expected).abs() < 0.03, "ratio {ratio} vs {expected}");
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance() {
+        let mut rng = seeded_rng(105);
+        let sigma = 3.0;
+        let samples: Vec<f64> = (0..N).map(|_| sample_gaussian(sigma, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn geometric_failures_matches_expectation() {
+        // E[failures] = (1-p)/p.
+        let mut rng = seeded_rng(106);
+        let p = 0.25;
+        let total: i64 = (0..N).map(|_| sample_geometric_failures(p, &mut rng)).sum();
+        let mean = total as f64 / N as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+}

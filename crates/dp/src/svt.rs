@@ -1,0 +1,162 @@
+//! The Sparse Vector Technique (AboveThreshold).
+//!
+//! The paper's E5/E6 arc shows that answering *many* count queries exactly
+//! destroys privacy, and that naive per-query noise spends ε linearly. SVT
+//! is the classic way out when the analyst only cares *which* queries
+//! exceed a threshold: an entire stream of threshold tests costs a constant
+//! ε per reported "above", regardless of how many "below"s are answered.
+//!
+//! Implementation follows the standard (and *correct* — several published
+//! variants are broken) AboveThreshold algorithm: noise the threshold once
+//! with `Lap(2/ε₁)`, compare each query's `Lap(4/ε₁)`-noised answer against
+//! it, halt after `c` aboves with total loss `ε = c·ε₁`.
+
+use rand::Rng;
+
+use crate::samplers::sample_laplace;
+
+/// One answer from the sparse vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvtAnswer {
+    /// The noisy answer was above the noisy threshold.
+    Above,
+    /// Below (free — does not consume the budget counter).
+    Below,
+    /// The mechanism has halted (budget of aboves exhausted).
+    Halted,
+}
+
+/// An AboveThreshold sparse-vector session over sensitivity-1 queries.
+pub struct SparseVector<R: Rng> {
+    threshold: f64,
+    noisy_threshold: f64,
+    epsilon_per_above: f64,
+    aboves_remaining: usize,
+    answered: usize,
+    rng: R,
+}
+
+impl<R: Rng> SparseVector<R> {
+    /// Opens a session reporting up to `max_aboves` above-threshold events
+    /// at total privacy loss `epsilon`.
+    ///
+    /// # Panics
+    /// Panics on non-positive ε or zero `max_aboves`.
+    pub fn new(threshold: f64, epsilon: f64, max_aboves: usize, mut rng: R) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "bad epsilon {epsilon}");
+        assert!(max_aboves >= 1, "need at least one reportable above");
+        let epsilon_per_above = epsilon / max_aboves as f64;
+        let noisy_threshold = threshold + sample_laplace(2.0 / epsilon_per_above, &mut rng);
+        SparseVector {
+            threshold,
+            noisy_threshold,
+            epsilon_per_above,
+            aboves_remaining: max_aboves,
+            answered: 0,
+            rng,
+        }
+    }
+
+    /// Tests one sensitivity-1 query value against the threshold.
+    pub fn query(&mut self, true_value: f64) -> SvtAnswer {
+        if self.aboves_remaining == 0 {
+            return SvtAnswer::Halted;
+        }
+        self.answered += 1;
+        let noisy = true_value + sample_laplace(4.0 / self.epsilon_per_above, &mut self.rng);
+        if noisy >= self.noisy_threshold {
+            self.aboves_remaining -= 1;
+            // Re-noise the threshold for the next round (the multi-above
+            // variant requires a fresh threshold per reported above).
+            self.noisy_threshold =
+                self.threshold + sample_laplace(2.0 / self.epsilon_per_above, &mut self.rng);
+            SvtAnswer::Above
+        } else {
+            SvtAnswer::Below
+        }
+    }
+
+    /// Queries answered so far (both kinds).
+    pub fn queries_answered(&self) -> usize {
+        self.answered
+    }
+
+    /// Reportable aboves left before the session halts.
+    pub fn aboves_remaining(&self) -> usize {
+        self.aboves_remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::rng::seeded_rng;
+
+    #[test]
+    fn clear_signals_are_detected() {
+        // Queries far above/below the threshold relative to the noise scale
+        // are classified correctly with overwhelming probability.
+        let mut correct = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut svt = SparseVector::new(50.0, 2.0, 1, seeded_rng(700 + seed));
+            // 20 clear belows, then one clear above.
+            let mut ok = true;
+            for _ in 0..20 {
+                if svt.query(10.0) != SvtAnswer::Below {
+                    ok = false;
+                }
+            }
+            if svt.query(90.0) != SvtAnswer::Above {
+                ok = false;
+            }
+            if ok {
+                correct += 1;
+            }
+        }
+        assert!(correct > 190, "correct {correct}/{trials}");
+    }
+
+    #[test]
+    fn halts_after_budgeted_aboves() {
+        let mut svt = SparseVector::new(0.0, 1.0, 2, seeded_rng(710));
+        assert_eq!(svt.query(1_000.0), SvtAnswer::Above);
+        assert_eq!(svt.aboves_remaining(), 1);
+        assert_eq!(svt.query(1_000.0), SvtAnswer::Above);
+        assert_eq!(svt.query(1_000.0), SvtAnswer::Halted);
+        assert_eq!(svt.query(-1_000.0), SvtAnswer::Halted);
+    }
+
+    #[test]
+    fn belows_are_free() {
+        let mut svt = SparseVector::new(100.0, 1.0, 1, seeded_rng(711));
+        for _ in 0..10_000 {
+            let _ = svt.query(0.0);
+        }
+        // Ten thousand below-threshold answers, budget still intact
+        // (w.h.p. — noise could flip one; seed chosen to behave).
+        assert_eq!(svt.aboves_remaining(), 1);
+        assert_eq!(svt.queries_answered(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = SparseVector::new(0.0, 0.0, 1, seeded_rng(1));
+    }
+
+    #[test]
+    fn borderline_queries_are_noisy() {
+        // Exactly at the threshold: answers split roughly evenly.
+        let mut aboves = 0u32;
+        let trials = 400u32;
+        for seed in 0..trials {
+            let mut svt = SparseVector::new(50.0, 1.0, 1, seeded_rng(720 + u64::from(seed)));
+            if svt.query(50.0) == SvtAnswer::Above {
+                aboves += 1;
+            }
+        }
+        let frac = f64::from(aboves) / f64::from(trials);
+        assert!((0.3..=0.7).contains(&frac), "above fraction {frac}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Generalization hierarchies.
+//!
+//! Footnote 4 of the paper: "Generalization is typically done in a
+//! hierarchical manner, e.g., by suppressing the last digit(s) of a ZIP code
+//! or replacing a geographic unit with a coarser geographic unit." This
+//! module provides those ladders:
+//!
+//! * [`AttributeHierarchy::Numeric`] — fixed-width banding per level
+//!   (age → 5-year band → 10-year band → `*`);
+//! * [`AttributeHierarchy::ZipPrefix`] — digit suppression
+//!   (`12345 → 1234* → 123** → ... → *`);
+//! * [`AttributeHierarchy::Categorical`] — a [`Taxonomy`] tree
+//!   (`COVID → PULM → ANY`), as in the paper's toy 2-anonymization.
+
+use std::collections::HashMap;
+
+use so_data::{Interner, Symbol, Value};
+
+use crate::generalized::GenValue;
+
+/// A rooted category tree whose leaves are raw string values.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    labels: Vec<String>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    /// Leaf lookup by label.
+    leaf_by_label: HashMap<String, usize>,
+    /// Leaf lookup by interned symbol (populated by [`Taxonomy::bind_symbols`]).
+    leaf_by_symbol: HashMap<Symbol, usize>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy with a root labeled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        Taxonomy {
+            labels: vec![root_label.to_owned()],
+            parent: vec![None],
+            children: vec![Vec::new()],
+            leaf_by_label: HashMap::new(),
+            leaf_by_symbol: HashMap::new(),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Adds a child under `parent`, returning the new node id. The child is
+    /// registered as a leaf candidate under its label (interior nodes simply
+    /// get overwritten as children are added beneath them).
+    ///
+    /// # Panics
+    /// Panics if `parent` is out of range.
+    pub fn add_child(&mut self, parent: usize, label: &str) -> usize {
+        assert!(parent < self.labels.len(), "bad parent node {parent}");
+        let id = self.labels.len();
+        self.labels.push(label.to_owned());
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        self.leaf_by_label.insert(label.to_owned(), id);
+        // The parent is no longer a leaf.
+        let children = &self.children;
+        self.leaf_by_label.retain(|_, &mut v| children[v].is_empty());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.labels.len() <= 1
+    }
+
+    /// Node label.
+    pub fn label(&self, node: usize) -> &str {
+        &self.labels[node]
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        self.parent[node]
+    }
+
+    /// After interning all leaf labels in `interner`, binds leaves to their
+    /// symbols for O(1) lookup during anonymization. Labels missing from the
+    /// interner are skipped (they simply never occur in the data).
+    pub fn bind_symbols(&mut self, interner: &Interner) {
+        self.leaf_by_symbol.clear();
+        for (label, &node) in &self.leaf_by_label {
+            if let Some(sym) = interner.get(label) {
+                self.leaf_by_symbol.insert(sym, node);
+            }
+        }
+    }
+
+    /// The leaf node for an interned symbol (requires [`Self::bind_symbols`]).
+    pub fn leaf_of_symbol(&self, sym: Symbol) -> Option<usize> {
+        self.leaf_by_symbol.get(&sym).copied()
+    }
+
+    /// The leaf node for a raw label.
+    pub fn leaf_of_label(&self, label: &str) -> Option<usize> {
+        self.leaf_by_label.get(label).copied()
+    }
+
+    /// True iff `node` is `leaf` or an ancestor of `leaf`.
+    pub fn node_contains(&self, node: usize, leaf: usize) -> bool {
+        let mut cur = Some(leaf);
+        while let Some(c) = cur {
+            if c == node {
+                return true;
+            }
+            cur = self.parent[c];
+        }
+        false
+    }
+
+    /// Ancestor of `leaf` exactly `height` steps up (clamped at the root).
+    pub fn ancestor_at_height(&self, leaf: usize, height: usize) -> usize {
+        let mut cur = leaf;
+        for _ in 0..height {
+            match self.parent[cur] {
+                Some(p) => cur = p,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// All leaves under `node`.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(c) = stack.pop() {
+            if self.children[c].is_empty() {
+                out.push(c);
+            } else {
+                stack.extend(&self.children[c]);
+            }
+        }
+        out
+    }
+
+    /// Height of the tree (edges on the longest root-to-leaf path).
+    pub fn height(&self) -> usize {
+        fn depth(t: &Taxonomy, n: usize) -> usize {
+            t.children[n]
+                .iter()
+                .map(|&c| 1 + depth(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, 0)
+    }
+}
+
+/// Per-attribute generalization ladder. Level 0 is always the exact value;
+/// the maximum level is full suppression.
+#[derive(Debug, Clone)]
+pub enum AttributeHierarchy {
+    /// Fixed-width numeric banding: level `i ≥ 1` uses `widths[i-1]`-wide
+    /// intervals anchored at `anchor`; above the last width, suppression.
+    Numeric {
+        /// Band alignment origin.
+        anchor: i64,
+        /// Band width per level, strictly increasing.
+        widths: Vec<i64>,
+    },
+    /// ZIP-style digit suppression on a `digits`-digit code: level `i`
+    /// suppresses the last `i` digits; level `digits` is full suppression.
+    ZipPrefix {
+        /// Total number of digits in the code.
+        digits: u32,
+    },
+    /// Category-tree generalization: level `i` lifts a leaf `i` steps toward
+    /// the root; at or beyond the root, suppression.
+    Categorical(Taxonomy),
+}
+
+impl AttributeHierarchy {
+    /// Number of levels above exact (level `max_level()` = suppressed).
+    pub fn max_level(&self) -> usize {
+        match self {
+            AttributeHierarchy::Numeric { widths, .. } => widths.len() + 1,
+            AttributeHierarchy::ZipPrefix { digits } => *digits as usize,
+            AttributeHierarchy::Categorical(tax) => tax.height(),
+        }
+    }
+
+    /// Generalizes `v` to `level`.
+    ///
+    /// Unknown/mistyped values generalize to [`GenValue::Suppressed`]
+    /// (conservative: suppression covers everything, so soundness is kept).
+    pub fn generalize(&self, v: &Value, level: usize) -> GenValue {
+        if level == 0 {
+            return GenValue::Exact(*v);
+        }
+        match self {
+            AttributeHierarchy::Numeric { anchor, widths } => {
+                let x = match v {
+                    Value::Int(x) => *x,
+                    Value::Date(d) => i64::from(d.day_number()),
+                    _ => return GenValue::Suppressed,
+                };
+                if level > widths.len() {
+                    return GenValue::Suppressed;
+                }
+                let w = widths[level - 1];
+                debug_assert!(w > 0);
+                let lo = anchor + (x - anchor).div_euclid(w) * w;
+                GenValue::IntRange { lo, hi: lo + w - 1 }
+            }
+            AttributeHierarchy::ZipPrefix { digits } => {
+                let x = match v {
+                    Value::Int(x) if *x >= 0 => *x,
+                    _ => return GenValue::Suppressed,
+                };
+                if level >= *digits as usize {
+                    return GenValue::Suppressed;
+                }
+                let m = 10i64.pow(level as u32);
+                let lo = (x / m) * m;
+                GenValue::IntRange { lo, hi: lo + m - 1 }
+            }
+            AttributeHierarchy::Categorical(tax) => {
+                let leaf = match v {
+                    Value::Str(s) => match tax.leaf_of_symbol(*s) {
+                        Some(l) => l,
+                        None => return GenValue::Suppressed,
+                    },
+                    _ => return GenValue::Suppressed,
+                };
+                let node = tax.ancestor_at_height(leaf, level);
+                if node == tax.root() {
+                    GenValue::Suppressed
+                } else {
+                    GenValue::CategoryNode(node)
+                }
+            }
+        }
+    }
+
+    /// Borrow the taxonomy, if categorical.
+    pub fn taxonomy(&self) -> Option<&Taxonomy> {
+        match self {
+            AttributeHierarchy::Categorical(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the disease taxonomy from the paper's toy example (§1.1):
+/// pulmonary diseases (COVID, Asthma, CF) group under `PULM`; everything
+/// else sits under its own system group.
+pub fn paper_disease_taxonomy() -> Taxonomy {
+    let mut tax = Taxonomy::new("ANY");
+    let pulm = tax.add_child(tax.root(), "PULM");
+    for d in ["COVID", "Asthma", "CF"] {
+        tax.add_child(pulm, d);
+    }
+    let meta = tax.add_child(tax.root(), "METABOLIC");
+    tax.add_child(meta, "Diabetes");
+    let circ = tax.add_child(tax.root(), "CIRCULATORY");
+    tax.add_child(circ, "Hypertension");
+    let none = tax.add_child(tax.root(), "NONE");
+    tax.add_child(none, "Healthy");
+    tax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_structure() {
+        let tax = paper_disease_taxonomy();
+        let covid = tax.leaf_of_label("COVID").unwrap();
+        let pulm = tax.parent(covid).unwrap();
+        assert_eq!(tax.label(pulm), "PULM");
+        assert!(tax.node_contains(pulm, covid));
+        assert!(tax.node_contains(tax.root(), covid));
+        let diabetes = tax.leaf_of_label("Diabetes").unwrap();
+        assert!(!tax.node_contains(pulm, diabetes));
+        assert_eq!(tax.height(), 2);
+    }
+
+    #[test]
+    fn ancestor_at_height_clamps_at_root() {
+        let tax = paper_disease_taxonomy();
+        let covid = tax.leaf_of_label("COVID").unwrap();
+        assert_eq!(tax.label(tax.ancestor_at_height(covid, 1)), "PULM");
+        assert_eq!(tax.ancestor_at_height(covid, 2), tax.root());
+        assert_eq!(tax.ancestor_at_height(covid, 99), tax.root());
+    }
+
+    #[test]
+    fn leaves_under_groups() {
+        let tax = paper_disease_taxonomy();
+        let pulm = tax.leaf_of_label("COVID").map(|c| tax.parent(c).unwrap()).unwrap();
+        let mut labels: Vec<&str> = tax
+            .leaves_under(pulm)
+            .into_iter()
+            .map(|n| tax.label(n))
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["Asthma", "CF", "COVID"]);
+        assert_eq!(tax.leaves_under(tax.root()).len(), 6);
+    }
+
+    #[test]
+    fn numeric_hierarchy_bands() {
+        let h = AttributeHierarchy::Numeric {
+            anchor: 0,
+            widths: vec![10, 20],
+        };
+        assert_eq!(h.max_level(), 3);
+        assert_eq!(h.generalize(&Value::Int(33), 0), GenValue::Exact(Value::Int(33)));
+        assert_eq!(
+            h.generalize(&Value::Int(33), 1),
+            GenValue::IntRange { lo: 30, hi: 39 }
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(33), 2),
+            GenValue::IntRange { lo: 20, hi: 39 }
+        );
+        assert_eq!(h.generalize(&Value::Int(33), 3), GenValue::Suppressed);
+        // Negative values band correctly with euclidean division.
+        assert_eq!(
+            h.generalize(&Value::Int(-5), 1),
+            GenValue::IntRange { lo: -10, hi: -1 }
+        );
+    }
+
+    #[test]
+    fn zip_hierarchy_digit_suppression() {
+        let h = AttributeHierarchy::ZipPrefix { digits: 5 };
+        assert_eq!(h.max_level(), 5);
+        assert_eq!(
+            h.generalize(&Value::Int(12345), 1),
+            GenValue::IntRange { lo: 12340, hi: 12349 }
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(12345), 3),
+            GenValue::IntRange { lo: 12000, hi: 12999 }
+        );
+        assert_eq!(h.generalize(&Value::Int(12345), 5), GenValue::Suppressed);
+    }
+
+    #[test]
+    fn categorical_hierarchy_generalizes_via_taxonomy() {
+        let mut tax = paper_disease_taxonomy();
+        let mut interner = Interner::new();
+        let covid = interner.intern("COVID");
+        tax.bind_symbols(&interner);
+        let h = AttributeHierarchy::Categorical(tax);
+        let g1 = h.generalize(&Value::Str(covid), 1);
+        match g1 {
+            GenValue::CategoryNode(n) => {
+                assert_eq!(h.taxonomy().unwrap().label(n), "PULM");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(h.generalize(&Value::Str(covid), 2), GenValue::Suppressed);
+    }
+
+    #[test]
+    fn unknown_values_suppress_conservatively() {
+        let h = AttributeHierarchy::ZipPrefix { digits: 5 };
+        assert_eq!(h.generalize(&Value::Bool(true), 1), GenValue::Suppressed);
+        let mut tax = Taxonomy::new("ANY");
+        tax.add_child(0, "X");
+        let hc = AttributeHierarchy::Categorical(tax);
+        // Symbol never bound → suppressed.
+        let mut i = Interner::new();
+        let unbound = i.intern("unseen");
+        assert_eq!(hc.generalize(&Value::Str(unbound), 1), GenValue::Suppressed);
+    }
+
+    #[test]
+    fn date_values_band_by_day_number() {
+        let h = AttributeHierarchy::Numeric {
+            anchor: 0,
+            widths: vec![365],
+        };
+        let d = so_data::Date::new(1970, 6, 1).unwrap();
+        match h.generalize(&Value::Date(d), 1) {
+            GenValue::IntRange { lo, hi } => {
+                assert_eq!(lo, 0);
+                assert_eq!(hi, 364);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

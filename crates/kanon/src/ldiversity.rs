@@ -1,0 +1,155 @@
+//! ℓ-diversity (Machanavajjhala et al.), the k-anonymity variant in
+//! footnote 3 of the paper. Distinct ℓ-diversity: every equivalence class
+//! must contain at least ℓ distinct values of the sensitive attribute.
+
+use std::collections::HashSet;
+
+use so_data::Dataset;
+
+use crate::generalized::AnonymizedDataset;
+
+/// The distinct-ℓ-diversity level of a release: the minimum, over classes,
+/// of the number of distinct sensitive values. Returns 0 for an empty
+/// release.
+pub fn distinct_l_diversity(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+) -> usize {
+    anon.classes()
+        .iter()
+        .map(|c| {
+            let distinct: HashSet<_> = c
+                .rows
+                .iter()
+                .map(|&r| source.get(r, sensitive_col))
+                .collect();
+            distinct.len()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// True iff the release is distinct-ℓ-diverse at level `l`.
+pub fn is_l_diverse(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+    l: usize,
+) -> bool {
+    distinct_l_diversity(anon, source, sensitive_col) >= l
+}
+
+/// Entropy ℓ-diversity (Machanavajjhala et al. §3): the release is entropy
+/// ℓ-diverse when every class's sensitive-value distribution has entropy at
+/// least `ln(l)`. Returns the *effective* ℓ — `exp(min class entropy)` —
+/// which is 1.0 for a homogeneous class and `|class|` for a perfectly
+/// spread one. Stricter than distinct ℓ-diversity: a class with values
+/// {A×9, B×1} is distinct-2-diverse but only entropy-1.4-diverse.
+pub fn entropy_l_diversity(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+) -> f64 {
+    anon.classes()
+        .iter()
+        .map(|c| {
+            let mut counts: std::collections::HashMap<so_data::Value, usize> =
+                std::collections::HashMap::new();
+            for &r in &c.rows {
+                *counts.entry(source.get(r, sensitive_col)).or_insert(0) += 1;
+            }
+            let n = c.rows.len() as f64;
+            let entropy: f64 = counts
+                .values()
+                .map(|&k| {
+                    let p = k as f64 / n;
+                    -p * p.ln()
+                })
+                .sum();
+            entropy.exp()
+        })
+        .fold(f64::INFINITY, f64::min)
+        .min(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::{EquivalenceClass, GenValue};
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
+
+    fn setup(sensitive: &[&str], classes: &[Vec<usize>]) -> (Dataset, AnonymizedDataset) {
+        let schema = Schema::new(vec![
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        for (i, s) in sensitive.iter().enumerate() {
+            let sym = b.intern(s);
+            b.push_row(vec![Value::Int(i as i64), Value::Str(sym)]);
+        }
+        let ds = b.finish();
+        let classes = classes
+            .iter()
+            .map(|rows| EquivalenceClass {
+                rows: rows.clone(),
+                qi_box: vec![GenValue::Suppressed],
+            })
+            .collect();
+        let anon = AnonymizedDataset::new(&ds, vec![0], classes, vec![], vec![None]);
+        (ds, anon)
+    }
+
+    #[test]
+    fn homogeneous_class_has_diversity_one() {
+        // The classic l-diversity failure: a class whose members all share
+        // the sensitive value (like the paper's toy COVID class).
+        let (ds, anon) = setup(
+            &["COVID", "COVID", "CF", "Asthma"],
+            &[vec![0, 1], vec![2, 3]],
+        );
+        assert_eq!(distinct_l_diversity(&anon, &ds, 1), 1);
+        assert!(is_l_diverse(&anon, &ds, 1, 1));
+        assert!(!is_l_diverse(&anon, &ds, 1, 2));
+    }
+
+    #[test]
+    fn diverse_classes_pass() {
+        let (ds, anon) = setup(
+            &["COVID", "CF", "Asthma", "COVID"],
+            &[vec![0, 1], vec![2, 3]],
+        );
+        assert_eq!(distinct_l_diversity(&anon, &ds, 1), 2);
+        assert!(is_l_diverse(&anon, &ds, 1, 2));
+    }
+
+    #[test]
+    fn empty_release_reports_zero() {
+        let (ds, anon) = setup(&["COVID"], &[]);
+        assert_eq!(distinct_l_diversity(&anon, &ds, 1), 0);
+    }
+
+    #[test]
+    fn entropy_diversity_of_uniform_class_is_class_cardinality() {
+        let (ds, anon) = setup(&["A", "B", "C", "D"], &[vec![0, 1, 2, 3]]);
+        let l = entropy_l_diversity(&anon, &ds, 1);
+        assert!((l - 4.0).abs() < 1e-9, "l = {l}");
+    }
+
+    #[test]
+    fn entropy_diversity_penalizes_skew_more_than_distinct() {
+        // {A×3, B×1}: distinct diversity 2, entropy diversity ≈ 1.75.
+        let (ds, anon) = setup(&["A", "A", "A", "B"], &[vec![0, 1, 2, 3]]);
+        assert_eq!(distinct_l_diversity(&anon, &ds, 1), 2);
+        let l = entropy_l_diversity(&anon, &ds, 1);
+        assert!(l < 2.0 && l > 1.0, "l = {l}");
+    }
+
+    #[test]
+    fn entropy_diversity_of_homogeneous_class_is_one() {
+        let (ds, anon) = setup(&["A", "A"], &[vec![0, 1]]);
+        let l = entropy_l_diversity(&anon, &ds, 1);
+        assert!((l - 1.0).abs() < 1e-9, "l = {l}");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # so-kanon — k-anonymity and friends
+//!
+//! The syntactic anonymization technology of §1.1: "a dataset x is
+//! anonymized via the application of suppression and generalization of
+//! potentially identifying attributes ... subject to the requirement that in
+//! x′ every record is identical to at least k−1 other records."
+//!
+//! Since minimizing suppression is NP-hard (Meyerson–Williams, cited by the
+//! paper), practical anonymizers are heuristics that "attempt to retain as
+//! much as possible information in the k-anonymized data". That
+//! information-greed is exactly what Theorem 2.10 exploits, so this crate
+//! ships two standard greedy anonymizers for the attack experiments:
+//!
+//! * [`mondrian`] — Mondrian multidimensional partitioning (LeFevre et al.);
+//! * [`datafly`] — full-domain generalization with hierarchies plus record
+//!   suppression (Sweeney's Datafly lineage), over the hierarchy machinery
+//!   in [`hierarchy`] (digit-suppressed ZIP codes, numeric bands, and the
+//!   disease taxonomy from the paper's toy example: COVID → PULM).
+//!
+//! Verification and diagnostics: [`verify`] (the k-anonymity property
+//! itself, equivalence classes), [`ldiversity`] and [`tcloseness`] (the
+//! variants footnote 3 says the paper's analysis also covers), and [`loss`]
+//! (information-content metrics used by the utility benchmarks).
+
+pub mod datafly;
+pub mod enforce;
+pub mod generalized;
+pub mod hierarchy;
+pub mod ldiversity;
+pub mod loss;
+pub mod mondrian;
+pub mod tcloseness;
+pub mod verify;
+
+pub use datafly::{datafly_anonymize, DataflyConfig};
+pub use enforce::enforce_l_diversity;
+pub use generalized::{AnonymizedDataset, EquivalenceClass, GenValue};
+pub use hierarchy::{AttributeHierarchy, Taxonomy};
+pub use ldiversity::{distinct_l_diversity, entropy_l_diversity, is_l_diverse};
+pub use loss::{average_class_size_ratio, discernibility_metric, generalization_loss};
+pub use mondrian::{mondrian_anonymize, MondrianConfig};
+pub use tcloseness::{t_closeness_categorical, t_closeness_numeric};
+pub use verify::is_k_anonymous;

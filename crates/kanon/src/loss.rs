@@ -1,0 +1,228 @@
+//! Information-loss metrics for anonymized releases.
+//!
+//! "k-anonymizers attempt to retain as much as possible information in the
+//! k-anonymized data" — these metrics quantify how well they did, and feed
+//! the utility/privacy trade-off tables (experiment E14).
+
+use so_data::{DataType, Dataset};
+
+use crate::generalized::{AnonymizedDataset, GenValue};
+
+/// The discernibility metric (Bayardo–Agrawal): `Σ_classes |class|²` plus
+/// `n · #suppressed` — each record pays the size of the crowd it hides in;
+/// suppressed records pay the full dataset size.
+pub fn discernibility_metric(anon: &AnonymizedDataset) -> u64 {
+    let class_cost: u64 = anon
+        .classes()
+        .iter()
+        .map(|c| (c.size() as u64).pow(2))
+        .sum();
+    class_cost + (anon.suppressed_rows().len() as u64) * (anon.n_original_rows() as u64)
+}
+
+/// The average-class-size ratio `C_avg = (released / #classes) / k`:
+/// 1.0 is ideal (every class exactly size k); larger means coarser.
+pub fn average_class_size_ratio(anon: &AnonymizedDataset, k: usize) -> f64 {
+    if anon.classes().is_empty() {
+        return f64::INFINITY;
+    }
+    (anon.n_released_rows() as f64 / anon.classes().len() as f64) / k as f64
+}
+
+/// The generalization loss metric (Iyengar's LM, normalized to `[0, 1]`):
+/// each generalized cell costs the fraction of its column's domain it
+/// covers — 0 for exact values, 1 for suppression, interval span over
+/// global span for ranges, leaf share for taxonomy nodes. Suppressed rows
+/// cost 1 per QI cell. Returns the mean cost over all original rows' QI
+/// cells.
+pub fn generalization_loss(anon: &AnonymizedDataset, source: &Dataset) -> f64 {
+    let qi = anon.qi_cols();
+    if qi.is_empty() || anon.n_original_rows() == 0 {
+        return 0.0;
+    }
+    // Global spans per QI column.
+    let spans: Vec<f64> = qi
+        .iter()
+        .map(|&col| match source.schema().attr(col).dtype {
+            DataType::Int | DataType::Date => {
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for r in 0..source.n_rows() {
+                    if let Some(v) = ordinal(source, r, col) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                ((hi - lo) as f64).max(1.0)
+            }
+            _ => {
+                // Categorical: span in "distinct leaves" units.
+                let mut distinct = std::collections::HashSet::new();
+                for r in 0..source.n_rows() {
+                    distinct.insert(source.get(r, col));
+                }
+                (distinct.len().saturating_sub(1) as f64).max(1.0)
+            }
+        })
+        .collect();
+
+    let mut total = 0.0;
+    let mut cells = 0usize;
+    for class in anon.classes() {
+        for (qi_idx, g) in class.qi_box.iter().enumerate() {
+            let cost = match g {
+                GenValue::Exact(_) => 0.0,
+                GenValue::Suppressed => 1.0,
+                GenValue::IntRange { lo, hi } => {
+                    (((hi - lo) as f64) / spans[qi_idx]).clamp(0.0, 1.0)
+                }
+                GenValue::CategoryNode(node) => {
+                    let tax = anon
+                        .taxonomy(qi_idx)
+                        .expect("CategoryNode implies a taxonomy");
+                    let leaves = tax.leaves_under(*node).len();
+                    let all = tax.leaves_under(tax.root()).len();
+                    if all <= 1 {
+                        0.0
+                    } else {
+                        (leaves.saturating_sub(1) as f64) / (all - 1) as f64
+                    }
+                }
+            };
+            total += cost * class.size() as f64;
+            cells += class.size();
+        }
+    }
+    // Suppressed rows: full loss on every QI cell.
+    total += (anon.suppressed_rows().len() * qi.len()) as f64;
+    cells += anon.suppressed_rows().len() * qi.len();
+    if cells == 0 {
+        0.0
+    } else {
+        total / cells as f64
+    }
+}
+
+fn ordinal(ds: &Dataset, row: usize, col: usize) -> Option<i64> {
+    match ds.get(row, col) {
+        so_data::Value::Int(x) => Some(x),
+        so_data::Value::Date(d) => Some(i64::from(d.day_number())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::EquivalenceClass;
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
+
+    fn source(n: usize) -> Dataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "age",
+            DataType::Int,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i as i64)]); // ages 0..n-1, span n-1
+        }
+        b.finish()
+    }
+
+    fn release(
+        ds: &Dataset,
+        classes: Vec<(Vec<usize>, GenValue)>,
+        suppressed: Vec<usize>,
+    ) -> AnonymizedDataset {
+        let classes = classes
+            .into_iter()
+            .map(|(rows, g)| EquivalenceClass {
+                rows,
+                qi_box: vec![g],
+            })
+            .collect();
+        AnonymizedDataset::new(ds, vec![0], classes, suppressed, vec![None])
+    }
+
+    #[test]
+    fn discernibility_squares_class_sizes() {
+        let ds = source(10);
+        let anon = release(
+            &ds,
+            vec![
+                ((0..4).collect(), GenValue::Suppressed),
+                ((4..8).collect(), GenValue::Suppressed),
+            ],
+            vec![8, 9],
+        );
+        // 16 + 16 + 2*10 = 52.
+        assert_eq!(discernibility_metric(&anon), 52);
+    }
+
+    #[test]
+    fn average_class_size_ratio_ideal_is_one() {
+        let ds = source(10);
+        let anon = release(
+            &ds,
+            vec![
+                ((0..5).collect(), GenValue::Suppressed),
+                ((5..10).collect(), GenValue::Suppressed),
+            ],
+            vec![],
+        );
+        assert!((average_class_size_ratio(&anon, 5) - 1.0).abs() < 1e-12);
+        assert!((average_class_size_ratio(&anon, 2) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_zero_for_exact_one_for_suppressed() {
+        let ds = source(10);
+        let exact = release(
+            &ds,
+            vec![((0..10).collect(), GenValue::Exact(Value::Int(1)))],
+            vec![],
+        );
+        assert_eq!(generalization_loss(&exact, &ds), 0.0);
+        let supp = release(&ds, vec![((0..10).collect(), GenValue::Suppressed)], vec![]);
+        assert_eq!(generalization_loss(&supp, &ds), 1.0);
+    }
+
+    #[test]
+    fn loss_scales_with_interval_width() {
+        let ds = source(10); // span 9
+        let narrow = release(
+            &ds,
+            vec![((0..10).collect(), GenValue::IntRange { lo: 0, hi: 3 })],
+            vec![],
+        );
+        let wide = release(
+            &ds,
+            vec![((0..10).collect(), GenValue::IntRange { lo: 0, hi: 9 })],
+            vec![],
+        );
+        let ln = generalization_loss(&narrow, &ds);
+        let lw = generalization_loss(&wide, &ds);
+        assert!((ln - 3.0 / 9.0).abs() < 1e-12, "narrow {ln}");
+        assert!((lw - 1.0).abs() < 1e-12, "wide {lw}");
+    }
+
+    #[test]
+    fn suppressed_rows_count_as_full_loss() {
+        let ds = source(4);
+        let anon = release(
+            &ds,
+            vec![((0..2).collect(), GenValue::Exact(Value::Int(0)))],
+            vec![2, 3],
+        );
+        // Cells: 2 exact (0.0) + 2 suppressed rows (1.0) → mean 0.5.
+        assert!((generalization_loss(&anon, &ds) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_release_ratio_is_infinite() {
+        let ds = source(3);
+        let anon = release(&ds, vec![], vec![0, 1, 2]);
+        assert!(average_class_size_ratio(&anon, 2).is_infinite());
+    }
+}

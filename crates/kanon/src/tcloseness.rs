@@ -1,0 +1,214 @@
+//! t-closeness (Li–Li–Venkatasubramanian), the second k-anonymity variant
+//! named in footnote 3. A release is t-close when, in every equivalence
+//! class, the distribution of the sensitive attribute is within distance `t`
+//! of its global distribution:
+//!
+//! * categorical sensitive attributes — total-variation distance;
+//! * ordered (numeric) sensitive attributes — the ordered earth-mover's
+//!   distance (mean absolute cumulative difference over the value ranks).
+
+use std::collections::HashMap;
+
+use so_data::{Dataset, Value};
+
+use crate::generalized::AnonymizedDataset;
+
+fn value_distribution(values: &[Value]) -> HashMap<Value, f64> {
+    let mut counts: HashMap<Value, f64> = HashMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0.0) += 1.0;
+    }
+    let n = values.len() as f64;
+    for c in counts.values_mut() {
+        *c /= n;
+    }
+    counts
+}
+
+fn column_values(source: &Dataset, rows: impl Iterator<Item = usize>, col: usize) -> Vec<Value> {
+    rows.map(|r| source.get(r, col)).collect()
+}
+
+/// The t-closeness level of a release for a *categorical* sensitive column:
+/// the maximum, over classes, of the total-variation distance between the
+/// class distribution and the global distribution. Lower is better; 0 means
+/// every class mirrors the population exactly.
+pub fn t_closeness_categorical(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+) -> f64 {
+    let global = value_distribution(&column_values(
+        source,
+        0..source.n_rows(),
+        sensitive_col,
+    ));
+    anon.classes()
+        .iter()
+        .map(|c| {
+            let local = value_distribution(&column_values(
+                source,
+                c.rows.iter().copied(),
+                sensitive_col,
+            ));
+            // TV distance = ½ Σ |p - q| over the union of supports.
+            let mut keys: Vec<&Value> = global.keys().chain(local.keys()).collect();
+            keys.sort();
+            keys.dedup();
+            0.5 * keys
+                .into_iter()
+                .map(|k| {
+                    (global.get(k).copied().unwrap_or(0.0)
+                        - local.get(k).copied().unwrap_or(0.0))
+                    .abs()
+                })
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The t-closeness level for an *ordered numeric* sensitive column, using
+/// the standard ordered-EMD: sort the global distinct values, compute the
+/// mean absolute difference of cumulative distributions over the ranks,
+/// normalized by `(m − 1)` ground distance units.
+pub fn t_closeness_numeric(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+) -> f64 {
+    let mut domain: Vec<i64> = (0..source.n_rows())
+        .filter_map(|r| source.get(r, sensitive_col).as_int())
+        .collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let m = domain.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    let rank: HashMap<i64, usize> = domain.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let hist = |rows: &mut dyn Iterator<Item = usize>| -> Vec<f64> {
+        let mut h = vec![0.0; m];
+        let mut n = 0.0;
+        for r in rows {
+            if let Some(v) = source.get(r, sensitive_col).as_int() {
+                h[rank[&v]] += 1.0;
+                n += 1.0;
+            }
+        }
+        if n > 0.0 {
+            for x in &mut h {
+                *x /= n;
+            }
+        }
+        h
+    };
+    let global = hist(&mut (0..source.n_rows()));
+    anon.classes()
+        .iter()
+        .map(|c| {
+            let local = hist(&mut c.rows.iter().copied());
+            // Ordered EMD: Σ |cumulative difference| / (m - 1).
+            let mut acc = 0.0;
+            let mut cum = 0.0;
+            for i in 0..m {
+                cum += local[i] - global[i];
+                acc += cum.abs();
+            }
+            acc / (m as f64 - 1.0)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::{EquivalenceClass, GenValue};
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema};
+
+    fn numeric_release(values: &[i64], classes: &[Vec<usize>]) -> (Dataset, AnonymizedDataset) {
+        let schema = Schema::new(vec![
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("salary", DataType::Int, AttributeRole::Sensitive),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        for (i, &v) in values.iter().enumerate() {
+            b.push_row(vec![Value::Int(i as i64), Value::Int(v)]);
+        }
+        let ds = b.finish();
+        let classes = classes
+            .iter()
+            .map(|rows| EquivalenceClass {
+                rows: rows.clone(),
+                qi_box: vec![GenValue::Suppressed],
+            })
+            .collect();
+        let anon = AnonymizedDataset::new(&ds, vec![0], classes, vec![], vec![None]);
+        (ds, anon)
+    }
+
+    fn categorical_release(values: &[&str], classes: &[Vec<usize>]) -> (Dataset, AnonymizedDataset) {
+        let schema = Schema::new(vec![
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        for (i, s) in values.iter().enumerate() {
+            let sym = b.intern(s);
+            b.push_row(vec![Value::Int(i as i64), Value::Str(sym)]);
+        }
+        let ds = b.finish();
+        let classes = classes
+            .iter()
+            .map(|rows| EquivalenceClass {
+                rows: rows.clone(),
+                qi_box: vec![GenValue::Suppressed],
+            })
+            .collect();
+        let anon = AnonymizedDataset::new(&ds, vec![0], classes, vec![], vec![None]);
+        (ds, anon)
+    }
+
+    #[test]
+    fn perfectly_mirrored_classes_have_zero_distance() {
+        let (ds, anon) = categorical_release(
+            &["A", "B", "A", "B"],
+            &[vec![0, 1], vec![2, 3]],
+        );
+        assert!(t_closeness_categorical(&anon, &ds, 1) < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_class_maximizes_tv() {
+        // Global: 50/50. A pure-A class has TV distance 0.5.
+        let (ds, anon) = categorical_release(
+            &["A", "A", "B", "B"],
+            &[vec![0, 1], vec![2, 3]],
+        );
+        let t = t_closeness_categorical(&anon, &ds, 1);
+        assert!((t - 0.5).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn numeric_emd_detects_order_skew() {
+        // Salaries 1..4, global uniform. Class {1,2} is skewed low.
+        let (ds, anon) = numeric_release(&[1, 2, 3, 4], &[vec![0, 1], vec![2, 3]]);
+        let t = t_closeness_numeric(&anon, &ds, 1);
+        // Cumulative diffs for class {1,2}: (.25,.5,.25,0)/3 → 1/3.
+        assert!((t - 1.0 / 3.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn numeric_emd_smaller_for_interleaved_classes() {
+        let (ds, skewed) = numeric_release(&[1, 2, 3, 4], &[vec![0, 1], vec![2, 3]]);
+        let (_, mixed) = numeric_release(&[1, 2, 3, 4], &[vec![0, 3], vec![1, 2]]);
+        let t_skew = t_closeness_numeric(&skewed, &ds, 1);
+        let t_mixed = t_closeness_numeric(&mixed, &ds, 1);
+        assert!(t_mixed < t_skew, "mixed {t_mixed} vs skewed {t_skew}");
+    }
+
+    #[test]
+    fn single_valued_domain_is_trivially_close() {
+        let (ds, anon) = numeric_release(&[7, 7, 7, 7], &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(t_closeness_numeric(&anon, &ds, 1), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Verification of the k-anonymity property.
+
+use std::collections::HashMap;
+
+use crate::generalized::{AnonymizedDataset, GenValue};
+
+/// True iff every released equivalence class has size at least `k`.
+///
+/// Classes that happen to share an identical generalized box are merged
+/// before checking: the adversary observing the release sees the union, so
+/// two boxes of size k/2 with the same generalized tuple are jointly fine.
+pub fn is_k_anonymous(anon: &AnonymizedDataset, k: usize) -> bool {
+    merged_class_sizes(anon).into_iter().all(|s| s >= k)
+}
+
+/// Sizes of the classes as the adversary sees them (identical boxes merged).
+pub fn merged_class_sizes(anon: &AnonymizedDataset) -> Vec<usize> {
+    let mut by_box: HashMap<Vec<GenValue>, usize> = HashMap::new();
+    for c in anon.classes() {
+        *by_box.entry(c.qi_box.clone()).or_insert(0) += c.rows.len();
+    }
+    by_box.into_values().collect()
+}
+
+/// The largest `k` for which the release is k-anonymous (0 when empty).
+pub fn effective_k(anon: &AnonymizedDataset) -> usize {
+    merged_class_sizes(anon).into_iter().min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::EquivalenceClass;
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
+
+    fn release(sizes: &[usize], same_box: bool) -> AnonymizedDataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "age",
+            DataType::Int,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        let total: usize = sizes.iter().sum();
+        for i in 0..total {
+            b.push_row(vec![Value::Int(i as i64)]);
+        }
+        let ds = b.finish();
+        let mut classes = Vec::new();
+        let mut next = 0usize;
+        for (ci, &s) in sizes.iter().enumerate() {
+            let rows: Vec<usize> = (next..next + s).collect();
+            next += s;
+            let qi_box = if same_box {
+                vec![GenValue::Suppressed]
+            } else {
+                vec![GenValue::IntRange {
+                    lo: ci as i64 * 1000,
+                    hi: ci as i64 * 1000 + 999,
+                }]
+            };
+            classes.push(EquivalenceClass { rows, qi_box });
+        }
+        AnonymizedDataset::new(&ds, vec![0], classes, vec![], vec![None])
+    }
+
+    #[test]
+    fn detects_k_violations() {
+        let anon = release(&[5, 5, 3], false);
+        assert!(is_k_anonymous(&anon, 3));
+        assert!(!is_k_anonymous(&anon, 4));
+        assert_eq!(effective_k(&anon), 3);
+    }
+
+    #[test]
+    fn identical_boxes_merge() {
+        // Two classes of 2 with the same box are 4-anonymous together.
+        let anon = release(&[2, 2], true);
+        assert!(is_k_anonymous(&anon, 4));
+        assert_eq!(effective_k(&anon), 4);
+        // Distinct boxes do not merge.
+        let anon2 = release(&[2, 2], false);
+        assert!(!is_k_anonymous(&anon2, 3));
+        assert_eq!(effective_k(&anon2), 2);
+    }
+
+    #[test]
+    fn empty_release_is_vacuously_anonymous() {
+        let anon = release(&[], false);
+        assert!(is_k_anonymous(&anon, 100));
+        assert_eq!(effective_k(&anon), 0);
+    }
+}

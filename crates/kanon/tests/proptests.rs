@@ -1,0 +1,112 @@
+//! Property-based tests for the k-anonymity substrate.
+
+use proptest::prelude::*;
+use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+use so_kanon::{
+    datafly_anonymize, is_k_anonymous, mondrian_anonymize, AttributeHierarchy, DataflyConfig,
+    GenValue, MondrianConfig,
+};
+
+fn build(rows: &[(i64, i64)]) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    for &(zip, age) in rows {
+        b.push_row(vec![Value::Int(zip), Value::Int(age)]);
+    }
+    b.finish()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((10_000i64..10_030, 0i64..100), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mondrian output is k-anonymous (when n ≥ k), sound, and a partition.
+    #[test]
+    fn mondrian_invariants(rows in arb_rows(), k in 1usize..8) {
+        let ds = build(&rows);
+        let anon = mondrian_anonymize(&ds, &[0, 1], &MondrianConfig { k });
+        prop_assert!(anon.is_sound(&ds));
+        prop_assert!(anon.is_partition());
+        if rows.len() >= k {
+            prop_assert!(is_k_anonymous(&anon, k));
+        }
+        prop_assert_eq!(anon.n_released_rows(), rows.len());
+    }
+
+    /// Datafly output is k-anonymous over the released rows, sound, and a
+    /// partition; suppression stays within budget (or everything suppressed
+    /// when n < k).
+    #[test]
+    fn datafly_invariants(rows in arb_rows(), k in 1usize..8) {
+        let ds = build(&rows);
+        let hier = vec![
+            AttributeHierarchy::ZipPrefix { digits: 5 },
+            AttributeHierarchy::Numeric { anchor: 0, widths: vec![5, 10, 25, 50] },
+        ];
+        let cfg = DataflyConfig { k, max_suppression_fraction: 0.1 };
+        let anon = datafly_anonymize(&ds, &[0, 1], &hier, &cfg);
+        prop_assert!(anon.is_sound(&ds));
+        prop_assert!(anon.is_partition());
+        prop_assert!(is_k_anonymous(&anon, k));
+        let budget = (0.1 * rows.len() as f64).floor() as usize;
+        // The final suppression set may exceed the mid-loop budget only when
+        // the ladder was exhausted (n < k forces everything out).
+        prop_assert!(
+            anon.suppressed_rows().len() <= budget || rows.len() < k,
+            "suppressed {} of {} (budget {})",
+            anon.suppressed_rows().len(), rows.len(), budget
+        );
+    }
+
+    /// Hierarchy monotonicity: if level ℓ covers a value, level ℓ+1 covers
+    /// it too (coarser is weaker).
+    #[test]
+    fn hierarchy_levels_are_monotone(v in 0i64..100_000, anchor in -10i64..10) {
+        let hiers = vec![
+            AttributeHierarchy::ZipPrefix { digits: 5 },
+            AttributeHierarchy::Numeric { anchor, widths: vec![3, 9, 27, 81] },
+        ];
+        for h in &hiers {
+            for lvl in 0..h.max_level() {
+                let g_lo = h.generalize(&Value::Int(v), lvl);
+                let g_hi = h.generalize(&Value::Int(v), lvl + 1);
+                prop_assert!(g_lo.covers(&Value::Int(v), None), "level {lvl}");
+                prop_assert!(g_hi.covers(&Value::Int(v), None), "level {}", lvl + 1);
+                // Coarser level's set contains the finer level's set: spot
+                // check via interval endpoints.
+                if let (GenValue::IntRange { lo: a, hi: b }, GenValue::IntRange { lo: c, hi: d }) =
+                    (&g_lo, &g_hi)
+                {
+                    prop_assert!(c <= a && d >= b, "nesting violated at level {lvl}");
+                }
+            }
+        }
+    }
+
+    /// Mondrian boxes are tight: every class's numeric range endpoints are
+    /// attained by some member.
+    #[test]
+    fn mondrian_boxes_are_tight(rows in arb_rows()) {
+        let ds = build(&rows);
+        let anon = mondrian_anonymize(&ds, &[0, 1], &MondrianConfig { k: 3 });
+        for class in anon.classes() {
+            for (qi, g) in class.qi_box.iter().enumerate() {
+                if let GenValue::IntRange { lo, hi } = g {
+                    let vals: Vec<i64> = class
+                        .rows
+                        .iter()
+                        .map(|&r| ds.get(r, qi).as_int().unwrap())
+                        .collect();
+                    prop_assert_eq!(vals.iter().min().copied().unwrap(), *lo);
+                    prop_assert_eq!(vals.iter().max().copied().unwrap(), *hi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # so-linkage — re-identification and membership-inference attacks
+//!
+//! The attacks that "broke the promises" of redaction-based anonymization
+//! (§1 of the paper):
+//!
+//! * [`quasi`] — quasi-identifier uniqueness analysis: Sweeney's crucial
+//!   observation that ZIP × birth date × sex is unique for the vast majority
+//!   of the population;
+//! * [`sweeney`] — the GIC re-identification: link a de-identified medical
+//!   release with an identified voter registry on the quasi-identifier
+//!   triple;
+//! * [`narayanan`] — the Netflix-Prize de-anonymization: score pseudonymous
+//!   rating histories against a little noisy auxiliary knowledge and accept
+//!   when the best match is eccentric enough;
+//! * [`membership`] — Homer-style membership inference from exact aggregate
+//!   marginals, with the DP defence for comparison.
+
+pub mod membership;
+pub mod narayanan;
+pub mod quasi;
+pub mod sweeney;
+
+pub use membership::{
+    auc, homer_statistic, membership_advantage, membership_score_samples, MembershipExperiment,
+};
+pub use narayanan::{deanonymize, NarayananConfig, ScoreboardOutcome};
+pub use quasi::{class_size_histogram, uniqueness_fraction};
+pub use sweeney::{link_releases, LinkageOutcome};

@@ -1,0 +1,322 @@
+//! Membership inference from aggregate statistics (Homer et al. 2008,
+//! Shokri et al. 2017 — references \[26\] and \[40\] of the paper).
+//!
+//! Setting: a study publishes the per-attribute means of its `n` members
+//! over `d` binary attributes (SNP-style). The attacker holds a target's
+//! attribute vector and the population ("reference") frequencies, and
+//! computes Homer's statistic
+//!
+//! ```text
+//!   D(t) = Σ_j ( |t_j − f_j| − |t_j − μ̂_j| )
+//! ```
+//!
+//! Members drag each published mean `μ̂_j` slightly toward their own value,
+//! so `D > threshold` indicates membership. More released attributes ⇒
+//! more signal; DP noise on the means destroys it. This is the paper's
+//! "membership attacks on aggregate genomic data" in executable form.
+
+use rand::Rng;
+
+use so_data::dist::{ProductBernoulli, RecordDistribution};
+use so_data::BitVec;
+use so_dp::sample_laplace;
+
+/// Homer's test statistic for a target `t` given reference frequencies `f`
+/// and published study means `mu`.
+///
+/// # Panics
+/// Panics on arity mismatch.
+pub fn homer_statistic(target: &BitVec, reference: &[f64], study_means: &[f64]) -> f64 {
+    assert_eq!(target.len(), reference.len(), "arity mismatch");
+    assert_eq!(target.len(), study_means.len(), "arity mismatch");
+    (0..target.len())
+        .map(|j| {
+            let t = f64::from(u8::from(target.get(j)));
+            (t - reference[j]).abs() - (t - study_means[j]).abs()
+        })
+        .sum()
+}
+
+/// One full membership-inference experiment.
+#[derive(Debug, Clone)]
+pub struct MembershipExperiment {
+    /// Number of study members.
+    pub n_members: usize,
+    /// Number of released attribute means.
+    pub d_attributes: usize,
+    /// Attribute frequency band (frequencies drawn uniformly in this range).
+    pub freq_lo: f64,
+    /// Upper end of the frequency band.
+    pub freq_hi: f64,
+    /// Number of member/non-member trials used to estimate the advantage.
+    pub trials: usize,
+    /// If `Some(ε)`, the study means are released via an ε-DP noisy
+    /// histogram instead of exactly.
+    pub dp_epsilon: Option<f64>,
+}
+
+impl Default for MembershipExperiment {
+    fn default() -> Self {
+        MembershipExperiment {
+            n_members: 100,
+            d_attributes: 1_000,
+            freq_lo: 0.1,
+            freq_hi: 0.9,
+            trials: 100,
+            dp_epsilon: None,
+        }
+    }
+}
+
+/// Result of [`membership_advantage`].
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipResult {
+    /// True-positive rate at threshold 0 (members flagged).
+    pub true_positive_rate: f64,
+    /// False-positive rate at threshold 0 (non-members flagged).
+    pub false_positive_rate: f64,
+}
+
+impl MembershipResult {
+    /// The membership advantage `TPR − FPR` (0 = no information, 1 =
+    /// perfect inference).
+    pub fn advantage(&self) -> f64 {
+        self.true_positive_rate - self.false_positive_rate
+    }
+}
+
+/// Estimates the attacker's advantage by Monte Carlo: repeatedly draw a
+/// study population, publish its means (exactly or with DP noise), and test
+/// Homer's statistic on one member and one non-member.
+pub fn membership_advantage<R: Rng + ?Sized>(
+    exp: &MembershipExperiment,
+    rng: &mut R,
+) -> MembershipResult {
+    assert!(exp.n_members > 0 && exp.d_attributes > 0 && exp.trials > 0);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for _ in 0..exp.trials {
+        // Fresh reference frequencies each trial.
+        let freqs: Vec<f64> = (0..exp.d_attributes)
+            .map(|_| rng.gen_range(exp.freq_lo..=exp.freq_hi))
+            .collect();
+        let dist = ProductBernoulli::new(freqs.clone());
+        let members: Vec<BitVec> = dist.sample_n(exp.n_members, rng);
+        // Published means, exact or DP.
+        let counts: Vec<usize> = (0..exp.d_attributes)
+            .map(|j| members.iter().filter(|m| m.get(j)).count())
+            .collect();
+        let means: Vec<f64> = match exp.dp_epsilon {
+            None => counts
+                .iter()
+                .map(|&c| c as f64 / exp.n_members as f64)
+                .collect(),
+            Some(eps) => {
+                // The d attribute counts are NOT a disjoint histogram: one
+                // member contributes to every attribute, so substituting one
+                // record can change each of the d counts by 1 — L1
+                // sensitivity 2d, hence per-count scale 2d/ε. (Releasing
+                // them at histogram scale 2/ε would silently spend ε·d.)
+                let scale = 2.0 * exp.d_attributes as f64 / eps;
+                counts
+                    .iter()
+                    .map(|&c| (c as f64 + sample_laplace(scale, rng)) / exp.n_members as f64)
+                    .collect()
+            }
+        };
+        // One member probe, one non-member probe.
+        let member = &members[0];
+        let outsider = dist.sample(rng);
+        if homer_statistic(member, &freqs, &means) > 0.0 {
+            tp += 1;
+        }
+        if homer_statistic(&outsider, &freqs, &means) > 0.0 {
+            fp += 1;
+        }
+    }
+    MembershipResult {
+        true_positive_rate: tp as f64 / exp.trials as f64,
+        false_positive_rate: fp as f64 / exp.trials as f64,
+    }
+}
+
+/// Raw Homer-statistic samples for members and non-members, for
+/// threshold-free evaluation (ROC / AUC) instead of the fixed threshold-0
+/// advantage.
+pub fn membership_score_samples<R: Rng + ?Sized>(
+    exp: &MembershipExperiment,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut member_scores = Vec::with_capacity(exp.trials);
+    let mut outsider_scores = Vec::with_capacity(exp.trials);
+    for _ in 0..exp.trials {
+        let freqs: Vec<f64> = (0..exp.d_attributes)
+            .map(|_| rng.gen_range(exp.freq_lo..=exp.freq_hi))
+            .collect();
+        let dist = ProductBernoulli::new(freqs.clone());
+        let members: Vec<BitVec> = dist.sample_n(exp.n_members, rng);
+        let means: Vec<f64> = (0..exp.d_attributes)
+            .map(|j| {
+                let c = members.iter().filter(|m| m.get(j)).count() as f64;
+                match exp.dp_epsilon {
+                    None => c / exp.n_members as f64,
+                    Some(eps) => {
+                        let scale = 2.0 * exp.d_attributes as f64 / eps;
+                        (c + sample_laplace(scale, rng)) / exp.n_members as f64
+                    }
+                }
+            })
+            .collect();
+        member_scores.push(homer_statistic(&members[0], &freqs, &means));
+        outsider_scores.push(homer_statistic(&dist.sample(rng), &freqs, &means));
+    }
+    (member_scores, outsider_scores)
+}
+
+/// Area under the ROC curve for separating `positives` from `negatives`
+/// (probability a random positive scores above a random negative, ties
+/// counted half). 0.5 = no signal, 1.0 = perfect separation.
+pub fn auc(positives: &[f64], negatives: &[f64]) -> f64 {
+    assert!(
+        !positives.is_empty() && !negatives.is_empty(),
+        "need samples on both sides"
+    );
+    let mut wins = 0.0f64;
+    for &p in positives {
+        for &n in negatives {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positives.len() * negatives.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::rng::seeded_rng;
+
+    #[test]
+    fn auc_extremes() {
+        assert_eq!(auc(&[2.0, 3.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(auc(&[0.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(auc(&[1.0], &[1.0]), 0.5);
+    }
+
+    #[test]
+    fn membership_auc_near_one_exact_near_half_under_dp() {
+        let mut rng = seeded_rng(75);
+        let exp = MembershipExperiment {
+            d_attributes: 1_500,
+            trials: 80,
+            ..MembershipExperiment::default()
+        };
+        let (m, o) = membership_score_samples(&exp, &mut rng);
+        let exact_auc = auc(&m, &o);
+        assert!(exact_auc > 0.95, "exact AUC {exact_auc}");
+        let dp_exp = MembershipExperiment {
+            dp_epsilon: Some(1.0),
+            ..exp
+        };
+        let (m, o) = membership_score_samples(&dp_exp, &mut rng);
+        let dp_auc = auc(&m, &o);
+        assert!(
+            (dp_auc - 0.5).abs() < 0.15,
+            "DP AUC should be near chance, got {dp_auc}"
+        );
+    }
+
+    #[test]
+    fn statistic_positive_for_members_in_expectation() {
+        let exp = MembershipExperiment {
+            n_members: 50,
+            d_attributes: 2_000,
+            trials: 60,
+            ..MembershipExperiment::default()
+        };
+        let res = membership_advantage(&exp, &mut seeded_rng(70));
+        assert!(
+            res.true_positive_rate > 0.9,
+            "TPR {}",
+            res.true_positive_rate
+        );
+        assert!(
+            res.false_positive_rate < 0.6,
+            "FPR {}",
+            res.false_positive_rate
+        );
+        assert!(res.advantage() > 0.4, "advantage {}", res.advantage());
+    }
+
+    #[test]
+    fn advantage_grows_with_released_attributes() {
+        let mut rng = seeded_rng(71);
+        let small = membership_advantage(
+            &MembershipExperiment {
+                d_attributes: 20,
+                trials: 150,
+                ..MembershipExperiment::default()
+            },
+            &mut rng,
+        );
+        let large = membership_advantage(
+            &MembershipExperiment {
+                d_attributes: 3_000,
+                trials: 150,
+                ..MembershipExperiment::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            large.advantage() > small.advantage() + 0.1,
+            "large {} vs small {}",
+            large.advantage(),
+            small.advantage()
+        );
+    }
+
+    #[test]
+    fn dp_noise_crushes_the_advantage() {
+        let mut rng = seeded_rng(72);
+        let exact = membership_advantage(
+            &MembershipExperiment {
+                d_attributes: 800,
+                trials: 120,
+                ..MembershipExperiment::default()
+            },
+            &mut rng,
+        );
+        let dp = membership_advantage(
+            &MembershipExperiment {
+                d_attributes: 800,
+                trials: 120,
+                dp_epsilon: Some(1.0),
+                ..MembershipExperiment::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            dp.advantage() < exact.advantage() / 2.0,
+            "dp {} vs exact {}",
+            dp.advantage(),
+            exact.advantage()
+        );
+    }
+
+    #[test]
+    fn statistic_is_zero_when_means_equal_reference() {
+        let t = BitVec::from_bools(&[true, false, true]);
+        let f = vec![0.5, 0.5, 0.5];
+        assert_eq!(homer_statistic(&t, &f, &f), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let t = BitVec::zeros(2);
+        homer_statistic(&t, &[0.5], &[0.5, 0.5]);
+    }
+}

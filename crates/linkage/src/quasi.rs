@@ -1,0 +1,128 @@
+//! Quasi-identifier uniqueness analysis.
+//!
+//! "At the heart of Sweeney's re-identification attack was the crucial
+//! observation that the seemingly innocuous combination of ZIP code, birth
+//! date, and sex ... is unique for a vast majority of the US population."
+//! These functions quantify that phenomenon on any dataset: how many rows
+//! are unique (or in small crowds) under a given attribute combination.
+
+
+use so_data::Dataset;
+
+/// Fraction of rows whose value tuple over `cols` is unique in `ds`.
+pub fn uniqueness_fraction(ds: &Dataset, cols: &[usize]) -> f64 {
+    if ds.n_rows() == 0 {
+        return 0.0;
+    }
+    let groups = ds.group_by(cols);
+    let unique: usize = groups.values().filter(|rows| rows.len() == 1).count();
+    unique as f64 / ds.n_rows() as f64
+}
+
+/// Histogram of equivalence-class sizes under `cols`: `result[s]` = number
+/// of *rows* living in classes of size `s` (index 0 unused).
+pub fn class_size_histogram(ds: &Dataset, cols: &[usize]) -> Vec<usize> {
+    let groups = ds.group_by(cols);
+    let max = groups.values().map(|r| r.len()).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for rows in groups.values() {
+        hist[rows.len()] += rows.len();
+    }
+    hist
+}
+
+/// Fraction of rows in classes of size at most `s` (the "k-anonymity
+/// deficit" at level s+1).
+pub fn fraction_in_small_classes(ds: &Dataset, cols: &[usize], s: usize) -> f64 {
+    if ds.n_rows() == 0 {
+        return 0.0;
+    }
+    let groups = ds.group_by(cols);
+    let small: usize = groups
+        .values()
+        .filter(|rows| rows.len() <= s)
+        .map(|rows| rows.len())
+        .sum();
+    small as f64 / ds.n_rows() as f64
+}
+
+/// Per-row crowd size: `result[i]` = size of row `i`'s equivalence class
+/// under `cols`.
+pub fn crowd_sizes(ds: &Dataset, cols: &[usize]) -> Vec<usize> {
+    let groups = ds.group_by(cols);
+    let mut out = vec![0usize; ds.n_rows()];
+    for rows in groups.values() {
+        for &r in rows {
+            out[r] = rows.len();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::{
+        AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value,
+    };
+
+    fn ds(vals: &[(i64, i64)]) -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("a", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("b", DataType::Int, AttributeRole::QuasiIdentifier),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        for &(x, y) in vals {
+            b.push_row(vec![Value::Int(x), Value::Int(y)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn uniqueness_counts_single_rows() {
+        let d = ds(&[(1, 1), (1, 1), (2, 2), (3, 3)]);
+        assert!((uniqueness_fraction(&d, &[0, 1]) - 0.5).abs() < 1e-12);
+        // Under only the first column, (1,*) pairs still collide.
+        assert!((uniqueness_fraction(&d, &[0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_attributes_never_decrease_uniqueness() {
+        let d = ds(&[(1, 1), (1, 2), (2, 1), (2, 1)]);
+        let u1 = uniqueness_fraction(&d, &[0]);
+        let u2 = uniqueness_fraction(&d, &[0, 1]);
+        assert!(u2 >= u1, "u1 {u1} u2 {u2}");
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_row() {
+        let d = ds(&[(1, 1), (1, 1), (2, 2), (3, 3), (3, 3), (3, 3)]);
+        let h = class_size_histogram(&d, &[0, 1]);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[1], 1); // one singleton row: (2,2)
+        assert_eq!(h[2], 2); // two rows in the (1,1) pair
+        assert_eq!(h[3], 3); // three rows in the (3,3) triple
+    }
+
+    #[test]
+    fn small_class_fraction() {
+        let d = ds(&[(1, 1), (1, 1), (2, 2), (3, 3), (3, 3), (3, 3)]);
+        assert!((fraction_in_small_classes(&d, &[0, 1], 1) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((fraction_in_small_classes(&d, &[0, 1], 2) - 0.5).abs() < 1e-12);
+        assert!((fraction_in_small_classes(&d, &[0, 1], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowd_sizes_per_row() {
+        let d = ds(&[(1, 1), (1, 1), (2, 2)]);
+        assert_eq!(crowd_sizes(&d, &[0, 1]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_edge_cases() {
+        let d = ds(&[]);
+        assert_eq!(uniqueness_fraction(&d, &[0]), 0.0);
+        assert_eq!(fraction_in_small_classes(&d, &[0], 5), 0.0);
+        assert!(class_size_histogram(&d, &[0]).iter().sum::<usize>() == 0);
+    }
+}

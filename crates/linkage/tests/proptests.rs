@@ -1,0 +1,89 @@
+//! Property-based tests for the linkage substrate.
+
+use proptest::prelude::*;
+use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+use so_linkage::quasi::{
+    class_size_histogram, crowd_sizes, fraction_in_small_classes, uniqueness_fraction,
+};
+use so_linkage::sweeney::link_releases;
+
+fn dataset(vals: &[i64]) -> Dataset {
+    let schema = Schema::new(vec![AttributeDef::new(
+        "qi",
+        DataType::Int,
+        AttributeRole::QuasiIdentifier,
+    )]);
+    let mut b = DatasetBuilder::new(schema);
+    for &v in vals {
+        b.push_row(vec![Value::Int(v)]);
+    }
+    b.finish()
+}
+
+fn identified(vals: &[i64]) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("id", DataType::Int, AttributeRole::DirectIdentifier),
+        AttributeDef::new("qi", DataType::Int, AttributeRole::QuasiIdentifier),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    for (i, &v) in vals.iter().enumerate() {
+        b.push_row(vec![Value::Int(i as i64), Value::Int(v)]);
+    }
+    b.finish()
+}
+
+proptest! {
+    /// Uniqueness never increases when a row is duplicated.
+    #[test]
+    fn duplication_never_raises_uniqueness(vals in proptest::collection::vec(0i64..30, 1..60)) {
+        let ds = dataset(&vals);
+        let u1 = uniqueness_fraction(&ds, &[0]);
+        let mut dup = vals.clone();
+        dup.push(vals[0]);
+        let u2 = uniqueness_fraction(&dataset(&dup), &[0]);
+        prop_assert!(u2 <= u1 + 1e-12, "u1 {u1} u2 {u2}");
+    }
+
+    /// The class-size histogram accounts for every row; crowd sizes agree
+    /// with it.
+    #[test]
+    fn histogram_and_crowds_consistent(vals in proptest::collection::vec(0i64..20, 0..60)) {
+        let ds = dataset(&vals);
+        let h = class_size_histogram(&ds, &[0]);
+        prop_assert_eq!(h.iter().sum::<usize>(), vals.len());
+        let crowds = crowd_sizes(&ds, &[0]);
+        for (i, &c) in crowds.iter().enumerate() {
+            // Row i's crowd equals the multiplicity of its value.
+            let mult = vals.iter().filter(|&&v| v == vals[i]).count();
+            prop_assert_eq!(c, mult);
+        }
+        // Small-class fractions are monotone in s.
+        let f1 = fraction_in_small_classes(&ds, &[0], 1);
+        let f2 = fraction_in_small_classes(&ds, &[0], 2);
+        prop_assert!(f1 <= f2 + 1e-12);
+    }
+
+    /// Linkage on a one-to-one QI mapping links everything with perfect
+    /// precision; links + unmatched + ambiguous partition the release.
+    #[test]
+    fn linkage_accounting(vals in proptest::collection::vec(0i64..40, 1..60)) {
+        let released = dataset(&vals);
+        let ident = identified(&vals);
+        let out = link_releases(&released, &[0], &ident, &[1], 0);
+        prop_assert_eq!(
+            out.links.len() + out.unmatched + out.ambiguous,
+            released.n_rows()
+        );
+        // Rows whose value is unique must be linked, and correctly.
+        for (r, &v) in vals.iter().enumerate() {
+            let mult = vals.iter().filter(|&&x| x == v).count();
+            let linked = out.links.iter().find(|l| l.released_row == r);
+            if mult == 1 {
+                let l = linked.expect("unique value must link");
+                prop_assert_eq!(l.claimed_id, r as i64);
+            } else {
+                prop_assert!(linked.is_none(), "ambiguous values must not link");
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Linear-program model: variables, bounds, constraints, objective.
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the objective function.
+    Minimize,
+    /// Maximize the objective function.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_i x_i ≤ b`
+    Le,
+    /// `Σ a_i x_i = b`
+    Eq,
+    /// `Σ a_i x_i ≥ b`
+    Ge,
+}
+
+/// Per-variable domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Lower bound (`None` = −∞).
+    pub lo: Option<f64>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<f64>,
+}
+
+impl Bound {
+    /// The default domain `x ≥ 0`.
+    pub fn non_negative() -> Bound {
+        Bound {
+            lo: Some(0.0),
+            hi: None,
+        }
+    }
+
+    /// Free variable (−∞, +∞).
+    pub fn free() -> Bound {
+        Bound { lo: None, hi: None }
+    }
+
+    /// `x ≥ lo`.
+    pub fn at_least(lo: f64) -> Bound {
+        Bound {
+            lo: Some(lo),
+            hi: None,
+        }
+    }
+
+    /// `lo ≤ x ≤ hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn between(lo: f64, hi: f64) -> Bound {
+        assert!(lo <= hi, "empty bound [{lo}, {hi}]");
+        Bound {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+}
+
+/// A single linear constraint given as sparse `(variable, coefficient)`
+/// pairs.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficients; duplicate variable entries are summed.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation to the right-hand side.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation,
+            rhs,
+        }
+    }
+}
+
+/// A linear program.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    n_vars: usize,
+    objective_sense: Objective,
+    objective: Vec<f64>,
+    bounds: Vec<Bound>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a problem with `n_vars` variables, all defaulting to `x ≥ 0`
+    /// with objective coefficient 0.
+    pub fn new(n_vars: usize, sense: Objective) -> Self {
+        Problem {
+            n_vars,
+            objective_sense: sense,
+            objective: vec![0.0; n_vars],
+            bounds: vec![Bound::non_negative(); n_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Objective {
+        self.objective_sense
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Sets the objective coefficient of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or `c` is non-finite.
+    pub fn set_objective_coeff(&mut self, v: usize, c: f64) {
+        assert!(v < self.n_vars, "variable {v} out of range");
+        assert!(c.is_finite(), "non-finite objective coefficient");
+        self.objective[v] = c;
+    }
+
+    /// Per-variable bounds.
+    pub fn bounds(&self) -> &[Bound] {
+        &self.bounds
+    }
+
+    /// Sets the domain of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn set_bound(&mut self, v: usize, b: Bound) {
+        assert!(v < self.n_vars, "variable {v} out of range");
+        self.bounds[v] = b;
+    }
+
+    /// Constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variables or non-finite numbers.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        for &(v, coeff) in &c.coeffs {
+            assert!(v < self.n_vars, "variable {v} out of range");
+            assert!(coeff.is_finite(), "non-finite coefficient");
+        }
+        assert!(c.rhs.is_finite(), "non-finite rhs");
+        self.constraints.push(c);
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars);
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks feasibility of `x` within tolerance `tol` (bounds and all
+    /// constraints).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars {
+            return false;
+        }
+        for (v, b) in x.iter().zip(&self.bounds) {
+            if let Some(lo) = b.lo {
+                if *v < lo - tol {
+                    return false;
+                }
+            }
+            if let Some(hi) = b.hi {
+                if *v > hi + tol {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonnegative_zero_objective() {
+        let p = Problem::new(3, Objective::Minimize);
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.objective(), &[0.0, 0.0, 0.0]);
+        assert_eq!(p.bounds()[0], Bound::non_negative());
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_constraints() {
+        let mut p = Problem::new(2, Objective::Minimize);
+        p.set_bound(0, Bound::between(0.0, 1.0));
+        p.add_constraint(Constraint::new(
+            vec![(0, 1.0), (1, 1.0)],
+            Relation::Le,
+            2.0,
+        ));
+        assert!(p.is_feasible(&[0.5, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[1.5, 0.0], 1e-9)); // violates upper bound
+        assert!(!p.is_feasible(&[1.0, 1.5], 1e-9)); // violates constraint
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9)); // violates lower bound
+        assert!(!p.is_feasible(&[0.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value_dot_product() {
+        let mut p = Problem::new(2, Objective::Maximize);
+        p.set_objective_coeff(0, 2.0);
+        p.set_objective_coeff(1, -1.0);
+        assert_eq!(p.objective_value(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_constraint_variable() {
+        let mut p = Problem::new(1, Objective::Minimize);
+        p.add_constraint(Constraint::new(vec![(5, 1.0)], Relation::Le, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bound")]
+    fn rejects_empty_interval_bound() {
+        Bound::between(2.0, 1.0);
+    }
+
+    #[test]
+    fn eq_feasibility_tolerance() {
+        let mut p = Problem::new(1, Objective::Minimize);
+        p.add_constraint(Constraint::new(vec![(0, 1.0)], Relation::Eq, 1.0));
+        assert!(p.is_feasible(&[1.0 + 1e-12], 1e-9));
+        assert!(!p.is_feasible(&[1.1], 1e-9));
+    }
+}

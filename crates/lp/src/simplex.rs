@@ -1,0 +1,575 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! The solver converts a [`Problem`] to standard form (minimize, all
+//! variables ≥ 0, rows normalized to non-negative right-hand sides), runs
+//! phase 1 with artificial variables to find a basic feasible solution, then
+//! phase 2 with the real objective. Pricing is Dantzig's rule (most negative
+//! reduced cost) with a permanent switch to Bland's rule after a fixed number
+//! of iterations, which guarantees termination on degenerate instances.
+
+use crate::problem::{Objective, Problem, Relation};
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Hard cap on simplex pivots across both phases.
+    pub max_iterations: usize,
+    /// Pivots before switching from Dantzig to Bland pricing.
+    pub bland_after: usize,
+    /// Numerical tolerance for zero tests.
+    pub tolerance: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_iterations: 200_000,
+            bland_after: 20_000,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Hard solver failures (distinct from well-defined LP outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// Pivot budget exhausted (numerical trouble or pathological instance).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution in the problem's original coordinates.
+#[derive(Debug, Clone)]
+pub struct OptimalSolution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (in the problem's own sense).
+    pub objective: f64,
+}
+
+/// LP outcome.
+#[derive(Debug, Clone)]
+pub enum Solution {
+    /// Optimum found.
+    Optimal(OptimalSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded in the optimization direction.
+    Unbounded,
+}
+
+impl Solution {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    /// Panics if the outcome is not `Optimal`.
+    pub fn expect_optimal(self) -> OptimalSolution {
+        match self {
+            Solution::Optimal(s) => s,
+            other => panic!("expected optimal solution, got {other:?}"),
+        }
+    }
+
+    /// True iff the outcome is `Optimal`.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, Solution::Optimal(_))
+    }
+}
+
+/// How an original variable maps into standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = y[col] + shift`
+    Shifted { col: usize, shift: f64 },
+    /// `x = y[pos] - y[neg]` (free variable split)
+    Split { pos: usize, neg: usize },
+}
+
+/// Standard-form program: minimize `c·y` s.t. `A y (rel) b`, `y ≥ 0`.
+struct StandardForm {
+    n_cols: usize,
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+    var_map: Vec<VarMap>,
+    negate_objective: bool,
+}
+
+/// Sparse row used while assembling bound constraints.
+type SparseRow = (Vec<(usize, f64)>, Relation, f64);
+
+fn to_standard_form(p: &Problem) -> StandardForm {
+    let mut n_cols = 0usize;
+    let mut var_map = Vec::with_capacity(p.n_vars());
+    let mut extra_rows: Vec<SparseRow> = Vec::new();
+    for b in p.bounds() {
+        match (b.lo, b.hi) {
+            (Some(lo), hi) => {
+                let col = n_cols;
+                n_cols += 1;
+                var_map.push(VarMap::Shifted { col, shift: lo });
+                if let Some(hi) = hi {
+                    // y <= hi - lo
+                    extra_rows.push((vec![(col, 1.0)], Relation::Le, hi - lo));
+                }
+            }
+            (None, hi) => {
+                let pos = n_cols;
+                let neg = n_cols + 1;
+                n_cols += 2;
+                var_map.push(VarMap::Split { pos, neg });
+                if let Some(hi) = hi {
+                    extra_rows.push((vec![(pos, 1.0), (neg, -1.0)], Relation::Le, hi));
+                }
+            }
+        }
+    }
+
+    let negate_objective = p.sense() == Objective::Maximize;
+    let mut costs = vec![0.0; n_cols];
+    for (v, &c) in p.objective().iter().enumerate() {
+        let c = if negate_objective { -c } else { c };
+        match var_map[v] {
+            VarMap::Shifted { col, .. } => costs[col] += c,
+            VarMap::Split { pos, neg } => {
+                costs[pos] += c;
+                costs[neg] -= c;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(p.constraints().len() + extra_rows.len());
+    for c in p.constraints() {
+        let mut coeffs = vec![0.0; n_cols];
+        let mut rhs = c.rhs;
+        for &(v, a) in &c.coeffs {
+            match var_map[v] {
+                VarMap::Shifted { col, shift } => {
+                    coeffs[col] += a;
+                    rhs -= a * shift;
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs[pos] += a;
+                    coeffs[neg] -= a;
+                }
+            }
+        }
+        rows.push((coeffs, c.relation, rhs));
+    }
+    for (sparse, rel, rhs) in extra_rows {
+        let mut coeffs = vec![0.0; n_cols];
+        for (col, a) in sparse {
+            coeffs[col] += a;
+        }
+        rows.push((coeffs, rel, rhs));
+    }
+
+    StandardForm {
+        n_cols,
+        costs,
+        rows,
+        var_map,
+        negate_objective,
+    }
+}
+
+/// Dense simplex tableau: `m` constraint rows plus one cost row, stored
+/// row-major. Column layout: structural | slack/surplus | artificial | rhs.
+struct Tableau {
+    m: usize,
+    n_total: usize,
+    /// `(m + 1) × (n_total + 1)` entries; last row is the cost row, last
+    /// column the rhs.
+    data: Vec<f64>,
+    basis: Vec<usize>,
+    first_artificial: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.n_total + 1) + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * (self.n_total + 1) + c]
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.n_total)
+    }
+
+    fn cost(&self, c: usize) -> f64 {
+        self.at(self.m, c)
+    }
+
+    /// Gauss-Jordan pivot at `(row, col)`.
+    #[allow(clippy::needless_range_loop)] // parallel-array numeric kernel
+    fn pivot(&mut self, row: usize, col: usize) {
+        let stride = self.n_total + 1;
+        let pivot_val = self.at(row, col);
+        debug_assert!(pivot_val.abs() > 0.0, "zero pivot");
+        let inv = 1.0 / pivot_val;
+        for c in 0..stride {
+            self.data[row * stride + c] *= inv;
+        }
+        // Snapshot the pivot row to keep the borrow checker happy while we
+        // update the rest of the tableau.
+        let pivot_row: Vec<f64> = self.data[row * stride..(row + 1) * stride].to_vec();
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.data[r * stride + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in 0..stride {
+                self.data[r * stride + c] -= factor * pivot_row[c];
+            }
+            // Eliminate residual round-off in the pivot column explicitly.
+            self.data[r * stride + col] = 0.0;
+            // Keep constraint rows' rhs non-negative against drift.
+            if r < self.m && self.data[r * stride + self.n_total] < 0.0
+                && self.data[r * stride + self.n_total] > -1e-7 {
+                    self.data[r * stride + self.n_total] = 0.0;
+                }
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// Chooses the entering column: Dantzig early, Bland after the switch.
+    /// `allowed` filters out artificial columns in phase 2.
+    fn entering(&self, cfg: &SolverConfig, allow_artificial: bool) -> Option<usize> {
+        let limit = if allow_artificial {
+            self.n_total
+        } else {
+            self.first_artificial
+        };
+        if self.iterations >= cfg.bland_after {
+            // Bland: smallest index with negative reduced cost.
+            (0..limit).find(|&c| self.cost(c) < -cfg.tolerance)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..limit {
+                let rc = self.cost(c);
+                if rc < -cfg.tolerance && best.is_none_or(|(_, b)| rc < b) {
+                    best = Some((c, rc));
+                }
+            }
+            best.map(|(c, _)| c)
+        }
+    }
+
+    /// Ratio test: leaving row for entering column `col`, or `None` when the
+    /// column is unbounded. Ties break toward the smallest basis index
+    /// (lexicographic flavor, cooperates with Bland's rule).
+    fn leaving(&self, col: usize, cfg: &SolverConfig) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.m {
+            let a = self.at(r, col);
+            if a > cfg.tolerance {
+                // Negative rhs should not occur, but floating-point drift can
+                // graze it; clamp so ratios stay non-negative.
+                let ratio = self.rhs(r).max(0.0) / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        // Exact comparison + Bland-style index tie-break:
+                        // choosing a within-tolerance *larger* ratio would
+                        // push another row's rhs negative and thrash.
+                        if ratio < bratio || (ratio == bratio && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+fn run_phase(
+    t: &mut Tableau,
+    cfg: &SolverConfig,
+    allow_artificial: bool,
+) -> Result<PhaseOutcome, LpError> {
+    loop {
+        if t.iterations >= cfg.max_iterations {
+            return Err(LpError::IterationLimit);
+        }
+        let Some(col) = t.entering(cfg, allow_artificial) else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        let Some(row) = t.leaving(col, cfg) else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+        t.pivot(row, col);
+    }
+}
+
+/// Solves `p` with the given configuration.
+#[allow(clippy::needless_range_loop)] // parallel-array tableau assembly
+pub fn solve(p: &Problem, cfg: &SolverConfig) -> Result<Solution, LpError> {
+    let sf = to_standard_form(p);
+    let m = sf.rows.len();
+
+    // Column layout: structural | slack (one per Le/Ge row) | artificial.
+    let mut n_slack = 0usize;
+    for (_, rel, _) in &sf.rows {
+        if !matches!(rel, Relation::Eq) {
+            n_slack += 1;
+        }
+    }
+    // Allocate an artificial for every row up front; slack columns double as
+    // the initial basis where possible (Le rows with b >= 0).
+    let first_slack = sf.n_cols;
+    let first_artificial = sf.n_cols + n_slack;
+    let n_total = first_artificial + m;
+    let stride = n_total + 1;
+    let mut data = vec![0.0; (m + 1) * stride];
+    let mut basis = vec![usize::MAX; m];
+    let mut artificial_used = vec![false; m];
+
+    let mut slack_idx = 0usize;
+    for (r, (coeffs, rel, rhs)) in sf.rows.iter().enumerate() {
+        // Normalize to b >= 0.
+        let flip = *rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (c, &a) in coeffs.iter().enumerate() {
+            data[r * stride + c] = sign * a;
+        }
+        data[r * stride + n_total] = sign * rhs;
+        let effective_rel = match (rel, flip) {
+            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            (Relation::Eq, _) => Relation::Eq,
+        };
+        match effective_rel {
+            Relation::Le => {
+                let sc = first_slack + slack_idx;
+                slack_idx += 1;
+                data[r * stride + sc] = 1.0;
+                basis[r] = sc;
+            }
+            Relation::Ge => {
+                let sc = first_slack + slack_idx;
+                slack_idx += 1;
+                data[r * stride + sc] = -1.0; // surplus
+                let ac = first_artificial + r;
+                data[r * stride + ac] = 1.0;
+                basis[r] = ac;
+                artificial_used[r] = true;
+            }
+            Relation::Eq => {
+                let ac = first_artificial + r;
+                data[r * stride + ac] = 1.0;
+                basis[r] = ac;
+                artificial_used[r] = true;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        m,
+        n_total,
+        data,
+        basis,
+        first_artificial,
+        iterations: 0,
+    };
+
+    // ---- Phase 1: minimize the sum of artificials ----------------------
+    if artificial_used.iter().any(|&u| u) {
+        // Cost row = Σ artificial columns; reduce against the basic rows.
+        for r in 0..m {
+            if artificial_used[r] {
+                *t.at_mut(m, first_artificial + r) = 1.0;
+            }
+        }
+        for r in 0..m {
+            if artificial_used[r] {
+                // Basis var is the artificial with cost 1 → subtract the row.
+                for c in 0..stride {
+                    t.data[m * stride + c] -= t.data[r * stride + c];
+                }
+            }
+        }
+        match run_phase(&mut t, cfg, true)? {
+            PhaseOutcome::Unbounded => {
+                // Phase-1 objective is bounded below by zero; unbounded here
+                // means numerical breakdown. Treat as iteration trouble.
+                return Err(LpError::IterationLimit);
+            }
+            PhaseOutcome::Optimal => {}
+        }
+        let phase1_obj = -t.rhs(m); // cost row rhs holds -objective
+        if phase1_obj > 1e-6 {
+            return Ok(Solution::Infeasible);
+        }
+        // Drive any remaining basic artificials out of the basis.
+        for r in 0..m {
+            if t.basis[r] >= first_artificial {
+                let pivot_col =
+                    (0..first_artificial).find(|&c| t.at(r, c).abs() > cfg.tolerance);
+                match pivot_col {
+                    Some(c) => t.pivot(r, c),
+                    None => {
+                        // Redundant row: the artificial stays basic at zero;
+                        // harmless as long as it never re-enters (phase 2
+                        // disallows artificial entering columns).
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective ------------------------------------
+    // Reset the cost row to the real costs and reduce against the basis.
+    for c in 0..stride {
+        t.data[m * stride + c] = 0.0;
+    }
+    for (c, &cost) in sf.costs.iter().enumerate() {
+        t.data[m * stride + c] = cost;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = if b < sf.n_cols { sf.costs[b] } else { 0.0 };
+        if cb != 0.0 {
+            for c in 0..stride {
+                t.data[m * stride + c] -= cb * t.data[r * stride + c];
+            }
+        }
+    }
+    match run_phase(&mut t, cfg, false)? {
+        PhaseOutcome::Unbounded => return Ok(Solution::Unbounded),
+        PhaseOutcome::Optimal => {}
+    }
+
+    // ---- Extract the solution -------------------------------------------
+    let mut y = vec![0.0; sf.n_cols];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < sf.n_cols {
+            y[b] = t.rhs(r);
+        }
+    }
+    let mut x = vec![0.0; p.n_vars()];
+    for (v, vm) in sf.var_map.iter().enumerate() {
+        x[v] = match *vm {
+            VarMap::Shifted { col, shift } => y[col] + shift,
+            VarMap::Split { pos, neg } => y[pos] - y[neg],
+        };
+    }
+    let objective = p.objective_value(&x);
+    // `negate_objective` already handled by evaluating in original space.
+    let _ = sf.negate_objective;
+    Ok(Solution::Optimal(OptimalSolution { x, objective }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Bound, Constraint};
+
+    #[test]
+    fn trivial_zero_problem() {
+        let p = Problem::new(2, Objective::Minimize);
+        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        assert_eq!(s.x, vec![0.0, 0.0]);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn single_equality() {
+        // min 2x s.t. x = 7 → 14.
+        let mut p = Problem::new(1, Objective::Minimize);
+        p.set_objective_coeff(0, 2.0);
+        p.add_constraint(Constraint::new(vec![(0, 1.0)], Relation::Eq, 7.0));
+        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        assert!((s.x[0] - 7.0).abs() < 1e-8);
+        assert!((s.objective - 14.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        // min x s.t. (0.5 + 0.5)x >= 3 → x = 3.
+        let mut p = Problem::new(1, Objective::Minimize);
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(Constraint::new(
+            vec![(0, 0.5), (0, 0.5)],
+            Relation::Ge,
+            3.0,
+        ));
+        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        assert!((s.x[0] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        // x + y = 4 twice, min x → x = 0, y = 4.
+        let mut p = Problem::new(2, Objective::Minimize);
+        p.set_objective_coeff(0, 1.0);
+        for _ in 0..2 {
+            p.add_constraint(Constraint::new(
+                vec![(0, 1.0), (1, 1.0)],
+                Relation::Eq,
+                4.0,
+            ));
+        }
+        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        assert!(s.x[0].abs() < 1e-8);
+        assert!((s.x[1] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = Problem::new(2, Objective::Maximize);
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(Constraint::new(
+            vec![(0, 1.0), (1, 1.0)],
+            Relation::Le,
+            1.0,
+        ));
+        let cfg = SolverConfig {
+            max_iterations: 0,
+            ..SolverConfig::default()
+        };
+        assert!(matches!(solve(&p, &cfg), Err(LpError::IterationLimit)));
+    }
+
+    #[test]
+    fn solution_is_feasible_for_random_like_instance() {
+        // A small fixed instance with all relation kinds; verify feasibility
+        // via Problem::is_feasible rather than a known optimum.
+        let mut p = Problem::new(3, Objective::Maximize);
+        p.set_objective_coeff(0, 1.0);
+        p.set_objective_coeff(1, 2.0);
+        p.set_objective_coeff(2, -1.0);
+        p.set_bound(2, Bound::between(0.0, 4.0));
+        p.add_constraint(Constraint::new(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            Relation::Le,
+            10.0,
+        ));
+        p.add_constraint(Constraint::new(vec![(0, 1.0), (1, -1.0)], Relation::Ge, -2.0));
+        p.add_constraint(Constraint::new(vec![(1, 1.0), (2, 1.0)], Relation::Eq, 6.0));
+        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        assert!(p.is_feasible(&s.x, 1e-6), "solution {:?}", s.x);
+    }
+}

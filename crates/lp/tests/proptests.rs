@@ -1,0 +1,134 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate LPs that are feasible *by construction* (constraints
+//! derived from a known point), then check that the solver (a) returns a
+//! feasible point and (b) weakly beats the witness point's objective.
+
+use proptest::prelude::*;
+use so_lp::{solve, Constraint, Objective, Problem, Relation, Solution, SolverConfig};
+
+const TOL: f64 = 1e-6;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Well-conditioned coefficients: avoid denormals and huge magnitudes.
+    (-50i32..=50).prop_map(|v| f64::from(v) / 5.0)
+}
+
+#[derive(Debug, Clone)]
+struct GeneratedLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+    witness: Vec<f64>,
+}
+
+fn arb_feasible_lp() -> impl Strategy<Value = GeneratedLp> {
+    (2usize..6, 1usize..7).prop_flat_map(|(n_vars, n_rows)| {
+        let witness = proptest::collection::vec((0i32..=20).prop_map(|v| f64::from(v) / 2.0), n_vars);
+        let objective = proptest::collection::vec(small_f64(), n_vars);
+        let row = (
+            proptest::collection::vec(small_f64(), n_vars),
+            prop_oneof![Just(Relation::Le), Just(Relation::Ge), Just(Relation::Eq)],
+            0i32..=10,
+        );
+        let rows = proptest::collection::vec(row, n_rows);
+        (witness, objective, rows).prop_map(|(witness, objective, rows)| {
+            let rows = rows
+                .into_iter()
+                .map(|(coeffs, rel, slackish)| {
+                    let lhs: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                    // Choose rhs so the witness satisfies the row.
+                    let rhs = match rel {
+                        Relation::Le => lhs + f64::from(slackish),
+                        Relation::Ge => lhs - f64::from(slackish),
+                        Relation::Eq => lhs,
+                    };
+                    (coeffs, rel, rhs)
+                })
+                .collect();
+            GeneratedLp {
+                objective,
+                rows,
+                witness,
+            }
+        })
+    })
+}
+
+fn build(glp: &GeneratedLp, sense: Objective, boxed: bool) -> Problem {
+    let n = glp.objective.len();
+    let mut p = Problem::new(n, sense);
+    for (v, &c) in glp.objective.iter().enumerate() {
+        p.set_objective_coeff(v, c);
+    }
+    if boxed {
+        for v in 0..n {
+            // Box is wide enough to contain every witness coordinate (≤ 10).
+            p.set_bound(v, so_lp::Bound::between(0.0, 100.0));
+        }
+    }
+    for (coeffs, rel, rhs) in &glp.rows {
+        let sparse: Vec<(usize, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(v, &a)| (v, a))
+            .collect();
+        p.add_constraint(Constraint::new(sparse, *rel, *rhs));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On boxed (hence bounded) feasible problems the solver must return an
+    /// optimal, feasible point that weakly dominates the witness.
+    #[test]
+    fn boxed_feasible_lp_solved_optimally(glp in arb_feasible_lp()) {
+        let p = build(&glp, Objective::Maximize, true);
+        let sol = solve(&p, &SolverConfig::default()).unwrap();
+        match sol {
+            Solution::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, TOL), "infeasible answer {:?}", s.x);
+                let witness_obj = p.objective_value(&glp.witness);
+                prop_assert!(
+                    s.objective >= witness_obj - TOL,
+                    "objective {} < witness {}",
+                    s.objective,
+                    witness_obj
+                );
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Minimization mirrors maximization.
+    #[test]
+    fn boxed_feasible_lp_minimized(glp in arb_feasible_lp()) {
+        let p = build(&glp, Objective::Minimize, true);
+        let sol = solve(&p, &SolverConfig::default()).unwrap();
+        match sol {
+            Solution::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, TOL));
+                let witness_obj = p.objective_value(&glp.witness);
+                prop_assert!(s.objective <= witness_obj + TOL);
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Unboxed problems may be unbounded but must never be reported
+    /// infeasible (the witness proves feasibility), and optimal answers must
+    /// be feasible.
+    #[test]
+    fn unboxed_feasible_lp_never_infeasible(glp in arb_feasible_lp()) {
+        let p = build(&glp, Objective::Maximize, false);
+        match solve(&p, &SolverConfig::default()).unwrap() {
+            Solution::Infeasible => prop_assert!(false, "witness exists, cannot be infeasible"),
+            Solution::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, TOL));
+                prop_assert!(s.objective >= p.objective_value(&glp.witness) - TOL);
+            }
+            Solution::Unbounded => {}
+        }
+    }
+}

@@ -1,0 +1,31 @@
+use rand::Rng;
+use so_lp::{solve, Bound, Constraint, Objective, Problem, Relation, SolverConfig};
+
+#[test]
+fn lp_decode_shape_stress() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    use rand::SeedableRng;
+    for &(n, m) in &[(16usize, 64usize), (24, 96), (32, 128), (64, 256), (96, 384)] {
+        let x: Vec<f64> = (0..n).map(|_| f64::from(rng.gen::<bool>() as u8)).collect();
+        let mut p = Problem::new(n + m, Objective::Minimize);
+        for i in 0..n {
+            p.set_bound(i, Bound::between(0.0, 1.0));
+        }
+        for j in 0..m {
+            let e = n + j;
+            p.set_objective_coeff(e, 1.0);
+            let members: Vec<usize> = (0..n).filter(|_| rng.gen::<bool>()).collect();
+            let a: f64 = members.iter().map(|&i| x[i]).sum();
+            let mut le: Vec<(usize, f64)> = members.iter().map(|&i| (i, 1.0)).collect();
+            le.push((e, -1.0));
+            p.add_constraint(Constraint::new(le, Relation::Le, a));
+            let mut ge: Vec<(usize, f64)> = members.iter().map(|&i| (i, 1.0)).collect();
+            ge.push((e, 1.0));
+            p.add_constraint(Constraint::new(ge, Relation::Ge, a));
+        }
+        let t = std::time::Instant::now();
+        let sol = solve(&p, &SolverConfig::default());
+        eprintln!("n={n} m={m}: {:?} in {:?}", sol.as_ref().map(|s| s.is_optimal()), t.elapsed());
+        assert!(sol.is_ok(), "n={n} m={m}");
+    }
+}

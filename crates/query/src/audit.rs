@@ -1,0 +1,128 @@
+//! Query auditing.
+//!
+//! "It turns out that such reconstruction is possible unless either the
+//! mechanism introduces sufficiently large error in its answers or it limits
+//! the number of queries asked (or both)." — §1. The auditor implements the
+//! second defence: it admits queries up to a cap, keeps a trail of what was
+//! asked, and reports usage, so experiments can show exactly when a query
+//! interface crosses into blatant non-privacy.
+
+/// One entry in the audit trail.
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    /// Sequence number (0-based).
+    pub seq: usize,
+    /// The query's self-description.
+    pub description: String,
+    /// Whether the query was answered (false = refused by cap).
+    pub admitted: bool,
+}
+
+/// Tracks queries against an optional cap.
+#[derive(Debug)]
+pub struct QueryAuditor {
+    max_queries: Option<usize>,
+    trail: Vec<AuditRecord>,
+    answered: usize,
+    refused: usize,
+}
+
+impl QueryAuditor {
+    /// Creates an auditor; `None` means unlimited.
+    pub fn new(max_queries: Option<usize>) -> Self {
+        QueryAuditor {
+            max_queries,
+            trail: Vec::new(),
+            answered: 0,
+            refused: 0,
+        }
+    }
+
+    /// Records a query attempt; returns whether it may be answered.
+    pub fn admit(&mut self, description: &str) -> bool {
+        let admitted = self
+            .max_queries
+            .is_none_or(|cap| self.answered < cap);
+        self.trail.push(AuditRecord {
+            seq: self.trail.len(),
+            description: description.to_owned(),
+            admitted,
+        });
+        if admitted {
+            self.answered += 1;
+        } else {
+            self.refused += 1;
+        }
+        admitted
+    }
+
+    /// Number of queries answered so far.
+    pub fn queries_answered(&self) -> usize {
+        self.answered
+    }
+
+    /// Number of queries refused by the cap.
+    pub fn queries_refused(&self) -> usize {
+        self.refused
+    }
+
+    /// Remaining budget (`None` = unlimited).
+    pub fn remaining(&self) -> Option<usize> {
+        self.max_queries.map(|cap| cap.saturating_sub(self.answered))
+    }
+
+    /// Full audit trail.
+    pub fn trail(&self) -> &[AuditRecord] {
+        &self.trail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_auditor_always_admits() {
+        let mut a = QueryAuditor::new(None);
+        for i in 0..50 {
+            assert!(a.admit(&format!("q{i}")));
+        }
+        assert_eq!(a.queries_answered(), 50);
+        assert_eq!(a.queries_refused(), 0);
+        assert_eq!(a.remaining(), None);
+    }
+
+    #[test]
+    fn capped_auditor_refuses_after_budget() {
+        let mut a = QueryAuditor::new(Some(3));
+        assert!(a.admit("a"));
+        assert!(a.admit("b"));
+        assert_eq!(a.remaining(), Some(1));
+        assert!(a.admit("c"));
+        assert!(!a.admit("d"));
+        assert!(!a.admit("e"));
+        assert_eq!(a.queries_answered(), 3);
+        assert_eq!(a.queries_refused(), 2);
+        assert_eq!(a.remaining(), Some(0));
+    }
+
+    #[test]
+    fn trail_records_everything_in_order() {
+        let mut a = QueryAuditor::new(Some(1));
+        a.admit("first");
+        a.admit("second");
+        let t = a.trail();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].seq, 0);
+        assert!(t[0].admitted);
+        assert_eq!(t[0].description, "first");
+        assert!(!t[1].admitted);
+    }
+
+    #[test]
+    fn zero_cap_refuses_everything() {
+        let mut a = QueryAuditor::new(Some(0));
+        assert!(!a.admit("q"));
+        assert_eq!(a.queries_answered(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # so-query — statistical query engine
+//!
+//! The paper's attacks all interact with data through *statistical queries*:
+//!
+//! * the Dinur–Nissim reconstruction setting (§1, Theorem 1.1) issues
+//!   **subset-sum queries** `q ⊆ [n]` against a binary dataset
+//!   `x ∈ {0,1}^n`, answered by a mechanism with bounded error `α`;
+//! * the predicate-singling-out framework (§2) evaluates **predicates**
+//!   `p : X → {0,1}` on records and publishes **counts**
+//!   `M_#q(x) = Σ_i q(x_i)` (Theorem 2.5).
+//!
+//! This crate provides both: a generic [`Predicate`] abstraction with
+//! combinators and keyed-hash random predicate families (the Leftover-Hash-
+//! Lemma-style predicates of §2.2), row predicates over tabular
+//! [`so_data::Dataset`]s, subset-sum queries with exact / bounded-noise
+//! answer mechanisms, and a query auditor that tracks how much of the
+//! "fundamental law of information recovery" budget a client has consumed.
+
+pub mod audit;
+pub mod engine;
+pub mod mechanism;
+pub mod predicate;
+pub mod query;
+pub mod workload;
+
+pub use audit::{AuditRecord, QueryAuditor};
+pub use engine::{count_dataset, select_dataset, CountingEngine};
+pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
+pub use predicate::{
+    canonical_bytes, AllRowPredicate, AndPredicate, BitExtractPredicate, FnPredicate,
+    IntRangePredicate, KeyedHashPredicate, NotPredicate, OrPredicate, Predicate,
+    PrefixPredicate, RowHashPredicate, RowPredicate, ValueEqualsPredicate,
+};
+pub use query::{count, matching_indices, CountQuery, SubsetQuery};
+pub use workload::{
+    all_subsets_workload, prefix_workload, random_subset_workload, tracker_workload,
+};

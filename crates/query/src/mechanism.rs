@@ -1,0 +1,194 @@
+//! Answer mechanisms for subset-sum queries.
+//!
+//! Theorem 1.1 is a statement about mechanisms whose answers are within
+//! additive error `α` of the truth: reconstruction succeeds when `α = c·n`
+//! (exhaustive queries) or `α = c'·√n` (polynomially many). The mechanisms
+//! here realize that model:
+//!
+//! * [`ExactSum`] — answers truthfully (α = 0);
+//! * [`BoundedNoiseSum`] — adds independent noise uniform in `[-α, +α]`,
+//!   saturating the error budget the theorem allows.
+//!
+//! The differentially private Laplace mechanism (unbounded tails, but
+//! concentrated) lives in `so-dp` and implements the same trait, so the
+//! reconstruction attacks can be pointed at DP-protected data unchanged.
+
+use rand::Rng;
+
+use so_data::BitVec;
+
+use crate::query::SubsetQuery;
+
+/// A (possibly stateful, possibly randomized) mechanism answering subset-sum
+/// queries against a fixed private dataset.
+pub trait SubsetSumMechanism {
+    /// Answers one query.
+    fn answer(&mut self, query: &SubsetQuery) -> f64;
+
+    /// The dataset size `n` this mechanism serves.
+    fn n(&self) -> usize;
+}
+
+/// Truthful mechanism: `a_q = Σ_{i∈q} x_i`.
+pub struct ExactSum {
+    x: BitVec,
+}
+
+impl ExactSum {
+    /// Serves the secret dataset `x`.
+    pub fn new(x: BitVec) -> Self {
+        ExactSum { x }
+    }
+}
+
+impl SubsetSumMechanism for ExactSum {
+    fn answer(&mut self, query: &SubsetQuery) -> f64 {
+        query.true_answer(&self.x) as f64
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// Bounded-noise mechanism: `a_q = Σ_{i∈q} x_i + η`, `η ~ Uniform[-α, +α]`.
+///
+/// Every answer is guaranteed within `α` of the truth — the exact error
+/// model of Theorem 1.1.
+pub struct BoundedNoiseSum<R: Rng> {
+    x: BitVec,
+    alpha: f64,
+    rng: R,
+}
+
+impl<R: Rng> BoundedNoiseSum<R> {
+    /// Serves `x` with noise magnitude `alpha ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is negative or non-finite.
+    pub fn new(x: BitVec, alpha: f64, rng: R) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad alpha {alpha}");
+        BoundedNoiseSum { x, alpha, rng }
+    }
+
+    /// The configured noise bound α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl<R: Rng> SubsetSumMechanism for BoundedNoiseSum<R> {
+    fn answer(&mut self, query: &SubsetQuery) -> f64 {
+        let truth = query.true_answer(&self.x) as f64;
+        if self.alpha == 0.0 {
+            truth
+        } else {
+            truth + self.rng.gen_range(-self.alpha..=self.alpha)
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// Adversarial rounding mechanism: deterministically rounds the true answer
+/// down to a multiple of `2α+1`, maximizing the attacker's confusion within
+/// the error budget. Used as the *worst-case* (for the attacker) instance of
+/// the bounded-error model in the reconstruction benchmarks.
+pub struct RoundingSum {
+    x: BitVec,
+    alpha: f64,
+}
+
+impl RoundingSum {
+    /// Serves `x`, rounding answers to the grid of spacing `2α+1`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is negative or non-finite.
+    pub fn new(x: BitVec, alpha: f64) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad alpha {alpha}");
+        RoundingSum { x, alpha }
+    }
+}
+
+impl SubsetSumMechanism for RoundingSum {
+    fn answer(&mut self, query: &SubsetQuery) -> f64 {
+        let truth = query.true_answer(&self.x) as f64;
+        let grid = 2.0 * self.alpha + 1.0;
+        // Nearest grid point: error at most α (for integer truths).
+        (truth / grid).round() * grid
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::rng::seeded_rng;
+
+    fn secret() -> BitVec {
+        BitVec::from_bools(&[true, false, true, true, false, false, true, false])
+    }
+
+    #[test]
+    fn exact_mechanism_is_truthful() {
+        let mut m = ExactSum::new(secret());
+        let q = SubsetQuery::from_indices(8, &[0, 2, 3, 6]);
+        assert_eq!(m.answer(&q), 4.0);
+        assert_eq!(m.n(), 8);
+    }
+
+    #[test]
+    fn bounded_noise_stays_within_alpha() {
+        let alpha = 2.5;
+        let mut m = BoundedNoiseSum::new(secret(), alpha, seeded_rng(3));
+        for trial in 0..200 {
+            let q = SubsetQuery::from_indices(8, &[trial % 8, (trial + 3) % 8]);
+            let truth = q.true_answer(&secret()) as f64;
+            let a = m.answer(&q);
+            assert!((a - truth).abs() <= alpha + 1e-12, "error too large");
+        }
+    }
+
+    #[test]
+    fn zero_alpha_is_exact() {
+        let mut m = BoundedNoiseSum::new(secret(), 0.0, seeded_rng(4));
+        let q = SubsetQuery::from_indices(8, &[1, 2]);
+        assert_eq!(m.answer(&q), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad alpha")]
+    fn negative_alpha_rejected() {
+        BoundedNoiseSum::new(secret(), -1.0, seeded_rng(5));
+    }
+
+    #[test]
+    fn rounding_mechanism_error_bounded() {
+        let alpha = 3.0;
+        let mut m = RoundingSum::new(secret(), alpha);
+        for a in 0..8 {
+            for b in 0..8 {
+                let q = SubsetQuery::from_indices(8, &[a, b]);
+                let truth = q.true_answer(&secret()) as f64;
+                let ans = m.answer(&q);
+                assert!((ans - truth).abs() <= alpha + 0.5 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_mechanism_is_deterministic_and_coarse() {
+        let mut m = RoundingSum::new(secret(), 1.0);
+        let q = SubsetQuery::from_indices(8, &[0, 2, 3, 6]);
+        let a1 = m.answer(&q);
+        let a2 = m.answer(&q);
+        assert_eq!(a1, a2);
+        // Answers land on the grid of spacing 3.
+        assert_eq!(a1.rem_euclid(3.0), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Query types: subset-sum queries over binary datasets and predicate
+//! counting queries over record collections.
+
+use so_data::BitVec;
+
+use crate::predicate::Predicate;
+
+/// A subset query `q ⊆ [n]` in the Dinur–Nissim setting: membership is a bit
+/// mask over record indices, and the true answer against `x ∈ {0,1}^n` is
+/// `Σ_{i∈q} x_i`.
+#[derive(Debug, Clone)]
+pub struct SubsetQuery {
+    members: BitVec,
+}
+
+impl SubsetQuery {
+    /// Builds a query from a membership mask.
+    pub fn new(members: BitVec) -> Self {
+        SubsetQuery { members }
+    }
+
+    /// Builds from explicit indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= n`.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Self {
+        let mut members = BitVec::zeros(n);
+        for &i in indices {
+            members.set(i, true);
+        }
+        SubsetQuery { members }
+    }
+
+    /// The membership mask.
+    pub fn members(&self) -> &BitVec {
+        &self.members
+    }
+
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of members `|q|`.
+    pub fn size(&self) -> usize {
+        self.members.count_ones()
+    }
+
+    /// True iff index `i` is in the subset.
+    pub fn contains(&self, i: usize) -> bool {
+        self.members.get(i)
+    }
+
+    /// Exact answer `Σ_{i∈q} x_i` against the secret dataset `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n`.
+    pub fn true_answer(&self, x: &BitVec) -> u64 {
+        assert_eq!(x.len(), self.members.len(), "dataset/query size mismatch");
+        // Word-parallel AND + popcount.
+        self.members
+            .words()
+            .iter()
+            .zip(x.words())
+            .map(|(q, xv)| u64::from((q & xv).count_ones()))
+            .sum()
+    }
+}
+
+/// A counting query `M_#q(x) = Σ_i q(x_i)` (the mechanism of Theorem 2.5),
+/// carrying its predicate.
+pub struct CountQuery<R: ?Sized, P: Predicate<R>> {
+    /// The predicate `q` being counted.
+    pub predicate: P,
+    _marker: std::marker::PhantomData<fn(&R)>,
+}
+
+impl<R: ?Sized, P: Predicate<R>> CountQuery<R, P> {
+    /// Wraps a predicate as a counting query.
+    pub fn new(predicate: P) -> Self {
+        CountQuery {
+            predicate,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Exact count over a slice of records.
+    pub fn answer(&self, records: &[R]) -> usize
+    where
+        R: Sized,
+    {
+        count(records, &self.predicate)
+    }
+}
+
+/// Counts records in `records` satisfying `p`.
+pub fn count<R>(records: &[R], p: &(impl Predicate<R> + ?Sized)) -> usize {
+    records.iter().filter(|r| p.eval(r)).count()
+}
+
+/// Returns the indices of records satisfying `p`.
+pub fn matching_indices<R>(records: &[R], p: &(impl Predicate<R> + ?Sized)) -> Vec<usize> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| p.eval(r))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{BitExtractPredicate, FnPredicate};
+
+    #[test]
+    fn subset_query_true_answer() {
+        let x = BitVec::from_bools(&[true, false, true, true, false]);
+        let q = SubsetQuery::from_indices(5, &[0, 1, 2]);
+        assert_eq!(q.true_answer(&x), 2);
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.n(), 5);
+        assert!(q.contains(1));
+        assert!(!q.contains(3));
+    }
+
+    #[test]
+    fn full_and_empty_queries() {
+        let x = BitVec::from_bools(&[true, true, false, true]);
+        let all = SubsetQuery::from_indices(4, &[0, 1, 2, 3]);
+        let none = SubsetQuery::from_indices(4, &[]);
+        assert_eq!(all.true_answer(&x), 3);
+        assert_eq!(none.true_answer(&x), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let x = BitVec::zeros(4);
+        SubsetQuery::from_indices(5, &[0]).true_answer(&x);
+    }
+
+    #[test]
+    fn subset_query_spanning_many_words() {
+        let n = 200;
+        let mut x = BitVec::zeros(n);
+        for i in (0..n).step_by(3) {
+            x.set(i, true);
+        }
+        let q = SubsetQuery::from_indices(n, &(0..n).step_by(2).collect::<Vec<_>>());
+        // Indices divisible by 6: in both the query (even) and data (mult 3).
+        let expected = (0..n).filter(|i| i % 6 == 0).count() as u64;
+        assert_eq!(q.true_answer(&x), expected);
+    }
+
+    #[test]
+    fn count_query_counts() {
+        let records = vec![
+            BitVec::from_bools(&[true, false]),
+            BitVec::from_bools(&[false, false]),
+            BitVec::from_bools(&[true, true]),
+        ];
+        let q = CountQuery::new(BitExtractPredicate { bit: 0, value: true });
+        assert_eq!(q.answer(&records), 2);
+    }
+
+    #[test]
+    fn matching_indices_returns_positions() {
+        let records: Vec<u32> = vec![1, 4, 7, 10];
+        let p = FnPredicate::<u32>::new("even", |x| x % 2 == 0);
+        assert_eq!(matching_indices(&records, &p), vec![1, 3]);
+        assert_eq!(count(&records, &p), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Query workload generators.
+//!
+//! The reconstruction literature distinguishes attack power by the *shape*
+//! of the query workload: all subsets (Theorem 1.1(i)), polynomially many
+//! random subsets (Theorem 1.1(ii)), intervals/prefixes (range-query
+//! engines), and singletons+complements (the differencing tracker). These
+//! generators make the workloads first-class values so experiments and
+//! benches can sweep over them.
+
+use rand::Rng;
+
+use crate::query::SubsetQuery;
+
+/// `m` random subset queries with independent inclusion probability
+/// `density` — the Theorem 1.1(ii) workload at `density = 0.5`.
+pub fn random_subset_workload<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    density: f64,
+    rng: &mut R,
+) -> Vec<SubsetQuery> {
+    assert!((0.0..=1.0).contains(&density), "bad density {density}");
+    (0..m)
+        .map(|_| {
+            let mut members = so_data::BitVec::zeros(n);
+            for i in 0..n {
+                members.set(i, rng.gen::<f64>() < density);
+            }
+            SubsetQuery::new(members)
+        })
+        .collect()
+}
+
+/// Every subset of `[n]` — the Theorem 1.1(i) workload.
+///
+/// # Panics
+/// Panics if `n > 20` (2^n queries).
+pub fn all_subsets_workload(n: usize) -> Vec<SubsetQuery> {
+    assert!(n <= 20, "all-subsets workload limited to n <= 20 (got {n})");
+    (0..(1u64 << n))
+        .map(|mask| {
+            let mut members = so_data::BitVec::zeros(n);
+            for i in 0..n {
+                if (mask >> i) & 1 == 1 {
+                    members.set(i, true);
+                }
+            }
+            SubsetQuery::new(members)
+        })
+        .collect()
+}
+
+/// The `n + 1` prefix queries `[0..k)` for `k = 0..=n` — the range-query
+/// workload. Exact answers to it reveal every record by differencing.
+pub fn prefix_workload(n: usize) -> Vec<SubsetQuery> {
+    (0..=n)
+        .map(|k| SubsetQuery::from_indices(n, &(0..k).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// The differencing-tracker workload: the full set, then every
+/// complement-of-singleton.
+pub fn tracker_workload(n: usize) -> Vec<SubsetQuery> {
+    let mut out = Vec::with_capacity(n + 1);
+    out.push(SubsetQuery::from_indices(n, &(0..n).collect::<Vec<_>>()));
+    for t in 0..n {
+        let members: Vec<usize> = (0..n).filter(|&i| i != t).collect();
+        out.push(SubsetQuery::from_indices(n, &members));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::rng::seeded_rng;
+    use so_data::BitVec;
+
+    #[test]
+    fn random_workload_respects_density() {
+        let mut rng = seeded_rng(800);
+        let w = random_subset_workload(100, 200, 0.25, &mut rng);
+        assert_eq!(w.len(), 200);
+        let mean_size: f64 =
+            w.iter().map(|q| q.size() as f64).sum::<f64>() / w.len() as f64;
+        assert!((20.0..=30.0).contains(&mean_size), "mean size {mean_size}");
+    }
+
+    #[test]
+    fn all_subsets_enumerates_exactly() {
+        let w = all_subsets_workload(4);
+        assert_eq!(w.len(), 16);
+        // Distinct masks.
+        let mut masks: Vec<u64> = w.iter().map(|q| q.members().low_u64()).collect();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to n <= 20")]
+    fn all_subsets_rejects_large_n() {
+        all_subsets_workload(24);
+    }
+
+    #[test]
+    fn prefix_workload_is_nested() {
+        let w = prefix_workload(5);
+        assert_eq!(w.len(), 6);
+        for (k, q) in w.iter().enumerate() {
+            assert_eq!(q.size(), k);
+        }
+        // Differencing adjacent prefixes recovers each record.
+        let x = BitVec::from_bools(&[true, false, true, true, false]);
+        for i in 0..5 {
+            let diff = w[i + 1].true_answer(&x) - w[i].true_answer(&x);
+            assert_eq!(diff == 1, x.get(i));
+        }
+    }
+
+    #[test]
+    fn tracker_workload_shape() {
+        let w = tracker_workload(6);
+        assert_eq!(w.len(), 7);
+        assert_eq!(w[0].size(), 6);
+        for t in 0..6 {
+            assert_eq!(w[t + 1].size(), 5);
+            assert!(!w[t + 1].contains(t));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the query engine.
+
+use proptest::prelude::*;
+use so_data::BitVec;
+use so_query::{
+    count, AndPredicate, BitExtractPredicate, FnPredicate, NotPredicate, OrPredicate,
+    Predicate, PrefixPredicate, SubsetQuery,
+};
+
+fn arb_bits(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|b| BitVec::from_bools(&b))
+}
+
+proptest! {
+    /// Subset-sum answers match a naive per-index loop.
+    #[test]
+    fn subset_sum_matches_naive(
+        x in proptest::collection::vec(any::<bool>(), 1..200),
+        picks in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = x.len().min(picks.len());
+        let xv = BitVec::from_bools(&x[..n]);
+        let indices: Vec<usize> = (0..n).filter(|&i| picks[i]).collect();
+        let q = SubsetQuery::from_indices(n, &indices);
+        let naive: u64 = indices.iter().filter(|&&i| x[i]).count() as u64;
+        prop_assert_eq!(q.true_answer(&xv), naive);
+        prop_assert_eq!(q.size(), indices.len());
+    }
+
+    /// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b) pointwise.
+    #[test]
+    fn de_morgan(r in arb_bits(16), i in 0usize..16, j in 0usize..16) {
+        let a = BitExtractPredicate { bit: i, value: true };
+        let b = BitExtractPredicate { bit: j, value: false };
+        let lhs = NotPredicate { inner: AndPredicate { left: a, right: b } };
+        let rhs = OrPredicate {
+            left: NotPredicate { inner: a },
+            right: NotPredicate { inner: b },
+        };
+        prop_assert_eq!(lhs.eval(&r), rhs.eval(&r));
+    }
+
+    /// Prefix predicates nest: if the longer prefix matches, so does every
+    /// shorter one.
+    #[test]
+    fn prefix_nesting(r in arb_bits(32), bits in proptest::collection::vec(any::<bool>(), 1..16)) {
+        let long = PrefixPredicate { prefix: bits.clone() };
+        for cut in 0..bits.len() {
+            let short = PrefixPredicate { prefix: bits[..cut].to_vec() };
+            if long.eval(&r) {
+                prop_assert!(short.eval(&r), "short prefix must match too");
+            }
+        }
+        // Weight is 2^-len.
+        prop_assert!((long.uniform_weight() - 0.5f64.powi(bits.len() as i32)).abs() < 1e-15);
+    }
+
+    /// count() over complement predicates sums to the record count.
+    #[test]
+    fn count_partitions(records in proptest::collection::vec(arb_bits(8), 0..40), bit in 0usize..8) {
+        let yes = BitExtractPredicate { bit, value: true };
+        let no = BitExtractPredicate { bit, value: false };
+        prop_assert_eq!(count(&records, &yes) + count(&records, &no), records.len());
+    }
+
+    /// FnPredicate is a transparent wrapper.
+    #[test]
+    fn fn_predicate_transparent(r in arb_bits(8), bit in 0usize..8) {
+        let direct = BitExtractPredicate { bit, value: true };
+        let wrapped = FnPredicate::<BitVec>::new("wrap", move |x| x.get(bit));
+        prop_assert_eq!(direct.eval(&r), wrapped.eval(&r));
+    }
+}

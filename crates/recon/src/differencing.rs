@@ -1,0 +1,101 @@
+//! Differencing (tracker) attacks.
+//!
+//! The oldest reconstruction idea: ask `Σ_{i∈q∪{t}} x_i` and `Σ_{i∈q} x_i`,
+//! subtract, and learn `x_t` exactly. Against an exact interface this
+//! recovers the entire dataset with `2n` queries; against a mechanism with
+//! *fresh* bounded noise, repeating and averaging the two queries drives the
+//! error below ½ and still recovers every bit — a concrete illustration of
+//! why per-query noise alone, without budget tracking, does not help.
+
+use so_data::BitVec;
+use so_query::{SubsetQuery, SubsetSumMechanism};
+
+/// Reconstructs `x` from an exact mechanism with `n + 1` queries: one for
+/// the full set and one for each complement-of-singleton.
+pub fn differencing_attack(mechanism: &mut dyn SubsetSumMechanism) -> BitVec {
+    let n = mechanism.n();
+    let all: Vec<usize> = (0..n).collect();
+    let total = mechanism.answer(&SubsetQuery::from_indices(n, &all));
+    let mut x = BitVec::zeros(n);
+    for t in 0..n {
+        let without: Vec<usize> = (0..n).filter(|&i| i != t).collect();
+        let partial = mechanism.answer(&SubsetQuery::from_indices(n, &without));
+        x.set(t, (total - partial).round() >= 1.0);
+    }
+    x
+}
+
+/// Differencing against a *randomized* mechanism: asks each of the two
+/// queries `repeats` times and averages before differencing. With i.i.d.
+/// zero-mean noise of amplitude `α`, the averaged difference has error
+/// `O(α/√repeats)`, so `repeats ≫ α²` recovers every bit with high
+/// probability.
+pub fn averaging_differencing_attack(
+    mechanism: &mut dyn SubsetSumMechanism,
+    repeats: usize,
+) -> BitVec {
+    assert!(repeats >= 1, "need at least one repetition");
+    let n = mechanism.n();
+    let all: Vec<usize> = (0..n).collect();
+    let all_q = SubsetQuery::from_indices(n, &all);
+    let avg = |mech: &mut dyn SubsetSumMechanism, q: &SubsetQuery| -> f64 {
+        (0..repeats).map(|_| mech.answer(q)).sum::<f64>() / repeats as f64
+    };
+    let total = avg(mechanism, &all_q);
+    let mut x = BitVec::zeros(n);
+    for t in 0..n {
+        let without: Vec<usize> = (0..n).filter(|&i| i != t).collect();
+        let partial = avg(mechanism, &SubsetQuery::from_indices(n, &without));
+        x.set(t, total - partial >= 0.5);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::dist::RecordDistribution;
+    use so_data::rng::seeded_rng;
+    use so_data::UniformBits;
+    use so_query::{BoundedNoiseSum, ExactSum};
+
+    fn random_secret(n: usize, seed: u64) -> BitVec {
+        UniformBits::new(n).sample(&mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn exact_interface_fully_reconstructed() {
+        let x = random_secret(50, 40);
+        let mut m = ExactSum::new(x.clone());
+        assert_eq!(differencing_attack(&mut m), x);
+    }
+
+    #[test]
+    fn averaging_defeats_fresh_noise() {
+        let n = 40;
+        let alpha = 2.0;
+        let x = random_secret(n, 41);
+        // repeats ≫ α²: 400 repetitions → averaged error ≈ α/√reps = 0.1.
+        let mut m = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(42));
+        let rec = averaging_differencing_attack(&mut m, 400);
+        assert_eq!(rec, x, "averaging should fully recover the secret");
+    }
+
+    #[test]
+    fn single_shot_noise_breaks_plain_differencing() {
+        // With α = 2 a single differencing pass gets many bits wrong.
+        let n = 60;
+        let x = random_secret(n, 43);
+        let mut m = BoundedNoiseSum::new(x.clone(), 2.0, seeded_rng(44));
+        let rec = averaging_differencing_attack(&mut m, 1);
+        let dist = x.hamming_distance(&rec);
+        assert!(dist > 5, "expected substantial errors, got {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repeats_rejected() {
+        let mut m = ExactSum::new(BitVec::zeros(4));
+        averaging_differencing_attack(&mut m, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The exhaustive (exponential) reconstruction attack — Theorem 1.1(i).
+//!
+//! The attacker asks *every* subset query `q ⊆ [n]` and then searches for any
+//! candidate `x̃ ∈ {0,1}^n` whose subset sums are all within `α` of the
+//! answers. The Dinur–Nissim argument shows every such candidate satisfies
+//! `|x − x̃|₁ ≤ 4α`: consider `q₀ = {i : x_i = 1, x̃_i = 0}` — both `x` and
+//! `x̃` answer `q₀` within `α` of the mechanism, so they differ on it by at
+//! most `2α`, i.e. `|q₀| ≤ 2α`; symmetrically for the other direction.
+//!
+//! Cost is `O(4^n)` in the worst case, so this is an `n ≤ ~16` attack — the
+//! theorem is information-theoretic and small `n` exhibits it exactly.
+
+use so_data::BitVec;
+use so_query::{SubsetQuery, SubsetSumMechanism};
+
+/// Outcome of the exhaustive attack.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveResult {
+    /// The reconstructed candidate (first consistent one found).
+    pub reconstruction: BitVec,
+    /// Number of queries issued (`2^n`).
+    pub queries_issued: usize,
+    /// Number of candidates examined before success.
+    pub candidates_tried: usize,
+}
+
+/// Runs the attack against `mechanism`, assuming its answers are within
+/// `alpha` of the truth. Returns `None` if no candidate is consistent —
+/// which can only happen if the mechanism violated its error bound.
+///
+/// # Panics
+/// Panics if `n > 20` (the query set would exceed a million entries).
+pub fn exhaustive_reconstruct(
+    mechanism: &mut dyn SubsetSumMechanism,
+    alpha: f64,
+) -> Option<ExhaustiveResult> {
+    let n = mechanism.n();
+    assert!(n <= 20, "exhaustive attack limited to n <= 20 (got {n})");
+    let n_queries = 1usize << n;
+
+    // Issue all 2^n subset queries once.
+    let mut answers = Vec::with_capacity(n_queries);
+    for mask in 0..n_queries as u64 {
+        let mut members = BitVec::zeros(n);
+        for i in 0..n {
+            if (mask >> i) & 1 == 1 {
+                members.set(i, true);
+            }
+        }
+        answers.push(mechanism.answer(&SubsetQuery::new(members)));
+    }
+
+    // Search candidates; subset sums of a candidate are evaluated by popcount
+    // over the mask intersection, with early abort on the first violation.
+    for cand in 0..n_queries as u64 {
+        let mut consistent = true;
+        for (mask, &a) in answers.iter().enumerate() {
+            let s = (cand & mask as u64).count_ones() as f64;
+            if (s - a).abs() > alpha + 1e-9 {
+                consistent = false;
+                break;
+            }
+        }
+        if consistent {
+            let mut reconstruction = BitVec::zeros(n);
+            for i in 0..n {
+                reconstruction.set(i, (cand >> i) & 1 == 1);
+            }
+            return Some(ExhaustiveResult {
+                reconstruction,
+                queries_issued: n_queries,
+                candidates_tried: cand as usize + 1,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::dist::RecordDistribution;
+    use so_data::rng::seeded_rng;
+    use so_data::UniformBits;
+    use so_query::{BoundedNoiseSum, ExactSum};
+    use crate::reconstruction_accuracy;
+
+    fn random_secret(n: usize, seed: u64) -> BitVec {
+        // One record = the whole dataset here: sample n independent bits.
+        UniformBits::new(n).sample(&mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn exact_answers_give_exact_reconstruction() {
+        let x = random_secret(10, 1);
+        let mut m = ExactSum::new(x.clone());
+        let r = exhaustive_reconstruct(&mut m, 0.0).expect("consistent");
+        assert_eq!(r.reconstruction, x);
+        assert_eq!(r.queries_issued, 1024);
+    }
+
+    #[test]
+    fn error_bounded_by_four_alpha() {
+        // Theorem 1.1(i): any consistent candidate is within 4α of x.
+        for seed in 0..5u64 {
+            let n = 12;
+            let alpha = 1.5; // c·n with c = 0.125
+            let x = random_secret(n, 100 + seed);
+            let mut m = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(seed));
+            let r = exhaustive_reconstruct(&mut m, alpha).expect("consistent");
+            let dist = x.hamming_distance(&r.reconstruction);
+            assert!(
+                dist as f64 <= 4.0 * alpha,
+                "seed {seed}: distance {dist} > 4α = {}",
+                4.0 * alpha
+            );
+        }
+    }
+
+    #[test]
+    fn truth_is_always_consistent() {
+        // With a correct α bound the search can never come up empty, because
+        // x itself is consistent.
+        let x = random_secret(8, 7);
+        let mut m = BoundedNoiseSum::new(x, 2.0, seeded_rng(9));
+        assert!(exhaustive_reconstruct(&mut m, 2.0).is_some());
+    }
+
+    #[test]
+    fn lying_mechanism_can_be_detected() {
+        // Mechanism that claims α = 0 but adds noise → likely no candidate
+        // is consistent at α = 0 tolerance... unless noise is consistent
+        // with some other dataset; with large noise inconsistency is
+        // overwhelming.
+        struct Liar {
+            inner: ExactSum,
+            flip: bool,
+        }
+        impl SubsetSumMechanism for Liar {
+            fn answer(&mut self, q: &SubsetQuery) -> f64 {
+                self.flip = !self.flip;
+                // Alternate ±3 — no single dataset fits within α = 0.5.
+                self.inner.answer(q) + if self.flip { 3.0 } else { -3.0 }
+            }
+            fn n(&self) -> usize {
+                self.inner.n()
+            }
+        }
+        let x = random_secret(6, 3);
+        let mut liar = Liar {
+            inner: ExactSum::new(x),
+            flip: false,
+        };
+        assert!(exhaustive_reconstruct(&mut liar, 0.5).is_none());
+    }
+
+    #[test]
+    fn small_alpha_yields_high_accuracy() {
+        let n = 12;
+        let x = random_secret(n, 55);
+        let mut m = BoundedNoiseSum::new(x.clone(), 0.4, seeded_rng(8));
+        let r = exhaustive_reconstruct(&mut m, 0.4).expect("consistent");
+        // 4α = 1.6 < 2 entries → at most 1 wrong.
+        assert!(reconstruction_accuracy(&x, &r.reconstruction) >= 1.0 - 1.0 / n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to n <= 20")]
+    fn oversized_instance_rejected() {
+        let x = BitVec::zeros(24);
+        let mut m = ExactSum::new(x);
+        let _ = exhaustive_reconstruct(&mut m, 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! LP-decoding reconstruction — Theorem 1.1(ii) in the linear-programming
+//! form of Dwork–McSherry–Talwar ("The price of privacy and the limits of
+//! LP decoding", cited as \[18\] by the paper).
+//!
+//! The attacker issues `m` random subset queries (each index included
+//! independently with probability ½), collects noisy answers `a_q`, and
+//! solves
+//!
+//! ```text
+//!   minimize   Σ_q e_q
+//!   subject to a_q − e_q ≤ Σ_{i∈q} x̃_i ≤ a_q + e_q
+//!              0 ≤ x̃_i ≤ 1,  e_q ≥ 0
+//! ```
+//!
+//! then rounds `x̃` at ½. When the per-answer error is `O(√n)` the rounded
+//! solution agrees with the secret on `1 − o(1)` of the entries.
+
+use rand::Rng;
+
+use so_data::BitVec;
+use so_lp::{Bound, Constraint, Objective, Problem, Relation, Solution, SolverConfig};
+use so_query::{SubsetQuery, SubsetSumMechanism};
+
+/// Outcome of the LP-decoding attack.
+#[derive(Debug, Clone)]
+pub struct LpReconResult {
+    /// Rounded reconstruction.
+    pub reconstruction: BitVec,
+    /// The fractional LP solution before rounding.
+    pub fractional: Vec<f64>,
+    /// Number of queries issued.
+    pub queries_issued: usize,
+    /// Total residual `Σ e_q` at the optimum.
+    pub total_residual: f64,
+}
+
+/// Errors from the attack.
+#[derive(Debug)]
+pub enum LpReconError {
+    /// The LP solver failed (iteration limit) or the LP was infeasible /
+    /// unbounded — both impossible for well-formed inputs.
+    Solver(String),
+}
+
+impl std::fmt::Display for LpReconError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpReconError::Solver(s) => write!(f, "LP decoding failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LpReconError {}
+
+/// Runs the LP-decoding attack with `m` random subset queries.
+pub fn lp_reconstruct<R: Rng>(
+    mechanism: &mut dyn SubsetSumMechanism,
+    m: usize,
+    rng: &mut R,
+) -> Result<LpReconResult, LpReconError> {
+    let n = mechanism.n();
+    // Collect random queries and answers.
+    let mut queries = Vec::with_capacity(m);
+    let mut answers = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut members = BitVec::zeros(n);
+        for i in 0..n {
+            members.set(i, rng.gen::<bool>());
+        }
+        let q = SubsetQuery::new(members);
+        answers.push(mechanism.answer(&q));
+        queries.push(q);
+    }
+
+    // Build the LP: variables 0..n are x̃ ∈ [0,1]; n..n+m are e_q ≥ 0.
+    let mut p = Problem::new(n + m, Objective::Minimize);
+    for i in 0..n {
+        p.set_bound(i, Bound::between(0.0, 1.0));
+    }
+    for (j, (q, &a)) in queries.iter().zip(&answers).enumerate() {
+        let e = n + j;
+        p.set_objective_coeff(e, 1.0);
+        let mut coeffs: Vec<(usize, f64)> = (0..n)
+            .filter(|&i| q.contains(i))
+            .map(|i| (i, 1.0))
+            .collect();
+        // Σ x_i - e ≤ a
+        let mut le = coeffs.clone();
+        le.push((e, -1.0));
+        p.add_constraint(Constraint::new(le, Relation::Le, a));
+        // Σ x_i + e ≥ a
+        coeffs.push((e, 1.0));
+        p.add_constraint(Constraint::new(coeffs, Relation::Ge, a));
+    }
+
+    let sol = so_lp::solve(&p, &SolverConfig::default())
+        .map_err(|e| LpReconError::Solver(e.to_string()))?;
+    let opt = match sol {
+        Solution::Optimal(s) => s,
+        Solution::Infeasible => {
+            return Err(LpReconError::Solver("infeasible (impossible)".into()))
+        }
+        Solution::Unbounded => {
+            return Err(LpReconError::Solver("unbounded (impossible)".into()))
+        }
+    };
+
+    let fractional: Vec<f64> = opt.x[..n].to_vec();
+    let mut reconstruction = BitVec::zeros(n);
+    for (i, &v) in fractional.iter().enumerate() {
+        reconstruction.set(i, v >= 0.5);
+    }
+    Ok(LpReconResult {
+        reconstruction,
+        fractional,
+        queries_issued: m,
+        total_residual: opt.objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruction_accuracy;
+    use so_data::dist::RecordDistribution;
+    use so_data::rng::seeded_rng;
+    use so_data::UniformBits;
+    use so_query::{BoundedNoiseSum, ExactSum};
+
+    fn random_secret(n: usize, seed: u64) -> BitVec {
+        UniformBits::new(n).sample(&mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn exact_answers_reconstruct_exactly() {
+        let n = 32;
+        let x = random_secret(n, 2);
+        let mut m = ExactSum::new(x.clone());
+        let r = lp_reconstruct(&mut m, 4 * n, &mut seeded_rng(3)).unwrap();
+        assert_eq!(r.reconstruction, x);
+        assert!(r.total_residual < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_n_noise_reconstructs_most_entries() {
+        let n = 48;
+        let alpha = 0.5 * (n as f64).sqrt(); // c'·√n with c' = 0.5
+        let x = random_secret(n, 4);
+        let mut m = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(5));
+        let r = lp_reconstruct(&mut m, 6 * n, &mut seeded_rng(6)).unwrap();
+        let acc = reconstruction_accuracy(&x, &r.reconstruction);
+        assert!(acc >= 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn linear_noise_defeats_the_decoder() {
+        // With α = n/3 (well past the √n regime) the decoder should fail to
+        // reconstruct much better than chance.
+        let n = 48;
+        let alpha = n as f64 / 3.0;
+        let x = random_secret(n, 7);
+        let mut m = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(8));
+        let r = lp_reconstruct(&mut m, 6 * n, &mut seeded_rng(9)).unwrap();
+        let acc = reconstruction_accuracy(&x, &r.reconstruction);
+        assert!(acc <= 0.85, "accuracy {acc} suspiciously high under heavy noise");
+    }
+
+    #[test]
+    fn fractional_solution_within_bounds() {
+        let n = 24;
+        let x = random_secret(n, 10);
+        let mut m = BoundedNoiseSum::new(x, 2.0, seeded_rng(11));
+        let r = lp_reconstruct(&mut m, 4 * n, &mut seeded_rng(12)).unwrap();
+        for &v in &r.fractional {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "fractional {v}");
+        }
+        assert_eq!(r.queries_issued, 4 * n);
+    }
+}

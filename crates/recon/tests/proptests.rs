@@ -1,0 +1,48 @@
+//! Property-based tests for the reconstruction attacks.
+
+use proptest::prelude::*;
+use so_data::BitVec;
+use so_query::ExactSum;
+use so_recon::{differencing_attack, exhaustive_reconstruct, reconstruction_accuracy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differencing against an exact interface recovers ANY secret exactly.
+    #[test]
+    fn differencing_is_exact_on_exact_interfaces(
+        bits in proptest::collection::vec(any::<bool>(), 1..80)
+    ) {
+        let x = BitVec::from_bools(&bits);
+        let mut mech = ExactSum::new(x.clone());
+        prop_assert_eq!(differencing_attack(&mut mech), x);
+    }
+
+    /// The exhaustive attack with α = 0 recovers any secret exactly.
+    #[test]
+    fn exhaustive_is_exact_at_zero_noise(
+        bits in proptest::collection::vec(any::<bool>(), 1..10)
+    ) {
+        let x = BitVec::from_bools(&bits);
+        let mut mech = ExactSum::new(x.clone());
+        let res = exhaustive_reconstruct(&mut mech, 0.0).expect("consistent");
+        prop_assert_eq!(res.reconstruction, x);
+    }
+
+    /// Accuracy is symmetric, bounded in [0, 1], and 1 only on equality.
+    #[test]
+    fn accuracy_properties(
+        a in proptest::collection::vec(any::<bool>(), 1..60),
+        flips in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let n = a.len().min(flips.len());
+        let va = BitVec::from_bools(&a[..n]);
+        let b: Vec<bool> = (0..n).map(|i| a[i] ^ flips[i]).collect();
+        let vb = BitVec::from_bools(&b);
+        let acc = reconstruction_accuracy(&va, &vb);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((acc - reconstruction_accuracy(&vb, &va)).abs() < 1e-12);
+        let n_flips = flips[..n].iter().filter(|&&f| f).count();
+        prop_assert!((acc - (1.0 - n_flips as f64 / n as f64)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! The GIC story: redaction fails, k-anonymity stops the unique join but
+//! still permits predicate singling out.
+//!
+//! ```text
+//! cargo run --release --example medical_linkage
+//! ```
+//!
+//! 1. Publish medical records with direct identifiers redacted (what GIC
+//!    did) → Sweeney's voter-registry join re-identifies most of them.
+//! 2. Publish the same data 5-anonymized → the unique join collapses...
+//! 3. ...and yet the PSO game still breaks the release (Theorem 2.10):
+//!    stopping one named attack is not a privacy guarantee.
+
+use singling_out::data::population::{Population, PopulationConfig};
+use singling_out::data::rng::seeded_rng;
+use singling_out::kanon::{mondrian_anonymize, GenValue, MondrianConfig};
+use singling_out::linkage::quasi::uniqueness_fraction;
+use singling_out::linkage::sweeney::link_releases;
+
+fn main() {
+    let n = 10_000usize;
+    let pop = Population::generate(
+        &PopulationConfig {
+            n,
+            ..PopulationConfig::default()
+        },
+        &mut seeded_rng(1997),
+    );
+    println!("== medical release linkage demo (n = {n}) ==\n");
+
+    // 1. Redaction-only release.
+    let med = pop.medical_release();
+    let voters = pop.voter_registry();
+    let qi = ["zip", "birth_date", "sex"];
+    let mq: Vec<usize> = qi.iter().map(|c| med.column_index(c).unwrap()).collect();
+    let vq: Vec<usize> = qi.iter().map(|c| voters.column_index(c).unwrap()).collect();
+    let vid = voters.column_index("person_id").unwrap();
+    let unique = uniqueness_fraction(&med, &mq);
+    let out = link_releases(&med, &mq, &voters, &vq, vid);
+    let in_voters: std::collections::HashSet<usize> = pop.voter_rows().iter().copied().collect();
+    let truth: Vec<Option<i64>> = (0..med.n_rows())
+        .map(|i| in_voters.contains(&i).then_some(i as i64))
+        .collect();
+    println!(
+        "redacted release: {:.1}% of records unique under (zip, birth date, sex);\n\
+         voter-registry join links {:.1}% with precision {:.2} — Sweeney's attack.",
+        100.0 * unique,
+        100.0 * out.link_rate(med.n_rows()),
+        out.precision(&truth)
+    );
+
+    // 2. 5-anonymize the quasi-identifiers and retry the join.
+    let k = 5usize;
+    let anon = mondrian_anonymize(&med, &mq, &MondrianConfig { k });
+    // The join now has to match a voter's exact QI tuple against generalized
+    // boxes: a voter "matches" a class if the box covers them; a class of
+    // k' >= 5 records never pins a single voter, so the unique-match attack
+    // yields nothing.
+    let mut joinable = 0usize;
+    for class in anon.classes() {
+        // A class could only be linked uniquely if it covered exactly one
+        // voter AND had a single member — impossible at k = 5.
+        let covered = (0..voters.n_rows())
+            .filter(|&v| {
+                class.qi_box.iter().zip(&vq).all(|(g, &col)| {
+                    let val = voters.get(v, col);
+                    g.covers(&val, None)
+                })
+            })
+            .count();
+        if covered == 1 && class.rows.len() == 1 {
+            joinable += 1;
+        }
+    }
+    println!(
+        "\n5-anonymized release: {} of {} classes uniquely joinable → the \
+         Sweeney join is dead.",
+        joinable,
+        anon.classes().len()
+    );
+
+    // 3. But the release still fails predicate singling out: every class box
+    //    conjoined with the verbatim sensitive column gives a low-weight
+    //    predicate matching k' records; a 1/k' refinement isolates with
+    //    probability ≈ 1/e (Theorem 2.10) — demonstrated at scale in
+    //    experiment E8 (`cargo run -p so-bench --bin exp_e08_kanon_pso`).
+    let narrowest = anon
+        .classes()
+        .iter()
+        .map(|c| {
+            c.qi_box
+                .iter()
+                .map(|g| match g {
+                    GenValue::IntRange { lo, hi } => (hi - lo + 1) as f64,
+                    GenValue::Exact(_) => 1.0,
+                    _ => f64::INFINITY,
+                })
+                .product::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nnarrowest class box covers ~{narrowest:.0} QI combinations out of \
+         ~1.3e9 possible — its predicate weight is negligible, so Theorem 2.10's \
+         37% attack applies. Stopping the join ≠ preventing singling out."
+    );
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # singling-out — facade crate
+//!
+//! Reproduction of Kobbi Nissim, *"Privacy: From Database Reconstruction to
+//! Legal Theorems"* (PODS 2021). This crate re-exports the workspace members
+//! under one roof so examples and downstream users can depend on a single
+//! crate:
+//!
+//! * [`data`] — datasets, schemas, distributions, synthetic generators
+//! * [`query`] — statistical-query engine and answer mechanisms
+//! * [`lp`] — linear-programming solver (substrate for LP decoding)
+//! * [`dp`] — differential privacy mechanisms and accounting
+//! * [`kanon`] — k-anonymity, l-diversity, t-closeness
+//! * [`recon`] — database reconstruction attacks (Theorem 1.1)
+//! * [`linkage`] — re-identification and membership-inference attacks
+//! * [`census`] — census publication simulator and reconstruction
+//! * [`core`] — predicate singling out, the PSO game, and legal theorems
+
+pub use singling_out_core as core;
+
+/// One-stop imports for the common workflow: build a data model, run the
+/// PSO game, derive a legal claim.
+pub mod prelude {
+    pub use singling_out_core::game::{
+        run_pso_game, run_pso_game_parallel, BitModel, DataModel, GameConfig, GameResult,
+        PsoAttacker, PsoMechanism, TabularModel,
+    };
+    pub use singling_out_core::isolation::{isolates, PsoPredicate};
+    pub use singling_out_core::legal::{
+        dp_singling_out_assessment, kanon_singling_out_theorem, Verdict,
+    };
+    pub use singling_out_core::negligible::NegligibilityPolicy;
+    pub use singling_out_core::report::AuditReport;
+    pub use so_data::rng::seeded_rng;
+}
+pub use so_census as census;
+pub use so_data as data;
+pub use so_dp as dp;
+pub use so_kanon as kanon;
+pub use so_linkage as linkage;
+pub use so_lp as lp;
+pub use so_query as query;
+pub use so_recon as recon;

@@ -1,0 +1,107 @@
+//! Cross-crate integration: the motivating attacks of §1 at reduced scale —
+//! reconstruction against query mechanisms (so-recon × so-query × so-dp),
+//! the census pipeline (so-census), and record linkage (so-linkage).
+
+use singling_out::census::reconstruct::records_matched_within;
+use singling_out::census::{
+    commercial_database, reconstruct_block, reidentify, tabulate_block, CensusConfig,
+    CensusData, CommercialConfig, Person, SolverBudget,
+};
+use singling_out::data::dist::RecordDistribution;
+use singling_out::data::population::{Population, PopulationConfig};
+use singling_out::data::rng::seeded_rng;
+use singling_out::data::UniformBits;
+use singling_out::dp::LaplaceSum;
+use singling_out::linkage::sweeney::link_releases;
+use singling_out::query::BoundedNoiseSum;
+use singling_out::recon::{lp_reconstruct, reconstruction_accuracy};
+
+#[test]
+fn lp_decoding_beats_bounded_noise_but_not_dp() {
+    let n = 40usize;
+    let mut rng = seeded_rng(10);
+    let x = UniformBits::new(n).sample(&mut rng);
+    // Bounded √n noise: reconstruction succeeds.
+    let alpha = 0.5 * (n as f64).sqrt();
+    let mut mech = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(11));
+    let res = lp_reconstruct(&mut mech, 6 * n, &mut seeded_rng(12)).unwrap();
+    let acc_bounded = reconstruction_accuracy(&x, &res.reconstruction);
+    assert!(acc_bounded > 0.85, "bounded-noise accuracy {acc_bounded}");
+    // A DP interface with a small total budget: reconstruction fails.
+    let mut dp = LaplaceSum::new(x.clone(), 0.002, seeded_rng(13));
+    let res = lp_reconstruct(&mut dp, 6 * n, &mut seeded_rng(14)).unwrap();
+    let acc_dp = reconstruction_accuracy(&x, &res.reconstruction);
+    assert!(
+        dp.total_epsilon_spent() < 0.5,
+        "spent {}",
+        dp.total_epsilon_spent()
+    );
+    assert!(
+        acc_dp < acc_bounded - 0.15,
+        "dp accuracy {acc_dp} vs bounded {acc_bounded}"
+    );
+}
+
+#[test]
+fn census_pipeline_reconstructs_and_reidentifies() {
+    let census = CensusData::generate(
+        &CensusConfig {
+            n_blocks: 25,
+            block_size_lo: 2,
+            block_size_hi: 8,
+            ..CensusConfig::default()
+        },
+        &mut seeded_rng(20),
+    );
+    let budget = SolverBudget::default();
+    let guesses: Vec<Vec<Person>> = (0..census.n_blocks())
+        .map(|b| {
+            reconstruct_block(&tabulate_block(census.block(b)), &budget)
+                .guess()
+                .expect("solvable")
+                .to_vec()
+        })
+        .collect();
+    let within1: usize = (0..census.n_blocks())
+        .map(|b| records_matched_within(census.block(b), &guesses[b], 1))
+        .sum();
+    assert!(
+        within1 as f64 / census.population() as f64 > 0.6,
+        "reconstruction too weak"
+    );
+    let commercial =
+        commercial_database(&census, &CommercialConfig::default(), &mut seeded_rng(21));
+    let reid = reidentify(&census, &guesses, &commercial, 1);
+    assert!(reid.reidentification_rate() > 0.1);
+    assert!(reid.precision() > 0.7);
+}
+
+#[test]
+fn sweeney_linkage_works_at_small_scale() {
+    let pop = Population::generate(
+        &PopulationConfig {
+            n: 2_000,
+            ..PopulationConfig::default()
+        },
+        &mut seeded_rng(30),
+    );
+    let med = pop.medical_release();
+    let voters = pop.voter_registry();
+    let qi = ["zip", "birth_date", "sex"];
+    let mq: Vec<usize> = qi.iter().map(|c| med.column_index(c).unwrap()).collect();
+    let vq: Vec<usize> = qi.iter().map(|c| voters.column_index(c).unwrap()).collect();
+    let out = link_releases(
+        &med,
+        &mq,
+        &voters,
+        &vq,
+        voters.column_index("person_id").unwrap(),
+    );
+    let in_voters: std::collections::HashSet<usize> =
+        pop.voter_rows().iter().copied().collect();
+    let truth: Vec<Option<i64>> = (0..med.n_rows())
+        .map(|i| in_voters.contains(&i).then_some(i as i64))
+        .collect();
+    assert!(out.link_rate(med.n_rows()) > 0.5);
+    assert!(out.precision(&truth) > 0.95);
+}

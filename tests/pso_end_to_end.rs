@@ -1,0 +1,149 @@
+//! Cross-crate integration: the full PSO pipeline at reduced scale —
+//! data generation (so-data) → anonymization (so-kanon) / DP (so-dp) →
+//! mechanism wrappers and games (singling-out-core) → legal verdicts.
+
+use singling_out::core::attackers::{
+    intersection_exposure, KAnonClassAttacker, PrefixDescentAttacker,
+};
+use singling_out::core::game::{run_pso_game, BitModel, DataModel, GameConfig, TabularModel};
+use singling_out::core::legal::{
+    dp_singling_out_assessment, kanon_singling_out_theorem, Verdict,
+};
+use singling_out::core::mechanisms::{AdaptiveCountOracle, Anonymizer, KAnonMechanism};
+use singling_out::core::negligible::NegligibilityPolicy;
+use singling_out::core::stats::Z999;
+use singling_out::data::dist::{AttributeDistribution, Categorical, RowDistribution};
+use singling_out::data::rng::seeded_rng;
+use singling_out::data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema};
+use singling_out::kanon::{
+    datafly_anonymize, is_k_anonymous, mondrian_anonymize, AttributeHierarchy, DataflyConfig,
+    MondrianConfig,
+};
+
+fn model() -> TabularModel {
+    let diseases: Vec<String> = (0..100).map(|i| format!("d{i}")).collect();
+    let jobs: Vec<String> = (0..100).map(|i| format!("j{i}")).collect();
+    let schema = Schema::new(vec![
+        AttributeDef::new("zip", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("age_days", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
+        AttributeDef::new("job", DataType::Str, AttributeRole::Insensitive),
+    ]);
+    let dist = RowDistribution::new(
+        schema,
+        vec![
+            AttributeDistribution::IntUniform { lo: 0, hi: 99_999 },
+            AttributeDistribution::IntUniform { lo: 0, hi: 36_499 },
+            AttributeDistribution::StrChoice {
+                values: diseases,
+                dist: Categorical::uniform(100),
+            },
+            AttributeDistribution::StrChoice {
+                values: jobs,
+                dist: Categorical::uniform(100),
+            },
+        ],
+    );
+    TabularModel::new(dist.sampler())
+}
+
+#[test]
+fn legal_theorem_pipeline_reaches_paper_verdicts() {
+    let m = model();
+    let k = 5usize;
+    let mech = KAnonMechanism::new(&m, vec![0, 1], Anonymizer::Mondrian(MondrianConfig { k }));
+    let attacker = KAnonClassAttacker {
+        dist: m.sampler().distribution().clone(),
+        qi_cols: vec![0, 1],
+        interner: m.sampler().interner().clone(),
+    };
+    let game = run_pso_game(
+        &m,
+        &mech,
+        &attacker,
+        &GameConfig::new(150, 150),
+        &mut seeded_rng(1),
+    );
+    let claim = kanon_singling_out_theorem(k, &[game]);
+    assert_eq!(claim.verdict, Verdict::FailsRequirement);
+
+    let bit_model = BitModel::uniform(64);
+    let policy = NegligibilityPolicy::default();
+    let levels = policy.required_prefix_bits(150) + 4;
+    let dp_game = run_pso_game(
+        &bit_model,
+        &AdaptiveCountOracle::noisy(levels, 0.02),
+        &PrefixDescentAttacker,
+        &GameConfig {
+            policy,
+            ..GameConfig::new(150, 150)
+        },
+        &mut seeded_rng(2),
+    );
+    let dp_claim = dp_singling_out_assessment(0.02 * levels as f64, &[dp_game]);
+    assert_eq!(dp_claim.verdict, Verdict::SatisfiesNecessaryCondition);
+}
+
+#[test]
+fn exact_composition_breaks_and_dp_composition_holds() {
+    let bit_model = BitModel::uniform(64);
+    let n = 120usize;
+    let policy = NegligibilityPolicy::default();
+    let levels = policy.required_prefix_bits(n) + 4;
+    let cfg = GameConfig {
+        policy,
+        ..GameConfig::new(n, 100)
+    };
+    let exact = run_pso_game(
+        &bit_model,
+        &AdaptiveCountOracle::exact(levels),
+        &PrefixDescentAttacker,
+        &cfg,
+        &mut seeded_rng(3),
+    );
+    assert!(exact.breaks_pso_security(Z999, 0.1), "Theorem 2.8");
+    let noisy = run_pso_game(
+        &bit_model,
+        &AdaptiveCountOracle::noisy(levels, 0.05),
+        &PrefixDescentAttacker,
+        &cfg,
+        &mut seeded_rng(4),
+    );
+    assert!(!noisy.breaks_pso_security(Z999, 0.0), "Theorem 2.9");
+    assert!(noisy.success_rate() < 0.1);
+}
+
+#[test]
+fn two_kanon_releases_compose_badly() {
+    let m = model();
+    let rows = m.sample_dataset(400, &mut seeded_rng(5));
+    let mut b = DatasetBuilder::from_parts(
+        m.sampler().distribution().schema().clone(),
+        (**m.sampler().interner()).clone(),
+    );
+    for r in &rows {
+        b.push_row(r.clone());
+    }
+    let ds = b.finish();
+    let anon1 = mondrian_anonymize(&ds, &[0, 1], &MondrianConfig { k: 4 });
+    let hier = vec![
+        AttributeHierarchy::ZipPrefix { digits: 5 },
+        AttributeHierarchy::Numeric {
+            anchor: 0,
+            widths: vec![365, 1_825, 3_650, 18_250],
+        },
+    ];
+    let anon2 = datafly_anonymize(
+        &ds,
+        &[0, 1],
+        &hier,
+        &DataflyConfig {
+            k: 4,
+            max_suppression_fraction: 0.05,
+        },
+    );
+    assert!(is_k_anonymous(&anon1, 4));
+    assert!(is_k_anonymous(&anon2, 4));
+    let exposure = intersection_exposure(&anon1, &anon2);
+    assert!(exposure.min_joint_class < 4, "joint classes shrink below k");
+}
