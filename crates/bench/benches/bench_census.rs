@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use so_census::{
-    dp_tabulate_block, reconstruct_block, tabulate_block, CensusConfig, CensusData,
-    DpTablesConfig, SolverBudget,
+    dp_tabulate_block, reconstruct_block, tabulate_block, CensusConfig, CensusData, DpTablesConfig,
+    SolverBudget,
 };
 use so_data::rng::seeded_rng;
 

@@ -9,7 +9,9 @@ use so_lp::{solve, Bound, Constraint, Objective, Problem, Relation, SolverConfig
 /// variables, 2m constraints.
 fn decode_instance(n: usize, m: usize, seed: u64) -> Problem {
     let mut rng = seeded_rng(seed);
-    let x: Vec<f64> = (0..n).map(|_| f64::from(u8::from(rng.gen::<bool>()))).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|_| f64::from(u8::from(rng.gen::<bool>())))
+        .collect();
     let mut p = Problem::new(n + m, Objective::Minimize);
     for i in 0..n {
         p.set_bound(i, Bound::between(0.0, 1.0));
@@ -34,9 +36,13 @@ fn bench_simplex(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &[(16usize, 64usize), (32, 128)] {
         let p = decode_instance(n, m, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &p, |b, p| {
-            b.iter(|| solve(p, &SolverConfig::default()).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &p,
+            |b, p| {
+                b.iter(|| solve(p, &SolverConfig::default()).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -5,10 +5,11 @@ use singling_out_core::game::DataModel;
 use so_bench::models::wide_tabular_model;
 use so_data::dist::RecordDistribution;
 use so_data::rng::seeded_rng;
-use so_data::{DatasetBuilder, UniformBits};
+use so_data::{Dataset, DatasetBuilder, UniformBits};
 use so_query::{
-    count_dataset, BoundedNoiseSum, IntRangePredicate, KeyedHashPredicate, Predicate,
-    SubsetQuery, SubsetSumMechanism,
+    count_dataset, count_dataset_scalar, select_dataset, select_dataset_scalar, BoundedNoiseSum,
+    CountingEngine, IntRangePredicate, KeyedHashPredicate, Predicate, QueryAuditor, SubsetQuery,
+    SubsetSumMechanism,
 };
 
 fn bench_subset_queries(c: &mut Criterion) {
@@ -35,9 +36,9 @@ fn bench_predicates(c: &mut Criterion) {
     });
 }
 
-fn bench_dataset_scan(c: &mut Criterion) {
+fn sampled_dataset(n: usize, seed: u64) -> Dataset {
     let model = wide_tabular_model();
-    let rows = model.sample_dataset(50_000, &mut seeded_rng(4));
+    let rows = model.sample_dataset(n, &mut seeded_rng(seed));
     let mut b = DatasetBuilder::from_parts(
         model.sampler().distribution().schema().clone(),
         (**model.sampler().interner()).clone(),
@@ -45,7 +46,11 @@ fn bench_dataset_scan(c: &mut Criterion) {
     for r in &rows {
         b.push_row(r.clone());
     }
-    let ds = b.finish();
+    b.finish()
+}
+
+fn bench_dataset_scan(c: &mut Criterion) {
+    let ds = sampled_dataset(50_000, 4);
     let pred = IntRangePredicate {
         col: 1,
         lo: 1_000,
@@ -56,5 +61,48 @@ fn bench_dataset_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_subset_queries, bench_predicates, bench_dataset_scan);
+/// Bitmap column-scan kernels vs the row-at-a-time oracle at n = 100k.
+fn bench_bitmap_vs_scalar(c: &mut Criterion) {
+    let ds = sampled_dataset(100_000, 5);
+    let pred = IntRangePredicate {
+        col: 1,
+        lo: 1_000,
+        hi: 20_000,
+    };
+    let mut g = c.benchmark_group("count_range_100k");
+    g.bench_function("bitmap", |b| b.iter(|| count_dataset(&ds, &pred)));
+    g.bench_function("scalar", |b| b.iter(|| count_dataset_scalar(&ds, &pred)));
+    g.finish();
+
+    let mut g = c.benchmark_group("select_range_100k");
+    g.bench_function("bitmap", |b| b.iter(|| select_dataset(&ds, &pred)));
+    g.bench_function("scalar", |b| b.iter(|| select_dataset_scalar(&ds, &pred)));
+    g.finish();
+}
+
+/// Repeated queries against the engine answer from the cached bitmap — a
+/// popcount, no rescan.
+fn bench_engine_cached(c: &mut Criterion) {
+    let ds = sampled_dataset(100_000, 6);
+    let pred = IntRangePredicate {
+        col: 1,
+        lo: 1_000,
+        hi: 20_000,
+    };
+    // Disable trail retention: the bench loop issues millions of queries.
+    let mut engine = CountingEngine::with_auditor(&ds, QueryAuditor::without_trail(None));
+    engine.count(&pred); // warm the cache
+    c.bench_function("counting_engine_cached_100k", |b| {
+        b.iter(|| engine.count(&pred));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_subset_queries,
+    bench_predicates,
+    bench_dataset_scan,
+    bench_bitmap_vs_scalar,
+    bench_engine_cached
+);
 criterion_main!(benches);

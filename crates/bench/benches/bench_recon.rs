@@ -70,5 +70,10 @@ fn bench_differencing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exhaustive, bench_decoders, bench_differencing);
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_decoders,
+    bench_differencing
+);
 criterion_main!(benches);

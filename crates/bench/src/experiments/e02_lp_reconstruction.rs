@@ -35,8 +35,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 let mut rng = seeded_rng(seed);
                 let x = UniformBits::new(n).sample(&mut rng);
                 let mut mech = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(seed ^ 1));
-                let lp = lp_reconstruct(&mut mech, m, &mut seeded_rng(seed ^ 2))
-                    .expect("LP decode");
+                let lp =
+                    lp_reconstruct(&mut mech, m, &mut seeded_rng(seed ^ 2)).expect("LP decode");
                 lp_acc += reconstruction_accuracy(&x, &lp.reconstruction);
                 let mut mech2 = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(seed ^ 3));
                 let lsq = least_squares_reconstruct(

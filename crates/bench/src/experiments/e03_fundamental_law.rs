@@ -66,7 +66,11 @@ mod tests {
     fn frontier_shape_holds() {
         let tables = run(Scale::Quick);
         let csv = tables[0].to_csv();
-        let rows: Vec<Vec<&str>> = csv.lines().skip(2).map(|l| l.split(',').collect()).collect();
+        let rows: Vec<Vec<&str>> = csv
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').collect())
+            .collect();
         // Zero-noise, 8n queries: essentially perfect.
         let top_right: f64 = rows[0][4].parse().unwrap();
         assert!(top_right > 0.95, "zero-noise accuracy {top_right}");

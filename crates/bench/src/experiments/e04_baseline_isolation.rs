@@ -23,7 +23,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut t1 = Table::new(
         "E4a: trivial-attacker isolation probability vs n*w (n = 100)",
-        &["n*w", "closed form n*w*(1-w)^(n-1)", "monte carlo", "|diff|"],
+        &[
+            "n*w",
+            "closed form n*w*(1-w)^(n-1)",
+            "monte carlo",
+            "|diff|",
+        ],
     );
     for nw in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let w = nw / n as f64;
@@ -98,7 +103,15 @@ mod tests {
         }
         // Birthday table ≈ 0.37.
         let b = tables[1].to_csv();
-        let mc: f64 = b.lines().nth(3).unwrap().split(',').nth(1).unwrap().parse().unwrap();
+        let mc: f64 = b
+            .lines()
+            .nth(3)
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((mc - 0.368).abs() < 0.03, "birthday {mc}");
     }
 }

@@ -24,9 +24,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let trials = scale.pick(400usize, 3_000);
     let n = 100usize;
     let model = BitModel::uniform(64);
-    let count_pred: Arc<dyn singling_out_core::isolation::PsoPredicate<BitVec>> = Arc::new(
-        FnPsoPredicate::new("bit0 == 1", Some(0.5), |r: &BitVec| r.get(0)),
-    );
+    let count_pred: Arc<dyn singling_out_core::isolation::PsoPredicate<BitVec>> =
+        Arc::new(FnPsoPredicate::new("bit0 == 1", Some(0.5), |r: &BitVec| {
+            r.get(0)
+        }));
     let mech = CountMechanism::<BitModel>::new(count_pred);
     let mut t = Table::new(
         &format!("E5: PSO game vs exact count mechanism (Thm 2.5), n = {n}, trials = {trials}"),
@@ -42,12 +43,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     // Attackers at decreasing weights: 1/n (trivial sweet spot), 1/n^2
     // (the threshold), far below.
-    let moduli = [
-        n as u64,
-        (n * n) as u64,
-        (n * n * 100) as u64,
-        1u64 << 40,
-    ];
+    let moduli = [n as u64, (n * n) as u64, (n * n * 100) as u64, 1u64 << 40];
     for &m in &moduli {
         let cfg = GameConfig::new(n, trials);
         let res = run_pso_game(

@@ -33,14 +33,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "note",
         ],
     );
-    let levels: Vec<usize> = vec![
-        4,
-        needed / 2,
-        needed - 1,
-        needed,
-        needed + 4,
-        needed + 10,
-    ];
+    let levels: Vec<usize> = vec![4, needed / 2, needed - 1, needed, needed + 4, needed + 10];
     for &l in &levels {
         let cfg = GameConfig {
             policy,

@@ -23,9 +23,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let policy = NegligibilityPolicy::default();
     let levels = policy.required_prefix_bits(n) + 4;
     let mut t = Table::new(
-        &format!(
-            "E7: the E6 attack vs DP count oracle (Thm 2.9), n = {n}, levels = {levels}"
-        ),
+        &format!("E7: the E6 attack vs DP count oracle (Thm 2.9), n = {n}, levels = {levels}"),
         &[
             "eps/query",
             "total eps",

@@ -19,7 +19,7 @@ use crate::Scale;
 
 /// Runs E8.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let trials = scale.pick(120usize, 500);
+    let trials = scale.pick(240usize, 500);
     let model = wide_tabular_model();
     let attacker = KAnonClassAttacker {
         dist: model.sampler().distribution().clone(),
@@ -144,8 +144,11 @@ mod tests {
         for line in csv.lines().skip(2) {
             let cells: Vec<&str> = line.split(',').collect();
             let rate: f64 = cells[3].parse().unwrap();
+            // The k = 2 configuration's true success rate sits near 0.5
+            // (not 1/e, which only k ≥ 5 approaches), so the window must
+            // reach past it with sampling slack.
             assert!(
-                (0.2..=0.55).contains(&rate),
+                (0.2..=0.60).contains(&rate),
                 "success {rate} far from 1/e: {line}"
             );
             assert_eq!(cells[5], "true", "row must break PSO security: {line}");

@@ -18,9 +18,17 @@ use crate::Scale;
 pub fn run(scale: Scale) -> Vec<Table> {
     let mut t1 = Table::new(
         "E10a: uniqueness of (zip, birth_date, sex) vs population size (50 ZIPs, 71 birth years)",
-        &["n", "unique fraction", "in crowds <= 2", "unique under (zip, sex) only"],
+        &[
+            "n",
+            "unique fraction",
+            "in crowds <= 2",
+            "unique under (zip, sex) only",
+        ],
     );
-    let ns = scale.pick(vec![2_000usize, 10_000], vec![2_000usize, 10_000, 50_000, 200_000]);
+    let ns = scale.pick(
+        vec![2_000usize, 10_000],
+        vec![2_000usize, 10_000, 50_000, 200_000],
+    );
     for &n in &ns {
         let cfg = PopulationConfig {
             n,

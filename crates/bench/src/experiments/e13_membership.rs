@@ -6,7 +6,9 @@
 //! released attributes and collapsing under properly-calibrated DP.
 
 use so_data::rng::{derive_seed, seeded_rng};
-use so_linkage::membership::{auc, membership_advantage, membership_score_samples, MembershipExperiment};
+use so_linkage::membership::{
+    auc, membership_advantage, membership_score_samples, MembershipExperiment,
+};
 
 use crate::table::{prob, Table};
 use crate::Scale;
@@ -15,8 +17,17 @@ use crate::Scale;
 pub fn run(scale: Scale) -> Vec<Table> {
     let trials = scale.pick(80usize, 300);
     let mut t = Table::new(
-        &format!("E13: membership inference from aggregate marginals (100 members, {trials} trials)"),
-        &["released attributes d", "publication", "TPR", "FPR", "advantage", "AUC"],
+        &format!(
+            "E13: membership inference from aggregate marginals (100 members, {trials} trials)"
+        ),
+        &[
+            "released attributes d",
+            "publication",
+            "TPR",
+            "FPR",
+            "advantage",
+            "AUC",
+        ],
     );
     for &d in &[20usize, 200, 1_000, 4_000] {
         // Independent stream per row so rows don't perturb one another.
@@ -75,7 +86,10 @@ mod tests {
             .collect();
         let small_d: f64 = rows[0][4].parse().unwrap();
         let large_d: f64 = rows[3][4].parse().unwrap();
-        assert!(large_d > small_d + 0.1, "advantage must grow: {small_d} → {large_d}");
+        assert!(
+            large_d > small_d + 0.1,
+            "advantage must grow: {small_d} → {large_d}"
+        );
         assert!(large_d > 0.5, "large-d advantage {large_d}");
         let dp: f64 = rows[rows.len() - 1][4].parse().unwrap();
         assert!(dp < 0.2, "DP advantage {dp}");

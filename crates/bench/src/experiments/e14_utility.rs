@@ -8,7 +8,7 @@
 
 use singling_out_core::game::DataModel;
 use so_data::rng::seeded_rng;
-use so_data::{DatasetBuilder};
+use so_data::DatasetBuilder;
 use so_dp::{AdvancedComposition, BasicComposition, GaussianCount, GeometricCount, LaplaceCount};
 use so_kanon::{
     average_class_size_ratio, datafly_anonymize, discernibility_metric, generalization_loss,
@@ -26,7 +26,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut t1 = Table::new(
         &format!("E14a: DP counting error vs eps (true count 100, {reps} releases)"),
-        &["eps", "laplace MAE", "geometric MAE", "gaussian MAE (delta=1e-5)", "theory 1/eps"],
+        &[
+            "eps",
+            "laplace MAE",
+            "geometric MAE",
+            "gaussian MAE (delta=1e-5)",
+            "theory 1/eps",
+        ],
     );
     for eps in [0.05f64, 0.1, 0.5, 1.0, 2.0] {
         let lap = LaplaceCount::new(eps);
@@ -168,6 +174,9 @@ mod tests {
             .collect();
         let loss_k2: f64 = mondrian_rows[0][2].parse().unwrap();
         let loss_k25: f64 = mondrian_rows[mondrian_rows.len() - 1][2].parse().unwrap();
-        assert!(loss_k25 > loss_k2, "loss must grow with k: {loss_k2} → {loss_k25}");
+        assert!(
+            loss_k25 > loss_k2,
+            "loss must grow with k: {loss_k2} → {loss_k25}"
+        );
     }
 }

@@ -35,10 +35,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     for k in [2usize, 5, 10] {
-        let rows = model.sample_dataset(
-            n,
-            &mut seeded_rng(derive_seed(0xE1515, k as u64)),
-        );
+        let rows = model.sample_dataset(n, &mut seeded_rng(derive_seed(0xE1515, k as u64)));
         let ds = {
             let mut b = DatasetBuilder::from_parts(
                 model.sampler().distribution().schema().clone(),

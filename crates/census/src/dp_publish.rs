@@ -92,11 +92,7 @@ mod tests {
             })
             .collect();
         let mut rng = seeded_rng(110);
-        let dp = dp_tabulate_block(
-            &people,
-            &DpTablesConfig { epsilon: 50.0 },
-            &mut rng,
-        );
+        let dp = dp_tabulate_block(&people, &DpTablesConfig { epsilon: 50.0 }, &mut rng);
         // With ε = 50 the noise is almost surely zero everywhere.
         assert_eq!(
             dp.race_sex_band[Race::White.index()][Sex::F.index()][6]

@@ -33,8 +33,8 @@
 pub mod dp_publish;
 pub mod microdata;
 pub mod reconstruct;
-pub mod swapping;
 pub mod reidentify;
+pub mod swapping;
 pub mod tabulate;
 
 pub use dp_publish::{dp_tabulate_block, DpTablesConfig};
@@ -42,4 +42,4 @@ pub use microdata::{CensusConfig, CensusData, Person, Race, Sex};
 pub use reconstruct::{reconstruct_block, ReconOutcome, SolverBudget};
 pub use reidentify::{commercial_database, reidentify, CommercialConfig, ReidentifyOutcome};
 pub use swapping::{swap_records, SwapConfig};
-pub use tabulate::{tabulate_block, BlockTables};
+pub use tabulate::{tabulate_block, tabulate_block_scalar, BlockTables};

@@ -43,7 +43,13 @@ pub enum Race {
 
 impl Race {
     /// All categories in coding order.
-    pub const ALL: [Race; 5] = [Race::White, Race::Black, Race::Asian, Race::Aian, Race::Other];
+    pub const ALL: [Race; 5] = [
+        Race::White,
+        Race::Black,
+        Race::Asian,
+        Race::Aian,
+        Race::Other,
+    ];
 
     /// Index in coding order.
     pub fn index(self) -> usize {
@@ -112,7 +118,13 @@ impl CensusData {
         let race_dist = Categorical::new(&config.race_weights);
         // Age pyramid: mildly decreasing mass with age.
         let age_weights: Vec<f64> = (0..100)
-            .map(|a| if a < 60 { 1.0 } else { 1.0 - (a - 60) as f64 / 50.0 })
+            .map(|a| {
+                if a < 60 {
+                    1.0
+                } else {
+                    1.0 - (a - 60) as f64 / 50.0
+                }
+            })
             .collect();
         let age_dist = Categorical::new(&age_weights);
         let blocks = (0..config.n_blocks)

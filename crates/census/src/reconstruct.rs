@@ -113,8 +113,11 @@ impl Search {
 
     fn run(&mut self) {
         let (min_s, max_s) = Self::suffix_bounds(&self.cells);
-        let mut assignment: Vec<Vec<u8>> =
-            self.cells.iter().map(|c| Vec::with_capacity(c.count)).collect();
+        let mut assignment: Vec<Vec<u8>> = self
+            .cells
+            .iter()
+            .map(|c| Vec::with_capacity(c.count))
+            .collect();
         self.dfs(0, 0, &min_s, &max_s, &mut assignment);
     }
 
@@ -483,9 +486,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let truth: Vec<Person> = (0..12)
-            .map(|i| p(20 + i, Sex::F, Race::White))
-            .collect();
+        let truth: Vec<Person> = (0..12).map(|i| p(20 + i, Sex::F, Race::White)).collect();
         let t = tabulate_block(&truth);
         let out = reconstruct_block(&t, &SolverBudget { max_nodes: 10 });
         assert!(matches!(out, ReconOutcome::BudgetExceeded { .. }));

@@ -67,7 +67,7 @@ pub fn commercial_database<R: Rng + ?Sized>(
             }
             let age = if rng.gen::<f64>() < config.age_error_rate {
                 let delta: i16 = *[-2i16, -1, 1, 2]
-                    .get(rng.gen_range(0..4))
+                    .get(rng.gen_range(0..4usize))
                     .expect("nonempty");
                 (i16::from(p.age) + delta).clamp(0, 99) as u8
             } else {
@@ -150,8 +150,7 @@ pub fn reidentify(
                 .filter(|(j, row)| {
                     !used[*j]
                         && row.sex == rec.sex
-                        && (i16::from(row.age) - i16::from(rec.age)).unsigned_abs() as u8
-                            <= age_tol
+                        && (i16::from(row.age) - i16::from(rec.age)).unsigned_abs() as u8 <= age_tol
                 })
                 .map(|(j, _)| j)
                 .collect();

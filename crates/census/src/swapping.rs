@@ -88,13 +88,17 @@ mod tests {
     #[test]
     fn swapping_preserves_national_totals() {
         let c = census();
-        let (swapped, pairs) = swap_records(&c, &SwapConfig { swap_rate: 0.1 }, &mut seeded_rng(601));
+        let (swapped, pairs) =
+            swap_records(&c, &SwapConfig { swap_rate: 0.1 }, &mut seeded_rng(601));
         assert!(pairs > 0);
         assert_eq!(swapped.population(), c.population());
         // National multiset of persons is unchanged.
-        let mut before: Vec<Person> = (0..c.n_blocks()).flat_map(|b| c.block(b).to_vec()).collect();
-        let mut after: Vec<Person> =
-            (0..swapped.n_blocks()).flat_map(|b| swapped.block(b).to_vec()).collect();
+        let mut before: Vec<Person> = (0..c.n_blocks())
+            .flat_map(|b| c.block(b).to_vec())
+            .collect();
+        let mut after: Vec<Person> = (0..swapped.n_blocks())
+            .flat_map(|b| swapped.block(b).to_vec())
+            .collect();
         before.sort();
         after.sort();
         assert_eq!(before, after);
@@ -122,7 +126,8 @@ mod tests {
     #[test]
     fn zero_rate_is_identity() {
         let c = census();
-        let (swapped, pairs) = swap_records(&c, &SwapConfig { swap_rate: 0.0 }, &mut seeded_rng(603));
+        let (swapped, pairs) =
+            swap_records(&c, &SwapConfig { swap_rate: 0.0 }, &mut seeded_rng(603));
         assert_eq!(pairs, 0);
         for b in 0..c.n_blocks() {
             assert_eq!(c.block(b), swapped.block(b));

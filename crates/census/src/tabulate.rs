@@ -7,6 +7,8 @@
 //! and median, as the Census Bureau published). Exact single years of age
 //! are never released — the attack recovers them anyway.
 
+use so_data::SelectionVector;
+
 use crate::microdata::{Person, Race, Sex};
 
 /// Number of five-year age bands (ages 0–99).
@@ -78,10 +80,65 @@ pub fn median_of_sorted(ages: &[u8]) -> f64 {
 
 /// Publishes the tables for one block.
 ///
+/// The P12 cells are computed on the word-parallel bitmap path: one
+/// [`SelectionVector`] per race, sex, and age band, with each cell a
+/// word-level AND + popcount. Empty race × sex planes are skipped without
+/// touching their 20 band cells. [`tabulate_block_scalar`] keeps the
+/// per-person scatter as the reference oracle.
+///
 /// # Panics
 /// Panics on an empty block (the Census suppresses empty blocks).
 pub fn tabulate_block(people: &[Person]) -> BlockTables {
-    assert!(!people.is_empty(), "empty block is suppressed, not published");
+    assert!(
+        !people.is_empty(),
+        "empty block is suppressed, not published"
+    );
+    let n = people.len();
+    let race_bm: Vec<SelectionVector> = (0..5)
+        .map(|ri| SelectionVector::from_fn(n, |i| people[i].race.index() == ri))
+        .collect();
+    let sex_bm: Vec<SelectionVector> = (0..2)
+        .map(|si| SelectionVector::from_fn(n, |i| people[i].sex.index() == si))
+        .collect();
+    let band_bm: Vec<SelectionVector> = (0..N_BANDS)
+        .map(|b| {
+            SelectionVector::from_fn(n, |i| usize::from(people[i].age / 5).min(N_BANDS - 1) == b)
+        })
+        .collect();
+    let mut race_sex_band = [[[0usize; N_BANDS]; 2]; 5];
+    for (ri, race) in race_bm.iter().enumerate() {
+        for (si, sex) in sex_bm.iter().enumerate() {
+            let plane = race.and(sex);
+            if plane.is_none() {
+                continue;
+            }
+            for (b, band) in band_bm.iter().enumerate() {
+                race_sex_band[ri][si][b] = plane.and(band).count();
+            }
+        }
+    }
+    let mut ages: Vec<u8> = people.iter().map(|p| p.age).collect();
+    let sum: u32 = ages.iter().map(|&a| u32::from(a)).sum();
+    ages.sort_unstable();
+    let mean = f64::from(sum) / n as f64;
+    BlockTables {
+        total: n,
+        race_sex_band,
+        mean_age: (mean * 100.0).round() / 100.0,
+        median_age: median_of_sorted(&ages),
+    }
+}
+
+/// Row-at-a-time reference implementation of [`tabulate_block`], kept as the
+/// oracle the bitmap path is tested against.
+///
+/// # Panics
+/// Panics on an empty block (the Census suppresses empty blocks).
+pub fn tabulate_block_scalar(people: &[Person]) -> BlockTables {
+    assert!(
+        !people.is_empty(),
+        "empty block is suppressed, not published"
+    );
     let mut race_sex_band = [[[0usize; N_BANDS]; 2]; 5];
     let mut ages: Vec<u8> = Vec::with_capacity(people.len());
     let mut sum = 0u32;
@@ -162,5 +219,24 @@ mod tests {
     #[should_panic(expected = "empty block")]
     fn empty_block_rejected() {
         tabulate_block(&[]);
+    }
+
+    #[test]
+    fn bitmap_and_scalar_tabulation_agree() {
+        use crate::microdata::{CensusConfig, CensusData};
+        use so_data::rng::seeded_rng;
+
+        let data = CensusData::generate(&CensusConfig::default(), &mut seeded_rng(0xC3115));
+        for b in 0..data.n_blocks() {
+            let people = data.block(b);
+            if people.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                tabulate_block(people),
+                tabulate_block_scalar(people),
+                "block {b} diverged"
+            );
+        }
     }
 }

@@ -421,7 +421,11 @@ pub fn intersection_exposure(
     }
     IntersectionExposure {
         singled_out,
-        min_joint_class: if min_joint == usize::MAX { 0 } else { min_joint },
+        min_joint_class: if min_joint == usize::MAX {
+            0
+        } else {
+            min_joint
+        },
         n,
     }
 }
@@ -517,7 +521,10 @@ mod tests {
             &cfg,
             &mut seeded_rng(161),
         );
-        assert_eq!(res.pso_successes, 0, "weight 2^-6 is not negligible at n=256");
+        assert_eq!(
+            res.pso_successes, 0,
+            "weight 2^-6 is not negligible at n=256"
+        );
     }
 
     #[test]
@@ -582,9 +589,11 @@ mod tests {
         // Theorem 2.5: a single exact count gives the attacker nothing.
         let n = 100;
         let model = BitModel::uniform(64);
-        let pred: Arc<dyn PsoPredicate<BitVec>> = Arc::new(
-            crate::isolation::FnPsoPredicate::new("bit0", Some(0.5), |r: &BitVec| r.get(0)),
-        );
+        let pred: Arc<dyn PsoPredicate<BitVec>> = Arc::new(crate::isolation::FnPsoPredicate::new(
+            "bit0",
+            Some(0.5),
+            |r: &BitVec| r.get(0),
+        ));
         let cfg = GameConfig::new(n, 2_000);
         let res = run_pso_game(
             &model,
@@ -597,11 +606,7 @@ mod tests {
         );
         // Negligible-weight predicate ⇒ success within noise of the
         // (negligible) baseline.
-        assert!(
-            res.success_rate() < 0.01,
-            "success {}",
-            res.success_rate()
-        );
+        assert!(res.success_rate() < 0.01, "success {}", res.success_rate());
         assert!(!res.breaks_pso_security(crate::stats::Z999, 0.01));
     }
 

@@ -132,10 +132,7 @@ mod tests {
     fn closed_form_peaks_near_one_over_e() {
         for n in [10usize, 100, 365, 10_000] {
             let p = baseline_isolation_probability(n, 1.0 / n as f64);
-            assert!(
-                (0.34..=0.40).contains(&p),
-                "n = {n}: peak {p} not near 1/e"
-            );
+            assert!((0.34..=0.40).contains(&p), "n = {n}: peak {p} not near 1/e");
         }
     }
 

@@ -114,8 +114,7 @@ pub trait PsoMechanism<M: DataModel>: Send + Sync {
 /// A PSO attacker `A : Y → (X → {0,1})`.
 pub trait PsoAttacker<M: DataModel, O>: Send + Sync {
     /// Produces an isolating predicate from the mechanism output alone.
-    fn attack<R: Rng + ?Sized>(&self, output: &O, rng: &mut R)
-        -> Box<dyn PsoPredicate<M::Record>>;
+    fn attack<R: Rng + ?Sized>(&self, output: &O, rng: &mut R) -> Box<dyn PsoPredicate<M::Record>>;
 
     /// Attacker name for reports.
     fn name(&self) -> String;
@@ -303,7 +302,8 @@ where
     }
 
     let run_trial = |trial: usize| -> Tally {
-        let mut rng = so_data::rng::seeded_rng(so_data::rng::derive_seed(master_seed, trial as u64));
+        let mut rng =
+            so_data::rng::seeded_rng(so_data::rng::derive_seed(master_seed, trial as u64));
         let data = model.sample_dataset(config.n, &mut rng);
         let output = mechanism.run(&data, &mut rng);
         let predicate = attacker.attack(&output, &mut rng);
@@ -517,10 +517,7 @@ mod tests {
                 rng: &mut R,
             ) -> Box<dyn PsoPredicate<BitVec>> {
                 // Weight 2^-40 ≪ 100^-2.
-                crate::baseline::BaselineAttacker {
-                    modulus: 1 << 40,
-                }
-                .predicate(rng)
+                crate::baseline::BaselineAttacker { modulus: 1 << 40 }.predicate(rng)
             }
             fn name(&self) -> String {
                 "trivial-negligible".into()

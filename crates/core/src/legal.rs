@@ -52,7 +52,11 @@ impl std::fmt::Display for Technology {
         match self {
             Technology::KAnonymity { k } => write!(f, "{k}-anonymity"),
             Technology::DifferentialPrivacy { epsilon_milli } => {
-                write!(f, "ε-differential privacy (ε = {})", *epsilon_milli as f64 / 1000.0)
+                write!(
+                    f,
+                    "ε-differential privacy (ε = {})",
+                    *epsilon_milli as f64 / 1000.0
+                )
             }
             Technology::ExactCount => write!(f, "exact count mechanism"),
             Technology::ComposedCounts { queries } => {

@@ -114,11 +114,7 @@ fn prefix_matches(record: &so_data::BitVec, prefix: &[bool]) -> bool {
 impl PsoMechanism<BitModel> for AdaptiveCountOracle {
     type Output = Vec<TranscriptStep>;
 
-    fn run<R: Rng + ?Sized>(
-        &self,
-        data: &[so_data::BitVec],
-        rng: &mut R,
-    ) -> Vec<TranscriptStep> {
+    fn run<R: Rng + ?Sized>(&self, data: &[so_data::BitVec], rng: &mut R) -> Vec<TranscriptStep> {
         let width = data.first().map_or(0, |r| r.len());
         let mut prefix: Vec<bool> = Vec::with_capacity(self.levels);
         let mut transcript = Vec::with_capacity(self.levels);
@@ -329,8 +325,7 @@ impl PsoMechanism<TabularModel> for KAnonMechanism {
                 let value_sets = non_qi
                     .iter()
                     .map(|&col| {
-                        let mut vals: Vec<Value> =
-                            c.rows.iter().map(|&r| ds.get(r, col)).collect();
+                        let mut vals: Vec<Value> = c.rows.iter().map(|&r| ds.get(r, col)).collect();
                         vals.sort();
                         vals.dedup();
                         (col, vals)
@@ -369,11 +364,10 @@ mod tests {
 
     #[test]
     fn count_mechanism_counts_exactly() {
-        let pred: Arc<dyn PsoPredicate<BitVec>> = Arc::new(FnPsoPredicate::new(
-            "bit0",
-            Some(0.5),
-            |r: &BitVec| r.get(0),
-        ));
+        let pred: Arc<dyn PsoPredicate<BitVec>> =
+            Arc::new(FnPsoPredicate::new("bit0", Some(0.5), |r: &BitVec| {
+                r.get(0)
+            }));
         let mech: CountMechanism<BitModel> = CountMechanism::new(pred);
         let data = vec![
             BitVec::from_bools(&[true, false]),
@@ -448,7 +442,11 @@ mod tests {
     #[test]
     fn kanon_mechanism_releases_k_sized_classes() {
         let model = tabular_model();
-        let mech = KAnonMechanism::new(&model, vec![0, 1], Anonymizer::Mondrian(MondrianConfig { k: 5 }));
+        let mech = KAnonMechanism::new(
+            &model,
+            vec![0, 1],
+            Anonymizer::Mondrian(MondrianConfig { k: 5 }),
+        );
         let mut rng = seeded_rng(153);
         let data = model.sample_dataset(200, &mut rng);
         let classes = mech.run(&data, &mut rng);
@@ -467,7 +465,11 @@ mod tests {
         // (smoke: box covers the members used to build it — verified through
         // so-kanon's own invariant; here check GenValue::covers integration).
         let model = tabular_model();
-        let mech = KAnonMechanism::new(&model, vec![0, 1], Anonymizer::Mondrian(MondrianConfig { k: 3 }));
+        let mech = KAnonMechanism::new(
+            &model,
+            vec![0, 1],
+            Anonymizer::Mondrian(MondrianConfig { k: 3 }),
+        );
         let mut rng = seeded_rng(154);
         let data = model.sample_dataset(60, &mut rng);
         let classes = mech.run(&data, &mut rng);
@@ -478,9 +480,7 @@ mod tests {
         for row in &data {
             let covered = classes
                 .iter()
-                .filter(|c| {
-                    c.qi_box[0].covers(&row[0], None) && c.qi_box[1].covers(&row[1], None)
-                })
+                .filter(|c| c.qi_box[0].covers(&row[0], None) && c.qi_box[1].covers(&row[1], None))
                 .count();
             assert!(covered >= 1, "record not covered by any released box");
         }

@@ -49,7 +49,11 @@ impl AuditReport {
     /// Renders as plain text.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{}\n{}\n\n", self.title, "=".repeat(self.title.len())));
+        out.push_str(&format!(
+            "{}\n{}\n\n",
+            self.title,
+            "=".repeat(self.title.len())
+        ));
         for line in &self.context {
             out.push_str(&format!("{line}\n"));
         }
@@ -93,8 +97,14 @@ impl AuditReport {
                 for e in &c.evidence {
                     out.push_str(&format!(
                         "| {} | {}/{} | {:.4} | [{:.4}, {:.4}] | {:.2e} | {} |\n",
-                        e.label, e.successes, e.trials, e.rate(), e.rate_lo, e.rate_hi,
-                        e.baseline, e.n
+                        e.label,
+                        e.successes,
+                        e.trials,
+                        e.rate(),
+                        e.rate_lo,
+                        e.rate_hi,
+                        e.baseline,
+                        e.n
                     ));
                 }
             }
@@ -107,8 +117,8 @@ impl AuditReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::legal::{kanon_singling_out_theorem, Technology};
     use crate::game::GameResult;
+    use crate::legal::{kanon_singling_out_theorem, Technology};
 
     fn strong_game() -> GameResult {
         GameResult {

@@ -25,11 +25,7 @@ use crate::isolation::PsoPredicate;
 
 /// True iff `p` matches at least one and at most `t` records — the group
 /// generalization of Definition 2.1 (which is the `t = 1` case).
-pub fn isolates_group<R>(
-    records: &[R],
-    p: &(impl PsoPredicate<R> + ?Sized),
-    t: usize,
-) -> bool {
+pub fn isolates_group<R>(records: &[R], p: &(impl PsoPredicate<R> + ?Sized), t: usize) -> bool {
     assert!(t >= 1, "group bound must be at least 1");
     let mut seen = 0usize;
     for r in records {
@@ -142,7 +138,10 @@ mod tests {
         assert!(isolates_group(&records, &eq(2), 2));
         assert!(!isolates_group(&records, &eq(3), 2));
         assert!(isolates_group(&records, &eq(3), 3));
-        assert!(!isolates_group(&records, &eq(9), 6), "zero matches never isolate");
+        assert!(
+            !isolates_group(&records, &eq(9), 6),
+            "zero matches never isolate"
+        );
     }
 
     #[test]
@@ -150,8 +149,8 @@ mod tests {
         // For t ≥ k', the released class predicate alone group-isolates:
         // the paper's 37% refinement step becomes unnecessary under the
         // group variant, making k-anonymity's failure even starker.
-        use crate::game::{DataModel, TabularModel};
         use crate::game::PsoMechanism;
+        use crate::game::{DataModel, TabularModel};
         use crate::mechanisms::{Anonymizer, KAnonMechanism};
         use so_data::dist::{AttributeDistribution, Categorical, RowDistribution};
         use so_data::rng::seeded_rng;

@@ -138,7 +138,10 @@ mod tests {
         RowDistribution::new(
             schema,
             vec![
-                AttributeDistribution::IntUniform { lo: 10_000, hi: 10_099 },
+                AttributeDistribution::IntUniform {
+                    lo: 10_000,
+                    hi: 10_099,
+                },
                 AttributeDistribution::IntUniform { lo: 0, hi: 99 },
                 AttributeDistribution::StrChoice {
                     values: vec!["COVID".into(), "Asthma".into(), "CF".into(), "Flu".into()],
@@ -153,8 +156,11 @@ mod tests {
         let d = toy_dist();
         let resolve = |_s: so_data::Symbol| String::new();
         let qi_box = vec![
-            GenValue::IntRange { lo: 10_000, hi: 10_009 }, // 10/100
-            GenValue::IntRange { lo: 30, hi: 39 },          // 10/100
+            GenValue::IntRange {
+                lo: 10_000,
+                hi: 10_009,
+            }, // 10/100
+            GenValue::IntRange { lo: 30, hi: 39 }, // 10/100
         ];
         let w = box_weight(&d, &[0, 1], &qi_box, &[None, None], &resolve);
         assert!((w - 0.01).abs() < 1e-12, "w = {w}");
@@ -173,10 +179,7 @@ mod tests {
     fn exact_cell_uses_point_mass() {
         let d = toy_dist();
         let resolve = |_s: so_data::Symbol| String::new();
-        let qi_box = vec![
-            GenValue::Exact(Value::Int(10_042)),
-            GenValue::Suppressed,
-        ];
+        let qi_box = vec![GenValue::Exact(Value::Int(10_042)), GenValue::Suppressed];
         let w = box_weight(&d, &[0, 1], &qi_box, &[None, None], &resolve);
         assert!((w - 0.01).abs() < 1e-12, "w = {w}");
     }

@@ -50,7 +50,11 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::MissingHeader => write!(f, "missing header row"),
             CsvError::BadHeader(h) => write!(f, "bad header entry {h:?} (want name:type)"),
-            CsvError::ArityMismatch { line, got, expected } => {
+            CsvError::ArityMismatch {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::BadField { line, col, text } => {
@@ -352,7 +356,11 @@ mod tests {
     fn arity_mismatch_reported_with_line() {
         let text = "a:int#role=none,b:int#role=none\n1,2\n3\n";
         match from_csv(text) {
-            Err(CsvError::ArityMismatch { line, got, expected }) => {
+            Err(CsvError::ArityMismatch {
+                line,
+                got,
+                expected,
+            }) => {
                 assert_eq!((line, got, expected), (3, 1, 2));
             }
             other => panic!("unexpected {other:?}"),

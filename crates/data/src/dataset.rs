@@ -115,6 +115,53 @@ impl Column {
         self.missing.is_empty()
     }
 
+    /// The raw `i64` slice if this is an Int column (missing rows hold a
+    /// placeholder — consult [`Column::missing_mask`]).
+    pub fn int_values(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` slice if this is a Float column.
+    pub fn float_values(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw symbol slice if this is a Str column.
+    pub fn str_values(&self) -> Option<&[Symbol]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw bool slice if this is a Bool column.
+    pub fn bool_values(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw day-number slice if this is a Date column.
+    pub fn date_values(&self) -> Option<&[i32]> {
+        match &self.data {
+            ColumnData::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Per-row missing flags (true = cell is missing and the typed slice
+    /// holds a placeholder at that position).
+    pub fn missing_mask(&self) -> &[bool] {
+        &self.missing
+    }
+
     fn push(&mut self, v: Value, dtype: DataType) {
         if v.is_missing() {
             self.data.push_default();
@@ -459,6 +506,16 @@ mod tests {
         // Symbols remain resolvable through the shared interner copy.
         let sym = sub.get(0, 3).as_str_symbol().unwrap();
         assert_eq!(sub.resolve(sym), "CF");
+    }
+
+    #[test]
+    fn typed_column_slices() {
+        let ds = toy_dataset();
+        let ages = ds.column(1).int_values().unwrap();
+        assert_eq!(ages, &[55, 42, 30, 33]);
+        assert!(ds.column(1).float_values().is_none());
+        assert!(ds.column(2).str_values().is_some());
+        assert_eq!(ds.column(1).missing_mask(), &[false; 4]);
     }
 
     #[test]

@@ -265,10 +265,9 @@ impl AttributeDistribution {
                 .iter()
                 .position(|c| c == x)
                 .map_or(0.0, |i| dist.probability(i)),
-            (AttributeDistribution::IntUniform { lo, hi }, Value::Int(x))
-                if x >= lo && x <= hi => {
-                    1.0 / ((hi - lo + 1) as f64)
-                }
+            (AttributeDistribution::IntUniform { lo, hi }, Value::Int(x)) if x >= lo && x <= hi => {
+                1.0 / ((hi - lo + 1) as f64)
+            }
             (AttributeDistribution::StrChoice { values, dist }, Value::Str(s)) => {
                 let name = resolve(*s);
                 values
@@ -405,7 +404,11 @@ impl RowDistribution {
     }
 
     /// Exact probability that a sampled row equals `row` cell-for-cell.
-    pub fn point_probability(&self, row: &[Value], resolve: &dyn Fn(crate::Symbol) -> String) -> f64 {
+    pub fn point_probability(
+        &self,
+        row: &[Value],
+        resolve: &dyn Fn(crate::Symbol) -> String,
+    ) -> f64 {
         assert_eq!(row.len(), self.attrs.len());
         self.attrs
             .iter()
@@ -483,8 +486,7 @@ mod tests {
         let d = UniformBits::new(16);
         let mut rng = seeded_rng(1);
         let samples = d.sample_n(2000, &mut rng);
-        let mean_ones: f64 =
-            samples.iter().map(|s| s.count_ones() as f64).sum::<f64>() / 2000.0;
+        let mean_ones: f64 = samples.iter().map(|s| s.count_ones() as f64).sum::<f64>() / 2000.0;
         assert!((7.0..=9.0).contains(&mean_ones), "mean ones {mean_ones}");
         assert_eq!(d.point_mass(), 1.0 / 65536.0);
     }

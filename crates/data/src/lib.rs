@@ -37,9 +37,10 @@ pub mod population;
 pub mod ratings;
 pub mod rng;
 pub mod schema;
+pub mod selection;
 pub mod value;
 
-pub use bits::{BitDataset, BitVec};
+pub use bits::{column_counts, BitDataset, BitVec};
 pub use dataset::{Dataset, DatasetBuilder, RowRef};
 pub use date::Date;
 pub use dist::{
@@ -49,4 +50,5 @@ pub use interner::{Interner, Symbol};
 pub use population::{Population, PopulationConfig};
 pub use ratings::{RatingsConfig, RatingsData};
 pub use schema::{AttributeDef, AttributeRole, DataType, Schema};
+pub use selection::SelectionVector;
 pub use value::Value;

@@ -213,8 +213,7 @@ mod tests {
         let d = small();
         let head = d.title_support(0);
         // Average support over a tail slice.
-        let tail_avg: f64 =
-            (400..500).map(|t| d.title_support(t) as f64).sum::<f64>() / 100.0;
+        let tail_avg: f64 = (400..500).map(|t| d.title_support(t) as f64).sum::<f64>() / 100.0;
         assert!(
             head as f64 > 5.0 * (tail_avg + 0.1),
             "head {head} vs tail {tail_avg}"

@@ -1,0 +1,386 @@
+//! Word-parallel selection bitmaps.
+//!
+//! A [`SelectionVector`] marks a subset of the rows of a dataset: bit `i` is
+//! set iff row `i` is selected. Storage is packed `u64` blocks, so the
+//! boolean algebra of predicates (AND/OR/NOT) and the counting queries built
+//! on top of them (popcount) run 64 rows per instruction instead of one.
+//! This is the execution currency of `so-query`'s columnar scan kernels:
+//! each column predicate is evaluated once into a bitmap, and compound
+//! predicates combine bitmaps with word ops.
+//!
+//! Invariant: bits at positions `>= len` in the last block are always zero,
+//! so `count` and the combinators never see garbage in the tail word.
+
+use std::fmt;
+
+/// A packed bitmap over `len` row positions.
+///
+/// ```
+/// use so_data::SelectionVector;
+/// let evens = SelectionVector::from_fn(10, |i| i % 2 == 0);
+/// let small = SelectionVector::from_fn(10, |i| i < 5);
+/// let both = evens.and(&small);
+/// assert_eq!(both.count(), 3); // rows 0, 2, 4
+/// assert_eq!(both.indices(), vec![0, 2, 4]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SelectionVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelectionVector {
+    /// Empty selection over `len` rows (no row selected).
+    pub fn none(len: usize) -> Self {
+        SelectionVector {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Full selection over `len` rows (every row selected).
+    pub fn all(len: usize) -> Self {
+        let mut v = SelectionVector {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds by evaluating `f` on every row index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0;
+        while i < len {
+            let mut word = 0u64;
+            let block = 64.min(len - i);
+            for b in 0..block {
+                word |= u64::from(f(i + b)) << b;
+            }
+            words.push(word);
+            i += 64;
+        }
+        SelectionVector { words, len }
+    }
+
+    /// Builds from a slice of bools.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        Self::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Columnar scan kernel: selects the non-missing rows of a typed column
+    /// slice for which `f` holds. `vals` and `missing` run in row order.
+    ///
+    /// Packs 64 rows per word with zipped iteration (no per-row bounds
+    /// checks), which is what lets the typed predicate kernels beat the
+    /// row-at-a-time path.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_column<T>(vals: &[T], missing: &[bool], mut f: impl FnMut(&T) -> bool) -> Self {
+        assert_eq!(vals.len(), missing.len(), "column slice length mismatch");
+        let len = vals.len();
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        // chunks_exact gives the compiler a fixed 64 trip count per word, so
+        // the shift-OR packing unrolls into a tree instead of a 64-deep
+        // dependency chain.
+        let mut cv = vals.chunks_exact(64);
+        let mut cm = missing.chunks_exact(64);
+        for (v64, m64) in (&mut cv).zip(&mut cm) {
+            let mut word = 0u64;
+            for b in 0..64 {
+                word |= u64::from(!m64[b] & f(&v64[b])) << b;
+            }
+            words.push(word);
+        }
+        let (rv, rm) = (cv.remainder(), cm.remainder());
+        if !rv.is_empty() {
+            let mut word = 0u64;
+            for (b, (v, &m)) in rv.iter().zip(rm).enumerate() {
+                word |= u64::from(!m & f(v)) << b;
+            }
+            words.push(word);
+        }
+        SelectionVector { words, len }
+    }
+
+    /// Number of row positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff there are no row positions at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "row index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "row index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of selected rows (word-parallel popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff no row is selected.
+    pub fn is_none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &SelectionVector) {
+        assert_eq!(self.len, other.len, "selection length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &SelectionVector) {
+        assert_eq!(self.len, other.len, "selection length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement (tail bits stay zero).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Intersection `self ∧ other`.
+    pub fn and(&self, other: &SelectionVector) -> SelectionVector {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Union `self ∨ other`.
+    pub fn or(&self, other: &SelectionVector) -> SelectionVector {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Complement `¬self`.
+    pub fn not(&self) -> SelectionVector {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Indices of the selected rows, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates over selected row indices without materializing them.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// Smallest selected index `>= from`, or `None`. Word-parallel: skips
+    /// clear words 64 rows at a time.
+    pub fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi == self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// The packed words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zeroes the bits of the last word at positions `>= len`.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SelectionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SelectionVector[{}/{} set]", self.count(), self.len)
+    }
+}
+
+impl std::ops::BitAnd for &SelectionVector {
+    type Output = SelectionVector;
+
+    fn bitand(self, rhs: &SelectionVector) -> SelectionVector {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for &SelectionVector {
+    type Output = SelectionVector;
+
+    fn bitor(self, rhs: &SelectionVector) -> SelectionVector {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::Not for &SelectionVector {
+    type Output = SelectionVector;
+
+    fn not(self) -> SelectionVector {
+        SelectionVector::not(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_none_and_tail_masking() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let all = SelectionVector::all(len);
+            assert_eq!(all.count(), len, "len {len}");
+            let none = SelectionVector::none(len);
+            assert_eq!(none.count(), 0);
+            // NOT(all) must be empty even when len % 64 != 0.
+            assert_eq!(all.not().count(), 0, "len {len}");
+            assert_eq!(none.not().count(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let v = SelectionVector::from_fn(100, |i| i % 3 == 0);
+        for i in 0..100 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(v.count(), 34);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = SelectionVector::from_fn(70, |i| i % 2 == 0);
+        let b = SelectionVector::from_fn(70, |i| i % 3 == 0);
+        let and = &a & &b;
+        let or = &a | &b;
+        let na = !&a;
+        for i in 0..70 {
+            assert_eq!(and.get(i), i % 6 == 0);
+            assert_eq!(or.get(i), i % 2 == 0 || i % 3 == 0);
+            assert_eq!(na.get(i), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn indices_and_iter_ones_agree() {
+        let v = SelectionVector::from_fn(150, |i| i % 7 == 0);
+        let idx = v.indices();
+        let it: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(idx, it);
+        assert_eq!(idx, (0..150).filter(|i| i % 7 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_set_bit_skips_and_terminates() {
+        let mut v = SelectionVector::none(200);
+        v.set(0, true);
+        v.set(65, true);
+        v.set(199, true);
+        assert_eq!(v.next_set_bit(0), Some(0));
+        assert_eq!(v.next_set_bit(1), Some(65));
+        assert_eq!(v.next_set_bit(66), Some(199));
+        assert_eq!(v.next_set_bit(199), Some(199));
+        v.set(199, false);
+        assert_eq!(v.next_set_bit(66), None);
+        assert_eq!(v.next_set_bit(500), None);
+    }
+
+    #[test]
+    fn from_column_skips_missing() {
+        let vals = [1i64, 5, 9, 5];
+        let missing = [false, true, false, false];
+        let v = SelectionVector::from_column(&vals, &missing, |&x| x == 5);
+        assert_eq!(v.indices(), vec![3]);
+    }
+
+    #[test]
+    fn set_and_clear_round_trip() {
+        let mut v = SelectionVector::none(66);
+        v.set(65, true);
+        assert!(v.get(65));
+        assert_eq!(v.count(), 1);
+        v.set(65, false);
+        assert!(v.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        SelectionVector::none(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let mut a = SelectionVector::none(10);
+        a.and_assign(&SelectionVector::none(11));
+    }
+}

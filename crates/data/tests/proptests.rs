@@ -9,7 +9,9 @@ use so_data::{
 fn arb_value(dtype: DataType) -> BoxedStrategy<ValueSpec> {
     match dtype {
         DataType::Int => (any::<i64>()).prop_map(ValueSpec::Int).boxed(),
-        DataType::Float => proptest::num::f64::NORMAL.prop_map(ValueSpec::Float).boxed(),
+        DataType::Float => proptest::num::f64::NORMAL
+            .prop_map(ValueSpec::Float)
+            .boxed(),
         DataType::Bool => any::<bool>().prop_map(ValueSpec::Bool).boxed(),
         DataType::Date => (-200_000i32..200_000)
             .prop_map(|d| ValueSpec::Date(Date::from_day_number(d)))
@@ -184,6 +186,69 @@ proptest! {
                     (a, b) => prop_assert_eq!(a, b),
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SelectionVector bitmap algebra vs naive boolean vectors.
+// ---------------------------------------------------------------------------
+
+use so_data::{column_counts, SelectionVector};
+
+proptest! {
+    /// Packed bitmaps agree with plain `Vec<bool>` semantics bit-for-bit:
+    /// count, get, indices, and next_set_bit. Lengths straddle word
+    /// boundaries, so the `len % 64 != 0` tail word is routinely hit.
+    #[test]
+    fn selection_matches_bool_vector(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let v = SelectionVector::from_bools(&bits);
+        prop_assert_eq!(v.len(), bits.len());
+        prop_assert_eq!(v.count(), bits.iter().filter(|&&b| b).count());
+        let expected: Vec<usize> =
+            (0..bits.len()).filter(|&i| bits[i]).collect();
+        prop_assert_eq!(v.indices(), expected.clone());
+        prop_assert_eq!(v.next_set_bit(0), expected.first().copied());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), bit, "bit {}", i);
+        }
+    }
+
+    /// AND/OR/NOT match pointwise boolean algebra; NOT never leaks bits
+    /// into the tail word.
+    #[test]
+    fn selection_algebra_matches_pointwise(
+        a in proptest::collection::vec(any::<bool>(), 1..300),
+        b in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let n = a.len().min(b.len());
+        let va = SelectionVector::from_bools(&a[..n]);
+        let vb = SelectionVector::from_bools(&b[..n]);
+        let (and, or, not) = (va.and(&vb), va.or(&vb), va.not());
+        for i in 0..n {
+            prop_assert_eq!(and.get(i), a[i] && b[i]);
+            prop_assert_eq!(or.get(i), a[i] || b[i]);
+            prop_assert_eq!(not.get(i), !a[i]);
+        }
+        prop_assert_eq!(not.count(), n - va.count());
+        prop_assert_eq!(va.and(&va.not()).count(), 0);
+        prop_assert_eq!(va.or(&va.not()).count(), n);
+    }
+
+    /// The transpose-based column_counts equals a per-bit count.
+    #[test]
+    fn column_counts_matches_per_bit(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 70),
+            0..70,
+        ),
+    ) {
+        let width = 70;
+        let bvs: Vec<BitVec> = rows.iter().map(|r| BitVec::from_bools(r)).collect();
+        let counts = column_counts(&bvs, width);
+        for j in 0..width {
+            let naive = rows.iter().filter(|r| r[j]).count();
+            prop_assert_eq!(counts[j], naive, "column {}", j);
         }
     }
 }

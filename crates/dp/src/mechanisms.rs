@@ -203,10 +203,7 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
         "bad sensitivity {sensitivity}"
     );
     // Normalize by max score for numerical stability.
-    let max = scores
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(max.is_finite(), "non-finite score");
     let weights: Vec<f64> = scores
         .iter()

@@ -38,9 +38,9 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(epsilon_over_delta: f64, rng:
         "bad geometric parameter {epsilon_over_delta}"
     );
     let alpha = (-epsilon_over_delta).exp(); // in (0, 1)
-    // Sample magnitude: P[|X| = 0] = (1-α)/(1+α); P[|X| = k] = that * 2α^k...
-    // Equivalent construction: X = G1 - G2 with G1, G2 iid Geometric(1-α)
-    // (number of failures before first success).
+                                             // Sample magnitude: P[|X| = 0] = (1-α)/(1+α); P[|X| = k] = that * 2α^k...
+                                             // Equivalent construction: X = G1 - G2 with G1, G2 iid Geometric(1-α)
+                                             // (number of failures before first success).
     let g1 = sample_geometric_failures(1.0 - alpha, rng);
     let g2 = sample_geometric_failures(1.0 - alpha, rng);
     g1 - g2
@@ -63,7 +63,10 @@ fn sample_geometric_failures<R: Rng + ?Sized>(p: f64, rng: &mut R) -> i64 {
 /// # Panics
 /// Panics if `sigma <= 0` or non-finite.
 pub fn sample_gaussian<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
-    assert!(sigma > 0.0 && sigma.is_finite(), "bad Gaussian sigma {sigma}");
+    assert!(
+        sigma > 0.0 && sigma.is_finite(),
+        "bad Gaussian sigma {sigma}"
+    );
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.gen();
     sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -92,7 +95,9 @@ mod tests {
     #[test]
     fn laplace_median_is_zero() {
         let mut rng = seeded_rng(101);
-        let pos = (0..N).filter(|_| sample_laplace(1.0, &mut rng) > 0.0).count();
+        let pos = (0..N)
+            .filter(|_| sample_laplace(1.0, &mut rng) > 0.0)
+            .count();
         let frac = pos as f64 / N as f64;
         assert!((0.49..=0.51).contains(&frac), "positive fraction {frac}");
     }
@@ -148,7 +153,10 @@ mod tests {
         let p1 = counts[&1] as f64;
         let ratio = p1 / p0;
         let expected = (-eps).exp();
-        assert!((ratio - expected).abs() < 0.03, "ratio {ratio} vs {expected}");
+        assert!(
+            (ratio - expected).abs() < 0.03,
+            "ratio {ratio} vs {expected}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl<R: Rng> SparseVector<R> {
     /// # Panics
     /// Panics on non-positive ε or zero `max_aboves`.
     pub fn new(threshold: f64, epsilon: f64, max_aboves: usize, mut rng: R) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "bad epsilon {epsilon}");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "bad epsilon {epsilon}"
+        );
         assert!(max_aboves >= 1, "need at least one reportable above");
         let epsilon_per_above = epsilon / max_aboves as f64;
         let noisy_threshold = threshold + sample_laplace(2.0 / epsilon_per_above, &mut rng);

@@ -92,17 +92,8 @@ pub fn datafly_anonymize(
                 }
             }
             suppressed.sort_unstable();
-            let taxonomies = hierarchies
-                .iter()
-                .map(|h| h.taxonomy().cloned())
-                .collect();
-            return AnonymizedDataset::new(
-                ds,
-                qi_cols.to_vec(),
-                classes,
-                suppressed,
-                taxonomies,
-            );
+            let taxonomies = hierarchies.iter().map(|h| h.taxonomy().cloned()).collect();
+            return AnonymizedDataset::new(ds, qi_cols.to_vec(), classes, suppressed, taxonomies);
         }
         // Raise the level of the attribute with the most distinct
         // generalized values (the classic Datafly heuristic).
@@ -113,10 +104,7 @@ pub fn datafly_anonymize(
             }
             let mut distinct: HashMap<GenValue, ()> = HashMap::new();
             for r in 0..n {
-                distinct.insert(
-                    hierarchies[qi].generalize(&ds.get(r, qi_cols[qi]), lvl),
-                    (),
-                );
+                distinct.insert(hierarchies[qi].generalize(&ds.get(r, qi_cols[qi]), lvl), ());
             }
             let d = distinct.len();
             if best.is_none_or(|(_, bd)| d > bd) {
@@ -153,9 +141,9 @@ mod tests {
         let mut rng = seeded_rng(seed);
         for _ in 0..n {
             b.push_row(vec![
-                Value::Int(10_000 + rng.gen_range(0..100)),
-                Value::Int(rng.gen_range(0..100)),
-                Value::Str(diseases[rng.gen_range(0..4)]),
+                Value::Int(10_000 + rng.gen_range(0..100i64)),
+                Value::Int(rng.gen_range(0..100i64)),
+                Value::Str(diseases[rng.gen_range(0..4usize)]),
             ]);
         }
         let ds = b.finish();
@@ -186,7 +174,10 @@ mod tests {
             assert!(anon.is_sound(&ds), "k = {k}");
             assert!(anon.is_partition(), "k = {k}");
             let suppressed_frac = anon.suppressed_rows().len() as f64 / 400.0;
-            assert!(suppressed_frac <= 0.05 + 1e-9, "suppressed {suppressed_frac}");
+            assert!(
+                suppressed_frac <= 0.05 + 1e-9,
+                "suppressed {suppressed_frac}"
+            );
         }
     }
 
@@ -202,11 +193,13 @@ mod tests {
                 max_suppression_fraction: 0.0,
             },
         );
-        assert!(anon.suppressed_rows().is_empty() || {
-            // Only possible if even full suppression could not meet k —
-            // impossible for n >= k, so assert emptiness.
-            false
-        });
+        assert!(
+            anon.suppressed_rows().is_empty() || {
+                // Only possible if even full suppression could not meet k —
+                // impossible for n >= k, so assert emptiness.
+                false
+            }
+        );
         assert!(is_k_anonymous(&anon, 3));
     }
 

@@ -8,7 +8,7 @@
 //! (by box-hull growth), widening boxes to the hull of the merged pair,
 //! until every class carries at least `l` distinct sensitive values.
 
-use so_data::{Dataset, Value};
+use so_data::{Dataset, SelectionVector, Value};
 
 use crate::generalized::{AnonymizedDataset, EquivalenceClass, GenValue};
 
@@ -60,8 +60,35 @@ fn merge_cost(a: &[GenValue], b: &[GenValue]) -> f64 {
         .sum()
 }
 
+fn assert_attainable(
+    classes: &[EquivalenceClass],
+    source: &Dataset,
+    sensitive_col: usize,
+    l: usize,
+) {
+    let mut all: Vec<Value> = classes
+        .iter()
+        .flat_map(|c| c.rows.iter().map(|&r| source.get(r, sensitive_col)))
+        .collect();
+    all.sort();
+    all.dedup();
+    assert!(
+        all.len() >= l,
+        "only {} distinct sensitive values released; ℓ = {l} unattainable",
+        all.len()
+    );
+}
+
 /// Greedily merges classes until every class has at least `l` distinct
 /// values of `sensitive_col`. Returns the new release.
+///
+/// Deficient classes are tracked in a [`SelectionVector`] over class slots:
+/// a class's diversity only changes when it absorbs another, so after each
+/// merge only the merged class is re-checked (plus a bit move mirroring the
+/// `swap_remove`) instead of re-scanning every class's rows. The next class
+/// to fix is found with a word-skipping [`SelectionVector::next_set_bit`],
+/// which visits classes in the same ascending order as the full rescan in
+/// [`enforce_l_diversity_scalar`] — the two produce identical releases.
 ///
 /// # Panics
 /// Panics if the total number of distinct sensitive values in the released
@@ -73,19 +100,74 @@ pub fn enforce_l_diversity(
     l: usize,
 ) -> AnonymizedDataset {
     let mut classes: Vec<EquivalenceClass> = anon.classes().to_vec();
-    {
-        let mut all: Vec<Value> = classes
+    assert_attainable(&classes, source, sensitive_col, l);
+    // Bit i set ⇔ classes[i] currently lacks diversity. The vector keeps its
+    // original length; bits at or beyond classes.len() are always clear.
+    let mut deficient = SelectionVector::from_fn(classes.len(), |i| {
+        distinct_sensitive(&classes[i], source, sensitive_col) < l
+    });
+    while let Some(bad_idx) = deficient.next_set_bit(0) {
+        if classes.len() == 1 {
+            break; // single class with < l distinct — cannot happen (asserted)
+        }
+        // Cheapest merge partner.
+        let (partner, _) = classes
             .iter()
-            .flat_map(|c| c.rows.iter().map(|&r| source.get(r, sensitive_col)))
+            .enumerate()
+            .filter(|(i, _)| *i != bad_idx)
+            .map(|(i, c)| (i, merge_cost(&classes[bad_idx].qi_box, &c.qi_box)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least two classes");
+        let removed = bad_idx.max(partner);
+        let last = classes.len() - 1;
+        let absorbed = classes.swap_remove(removed);
+        // Mirror the swap_remove in the bitmap: the class formerly in the
+        // last slot now lives in `removed`'s slot.
+        if removed != last {
+            deficient.set(removed, deficient.get(last));
+        }
+        deficient.set(last, false);
+        let keeper_idx = bad_idx.min(partner);
+        let keeper = &mut classes[keeper_idx];
+        keeper.qi_box = keeper
+            .qi_box
+            .iter()
+            .zip(&absorbed.qi_box)
+            .map(|(a, b)| hull(a, b))
             .collect();
-        all.sort();
-        all.dedup();
-        assert!(
-            all.len() >= l,
-            "only {} distinct sensitive values released; ℓ = {l} unattainable",
-            all.len()
+        keeper.rows.extend(absorbed.rows);
+        // Only the merged class's diversity changed.
+        deficient.set(
+            keeper_idx,
+            distinct_sensitive(&classes[keeper_idx], source, sensitive_col) < l,
         );
     }
+    AnonymizedDataset::new(
+        source,
+        anon.qi_cols().to_vec(),
+        classes,
+        anon.suppressed_rows().to_vec(),
+        (0..anon.qi_cols().len())
+            .map(|qi| anon.taxonomy(qi).cloned())
+            .collect(),
+    )
+}
+
+/// Reference implementation of [`enforce_l_diversity`] that re-scans every
+/// class for deficiency after each merge. Kept as the oracle the
+/// bitmap-tracked version is tested against.
+///
+/// # Panics
+/// Panics if the total number of distinct sensitive values in the released
+/// rows is below `l`.
+pub fn enforce_l_diversity_scalar(
+    anon: &AnonymizedDataset,
+    source: &Dataset,
+    sensitive_col: usize,
+    l: usize,
+) -> AnonymizedDataset {
+    let mut classes: Vec<EquivalenceClass> = anon.classes().to_vec();
+    assert_attainable(&classes, source, sensitive_col, l);
     while let Some(bad_idx) = classes
         .iter()
         .position(|c| distinct_sensitive(c, source, sensitive_col) < l)
@@ -184,6 +266,27 @@ mod tests {
         let ds = dataset(50, 2, 902);
         let anon = mondrian_anonymize(&ds, &[0, 1], &MondrianConfig { k: 5 });
         let _ = enforce_l_diversity(&anon, &ds, 2, 5);
+    }
+
+    #[test]
+    fn bitmap_tracking_matches_full_rescan() {
+        // The bitmap-tracked merge loop must replay the oracle's merges
+        // exactly: same classes, same rows, same widened boxes.
+        for (n, n_diseases, k, l, seed) in [
+            (400, 8, 4, 3, 900),
+            (300, 5, 3, 4, 903),
+            (120, 6, 2, 3, 904),
+        ] {
+            let ds = dataset(n, n_diseases, seed);
+            let anon = mondrian_anonymize(&ds, &[0, 1], &MondrianConfig { k });
+            let fast = enforce_l_diversity(&anon, &ds, 2, l);
+            let slow = enforce_l_diversity_scalar(&anon, &ds, 2, l);
+            assert_eq!(fast.classes().len(), slow.classes().len());
+            for (a, b) in fast.classes().iter().zip(slow.classes()) {
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.qi_box, b.qi_box);
+            }
+        }
     }
 
     #[test]

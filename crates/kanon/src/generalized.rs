@@ -288,10 +288,7 @@ mod tests {
                 rows: vec![0, 1],
                 qi_box: vec![
                     GenValue::IntRange { lo: 30, hi: 39 },
-                    GenValue::IntRange {
-                        lo: day0,
-                        hi: day1,
-                    },
+                    GenValue::IntRange { lo: day0, hi: day1 },
                 ],
             }],
             vec![],

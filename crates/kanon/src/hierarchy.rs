@@ -63,7 +63,8 @@ impl Taxonomy {
         self.leaf_by_label.insert(label.to_owned(), id);
         // The parent is no longer a leaf.
         let children = &self.children;
-        self.leaf_by_label.retain(|_, &mut v| children[v].is_empty());
+        self.leaf_by_label
+            .retain(|_, &mut v| children[v].is_empty());
         id
     }
 
@@ -302,7 +303,10 @@ mod tests {
     #[test]
     fn leaves_under_groups() {
         let tax = paper_disease_taxonomy();
-        let pulm = tax.leaf_of_label("COVID").map(|c| tax.parent(c).unwrap()).unwrap();
+        let pulm = tax
+            .leaf_of_label("COVID")
+            .map(|c| tax.parent(c).unwrap())
+            .unwrap();
         let mut labels: Vec<&str> = tax
             .leaves_under(pulm)
             .into_iter()
@@ -320,7 +324,10 @@ mod tests {
             widths: vec![10, 20],
         };
         assert_eq!(h.max_level(), 3);
-        assert_eq!(h.generalize(&Value::Int(33), 0), GenValue::Exact(Value::Int(33)));
+        assert_eq!(
+            h.generalize(&Value::Int(33), 0),
+            GenValue::Exact(Value::Int(33))
+        );
         assert_eq!(
             h.generalize(&Value::Int(33), 1),
             GenValue::IntRange { lo: 30, hi: 39 }
@@ -343,11 +350,17 @@ mod tests {
         assert_eq!(h.max_level(), 5);
         assert_eq!(
             h.generalize(&Value::Int(12345), 1),
-            GenValue::IntRange { lo: 12340, hi: 12349 }
+            GenValue::IntRange {
+                lo: 12340,
+                hi: 12349
+            }
         );
         assert_eq!(
             h.generalize(&Value::Int(12345), 3),
-            GenValue::IntRange { lo: 12000, hi: 12999 }
+            GenValue::IntRange {
+                lo: 12000,
+                hi: 12999
+            }
         );
         assert_eq!(h.generalize(&Value::Int(12345), 5), GenValue::Suppressed);
     }

@@ -35,7 +35,7 @@ pub mod tcloseness;
 pub mod verify;
 
 pub use datafly::{datafly_anonymize, DataflyConfig};
-pub use enforce::enforce_l_diversity;
+pub use enforce::{enforce_l_diversity, enforce_l_diversity_scalar};
 pub use generalized::{AnonymizedDataset, EquivalenceClass, GenValue};
 pub use hierarchy::{AttributeHierarchy, Taxonomy};
 pub use ldiversity::{distinct_l_diversity, entropy_l_diversity, is_l_diverse};

@@ -222,9 +222,9 @@ fn make_class(ctx: &Ctx<'_>, rows: Vec<usize>) -> EquivalenceClass {
 mod tests {
     use super::*;
     use crate::verify::is_k_anonymous;
+    use rand::Rng;
     use so_data::rng::seeded_rng;
     use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema};
-    use rand::Rng;
 
     fn random_dataset(n: usize, seed: u64) -> Dataset {
         let schema = Schema::new(vec![
@@ -239,10 +239,10 @@ mod tests {
         let mut rng = seeded_rng(seed);
         for _ in 0..n {
             b.push_row(vec![
-                Value::Int(10_000 + rng.gen_range(0..50)),
+                Value::Int(10_000 + rng.gen_range(0..50i64)),
                 Value::Int(rng.gen_range(18..90)),
                 Value::Str(sexes[usize::from(rng.gen::<bool>())]),
-                Value::Str(diseases[rng.gen_range(0..3)]),
+                Value::Str(diseases[rng.gen_range(0..3usize)]),
             ]);
         }
         b.finish()
@@ -296,10 +296,7 @@ mod tests {
         let anon = mondrian_anonymize(&ds, &[0], &MondrianConfig { k: 2 });
         assert_eq!(anon.classes().len(), 1);
         // The box is exact because every member shares the value.
-        assert_eq!(
-            anon.classes()[0].qi_box[0],
-            GenValue::Exact(Value::Int(40))
-        );
+        assert_eq!(anon.classes()[0].qi_box[0], GenValue::Exact(Value::Int(40)));
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn t_closeness_categorical(
     source: &Dataset,
     sensitive_col: usize,
 ) -> f64 {
-    let global = value_distribution(&column_values(
-        source,
-        0..source.n_rows(),
-        sensitive_col,
-    ));
+    let global = value_distribution(&column_values(source, 0..source.n_rows(), sensitive_col));
     anon.classes()
         .iter()
         .map(|c| {
@@ -58,9 +54,8 @@ pub fn t_closeness_categorical(
             0.5 * keys
                 .into_iter()
                 .map(|k| {
-                    (global.get(k).copied().unwrap_or(0.0)
-                        - local.get(k).copied().unwrap_or(0.0))
-                    .abs()
+                    (global.get(k).copied().unwrap_or(0.0) - local.get(k).copied().unwrap_or(0.0))
+                        .abs()
                 })
                 .sum::<f64>()
         })
@@ -146,7 +141,10 @@ mod tests {
         (ds, anon)
     }
 
-    fn categorical_release(values: &[&str], classes: &[Vec<usize>]) -> (Dataset, AnonymizedDataset) {
+    fn categorical_release(
+        values: &[&str],
+        classes: &[Vec<usize>],
+    ) -> (Dataset, AnonymizedDataset) {
         let schema = Schema::new(vec![
             AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
             AttributeDef::new("disease", DataType::Str, AttributeRole::Sensitive),
@@ -170,20 +168,14 @@ mod tests {
 
     #[test]
     fn perfectly_mirrored_classes_have_zero_distance() {
-        let (ds, anon) = categorical_release(
-            &["A", "B", "A", "B"],
-            &[vec![0, 1], vec![2, 3]],
-        );
+        let (ds, anon) = categorical_release(&["A", "B", "A", "B"], &[vec![0, 1], vec![2, 3]]);
         assert!(t_closeness_categorical(&anon, &ds, 1) < 1e-12);
     }
 
     #[test]
     fn homogeneous_class_maximizes_tv() {
         // Global: 50/50. A pure-A class has TV distance 0.5.
-        let (ds, anon) = categorical_release(
-            &["A", "A", "B", "B"],
-            &[vec![0, 1], vec![2, 3]],
-        );
+        let (ds, anon) = categorical_release(&["A", "A", "B", "B"], &[vec![0, 1], vec![2, 3]]);
         let t = t_closeness_categorical(&anon, &ds, 1);
         assert!((t - 0.5).abs() < 1e-12, "t = {t}");
     }

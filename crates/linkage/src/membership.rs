@@ -11,15 +11,26 @@
 //! ```
 //!
 //! Members drag each published mean `μ̂_j` slightly toward their own value,
-//! so `D > threshold` indicates membership. More released attributes ⇒
-//! more signal; DP noise on the means destroys it. This is the paper's
-//! "membership attacks on aggregate genomic data" in executable form.
+//! so `D > τ` indicates membership. The decision threshold `τ` is
+//! *calibrated to the null*: for a non-member, `D` is a sum of `d`
+//! independent zero-mean terms `±(μ̂_j − f_j)`, so it is approximately
+//! `N(0, σ²)` with `σ² = Σ_j Var(μ̂_j)`; we flag at `τ = z·σ` with
+//! `z = 2.326` (a ≈1% false-positive rate). A fixed threshold of 0 would
+//! pin the false-positive rate at ½ no matter how much signal there is —
+//! the null is symmetric around 0 — capping the advantage at ½ forever.
+//! More released attributes ⇒ more signal; DP noise on the means inflates
+//! `σ` until the member shift drowns. This is the paper's "membership
+//! attacks on aggregate genomic data" in executable form.
 
 use rand::Rng;
 
 use so_data::dist::{ProductBernoulli, RecordDistribution};
-use so_data::BitVec;
+use so_data::{column_counts, BitVec};
 use so_dp::sample_laplace;
+
+/// Null quantile used to calibrate the decision threshold: `Φ(2.326) ≈
+/// 0.99`, i.e. a non-member is flagged with probability ≈ 1%.
+const NULL_Z: f64 = 2.326;
 
 /// Homer's test statistic for a target `t` given reference frequencies `f`
 /// and published study means `mu`.
@@ -68,12 +79,38 @@ impl Default for MembershipExperiment {
     }
 }
 
+impl MembershipExperiment {
+    /// The calibrated decision threshold `τ = z·σ_null` for one trial's
+    /// reference frequencies.
+    ///
+    /// For a non-member target, each term of Homer's statistic is
+    /// `±(μ̂_j − f_j)` with zero mean, so `Var(D) = Σ_j Var(μ̂_j)` where
+    /// `Var(μ̂_j) = f_j(1−f_j)/n` for an exact release, plus the Laplace
+    /// noise variance `2·(scale/n)²` per mean when the release is DP. The
+    /// threshold is the ≈99th percentile of that null distribution, so the
+    /// false-positive rate is ≈1% by construction and all remaining
+    /// advantage comes from the member shift `Σ_j 2f_j(1−f_j)/n`.
+    pub fn decision_threshold(&self, freqs: &[f64]) -> f64 {
+        let n = self.n_members as f64;
+        let mean_var: f64 = freqs.iter().map(|&f| f * (1.0 - f) / n).sum();
+        let dp_var = match self.dp_epsilon {
+            None => 0.0,
+            Some(eps) => {
+                let scale = 2.0 * self.d_attributes as f64 / eps;
+                self.d_attributes as f64 * 2.0 * (scale / n).powi(2)
+            }
+        };
+        NULL_Z * (mean_var + dp_var).sqrt()
+    }
+}
+
 /// Result of [`membership_advantage`].
 #[derive(Debug, Clone, Copy)]
 pub struct MembershipResult {
-    /// True-positive rate at threshold 0 (members flagged).
+    /// True-positive rate at the calibrated threshold (members flagged).
     pub true_positive_rate: f64,
-    /// False-positive rate at threshold 0 (non-members flagged).
+    /// False-positive rate at the calibrated threshold (non-members
+    /// flagged; ≈1% by construction).
     pub false_positive_rate: f64,
 }
 
@@ -87,7 +124,8 @@ impl MembershipResult {
 
 /// Estimates the attacker's advantage by Monte Carlo: repeatedly draw a
 /// study population, publish its means (exactly or with DP noise), and test
-/// Homer's statistic on one member and one non-member.
+/// Homer's statistic on one member and one non-member against the
+/// calibrated threshold [`MembershipExperiment::decision_threshold`].
 pub fn membership_advantage<R: Rng + ?Sized>(
     exp: &MembershipExperiment,
     rng: &mut R,
@@ -102,10 +140,9 @@ pub fn membership_advantage<R: Rng + ?Sized>(
             .collect();
         let dist = ProductBernoulli::new(freqs.clone());
         let members: Vec<BitVec> = dist.sample_n(exp.n_members, rng);
-        // Published means, exact or DP.
-        let counts: Vec<usize> = (0..exp.d_attributes)
-            .map(|j| members.iter().filter(|m| m.get(j)).count())
-            .collect();
+        // Published means, exact or DP. The per-attribute counts are the
+        // word-parallel column popcounts of the member matrix.
+        let counts = column_counts(&members, exp.d_attributes);
         let means: Vec<f64> = match exp.dp_epsilon {
             None => counts
                 .iter()
@@ -124,13 +161,15 @@ pub fn membership_advantage<R: Rng + ?Sized>(
                     .collect()
             }
         };
-        // One member probe, one non-member probe.
+        // One member probe, one non-member probe, against the calibrated
+        // null threshold.
+        let tau = exp.decision_threshold(&freqs);
         let member = &members[0];
         let outsider = dist.sample(rng);
-        if homer_statistic(member, &freqs, &means) > 0.0 {
+        if homer_statistic(member, &freqs, &means) > tau {
             tp += 1;
         }
-        if homer_statistic(&outsider, &freqs, &means) > 0.0 {
+        if homer_statistic(&outsider, &freqs, &means) > tau {
             fp += 1;
         }
     }
@@ -141,8 +180,8 @@ pub fn membership_advantage<R: Rng + ?Sized>(
 }
 
 /// Raw Homer-statistic samples for members and non-members, for
-/// threshold-free evaluation (ROC / AUC) instead of the fixed threshold-0
-/// advantage.
+/// threshold-free evaluation (ROC / AUC) instead of the calibrated
+/// single-threshold advantage.
 pub fn membership_score_samples<R: Rng + ?Sized>(
     exp: &MembershipExperiment,
     rng: &mut R,
@@ -155,9 +194,10 @@ pub fn membership_score_samples<R: Rng + ?Sized>(
             .collect();
         let dist = ProductBernoulli::new(freqs.clone());
         let members: Vec<BitVec> = dist.sample_n(exp.n_members, rng);
-        let means: Vec<f64> = (0..exp.d_attributes)
-            .map(|j| {
-                let c = members.iter().filter(|m| m.get(j)).count() as f64;
+        let means: Vec<f64> = column_counts(&members, exp.d_attributes)
+            .into_iter()
+            .map(|c| {
+                let c = c as f64;
                 match exp.dp_epsilon {
                     None => c / exp.n_members as f64,
                     Some(eps) => {

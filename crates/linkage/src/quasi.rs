@@ -6,7 +6,6 @@
 //! These functions quantify that phenomenon on any dataset: how many rows
 //! are unique (or in small crowds) under a given attribute combination.
 
-
 use so_data::Dataset;
 
 /// Fraction of rows whose value tuple over `cols` is unique in `ds`.
@@ -62,9 +61,7 @@ pub fn crowd_sizes(ds: &Dataset, cols: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use so_data::{
-        AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value,
-    };
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
 
     fn ds(vals: &[(i64, i64)]) -> Dataset {
         let schema = Schema::new(vec![

@@ -78,7 +78,9 @@ mod integration_tests {
         ));
         p.set_bound(0, Bound::at_least(3.0));
         p.set_bound(1, Bound::at_least(2.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.objective - 10.0).abs() < 1e-7);
         assert!((s.x[0] + s.x[1] - 10.0).abs() < 1e-7);
         assert!(s.x[0] >= 3.0 - 1e-9 && s.x[1] >= 2.0 - 1e-9);
@@ -112,9 +114,15 @@ mod integration_tests {
         p.set_bound(x, Bound::free());
         p.set_objective_coeff(e, 1.0);
         // x - e <= 3  and  x + e >= 3
-        p.add_constraint(Constraint::new(vec![(x, 1.0), (e, -1.0)], Relation::Le, 3.0));
+        p.add_constraint(Constraint::new(
+            vec![(x, 1.0), (e, -1.0)],
+            Relation::Le,
+            3.0,
+        ));
         p.add_constraint(Constraint::new(vec![(x, 1.0), (e, 1.0)], Relation::Ge, 3.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.x[x] - 3.0).abs() < 1e-7, "x = {}", s.x[x]);
         assert!(s.x[e].abs() < 1e-7);
     }
@@ -127,7 +135,9 @@ mod integration_tests {
         p.set_objective_coeff(1, 1.0);
         p.set_bound(0, Bound::between(0.0, 2.5));
         p.set_bound(1, Bound::between(0.0, 2.5));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.objective - 5.0).abs() < 1e-7);
     }
 
@@ -137,7 +147,9 @@ mod integration_tests {
         let mut p = Problem::new(1, Objective::Minimize);
         p.set_objective_coeff(0, 1.0);
         p.add_constraint(Constraint::new(vec![(0, -1.0)], Relation::Le, -4.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.objective - 4.0).abs() < 1e-7);
     }
 
@@ -150,13 +162,11 @@ mod integration_tests {
         p.set_objective_coeff(1, 1.0);
         for k in 1..=10 {
             let k = k as f64;
-            p.add_constraint(Constraint::new(
-                vec![(0, k), (1, k)],
-                Relation::Le,
-                2.0 * k,
-            ));
+            p.add_constraint(Constraint::new(vec![(0, k), (1, k)], Relation::Le, 2.0 * k));
         }
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.objective - 2.0).abs() < 1e-7);
     }
 
@@ -168,7 +178,9 @@ mod integration_tests {
         p.set_objective_coeff(0, 1.0);
         p.set_bound(0, Bound::at_least(-5.0));
         p.add_constraint(Constraint::new(vec![(0, 1.0)], Relation::Le, -1.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.x[0] + 5.0).abs() < 1e-7);
         assert!((s.objective + 5.0).abs() < 1e-7);
     }

@@ -222,11 +222,7 @@ mod tests {
     fn feasibility_checks_bounds_and_constraints() {
         let mut p = Problem::new(2, Objective::Minimize);
         p.set_bound(0, Bound::between(0.0, 1.0));
-        p.add_constraint(Constraint::new(
-            vec![(0, 1.0), (1, 1.0)],
-            Relation::Le,
-            2.0,
-        ));
+        p.add_constraint(Constraint::new(vec![(0, 1.0), (1, 1.0)], Relation::Le, 2.0));
         assert!(p.is_feasible(&[0.5, 1.0], 1e-9));
         assert!(!p.is_feasible(&[1.5, 0.0], 1e-9)); // violates upper bound
         assert!(!p.is_feasible(&[1.0, 1.5], 1e-9)); // violates constraint

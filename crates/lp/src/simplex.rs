@@ -238,10 +238,12 @@ impl Tableau {
             // Eliminate residual round-off in the pivot column explicitly.
             self.data[r * stride + col] = 0.0;
             // Keep constraint rows' rhs non-negative against drift.
-            if r < self.m && self.data[r * stride + self.n_total] < 0.0
-                && self.data[r * stride + self.n_total] > -1e-7 {
-                    self.data[r * stride + self.n_total] = 0.0;
-                }
+            if r < self.m
+                && self.data[r * stride + self.n_total] < 0.0
+                && self.data[r * stride + self.n_total] > -1e-7
+            {
+                self.data[r * stride + self.n_total] = 0.0;
+            }
         }
         self.basis[row] = col;
         self.iterations += 1;
@@ -287,8 +289,7 @@ impl Tableau {
                         // Exact comparison + Bland-style index tie-break:
                         // choosing a within-tolerance *larger* ratio would
                         // push another row's rhs negative and thrash.
-                        if ratio < bratio || (ratio == bratio && self.basis[r] < self.basis[br])
-                        {
+                        if ratio < bratio || (ratio == bratio && self.basis[r] < self.basis[br]) {
                             best = Some((r, ratio));
                         }
                     }
@@ -425,8 +426,7 @@ pub fn solve(p: &Problem, cfg: &SolverConfig) -> Result<Solution, LpError> {
         // Drive any remaining basic artificials out of the basis.
         for r in 0..m {
             if t.basis[r] >= first_artificial {
-                let pivot_col =
-                    (0..first_artificial).find(|&c| t.at(r, c).abs() > cfg.tolerance);
+                let pivot_col = (0..first_artificial).find(|&c| t.at(r, c).abs() > cfg.tolerance);
                 match pivot_col {
                     Some(c) => t.pivot(r, c),
                     None => {
@@ -490,7 +490,9 @@ mod tests {
     #[test]
     fn trivial_zero_problem() {
         let p = Problem::new(2, Objective::Minimize);
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert_eq!(s.x, vec![0.0, 0.0]);
         assert_eq!(s.objective, 0.0);
     }
@@ -501,7 +503,9 @@ mod tests {
         let mut p = Problem::new(1, Objective::Minimize);
         p.set_objective_coeff(0, 2.0);
         p.add_constraint(Constraint::new(vec![(0, 1.0)], Relation::Eq, 7.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.x[0] - 7.0).abs() < 1e-8);
         assert!((s.objective - 14.0).abs() < 1e-8);
     }
@@ -511,12 +515,10 @@ mod tests {
         // min x s.t. (0.5 + 0.5)x >= 3 → x = 3.
         let mut p = Problem::new(1, Objective::Minimize);
         p.set_objective_coeff(0, 1.0);
-        p.add_constraint(Constraint::new(
-            vec![(0, 0.5), (0, 0.5)],
-            Relation::Ge,
-            3.0,
-        ));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        p.add_constraint(Constraint::new(vec![(0, 0.5), (0, 0.5)], Relation::Ge, 3.0));
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!((s.x[0] - 3.0).abs() < 1e-8);
     }
 
@@ -526,13 +528,11 @@ mod tests {
         let mut p = Problem::new(2, Objective::Minimize);
         p.set_objective_coeff(0, 1.0);
         for _ in 0..2 {
-            p.add_constraint(Constraint::new(
-                vec![(0, 1.0), (1, 1.0)],
-                Relation::Eq,
-                4.0,
-            ));
+            p.add_constraint(Constraint::new(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 4.0));
         }
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!(s.x[0].abs() < 1e-8);
         assert!((s.x[1] - 4.0).abs() < 1e-8);
     }
@@ -541,11 +541,7 @@ mod tests {
     fn iteration_limit_is_reported() {
         let mut p = Problem::new(2, Objective::Maximize);
         p.set_objective_coeff(0, 1.0);
-        p.add_constraint(Constraint::new(
-            vec![(0, 1.0), (1, 1.0)],
-            Relation::Le,
-            1.0,
-        ));
+        p.add_constraint(Constraint::new(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0));
         let cfg = SolverConfig {
             max_iterations: 0,
             ..SolverConfig::default()
@@ -567,9 +563,15 @@ mod tests {
             Relation::Le,
             10.0,
         ));
-        p.add_constraint(Constraint::new(vec![(0, 1.0), (1, -1.0)], Relation::Ge, -2.0));
+        p.add_constraint(Constraint::new(
+            vec![(0, 1.0), (1, -1.0)],
+            Relation::Ge,
+            -2.0,
+        ));
         p.add_constraint(Constraint::new(vec![(1, 1.0), (2, 1.0)], Relation::Eq, 6.0));
-        let s = solve(&p, &SolverConfig::default()).unwrap().expect_optimal();
+        let s = solve(&p, &SolverConfig::default())
+            .unwrap()
+            .expect_optimal();
         assert!(p.is_feasible(&s.x, 1e-6), "solution {:?}", s.x);
     }
 }

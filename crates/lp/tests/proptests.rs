@@ -23,7 +23,8 @@ struct GeneratedLp {
 
 fn arb_feasible_lp() -> impl Strategy<Value = GeneratedLp> {
     (2usize..6, 1usize..7).prop_flat_map(|(n_vars, n_rows)| {
-        let witness = proptest::collection::vec((0i32..=20).prop_map(|v| f64::from(v) / 2.0), n_vars);
+        let witness =
+            proptest::collection::vec((0i32..=20).prop_map(|v| f64::from(v) / 2.0), n_vars);
         let objective = proptest::collection::vec(small_f64(), n_vars);
         let row = (
             proptest::collection::vec(small_f64(), n_vars),
@@ -67,11 +68,7 @@ fn build(glp: &GeneratedLp, sense: Objective, boxed: bool) -> Problem {
         }
     }
     for (coeffs, rel, rhs) in &glp.rows {
-        let sparse: Vec<(usize, f64)> = coeffs
-            .iter()
-            .enumerate()
-            .map(|(v, &a)| (v, a))
-            .collect();
+        let sparse: Vec<(usize, f64)> = coeffs.iter().enumerate().map(|(v, &a)| (v, a)).collect();
         p.add_constraint(Constraint::new(sparse, *rel, *rhs));
     }
     p

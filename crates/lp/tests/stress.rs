@@ -5,7 +5,13 @@ use so_lp::{solve, Bound, Constraint, Objective, Problem, Relation, SolverConfig
 fn lp_decode_shape_stress() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     use rand::SeedableRng;
-    for &(n, m) in &[(16usize, 64usize), (24, 96), (32, 128), (64, 256), (96, 384)] {
+    for &(n, m) in &[
+        (16usize, 64usize),
+        (24, 96),
+        (32, 128),
+        (64, 256),
+        (96, 384),
+    ] {
         let x: Vec<f64> = (0..n).map(|_| f64::from(rng.gen::<bool>() as u8)).collect();
         let mut p = Problem::new(n + m, Objective::Minimize);
         for i in 0..n {
@@ -25,7 +31,11 @@ fn lp_decode_shape_stress() {
         }
         let t = std::time::Instant::now();
         let sol = solve(&p, &SolverConfig::default());
-        eprintln!("n={n} m={m}: {:?} in {:?}", sol.as_ref().map(|s| s.is_optimal()), t.elapsed());
+        eprintln!(
+            "n={n} m={m}: {:?} in {:?}",
+            sol.as_ref().map(|s| s.is_optimal()),
+            t.elapsed()
+        );
         assert!(sol.is_ok(), "n={n} m={m}");
     }
 }

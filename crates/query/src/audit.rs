@@ -6,11 +6,21 @@
 //! second defence: it admits queries up to a cap, keeps a trail of what was
 //! asked, and reports usage, so experiments can show exactly when a query
 //! interface crosses into blatant non-privacy.
+//!
+//! The trail itself is bounded: a reconstruction run asks `m = 8n` queries,
+//! and retaining an owned description string for every one of them grows
+//! memory without limit. [`QueryAuditor::with_trail_cap`] keeps only the
+//! most recent records (dropping the oldest first) and
+//! [`QueryAuditor::without_trail`] disables retention entirely; the
+//! answered/refused counters stay exact in every configuration.
+
+use std::collections::VecDeque;
 
 /// One entry in the audit trail.
 #[derive(Debug, Clone)]
 pub struct AuditRecord {
-    /// Sequence number (0-based).
+    /// Sequence number (0-based, global — stable even after older records
+    /// have been evicted from a capped trail).
     pub seq: usize,
     /// The query's self-description.
     pub description: String,
@@ -22,17 +32,42 @@ pub struct AuditRecord {
 #[derive(Debug)]
 pub struct QueryAuditor {
     max_queries: Option<usize>,
-    trail: Vec<AuditRecord>,
+    /// `None` = unbounded retention; `Some(cap)` = keep the `cap` most
+    /// recent records (`Some(0)` = retain nothing).
+    trail_cap: Option<usize>,
+    trail: VecDeque<AuditRecord>,
+    seen: usize,
     answered: usize,
     refused: usize,
 }
 
 impl QueryAuditor {
-    /// Creates an auditor; `None` means unlimited.
+    /// Creates an auditor; `None` means unlimited queries. The trail is
+    /// unbounded — prefer [`QueryAuditor::with_trail_cap`] or
+    /// [`QueryAuditor::without_trail`] for long attack loops.
     pub fn new(max_queries: Option<usize>) -> Self {
+        Self::with_capacity(max_queries, None)
+    }
+
+    /// Creates an auditor whose trail retains at most `trail_cap` records,
+    /// evicting the oldest once full. Counters remain exact regardless.
+    pub fn with_trail_cap(max_queries: Option<usize>, trail_cap: usize) -> Self {
+        Self::with_capacity(max_queries, Some(trail_cap))
+    }
+
+    /// Creates an auditor that retains no trail at all (counters only) —
+    /// the right configuration for `m = 8n` reconstruction loops where the
+    /// per-query descriptions would dominate the attack's memory.
+    pub fn without_trail(max_queries: Option<usize>) -> Self {
+        Self::with_capacity(max_queries, Some(0))
+    }
+
+    fn with_capacity(max_queries: Option<usize>, trail_cap: Option<usize>) -> Self {
         QueryAuditor {
             max_queries,
-            trail: Vec::new(),
+            trail_cap,
+            trail: VecDeque::new(),
+            seen: 0,
             answered: 0,
             refused: 0,
         }
@@ -40,19 +75,26 @@ impl QueryAuditor {
 
     /// Records a query attempt; returns whether it may be answered.
     pub fn admit(&mut self, description: &str) -> bool {
-        let admitted = self
-            .max_queries
-            .is_none_or(|cap| self.answered < cap);
-        self.trail.push(AuditRecord {
-            seq: self.trail.len(),
-            description: description.to_owned(),
-            admitted,
-        });
+        let admitted = self.max_queries.is_none_or(|cap| self.answered < cap);
+        let seq = self.seen;
+        self.seen += 1;
         if admitted {
             self.answered += 1;
         } else {
             self.refused += 1;
         }
+        match self.trail_cap {
+            Some(0) => return admitted,
+            Some(cap) if self.trail.len() == cap => {
+                self.trail.pop_front();
+            }
+            Some(_) | None => {}
+        }
+        self.trail.push_back(AuditRecord {
+            seq,
+            description: description.to_owned(),
+            admitted,
+        });
         admitted
     }
 
@@ -66,20 +108,38 @@ impl QueryAuditor {
         self.refused
     }
 
-    /// Remaining budget (`None` = unlimited).
-    pub fn remaining(&self) -> Option<usize> {
-        self.max_queries.map(|cap| cap.saturating_sub(self.answered))
+    /// Total query attempts seen (answered + refused), independent of how
+    /// many trail records are retained.
+    pub fn queries_seen(&self) -> usize {
+        self.seen
     }
 
-    /// Full audit trail.
-    pub fn trail(&self) -> &[AuditRecord] {
-        &self.trail
+    /// Remaining budget (`None` = unlimited).
+    pub fn remaining(&self) -> Option<usize> {
+        self.max_queries
+            .map(|cap| cap.saturating_sub(self.answered))
+    }
+
+    /// The retained audit trail, oldest first. With a trail cap this is the
+    /// most recent window; check [`AuditRecord::seq`] against
+    /// [`QueryAuditor::queries_seen`] to detect evictions.
+    pub fn trail(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.trail.iter()
+    }
+
+    /// Number of records currently retained in the trail.
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn trail_vec(a: &QueryAuditor) -> Vec<&AuditRecord> {
+        a.trail().collect()
+    }
 
     #[test]
     fn unlimited_auditor_always_admits() {
@@ -111,7 +171,7 @@ mod tests {
         let mut a = QueryAuditor::new(Some(1));
         a.admit("first");
         a.admit("second");
-        let t = a.trail();
+        let t = trail_vec(&a);
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].seq, 0);
         assert!(t[0].admitted);
@@ -124,5 +184,49 @@ mod tests {
         let mut a = QueryAuditor::new(Some(0));
         assert!(!a.admit("q"));
         assert_eq!(a.queries_answered(), 0);
+    }
+
+    #[test]
+    fn trail_cap_drops_oldest_but_counts_stay_exact() {
+        let mut a = QueryAuditor::with_trail_cap(None, 3);
+        for i in 0..10 {
+            assert!(a.admit(&format!("q{i}")));
+        }
+        assert_eq!(a.queries_answered(), 10);
+        assert_eq!(a.queries_seen(), 10);
+        assert_eq!(a.trail_len(), 3);
+        let t = trail_vec(&a);
+        // The retained window is the most recent three, oldest first.
+        assert_eq!(t[0].seq, 7);
+        assert_eq!(t[0].description, "q7");
+        assert_eq!(t[2].seq, 9);
+        assert_eq!(t[2].description, "q9");
+    }
+
+    #[test]
+    fn without_trail_retains_nothing() {
+        let mut a = QueryAuditor::without_trail(Some(5));
+        for i in 0..8 {
+            a.admit(&format!("q{i}"));
+        }
+        assert_eq!(a.trail_len(), 0);
+        assert_eq!(a.queries_answered(), 5);
+        assert_eq!(a.queries_refused(), 3);
+        assert_eq!(a.queries_seen(), 8);
+        assert_eq!(a.remaining(), Some(0));
+    }
+
+    #[test]
+    fn trail_cap_interacts_with_query_cap() {
+        let mut a = QueryAuditor::with_trail_cap(Some(2), 2);
+        assert!(a.admit("a"));
+        assert!(a.admit("b"));
+        assert!(!a.admit("c"));
+        let t = trail_vec(&a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].description, "b");
+        assert!(t[0].admitted);
+        assert_eq!(t[1].description, "c");
+        assert!(!t[1].admitted);
     }
 }

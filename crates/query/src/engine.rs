@@ -6,26 +6,59 @@
 //! is the "statistical tables" interface the paper's introduction describes —
 //! an analyst asks how many individuals in a sub-population have a trait, and
 //! the engine answers.
+//!
+//! Execution is columnar: a predicate is compiled once into a packed
+//! [`SelectionVector`] bitmap by [`RowPredicate::scan`] (typed predicates
+//! read a column slice; compound predicates combine child bitmaps with
+//! word-level boolean ops), after which counting is a popcount and
+//! selection a bit-walk. The row-at-a-time implementations survive as
+//! `*_scalar` reference oracles.
 
-use so_data::Dataset;
+use std::collections::HashMap;
+
+use so_data::{Dataset, SelectionVector};
 
 use crate::audit::QueryAuditor;
 use crate::predicate::RowPredicate;
 
-/// Counts rows of `ds` matching `p`.
+/// Compiles `p` into a selection bitmap over the rows of `ds`.
+pub fn scan_dataset(ds: &Dataset, p: &dyn RowPredicate) -> SelectionVector {
+    p.scan(ds)
+}
+
+/// Counts rows of `ds` matching `p` (bitmap scan + popcount).
 pub fn count_dataset(ds: &Dataset, p: &dyn RowPredicate) -> usize {
+    p.scan(ds).count()
+}
+
+/// Returns the indices of rows matching `p` (bitmap scan + bit-walk).
+pub fn select_dataset(ds: &Dataset, p: &dyn RowPredicate) -> Vec<usize> {
+    p.scan(ds).indices()
+}
+
+/// Row-at-a-time count — the reference oracle for [`count_dataset`].
+pub fn count_dataset_scalar(ds: &Dataset, p: &dyn RowPredicate) -> usize {
     (0..ds.n_rows()).filter(|&r| p.eval_row(ds, r)).count()
 }
 
-/// Returns the indices of rows matching `p`.
-pub fn select_dataset(ds: &Dataset, p: &dyn RowPredicate) -> Vec<usize> {
+/// Row-at-a-time selection — the reference oracle for [`select_dataset`].
+pub fn select_dataset_scalar(ds: &Dataset, p: &dyn RowPredicate) -> Vec<usize> {
     (0..ds.n_rows()).filter(|&r| p.eval_row(ds, r)).collect()
 }
 
 /// A counting-query server over one dataset, with auditing.
+///
+/// Compiled predicate bitmaps are cached keyed by
+/// [`RowPredicate::describe`]: a repeated query (the shape of every
+/// reconstruction attack — the same subset predicates asked over and over)
+/// answers from a popcount of the cached bitmap without rescanning. The
+/// cache never needs invalidation because [`Dataset`] is immutable.
+/// Correctness of the cache requires `describe()` to be *faithful*:
+/// predicates with equal descriptions must select the same rows.
 pub struct CountingEngine<'a> {
     ds: &'a Dataset,
     auditor: QueryAuditor,
+    cache: HashMap<String, SelectionVector>,
 }
 
 impl<'a> CountingEngine<'a> {
@@ -34,6 +67,17 @@ impl<'a> CountingEngine<'a> {
         CountingEngine {
             ds,
             auditor: QueryAuditor::new(max_queries),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Serves `ds` with a pre-configured auditor (e.g. one with a bounded
+    /// or disabled audit trail for long attack loops).
+    pub fn with_auditor(ds: &'a Dataset, auditor: QueryAuditor) -> Self {
+        CountingEngine {
+            ds,
+            auditor,
+            cache: HashMap::new(),
         }
     }
 
@@ -41,10 +85,20 @@ impl<'a> CountingEngine<'a> {
     /// is exhausted (the "limit the number of queries" defence the paper
     /// mentions as one of the two ways to escape blatant non-privacy).
     pub fn count(&mut self, p: &dyn RowPredicate) -> Option<usize> {
-        if !self.auditor.admit(&p.describe()) {
+        let description = p.describe();
+        if !self.auditor.admit(&description) {
             return None;
         }
-        Some(count_dataset(self.ds, p))
+        let bitmap = self
+            .cache
+            .entry(description)
+            .or_insert_with(|| p.scan(self.ds));
+        Some(bitmap.count())
+    }
+
+    /// Number of distinct predicate bitmaps currently cached.
+    pub fn cached_predicates(&self) -> usize {
+        self.cache.len()
     }
 
     /// Read access to the audit trail.
@@ -90,6 +144,19 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_and_scalar_paths_agree() {
+        let ds = ds();
+        let p = IntRangePredicate {
+            col: 0,
+            lo: 15,
+            hi: 45,
+        };
+        assert_eq!(count_dataset(&ds, &p), count_dataset_scalar(&ds, &p));
+        assert_eq!(select_dataset(&ds, &p), select_dataset_scalar(&ds, &p));
+        assert_eq!(scan_dataset(&ds, &p).indices(), select_dataset(&ds, &p));
+    }
+
+    #[test]
     fn engine_counts_until_cap() {
         let ds = ds();
         let mut e = CountingEngine::new(&ds, Some(2));
@@ -118,5 +185,28 @@ mod tests {
             assert_eq!(e.count(&p), Some(3));
         }
         assert_eq!(e.auditor().queries_answered(), 100);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_bitmap_cache() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        let p = IntRangePredicate {
+            col: 0,
+            lo: 25,
+            hi: 100,
+        };
+        let q = IntRangePredicate {
+            col: 0,
+            lo: 0,
+            hi: 15,
+        };
+        for _ in 0..10 {
+            assert_eq!(e.count(&p), Some(3));
+            assert_eq!(e.count(&q), Some(1));
+        }
+        // Two distinct predicates → exactly two cached bitmaps.
+        assert_eq!(e.cached_predicates(), 2);
+        assert_eq!(e.auditor().queries_answered(), 20);
     }
 }

@@ -26,12 +26,15 @@ pub mod query;
 pub mod workload;
 
 pub use audit::{AuditRecord, QueryAuditor};
-pub use engine::{count_dataset, select_dataset, CountingEngine};
+pub use engine::{
+    count_dataset, count_dataset_scalar, scan_dataset, select_dataset, select_dataset_scalar,
+    CountingEngine,
+};
 pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
 pub use predicate::{
     canonical_bytes, AllRowPredicate, AndPredicate, BitExtractPredicate, FnPredicate,
-    IntRangePredicate, KeyedHashPredicate, NotPredicate, OrPredicate, Predicate,
-    PrefixPredicate, RowHashPredicate, RowPredicate, ValueEqualsPredicate,
+    IntRangePredicate, KeyedHashPredicate, NotPredicate, OrPredicate, Predicate, PrefixPredicate,
+    RowHashPredicate, RowPredicate, ValueEqualsPredicate,
 };
 pub use query::{count, matching_indices, CountQuery, SubsetQuery};
 pub use workload::{

@@ -93,16 +93,19 @@ impl<R: Rng> SubsetSumMechanism for BoundedNoiseSum<R> {
 }
 
 /// Adversarial rounding mechanism: deterministically rounds the true answer
-/// down to a multiple of `2α+1`, maximizing the attacker's confusion within
-/// the error budget. Used as the *worst-case* (for the attacker) instance of
-/// the bounded-error model in the reconstruction benchmarks.
+/// *down* to a multiple of `⌊α⌋ + 1`, maximizing the attacker's confusion
+/// within the error budget. An integer truth sits at most `⌊α⌋ ≤ α` above
+/// the grid point below it, so every answer satisfies `|answer − truth| ≤ α`
+/// — the exact error model of Theorem 1.1. Used as the *worst-case* (for
+/// the attacker) instance of the bounded-error model in the reconstruction
+/// benchmarks.
 pub struct RoundingSum {
     x: BitVec,
     alpha: f64,
 }
 
 impl RoundingSum {
-    /// Serves `x`, rounding answers to the grid of spacing `2α+1`.
+    /// Serves `x`, flooring answers to the grid of spacing `⌊α⌋ + 1`.
     ///
     /// # Panics
     /// Panics if `alpha` is negative or non-finite.
@@ -110,14 +113,19 @@ impl RoundingSum {
         assert!(alpha >= 0.0 && alpha.is_finite(), "bad alpha {alpha}");
         RoundingSum { x, alpha }
     }
+
+    /// The grid spacing `⌊α⌋ + 1` the answers land on.
+    pub fn grid(&self) -> f64 {
+        self.alpha.floor() + 1.0
+    }
 }
 
 impl SubsetSumMechanism for RoundingSum {
     fn answer(&mut self, query: &SubsetQuery) -> f64 {
         let truth = query.true_answer(&self.x) as f64;
-        let grid = 2.0 * self.alpha + 1.0;
-        // Nearest grid point: error at most α (for integer truths).
-        (truth / grid).round() * grid
+        // Floor to the grid: an integer truth exceeds the grid point below
+        // it by at most grid − 1 = ⌊α⌋ ≤ α.
+        (truth / self.grid()).floor() * self.grid()
     }
 
     fn n(&self) -> usize {
@@ -169,14 +177,19 @@ mod tests {
 
     #[test]
     fn rounding_mechanism_error_bounded() {
-        let alpha = 3.0;
-        let mut m = RoundingSum::new(secret(), alpha);
-        for a in 0..8 {
-            for b in 0..8 {
-                let q = SubsetQuery::from_indices(8, &[a, b]);
-                let truth = q.true_answer(&secret()) as f64;
-                let ans = m.answer(&q);
-                assert!((ans - truth).abs() <= alpha + 0.5 + 1e-12);
+        // The Theorem 1.1 contract: |answer − truth| ≤ α for integer truths.
+        for alpha in [0.0, 1.0, 2.5, 3.0, 7.9] {
+            let mut m = RoundingSum::new(secret(), alpha);
+            for a in 0..8 {
+                for b in 0..8 {
+                    let q = SubsetQuery::from_indices(8, &[a, b]);
+                    let truth = q.true_answer(&secret()) as f64;
+                    let ans = m.answer(&q);
+                    assert!(
+                        (ans - truth).abs() <= alpha + 1e-12,
+                        "alpha {alpha}: |{ans} - {truth}| > {alpha}"
+                    );
+                }
             }
         }
     }
@@ -188,7 +201,18 @@ mod tests {
         let a1 = m.answer(&q);
         let a2 = m.answer(&q);
         assert_eq!(a1, a2);
-        // Answers land on the grid of spacing 3.
-        assert_eq!(a1.rem_euclid(3.0), 0.0);
+        // Answers land on the grid of spacing ⌊α⌋ + 1 = 2.
+        assert_eq!(m.grid(), 2.0);
+        assert_eq!(a1.rem_euclid(2.0), 0.0);
+    }
+
+    #[test]
+    fn rounding_floors_rather_than_rounds_to_nearest() {
+        // Truth 4 with α = 3 → grid 4 → answer 4; truth 3 → answer 0.
+        let mut m = RoundingSum::new(secret(), 3.0);
+        let q4 = SubsetQuery::from_indices(8, &[0, 2, 3, 6]); // truth 4
+        assert_eq!(m.answer(&q4), 4.0);
+        let q3 = SubsetQuery::from_indices(8, &[0, 2, 3]); // truth 3
+        assert_eq!(m.answer(&q3), 0.0);
     }
 }

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use so_data::rng::keyed_hash;
-use so_data::{BitVec, Dataset, Value};
+use so_data::{BitVec, Dataset, SelectionVector, Value};
 
 /// A boolean predicate over records of type `R`.
 pub trait Predicate<R: ?Sized>: Send + Sync {
@@ -198,11 +198,18 @@ impl Predicate<BitVec> for PrefixPredicate {
         if record.len() < self.prefix.len() {
             return false;
         }
-        self.prefix.iter().enumerate().all(|(i, &b)| record.get(i) == b)
+        self.prefix
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| record.get(i) == b)
     }
 
     fn describe(&self) -> String {
-        let bits: String = self.prefix.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let bits: String = self
+            .prefix
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         format!("prefix == {bits}")
     }
 }
@@ -316,6 +323,18 @@ pub trait RowPredicate: Send + Sync {
     /// Evaluates the predicate on row `row` of `ds`.
     fn eval_row(&self, ds: &Dataset, row: usize) -> bool;
 
+    /// Evaluates the predicate over *every* row at once, returning a
+    /// selection bitmap (bit `i` set iff row `i` matches).
+    ///
+    /// The default implementation is the row-at-a-time loop and serves as
+    /// the reference oracle; typed predicates override it with columnar
+    /// scan kernels that read one column slice and combine results with
+    /// word-level boolean ops. Implementations must agree exactly with
+    /// [`RowPredicate::eval_row`] on every row.
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        SelectionVector::from_fn(ds.n_rows(), |row| self.eval_row(ds, row))
+    }
+
     /// Human-readable description.
     fn describe(&self) -> String {
         "<row predicate>".to_owned()
@@ -340,6 +359,17 @@ impl RowPredicate for IntRangePredicate {
             .is_some_and(|v| v >= self.lo && v <= self.hi)
     }
 
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        let col = ds.column(self.col);
+        match col.int_values() {
+            Some(vals) => SelectionVector::from_column(vals, col.missing_mask(), |&v| {
+                v >= self.lo && v <= self.hi
+            }),
+            // Non-Int column: as_int() is always None, nothing matches.
+            None => SelectionVector::none(ds.n_rows()),
+        }
+    }
+
     fn describe(&self) -> String {
         format!("col{} in [{}, {}]", self.col, self.lo, self.hi)
     }
@@ -359,6 +389,43 @@ impl RowPredicate for ValueEqualsPredicate {
         ds.get(row, self.col) == self.value
     }
 
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        let col = ds.column(self.col);
+        let missing = col.missing_mask();
+        match &self.value {
+            // `Missing == Missing` holds under Value's total order, so the
+            // Missing target selects exactly the masked rows.
+            Value::Missing => SelectionVector::from_fn(ds.n_rows(), |i| missing[i]),
+            Value::Int(x) => match col.int_values() {
+                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+                None => SelectionVector::none(ds.n_rows()),
+            },
+            // Value's float order is total_cmp, which separates -0.0 from
+            // +0.0 and equates NaN with itself; mirror it bit-exactly.
+            Value::Float(x) => match col.float_values() {
+                Some(vals) => SelectionVector::from_column(vals, missing, |v| {
+                    v.total_cmp(x) == std::cmp::Ordering::Equal
+                }),
+                None => SelectionVector::none(ds.n_rows()),
+            },
+            Value::Str(x) => match col.str_values() {
+                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+                None => SelectionVector::none(ds.n_rows()),
+            },
+            Value::Bool(x) => match col.bool_values() {
+                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+                None => SelectionVector::none(ds.n_rows()),
+            },
+            Value::Date(x) => match col.date_values() {
+                Some(vals) => {
+                    let day = x.day_number();
+                    SelectionVector::from_column(vals, missing, |&v| v == day)
+                }
+                None => SelectionVector::none(ds.n_rows()),
+            },
+        }
+    }
+
     fn describe(&self) -> String {
         format!("col{} == {}", self.col, self.value)
     }
@@ -373,6 +440,19 @@ pub struct AllRowPredicate {
 impl RowPredicate for AllRowPredicate {
     fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
         self.parts.iter().all(|p| p.eval_row(ds, row))
+    }
+
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        // Each conjunct scans its column once; the conjunction is a
+        // word-level AND of the resulting bitmaps.
+        let mut acc = SelectionVector::all(ds.n_rows());
+        for p in &self.parts {
+            acc.and_assign(&p.scan(ds));
+            if acc.is_none() {
+                break;
+            }
+        }
+        acc
     }
 
     fn describe(&self) -> String {
@@ -410,29 +490,49 @@ impl RowPredicate for RowHashPredicate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use so_data::rng::seeded_rng;
-    use so_data::{
-        AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, UniformBits,
-    };
     use so_data::dist::RecordDistribution;
+    use so_data::rng::seeded_rng;
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, UniformBits};
 
     #[test]
     fn combinators_follow_boolean_algebra() {
         let t = FnPredicate::<BitVec>::new("true", |_| true);
         let f = FnPredicate::<BitVec>::new("false", |_| false);
         let r = BitVec::zeros(4);
-        assert!(AndPredicate { left: &t, right: &t }.eval(&r));
-        assert!(!AndPredicate { left: &t, right: &f }.eval(&r));
-        assert!(OrPredicate { left: &f, right: &t }.eval(&r));
-        assert!(!OrPredicate { left: &f, right: &f }.eval(&r));
+        assert!(AndPredicate {
+            left: &t,
+            right: &t
+        }
+        .eval(&r));
+        assert!(!AndPredicate {
+            left: &t,
+            right: &f
+        }
+        .eval(&r));
+        assert!(OrPredicate {
+            left: &f,
+            right: &t
+        }
+        .eval(&r));
+        assert!(!OrPredicate {
+            left: &f,
+            right: &f
+        }
+        .eval(&r));
         assert!(NotPredicate { inner: &f }.eval(&r));
         assert!(!NotPredicate { inner: &t }.eval(&r));
     }
 
     #[test]
     fn describe_composes() {
-        let a = BitExtractPredicate { bit: 0, value: true };
-        let b = BitExtractPredicate { bit: 1, value: false };
+        let a = BitExtractPredicate {
+            bit: 0,
+            value: true,
+        };
+        let b = BitExtractPredicate {
+            bit: 1,
+            value: false,
+        };
         let c = AndPredicate { left: a, right: b };
         assert_eq!(c.describe(), "(bit[0] == 1) AND (bit[1] == 0)");
     }
@@ -457,9 +557,7 @@ mod tests {
         let mut rng = seeded_rng(9);
         let p = KeyedHashPredicate::new(0xfeed, 8, 3);
         let n = 20_000;
-        let hits = (0..n)
-            .filter(|_| p.eval(&d.sample(&mut rng)))
-            .count();
+        let hits = (0..n).filter(|_| p.eval(&d.sample(&mut rng))).count();
         let frac = hits as f64 / n as f64;
         assert!(
             (frac - p.design_weight()).abs() < 0.01,

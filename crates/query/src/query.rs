@@ -160,7 +160,10 @@ mod tests {
             BitVec::from_bools(&[false, false]),
             BitVec::from_bools(&[true, true]),
         ];
-        let q = CountQuery::new(BitExtractPredicate { bit: 0, value: true });
+        let q = CountQuery::new(BitExtractPredicate {
+            bit: 0,
+            value: true,
+        });
         assert_eq!(q.answer(&records), 2);
     }
 

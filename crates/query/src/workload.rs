@@ -81,8 +81,7 @@ mod tests {
         let mut rng = seeded_rng(800);
         let w = random_subset_workload(100, 200, 0.25, &mut rng);
         assert_eq!(w.len(), 200);
-        let mean_size: f64 =
-            w.iter().map(|q| q.size() as f64).sum::<f64>() / w.len() as f64;
+        let mean_size: f64 = w.iter().map(|q| q.size() as f64).sum::<f64>() / w.len() as f64;
         assert!((20.0..=30.0).contains(&mean_size), "mean size {mean_size}");
     }
 

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use so_data::BitVec;
 use so_query::{
-    count, AndPredicate, BitExtractPredicate, FnPredicate, NotPredicate, OrPredicate,
-    Predicate, PrefixPredicate, SubsetQuery,
+    count, AndPredicate, BitExtractPredicate, FnPredicate, NotPredicate, OrPredicate, Predicate,
+    PrefixPredicate, SubsetQuery,
 };
 
 fn arb_bits(len: usize) -> impl Strategy<Value = BitVec> {
@@ -69,5 +69,129 @@ proptest! {
         let direct = BitExtractPredicate { bit, value: true };
         let wrapped = FnPredicate::<BitVec>::new("wrap", move |x| x.get(bit));
         prop_assert_eq!(direct.eval(&r), wrapped.eval(&r));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap scan kernels vs the row-at-a-time oracle.
+// ---------------------------------------------------------------------------
+
+use so_data::{
+    AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, SelectionVector, Value,
+};
+use so_query::{
+    count_dataset, count_dataset_scalar, scan_dataset, select_dataset, select_dataset_scalar,
+    AllRowPredicate, IntRangePredicate, RowPredicate, ValueEqualsPredicate,
+};
+
+/// Arbitrary two-column dataset (Int with missings, Str with missings).
+/// Row counts range over 1..200, so tail words with `n % 64 != 0` are the
+/// common case and exact multiples of 64 are exercised too.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // (present?, value) pairs stand in for Option strategies.
+    proptest::collection::vec(
+        (
+            (any::<bool>(), -50i64..50).prop_map(|(p, v)| p.then_some(v)),
+            (any::<bool>(), 0usize..4).prop_map(|(p, v)| p.then_some(v)),
+        ),
+        1..200,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![
+            AttributeDef::new("a", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("s", DataType::Str, AttributeRole::Sensitive),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        let syms: Vec<_> = (0..4).map(|i| b.intern(&format!("v{i}"))).collect();
+        for (a, s) in rows {
+            b.push_row(vec![
+                a.map_or(Value::Missing, Value::Int),
+                s.map_or(Value::Missing, |i| Value::Str(syms[i])),
+            ]);
+        }
+        b.finish()
+    })
+}
+
+/// The oracle bitmap: evaluate `eval_row` on every row.
+fn oracle_scan(ds: &Dataset, p: &dyn RowPredicate) -> SelectionVector {
+    SelectionVector::from_fn(ds.n_rows(), |r| p.eval_row(ds, r))
+}
+
+proptest! {
+    /// The typed int-range kernel agrees with the row-at-a-time oracle on
+    /// count, selection, and every individual bit.
+    #[test]
+    fn int_range_scan_matches_oracle(
+        ds in arb_dataset(),
+        lo in -60i64..60,
+        span in 0i64..60,
+    ) {
+        let p = IntRangePredicate { col: 0, lo, hi: lo + span };
+        let bitmap = scan_dataset(&ds, &p);
+        prop_assert_eq!(&bitmap, &oracle_scan(&ds, &p));
+        prop_assert_eq!(count_dataset(&ds, &p), count_dataset_scalar(&ds, &p));
+        prop_assert_eq!(select_dataset(&ds, &p), select_dataset_scalar(&ds, &p));
+    }
+
+    /// The value-equality kernel (Str and Missing targets) agrees with the
+    /// oracle. Matching `Value::Missing` selects exactly the masked rows.
+    #[test]
+    fn value_equals_scan_matches_oracle(ds in arb_dataset(), pick in 0usize..5) {
+        let value = if pick == 4 {
+            Value::Missing
+        } else {
+            // A symbol actually present in the dataset's interner.
+            match (0..ds.n_rows()).map(|r| ds.get(r, 1)).find(|v| *v != Value::Missing) {
+                Some(v) => v,
+                None => Value::Missing,
+            }
+        };
+        let p = ValueEqualsPredicate { col: 1, value };
+        prop_assert_eq!(&scan_dataset(&ds, &p), &oracle_scan(&ds, &p));
+        prop_assert_eq!(count_dataset(&ds, &p), count_dataset_scalar(&ds, &p));
+    }
+
+    /// Word-level AND/OR/NOT on scan bitmaps equals pointwise boolean
+    /// algebra on the oracle, including the tail word.
+    #[test]
+    fn bitmap_algebra_matches_pointwise(
+        ds in arb_dataset(),
+        lo in -60i64..60,
+        span in 0i64..60,
+    ) {
+        let a = IntRangePredicate { col: 0, lo, hi: lo + span };
+        let b = IntRangePredicate { col: 0, lo: lo + span / 2, hi: lo + span + 10 };
+        let (va, vb) = (scan_dataset(&ds, &a), scan_dataset(&ds, &b));
+        let and = va.and(&vb);
+        let or = va.or(&vb);
+        let not_a = va.not();
+        for r in 0..ds.n_rows() {
+            let (ea, eb) = (a.eval_row(&ds, r), b.eval_row(&ds, r));
+            prop_assert_eq!(and.get(r), ea && eb, "AND row {}", r);
+            prop_assert_eq!(or.get(r), ea || eb, "OR row {}", r);
+            prop_assert_eq!(not_a.get(r), !ea, "NOT row {}", r);
+        }
+        // Tail invariant: complements never leak bits past n_rows.
+        prop_assert_eq!(not_a.count(), ds.n_rows() - va.count());
+    }
+
+    /// The conjunction scan (word-level AND with early exit) equals the
+    /// row-at-a-time conjunction.
+    #[test]
+    fn all_predicate_scan_matches_oracle(
+        ds in arb_dataset(),
+        lo in -60i64..60,
+        span in 0i64..60,
+    ) {
+        let p = AllRowPredicate {
+            parts: vec![
+                Box::new(IntRangePredicate { col: 0, lo, hi: lo + span }),
+                Box::new(IntRangePredicate { col: 0, lo: lo - 5, hi: lo + span / 2 }),
+            ],
+        };
+        prop_assert_eq!(&scan_dataset(&ds, &p), &oracle_scan(&ds, &p));
+        prop_assert_eq!(count_dataset(&ds, &p), count_dataset_scalar(&ds, &p));
+        prop_assert_eq!(select_dataset(&ds, &p), select_dataset_scalar(&ds, &p));
     }
 }

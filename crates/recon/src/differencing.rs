@@ -12,14 +12,19 @@ use so_query::{SubsetQuery, SubsetSumMechanism};
 
 /// Reconstructs `x` from an exact mechanism with `n + 1` queries: one for
 /// the full set and one for each complement-of-singleton.
+///
+/// Queries are built by toggling one bit of a shared all-ones membership
+/// bitmap, so constructing each complement-of-singleton costs `O(n/64)`
+/// words rather than an `O(n)` index vector.
 pub fn differencing_attack(mechanism: &mut dyn SubsetSumMechanism) -> BitVec {
     let n = mechanism.n();
-    let all: Vec<usize> = (0..n).collect();
-    let total = mechanism.answer(&SubsetQuery::from_indices(n, &all));
+    let mut mask = BitVec::ones(n);
+    let total = mechanism.answer(&SubsetQuery::new(mask.clone()));
     let mut x = BitVec::zeros(n);
     for t in 0..n {
-        let without: Vec<usize> = (0..n).filter(|&i| i != t).collect();
-        let partial = mechanism.answer(&SubsetQuery::from_indices(n, &without));
+        mask.set(t, false);
+        let partial = mechanism.answer(&SubsetQuery::new(mask.clone()));
+        mask.set(t, true);
         x.set(t, (total - partial).round() >= 1.0);
     }
     x
@@ -36,16 +41,16 @@ pub fn averaging_differencing_attack(
 ) -> BitVec {
     assert!(repeats >= 1, "need at least one repetition");
     let n = mechanism.n();
-    let all: Vec<usize> = (0..n).collect();
-    let all_q = SubsetQuery::from_indices(n, &all);
+    let mut mask = BitVec::ones(n);
     let avg = |mech: &mut dyn SubsetSumMechanism, q: &SubsetQuery| -> f64 {
         (0..repeats).map(|_| mech.answer(q)).sum::<f64>() / repeats as f64
     };
-    let total = avg(mechanism, &all_q);
+    let total = avg(mechanism, &SubsetQuery::new(mask.clone()));
     let mut x = BitVec::zeros(n);
     for t in 0..n {
-        let without: Vec<usize> = (0..n).filter(|&i| i != t).collect();
-        let partial = avg(mechanism, &SubsetQuery::from_indices(n, &without));
+        mask.set(t, false);
+        let partial = avg(mechanism, &SubsetQuery::new(mask.clone()));
+        mask.set(t, true);
         x.set(t, total - partial >= 0.5);
     }
     x

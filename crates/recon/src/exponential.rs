@@ -79,11 +79,11 @@ pub fn exhaustive_reconstruct(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reconstruction_accuracy;
     use so_data::dist::RecordDistribution;
     use so_data::rng::seeded_rng;
     use so_data::UniformBits;
     use so_query::{BoundedNoiseSum, ExactSum};
-    use crate::reconstruction_accuracy;
 
     fn random_secret(n: usize, seed: u64) -> BitVec {
         // One record = the whole dataset here: sample n independent bits.

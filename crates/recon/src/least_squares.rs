@@ -102,7 +102,11 @@ pub fn least_squares_reconstruct<R: Rng>(
     }
     let norm_bound = row_sums.iter().fold(0.0f64, |a, &b| a.max(b))
         * col_sums.iter().fold(0.0f64, |a, &b| a.max(b));
-    let step = if norm_bound > 0.0 { 1.0 / norm_bound } else { 1.0 };
+    let step = if norm_bound > 0.0 {
+        1.0 / norm_bound
+    } else {
+        1.0
+    };
 
     let mut x = vec![0.5f64; n];
     let mut residuals = vec![0.0f64; m];
@@ -196,12 +200,8 @@ mod tests {
         let alpha = 0.5 * (n as f64).sqrt();
         let x = random_secret(n, 22);
         let mut m = BoundedNoiseSum::new(x.clone(), alpha, seeded_rng(23));
-        let r = least_squares_reconstruct(
-            &mut m,
-            8 * n,
-            &LsqConfig::default(),
-            &mut seeded_rng(24),
-        );
+        let r =
+            least_squares_reconstruct(&mut m, 8 * n, &LsqConfig::default(), &mut seeded_rng(24));
         let acc = reconstruction_accuracy(&x, &r.reconstruction);
         assert!(acc >= 0.85, "accuracy {acc}");
     }
@@ -211,12 +211,8 @@ mod tests {
         let n = 32;
         let x = random_secret(n, 25);
         let mut m = BoundedNoiseSum::new(x, 3.0, seeded_rng(26));
-        let r = least_squares_reconstruct(
-            &mut m,
-            4 * n,
-            &LsqConfig::default(),
-            &mut seeded_rng(27),
-        );
+        let r =
+            least_squares_reconstruct(&mut m, 4 * n, &LsqConfig::default(), &mut seeded_rng(27));
         for &v in &r.fractional {
             assert!((0.0..=1.0).contains(&v));
         }
@@ -229,12 +225,22 @@ mod tests {
         let x = random_secret(n, 28);
         let light = {
             let mut m = BoundedNoiseSum::new(x.clone(), 1.0, seeded_rng(29));
-            let r = least_squares_reconstruct(&mut m, 6 * n, &LsqConfig::default(), &mut seeded_rng(30));
+            let r = least_squares_reconstruct(
+                &mut m,
+                6 * n,
+                &LsqConfig::default(),
+                &mut seeded_rng(30),
+            );
             reconstruction_accuracy(&x, &r.reconstruction)
         };
         let heavy = {
             let mut m = BoundedNoiseSum::new(x.clone(), n as f64 / 2.0, seeded_rng(31));
-            let r = least_squares_reconstruct(&mut m, 6 * n, &LsqConfig::default(), &mut seeded_rng(32));
+            let r = least_squares_reconstruct(
+                &mut m,
+                6 * n,
+                &LsqConfig::default(),
+                &mut seeded_rng(32),
+            );
             reconstruction_accuracy(&x, &r.reconstruction)
         };
         assert!(

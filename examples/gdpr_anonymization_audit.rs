@@ -12,9 +12,9 @@
 use singling_out::core::attackers::{KAnonClassAttacker, PrefixDescentAttacker};
 use singling_out::core::game::{run_pso_game, BitModel, GameConfig, TabularModel};
 use singling_out::core::legal::{dp_singling_out_assessment, kanon_singling_out_theorem};
-use singling_out::core::report::AuditReport;
 use singling_out::core::mechanisms::{AdaptiveCountOracle, Anonymizer, KAnonMechanism};
 use singling_out::core::negligible::NegligibilityPolicy;
+use singling_out::core::report::AuditReport;
 use singling_out::data::dist::{AttributeDistribution, Categorical, RowDistribution};
 use singling_out::data::rng::seeded_rng;
 use singling_out::data::{AttributeDef, AttributeRole, DataType, Schema};
@@ -111,7 +111,9 @@ fn main() {
     // Assemble the full audit report (§2.4.3: privacy claims should be
     // published with their falsifiable supporting analysis).
     let report = AuditReport::new("GDPR anonymization audit — synthetic medical data")
-        .context(&format!("n = {n} records, {trials} game trials per claim, seeded"))
+        .context(&format!(
+            "n = {n} records, {trials} game trials per claim, seeded"
+        ))
         .context("negligibility policy: weight <= n^-2")
         .claim(kanon_claim)
         .claim(dp_claim);

@@ -9,11 +9,11 @@
 //! counts, screening many hypotheses with the sparse vector technique, and
 //! empirically auditing a mechanism's ε claim.
 
+use rand::Rng;
 use singling_out::data::rng::seeded_rng;
 use singling_out::dp::{
     audit_dp_pair, DpAuditConfig, LaplaceCount, PrivacyAccountant, SparseVector, SvtAnswer,
 };
-use rand::Rng;
 
 fn main() {
     let mut rng = seeded_rng(314);

@@ -34,7 +34,9 @@ fn main() {
     // 2. Theorem 2.5: a single exact count is PSO-secure.
     let model = BitModel::uniform(64);
     let count_pred: Arc<dyn singling_out::core::isolation::PsoPredicate<BitVec>> =
-        Arc::new(FnPsoPredicate::new("bit0", Some(0.5), |r: &BitVec| r.get(0)));
+        Arc::new(FnPsoPredicate::new("bit0", Some(0.5), |r: &BitVec| {
+            r.get(0)
+        }));
     let res = run_pso_game(
         &model,
         &CountMechanism::<BitModel>::new(count_pred),

@@ -15,8 +15,7 @@ use singling_out::data::UniformBits;
 use singling_out::dp::LaplaceSum;
 use singling_out::query::BoundedNoiseSum;
 use singling_out::recon::{
-    averaging_differencing_attack, exhaustive_reconstruct, lp_reconstruct,
-    reconstruction_accuracy,
+    averaging_differencing_attack, exhaustive_reconstruct, lp_reconstruct, reconstruction_accuracy,
 };
 
 fn main() {

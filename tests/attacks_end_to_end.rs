@@ -4,8 +4,8 @@
 
 use singling_out::census::reconstruct::records_matched_within;
 use singling_out::census::{
-    commercial_database, reconstruct_block, reidentify, tabulate_block, CensusConfig,
-    CensusData, CommercialConfig, Person, SolverBudget,
+    commercial_database, reconstruct_block, reidentify, tabulate_block, CensusConfig, CensusData,
+    CommercialConfig, Person, SolverBudget,
 };
 use singling_out::data::dist::RecordDistribution;
 use singling_out::data::population::{Population, PopulationConfig};
@@ -97,8 +97,7 @@ fn sweeney_linkage_works_at_small_scale() {
         &vq,
         voters.column_index("person_id").unwrap(),
     );
-    let in_voters: std::collections::HashSet<usize> =
-        pop.voter_rows().iter().copied().collect();
+    let in_voters: std::collections::HashSet<usize> = pop.voter_rows().iter().copied().collect();
     let truth: Vec<Option<i64>> = (0..med.n_rows())
         .map(|i| in_voters.contains(&i).then_some(i as i64))
         .collect();

@@ -19,11 +19,9 @@
 use singling_out::data::{
     AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value,
 };
-use singling_out::kanon::hierarchy::paper_disease_taxonomy;
-use singling_out::kanon::{
-    is_k_anonymous, AnonymizedDataset, GenValue,
-};
 use singling_out::kanon::generalized::EquivalenceClass;
+use singling_out::kanon::hierarchy::paper_disease_taxonomy;
+use singling_out::kanon::{is_k_anonymous, AnonymizedDataset, GenValue};
 
 fn paper_dataset() -> Dataset {
     let schema = Schema::new(vec![
@@ -58,7 +56,10 @@ fn paper_dataset() -> Dataset {
 fn paper_release(ds: &Dataset) -> AnonymizedDataset {
     let mut tax = paper_disease_taxonomy();
     tax.bind_symbols(ds.interner());
-    let pulm = tax.leaf_of_label("COVID").map(|c| tax.parent(c).unwrap()).unwrap();
+    let pulm = tax
+        .leaf_of_label("COVID")
+        .map(|c| tax.parent(c).unwrap())
+        .unwrap();
     let f = ds.interner().get("F").unwrap();
     let covid = ds.interner().get("COVID").unwrap();
     let top = EquivalenceClass {
@@ -73,10 +74,13 @@ fn paper_release(ds: &Dataset) -> AnonymizedDataset {
     let bottom = EquivalenceClass {
         rows: vec![2, 3],
         qi_box: vec![
-            GenValue::IntRange { lo: 12340, hi: 12349 }, // 1234*
-            GenValue::IntRange { lo: 30, hi: 39 },       // 30-39
-            GenValue::Suppressed,                        // Sex *
-            GenValue::CategoryNode(pulm),                // PULM
+            GenValue::IntRange {
+                lo: 12340,
+                hi: 12349,
+            }, // 1234*
+            GenValue::IntRange { lo: 30, hi: 39 }, // 30-39
+            GenValue::Suppressed,                  // Sex *
+            GenValue::CategoryNode(pulm),          // PULM
         ],
     };
     AnonymizedDataset::new(

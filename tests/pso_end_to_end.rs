@@ -6,9 +6,7 @@ use singling_out::core::attackers::{
     intersection_exposure, KAnonClassAttacker, PrefixDescentAttacker,
 };
 use singling_out::core::game::{run_pso_game, BitModel, DataModel, GameConfig, TabularModel};
-use singling_out::core::legal::{
-    dp_singling_out_assessment, kanon_singling_out_theorem, Verdict,
-};
+use singling_out::core::legal::{dp_singling_out_assessment, kanon_singling_out_theorem, Verdict};
 use singling_out::core::mechanisms::{AdaptiveCountOracle, Anonymizer, KAnonMechanism};
 use singling_out::core::negligible::NegligibilityPolicy;
 use singling_out::core::stats::Z999;

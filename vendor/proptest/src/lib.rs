@@ -1,0 +1,684 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a small property-testing engine with the same surface syntax:
+//! the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`]
+//! macros, the [`Strategy`](strategy::Strategy) combinators (`prop_map`,
+//! `prop_flat_map`, `boxed`), `any::<T>()`, `Just`, ranges, tuples,
+//! `collection::vec`, a `[a-b]{lo,hi}` string pattern subset, and
+//! `num::f64::NORMAL`.
+//!
+//! Differences from upstream proptest, deliberate for an offline test rig:
+//! cases are generated from a per-test deterministic seed (fully reproducible
+//! runs), and failing cases are reported but not shrunk.
+
+#![forbid(unsafe_code)]
+
+/// Test-case driving: configuration, RNG, and the case loop.
+pub mod test_runner {
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed test case (produced by `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test generator (xoshiro256++ seeded from the test
+    /// name and case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// RNG for one (test, case) pair.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name gives each test its own stream family.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h ^ (u64::from(case) << 32) ^ u64::from(case);
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                // splitmix64 expansion; never yields the all-zero state.
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)` without modulo bias.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            let threshold = bound.wrapping_neg() % bound;
+            loop {
+                let m = u128::from(self.next_u64()) * u128::from(bound);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives `config.cases` generated cases through `body`, panicking with
+    /// the case number on the first failure. No shrinking: the failing input
+    /// is reported by the assertion message, and the run is reproducible.
+    pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest `{test_name}` failed at case {case} of {}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Value-generation strategies and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of same-valued strategies (backs `prop_oneof!`).
+    pub struct OneOf<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        /// Panics if `choices` is empty or all weights are zero.
+        pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            OneOf { choices, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.choices {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights changed mid-generate")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty => $uty:ty),* $(,)?) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                    self.start.wrapping_add(rng.below(span) as $uty as $ty)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $uty).wrapping_sub(lo as $uty) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $uty as $ty;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $uty as $ty)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            // 53-bit grid over [0, 1]; both endpoints reachable.
+            let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            lo + (hi - lo) * u
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// String pattern strategy. Supports the `[a-b]{lo,hi}` subset of regex
+    /// syntax: one character class given as an inclusive range, repeated a
+    /// uniform number of times.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo_ch, hi_ch, lo_n, hi_n) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+            let n = lo_n + rng.below((hi_n - lo_n + 1) as u64) as usize;
+            (0..n)
+                .map(|_| {
+                    let span = hi_ch as u32 - lo_ch as u32 + 1;
+                    char::from_u32(lo_ch as u32 + rng.below(u64::from(span)) as u32)
+                        .expect("class range stays in valid chars")
+                })
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(char, char, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let mut chars = rest.chars();
+        let lo_ch = chars.next()?;
+        if chars.next()? != '-' {
+            return None;
+        }
+        let hi_ch = chars.next()?;
+        let rest = chars.as_str().strip_prefix(']')?;
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo_n, hi_n) = counts.split_once(',')?;
+        let (lo_n, hi_n) = (lo_n.parse().ok()?, hi_n.parse().ok()?);
+        (lo_ch <= hi_ch && lo_n <= hi_n).then_some((lo_ch, hi_ch, lo_n, hi_n))
+    }
+
+    /// `any::<T>()`: the canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Generates one value covering the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// `Vec` strategy: length uniform in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Generates normal (finite, non-zero-exponent) `f64` values of
+        /// either sign across the full magnitude range.
+        pub const NORMAL: Normal = Normal;
+
+        /// See [`NORMAL`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let sign = rng.next_u64() & (1 << 63);
+                // Biased exponent in [1, 2046]: excludes zero/subnormal
+                // (0) and infinity/NaN (2047).
+                let exp = 1 + rng.below(2046);
+                let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                f64::from_bits(sign | (exp << 52) | mantissa)
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, re-exported.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Picks among strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![9 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        A(i64),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds; tuples and vec compose.
+        #[test]
+        fn ranges_and_collections(
+            x in -50i64..50,
+            (a, b) in (0u8..10, 0usize..=3),
+            v in crate::collection::vec(any::<bool>(), 0..8),
+        ) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert!(b <= 3);
+            prop_assert!(v.len() < 8);
+        }
+
+        /// Weighted oneof mixes boxed heterogeneous strategies.
+        #[test]
+        fn oneof_and_maps(t in prop_oneof![3 => (0i64..5).prop_map(Tag::A).boxed(), 1 => Just(Tag::B)]) {
+            match t {
+                Tag::A(x) => prop_assert!((0..5).contains(&x)),
+                Tag::B => {}
+            }
+        }
+
+        /// Pattern strings honor the class and length bounds.
+        #[test]
+        fn string_pattern(s in "[a-f]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='f').contains(&c)));
+        }
+
+        /// NORMAL yields finite, classifiable-normal floats.
+        #[test]
+        fn normal_floats(x in crate::num::f64::NORMAL) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x.is_normal());
+        }
+
+        /// flat_map threads the outer value into the inner strategy.
+        #[test]
+        fn flat_map_consistent((n, v) in (1usize..6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(any::<u64>(), n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_number() {
+        crate::test_runner::run_cases(
+            ProptestConfig::with_cases(10),
+            "always_fails",
+            |_rng| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a small, self-contained implementation of the traits it relies on:
+//! [`RngCore`], [`Rng`], [`SeedableRng`], the [`Standard`](distributions::Standard)
+//! distribution, uniform ranges for `gen_range`, and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ (Blackman & Vigna) seeded through splitmix64.
+//! It is a high-quality non-cryptographic generator; the workspace only uses
+//! seeded, reproducible streams for experiments and tests, never security-
+//! sensitive randomness. Stream values differ from upstream `rand`'s ChaCha12
+//! `StdRng`, which is fine: nothing in the workspace depends on the exact
+//! stream, only on statistical quality and determinism per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`](distributions::Standard)
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform value from `[0, bound)` without modulo bias
+/// (Lemire's multiply-shift rejection method).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // threshold = 2^64 mod bound; rejecting products whose low half falls
+    // below it leaves every residue equally likely.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(bound);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty => $uty:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                let off = uniform_below(rng, span);
+                self.start.wrapping_add(off as $uty as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as $uty).wrapping_sub(lo as $uty) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $uty as $ty;
+                }
+                let off = uniform_below(rng, span + 1);
+                lo.wrapping_add(off as $uty as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = unit_f64(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in gen_range");
+        // 53-bit grid over [0, 1]; the endpoint is reachable, matching the
+        // inclusive contract closely enough for bounded-noise sampling.
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Uniform in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Distributions over typed values.
+pub mod distributions {
+    use super::{unit_f64, Rng};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a primitive type: uniform over the
+    /// whole domain for integers and `bool`, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            // Use the high bit: xoshiro's upper bits are its strongest.
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<i128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+            let wide: u128 = Standard.sample(rng);
+            wide as i128
+        }
+    }
+}
+
+/// Seeding support for reproducible generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with splitmix64 so
+    /// nearby seeds give uncorrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = Splitmix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// splitmix64 stepper used for seed expansion.
+struct Splitmix64(u64);
+
+impl Splitmix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Splitmix64};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// 256 bits of state, period 2^256 − 1, passes BigCrush. Not
+    /// cryptographically secure — the workspace never needs that.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // The all-zero state is a fixed point of xoshiro; remap it.
+            if s == [0; 4] {
+                let mut sm = Splitmix64(0x9E37_79B9_7F4A_7C15);
+                for word in &mut s {
+                    *word = sm.next();
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Standard};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        // Degenerate inclusive range is fine.
+        assert_eq!(rng.gen_range(5u8..=5), 5);
+        let x = rng.gen_range(-0.0f64..=0.0);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4700..5300).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_dyn_and_unsized() {
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = takes_unsized(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+        let direct: f64 = Standard.sample(&mut rng);
+        assert!((0.0..1.0).contains(&direct));
+    }
+}
