@@ -1,0 +1,199 @@
+//! Gatekeeper mode: the lint verdict wired into the counting engine.
+//!
+//! A [`GatedEngine`] wraps a [`CountingEngine`] behind the static verdict of
+//! [`lint_workload`]: the declared workload is linted once at construction,
+//! and if any pass denies, *every* query is refused before execution — the
+//! engine never touches the data, and each refusal lands in the audit trail
+//! tagged with the lint code that vetoed the workload. Refusing is a static
+//! decision with a citable reason, which is exactly the defence the paper
+//! says a query-serving system needs against "overly accurate answers to too
+//! many questions".
+
+use so_query::engine::CountingEngine;
+use so_query::predicate::RowPredicate;
+
+use crate::lint::{lint_workload, LintConfig, LintReport, Severity};
+use crate::workload::WorkloadSpec;
+
+/// A counting engine behind a static workload gate.
+///
+/// Construction lints the declared workload; queries are only ever executed
+/// when the verdict admits it. The underlying auditor sees every attempt:
+/// admitted queries through the normal path, gated refusals via
+/// [`so_query::QueryAuditor::refuse_with`] with the deny finding's lint code
+/// in the description.
+pub struct GatedEngine<'a> {
+    engine: CountingEngine<'a>,
+    report: LintReport,
+}
+
+impl<'a> GatedEngine<'a> {
+    /// Lints `workload` with `cfg` and places `engine` behind the verdict.
+    pub fn new(engine: CountingEngine<'a>, workload: &mut WorkloadSpec, cfg: &LintConfig) -> Self {
+        let report = lint_workload(workload, cfg);
+        GatedEngine { engine, report }
+    }
+
+    /// True iff the gate admits the workload (no deny-severity finding).
+    pub fn is_open(&self) -> bool {
+        !self.report.denies()
+    }
+
+    /// The lint report the verdict is based on.
+    pub fn report(&self) -> &LintReport {
+        &self.report
+    }
+
+    /// Answers a counting query if the gate is open, else records a refusal
+    /// (with the vetoing lint code) and returns `None` — the engine never
+    /// evaluates a predicate of a denied workload.
+    pub fn count(&mut self, p: &dyn RowPredicate) -> Option<usize> {
+        if let Some(code) = self.deny_code() {
+            self.engine
+                .auditor_mut()
+                .refuse_with(|| format!("[gate: {code}] {}", p.describe()));
+            return None;
+        }
+        self.engine.count(p)
+    }
+
+    /// The lint code of the first deny finding, if any.
+    fn deny_code(&self) -> Option<&'static str> {
+        self.report
+            .findings
+            .iter()
+            .find(|f| f.severity == Severity::Deny)
+            .map(|f| f.lint.code())
+    }
+
+    /// Read access to the wrapped engine (auditor, cache statistics).
+    pub fn engine(&self) -> &CountingEngine<'a> {
+        &self.engine
+    }
+
+    /// Unwraps the engine, discarding the gate.
+    pub fn into_inner(self) -> CountingEngine<'a> {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Noise;
+    use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+    use so_query::predicate::{
+        AllRowPredicate, IntRangePredicate, KeyedHashPredicate, NotRowPredicate, RowHashPredicate,
+    };
+
+    fn ds(n: usize) -> Dataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "age",
+            DataType::Int,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int((i % 90) as i64)]);
+        }
+        b.finish()
+    }
+
+    /// The hash-tracker differencing pair: `A`, `A ∧ ¬H`.
+    fn tracker_pair() -> (AllRowPredicate, AllRowPredicate) {
+        let range = IntRangePredicate {
+            col: 0,
+            lo: 0,
+            hi: 1000,
+        };
+        let hash = RowHashPredicate {
+            hash: KeyedHashPredicate::new(0xBEEF, 256, 0),
+            cols: vec![0],
+        };
+        let a = AllRowPredicate {
+            parts: vec![Box::new(range.clone())],
+        };
+        let b = AllRowPredicate {
+            parts: vec![
+                Box::new(range),
+                Box::new(NotRowPredicate {
+                    inner: Box::new(hash),
+                }),
+            ],
+        };
+        (a, b)
+    }
+
+    #[test]
+    fn flagged_workload_is_refused_before_any_answer() {
+        let data = ds(100);
+        let (a, b) = tracker_pair();
+        let mut w = WorkloadSpec::new(data.n_rows());
+        w.push_predicate(&a, Noise::Exact);
+        w.push_predicate(&b, Noise::Exact);
+        let mut gated = GatedEngine::new(
+            CountingEngine::new(&data, None),
+            &mut w,
+            &LintConfig::default(),
+        );
+        assert!(!gated.is_open());
+        assert_eq!(gated.count(&a), None);
+        assert_eq!(gated.count(&b), None);
+        let auditor = gated.engine().auditor();
+        assert_eq!(auditor.queries_answered(), 0, "no query was ever answered");
+        assert_eq!(auditor.queries_refused(), 2);
+        // The refusal reason is the differencing lint's code.
+        let trail: Vec<_> = auditor.trail().collect();
+        assert!(trail.iter().all(|r| !r.admitted));
+        assert!(
+            trail[0].description.starts_with("[gate: SO-DIFF]"),
+            "citable reason in the trail: {}",
+            trail[0].description
+        );
+    }
+
+    #[test]
+    fn clean_workload_flows_through() {
+        let data = ds(100);
+        let young = IntRangePredicate {
+            col: 0,
+            lo: 0,
+            hi: 39,
+        };
+        let old = IntRangePredicate {
+            col: 0,
+            lo: 40,
+            hi: 200,
+        };
+        let mut w = WorkloadSpec::new(data.n_rows());
+        w.push_predicate(&young, Noise::Exact);
+        w.push_predicate(&old, Noise::Exact);
+        let mut gated = GatedEngine::new(
+            CountingEngine::new(&data, None),
+            &mut w,
+            &LintConfig::default(),
+        );
+        assert!(gated.is_open());
+        assert_eq!(gated.report().verdict(), "PASS");
+        let total = gated.count(&young).unwrap() + gated.count(&old).unwrap();
+        assert_eq!(total, data.n_rows());
+        assert_eq!(gated.engine().auditor().queries_answered(), 2);
+        assert_eq!(gated.engine().auditor().queries_refused(), 0);
+    }
+
+    #[test]
+    fn same_pair_under_dp_noise_is_admitted() {
+        let data = ds(100);
+        let (a, b) = tracker_pair();
+        let mut w = WorkloadSpec::new(data.n_rows());
+        let dp = Noise::PureDp { epsilon: 0.1 };
+        w.push_predicate(&a, dp);
+        w.push_predicate(&b, dp);
+        let gated = GatedEngine::new(
+            CountingEngine::new(&data, None),
+            &mut w,
+            &LintConfig::default(),
+        );
+        assert!(gated.is_open(), "{:?}", gated.report().findings);
+    }
+}

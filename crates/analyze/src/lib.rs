@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! # so-analyze — static predicate-algebra IR and workload linter
+//!
+//! The paper's central observation is that singling-out risk is a property
+//! of the *query workload*, not of any single answer: Dinur–Nissim
+//! reconstruction (Theorem 1.1) and the differencing / composition attacks
+//! (Theorems 2.7–2.10) are all recognizable in the structure of the queries
+//! alone, before a single count is released. This crate makes that
+//! recognition a first-class, pre-execution subsystem:
+//!
+//! * [`ir`] — a canonical predicate-algebra IR: `RowPredicate` trees are
+//!   lifted into an interned [`ir::PredPool`] with constant folding, NNF
+//!   normalization, and a stable structural hash that replaces fragile
+//!   `describe()` strings;
+//! * [`workload`] — [`workload::WorkloadSpec`], the declared plan of a
+//!   workload (queries plus noise annotations), the object the lints run
+//!   over;
+//! * [`lint`] — the static passes: differencing / tracker detection,
+//!   Dinur–Nissim reconstruction density, ε-budget precheck against the
+//!   `so-dp` accountant, and tautology/contradiction/duplicate hygiene;
+//! * [`gate`] — [`gate::GatedEngine`], a gatekeeper-mode
+//!   [`so_query::CountingEngine`] that refuses a statically flagged
+//!   workload before answering any query, with the lint verdict recorded in
+//!   the audit trail as a citable reason.
+
+pub mod gate;
+pub mod ir;
+pub mod lint;
+pub mod workload;
+
+pub use gate::GatedEngine;
+pub use ir::{Atom, ExprId, PredNode, PredPool};
+pub use lint::{
+    lint_workload, lint_workload_default, Finding, LintConfig, LintId, LintReport, Severity,
+};
+pub use workload::{Noise, QueryKind, QuerySpec, WorkloadSpec};

@@ -1,0 +1,882 @@
+//! Static lint passes over declared workloads.
+//!
+//! Each pass recognizes one of the paper's attack *shapes* in a
+//! [`WorkloadSpec`] before any query executes:
+//!
+//! * **differencing** — pairs `A`, `A ∧ ¬B` (equivalently nested subset
+//!   queries) whose symbolic residue provably covers at most `t` rows: the
+//!   shape of every tracker attack, and the `m = 2` special case of the
+//!   Theorem 1.1 reconstruction premise ("overly accurate answers to too
+//!   many questions");
+//! * **reconstruction density** — workloads whose query/row ratio crosses
+//!   the Dinur–Nissim regimes: the exhaustive `2^n`-query attack of
+//!   Theorem 1.1(i) (error tolerance `α = o(n)`) and the polynomial
+//!   LP-decoding attack of Theorem 1.1(ii) (`m ≳ 4n` queries at
+//!   `α = O(√n)`);
+//! * **ε-budget precheck** — statically sums worst-case privacy cost
+//!   against a [`PrivacyAccountant`] (basic composition) so an over-budget
+//!   workload is refused before its first answer, and exact-release queries
+//!   are rejected outright under an ε-gated policy;
+//! * **tautology / contradiction / duplicate** — dead queries and repeated
+//!   queries that waste budget and alias cache keys.
+//!
+//! Findings carry a lint id, severity, the offending query indices, and a
+//! human-readable explanation — a refusal with a citable reason.
+
+use std::collections::{HashMap, HashSet};
+
+use so_data::BitVec;
+use so_dp::PrivacyAccountant;
+
+use crate::ir::ExprId;
+use crate::workload::{Noise, QueryKind, WorkloadSpec};
+
+/// Identity of a lint pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintId {
+    /// Pair differencing / tracker shape (Theorem 1.1 with `m = 2`).
+    Differencing,
+    /// Dinur–Nissim reconstruction density (Theorem 1.1(i)/(ii)).
+    ReconstructionDensity,
+    /// Worst-case privacy cost exceeds the configured ε budget.
+    BudgetExceeded,
+    /// A query that matches every record.
+    Tautology,
+    /// A query that matches no record.
+    Contradiction,
+    /// A query repeated verbatim (structurally) under exact release.
+    Duplicate,
+}
+
+impl LintId {
+    /// Stable machine-facing lint code.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::Differencing => "SO-DIFF",
+            LintId::ReconstructionDensity => "SO-RECON",
+            LintId::BudgetExceeded => "SO-BUDGET",
+            LintId::Tautology => "SO-TAUT",
+            LintId::Contradiction => "SO-CONTRA",
+            LintId::Duplicate => "SO-DUP",
+        }
+    }
+}
+
+impl std::fmt::Display for LintId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably unsafe; the workload may still run.
+    Warn,
+    /// Provable attack shape; a gatekeeper must refuse the workload.
+    Deny,
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which pass fired.
+    pub lint: LintId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Offending query indices (declaration order); empty when the finding
+    /// concerns the workload as a whole.
+    pub queries: Vec<usize>,
+    /// Human-readable explanation with the paper grounding.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        };
+        write!(f, "[{sev}] {}", self.lint)?;
+        if !self.queries.is_empty() {
+            let ids: Vec<String> = self.queries.iter().map(|q| format!("#{q}")).collect();
+            write!(f, " (queries {})", ids.join(", "))?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of linting a workload.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in pass order.
+    pub findings: Vec<Finding>,
+    /// Number of query pairs the differencing pass examined.
+    pub pairs_examined: usize,
+    /// True iff a pass stopped early on its pair budget or finding cap —
+    /// the absence of further findings is then *not* evidence of safety.
+    pub truncated: bool,
+}
+
+impl LintReport {
+    /// True iff any finding is [`Severity::Deny`] — the gatekeeper verdict.
+    pub fn denies(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Deny)
+    }
+
+    /// Number of findings from one pass.
+    pub fn count(&self, lint: LintId) -> usize {
+        self.findings.iter().filter(|f| f.lint == lint).count()
+    }
+
+    /// The findings of one pass, in order.
+    pub fn findings_for(&self, lint: LintId) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.lint == lint).collect()
+    }
+
+    /// One-word verdict for tables and logs.
+    pub fn verdict(&self) -> &'static str {
+        if self.denies() {
+            "REFUSE"
+        } else if self.findings.is_empty() {
+            "PASS"
+        } else {
+            "WARN"
+        }
+    }
+}
+
+/// Tunables for the lint passes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Differencing fires when a residue provably covers at most this many
+    /// rows (the `t` of "can isolate ≤ t rows"). Default 1 — strict
+    /// singling out.
+    pub isolation_threshold: usize,
+    /// LP-regime density threshold: deny when the workload holds at least
+    /// `lp_ratio · n` sufficiently-accurate queries. Theorem 1.1(ii) needs
+    /// `m = Θ(n)`; 4 is the customary constant ("Linear Program
+    /// Reconstruction in Practice" succeeds well below it).
+    pub lp_ratio: f64,
+    /// A query counts toward the LP regime when its effective error is at
+    /// most `lp_alpha_factor · √n` (Theorem 1.1(ii)'s `α = O(√n)`).
+    pub lp_alpha_factor: f64,
+    /// When set, the ε-budget pass prechecks the workload's worst-case cost
+    /// against a fresh accountant with this budget, and flags exact-release
+    /// queries as unbounded cost.
+    pub epsilon_budget: Option<f64>,
+    /// Upper bound on query pairs the differencing pass examines before
+    /// truncating (quadratic-blowup guard; the density pass still covers
+    /// huge workloads).
+    pub pair_budget: usize,
+    /// Per-lint cap on reported findings (diagnostic noise guard).
+    pub max_findings_per_lint: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            isolation_threshold: 1,
+            lp_ratio: 4.0,
+            lp_alpha_factor: 1.0,
+            epsilon_budget: None,
+            pair_budget: 2_000_000,
+            max_findings_per_lint: 8,
+        }
+    }
+}
+
+/// A query as the lints see it: index, release noise, and either an exact
+/// membership mask or a canonical (NNF) predicate id.
+enum LintItem {
+    Subset { mask: BitVec },
+    Pred { nnf: ExprId },
+}
+
+/// Two releases whose combined worst-case error cannot blur a count by a
+/// whole row: their difference is pinned to a unique integer, so residue
+/// arithmetic is exact. Pure DP never qualifies (unbounded worst case).
+fn effectively_exact(a: Noise, b: Noise) -> bool {
+    let bound = |n: Noise| match n {
+        Noise::Exact => Some(0.0),
+        Noise::Bounded { alpha } => Some(alpha),
+        Noise::PureDp { .. } => None,
+    };
+    match (bound(a), bound(b)) {
+        (Some(x), Some(y)) => x + y < 0.5,
+        _ => false,
+    }
+}
+
+/// Runs every lint pass over `workload` and collects the findings.
+///
+/// The workload is taken `&mut` because the differencing pass interns
+/// symbolic residues (`A ∧ ¬B`) into the workload's own pool; no queries
+/// are added, removed, or reordered.
+pub fn lint_workload(workload: &mut WorkloadSpec, cfg: &LintConfig) -> LintReport {
+    let n = workload.n_rows();
+    let noises: Vec<Noise> = workload.queries().iter().map(|q| q.noise).collect();
+
+    // Canonicalize every predicate query to NNF up front (pool mutation),
+    // then snapshot the per-query lint view.
+    let raw: Vec<Option<ExprId>> = workload
+        .queries()
+        .iter()
+        .map(|q| match &q.kind {
+            QueryKind::Pred(id) => Some(*id),
+            QueryKind::Subset(_) => None,
+        })
+        .collect();
+    let nnf: Vec<Option<ExprId>> = raw
+        .iter()
+        .map(|id| id.map(|id| workload.pool_mut().nnf(id)))
+        .collect();
+    let items: Vec<LintItem> = workload
+        .queries()
+        .iter()
+        .zip(&nnf)
+        .map(|(q, nnf)| match &q.kind {
+            QueryKind::Subset(mask) => LintItem::Subset { mask: mask.clone() },
+            QueryKind::Pred(_) => LintItem::Pred {
+                nnf: nnf.expect("pred query has an nnf id"),
+            },
+        })
+        .collect();
+
+    let mut report = LintReport::default();
+    dead_and_duplicate_pass(workload, &items, &noises, cfg, &mut report);
+    differencing_pass(workload, &items, &noises, n, cfg, &mut report);
+    density_pass(&noises, n, cfg, &mut report);
+    budget_pass(&noises, cfg, &mut report);
+    report
+}
+
+/// Convenience: [`lint_workload`] with [`LintConfig::default`].
+pub fn lint_workload_default(workload: &mut WorkloadSpec) -> LintReport {
+    lint_workload(workload, &LintConfig::default())
+}
+
+fn dead_and_duplicate_pass(
+    workload: &WorkloadSpec,
+    items: &[LintItem],
+    noises: &[Noise],
+    cfg: &LintConfig,
+    report: &mut LintReport,
+) {
+    let mut dead = 0usize;
+    let mut dups = 0usize;
+    // Structural identity: pool id for predicates, mask words for subsets.
+    let mut seen: HashMap<(u8, Vec<u64>), usize> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        // Only exact releases: a repeated *noisy* query is legitimate
+        // (independent noise draws), and a noisy tautology is just a noisy
+        // total count.
+        if noises[i] != Noise::Exact {
+            continue;
+        }
+        let key = match item {
+            LintItem::Pred { nnf } => {
+                let pool = workload.pool();
+                if *nnf == pool.tru() && dead < cfg.max_findings_per_lint {
+                    dead += 1;
+                    report.findings.push(Finding {
+                        lint: LintId::Tautology,
+                        severity: Severity::Warn,
+                        queries: vec![i],
+                        message: "predicate normalizes to TRUE — it matches every record, \
+                                  cannot isolate, and wastes a query"
+                            .to_owned(),
+                    });
+                }
+                if *nnf == pool.fals() && dead < cfg.max_findings_per_lint {
+                    dead += 1;
+                    report.findings.push(Finding {
+                        lint: LintId::Contradiction,
+                        severity: Severity::Warn,
+                        queries: vec![i],
+                        message: "predicate normalizes to FALSE — the answer is always 0"
+                            .to_owned(),
+                    });
+                }
+                (0u8, vec![u64::from(nnf.index() as u32)])
+            }
+            LintItem::Subset { mask } => {
+                if mask.count_ones() == 0 && dead < cfg.max_findings_per_lint {
+                    dead += 1;
+                    report.findings.push(Finding {
+                        lint: LintId::Contradiction,
+                        severity: Severity::Warn,
+                        queries: vec![i],
+                        message: "empty subset query — the answer is always 0".to_owned(),
+                    });
+                }
+                (1u8, mask.words().to_vec())
+            }
+        };
+        if let Some(&first) = seen.get(&key) {
+            if dups < cfg.max_findings_per_lint {
+                dups += 1;
+                report.findings.push(Finding {
+                    lint: LintId::Duplicate,
+                    severity: Severity::Warn,
+                    queries: vec![first, i],
+                    message: format!(
+                        "query #{i} is structurally identical to #{first} under exact release — \
+                         a repeated answer adds no information and aliases the bitmap cache"
+                    ),
+                });
+            }
+        } else {
+            seen.insert(key, i);
+        }
+    }
+}
+
+fn differencing_pass(
+    workload: &mut WorkloadSpec,
+    items: &[LintItem],
+    noises: &[Noise],
+    n: usize,
+    cfg: &LintConfig,
+    report: &mut LintReport,
+) {
+    let t = cfg.isolation_threshold;
+    // Pre-compute conjunct sets for predicate queries.
+    let conjunct_sets: Vec<Option<HashSet<ExprId>>> = items
+        .iter()
+        .map(|item| match item {
+            LintItem::Pred { nnf } => Some(workload.pool().conjuncts(*nnf).into_iter().collect()),
+            LintItem::Subset { .. } => None,
+        })
+        .collect();
+
+    let mut found = 0usize;
+    'outer: for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            if report.pairs_examined >= cfg.pair_budget || found >= cfg.max_findings_per_lint {
+                report.truncated = true;
+                break 'outer;
+            }
+            report.pairs_examined += 1;
+            if !effectively_exact(noises[i], noises[j]) {
+                continue;
+            }
+            let finding = match (&items[i], &items[j]) {
+                (LintItem::Subset { mask: a }, LintItem::Subset { mask: b }) => {
+                    subset_differencing(i, a, j, b, t)
+                }
+                (LintItem::Pred { nnf: a }, LintItem::Pred { nnf: b }) => pred_differencing(
+                    workload,
+                    (i, *a, conjunct_sets[i].as_ref().expect("pred")),
+                    (j, *b, conjunct_sets[j].as_ref().expect("pred")),
+                    n,
+                    t,
+                ),
+                _ => None,
+            };
+            if let Some(f) = finding {
+                report.findings.push(f);
+                found += 1;
+            }
+        }
+    }
+}
+
+/// Exact set arithmetic on subset masks: if one query's membership strictly
+/// contains the other's and the set difference holds at most `t` rows, the
+/// pair of answers reveals the exact sub-count of those rows.
+fn subset_differencing(i: usize, a: &BitVec, j: usize, b: &BitVec, t: usize) -> Option<Finding> {
+    let (sup_idx, sup, sub_idx, sub) = if contains(a, b) && !contains(b, a) {
+        (i, a, j, b)
+    } else if contains(b, a) && !contains(a, b) {
+        (j, b, i, a)
+    } else {
+        return None;
+    };
+    let diff: Vec<usize> = difference_indices(sup, sub);
+    if diff.is_empty() || diff.len() > t {
+        return None;
+    }
+    Some(Finding {
+        lint: LintId::Differencing,
+        severity: Severity::Deny,
+        queries: vec![sup_idx, sub_idx],
+        message: format!(
+            "subset query #{sub_idx} ⊂ #{sup_idx} and they differ on exactly {} row(s) {:?}: \
+             subtracting the two exact answers reveals those rows' secret bits \
+             (Theorem 1.1's reconstruction premise with m = 2)",
+            diff.len(),
+            diff
+        ),
+    })
+}
+
+/// `a ⊇ b` as masks (every member of `b` is in `a`).
+fn contains(a: &BitVec, b: &BitVec) -> bool {
+    a.words()
+        .iter()
+        .zip(b.words())
+        .all(|(wa, wb)| wb & !wa == 0)
+}
+
+/// Indices in `sup` but not `sub`.
+fn difference_indices(sup: &BitVec, sub: &BitVec) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (w, (wsup, wsub)) in sup.words().iter().zip(sub.words()).enumerate() {
+        let mut d = wsup & !wsub;
+        while d != 0 {
+            let bit = d.trailing_zeros() as usize;
+            out.push(w * 64 + bit);
+            d &= d - 1;
+        }
+    }
+    out
+}
+
+/// Symbolic differencing on predicate queries: when one query's conjunct
+/// set strictly extends the other's (`B = A ∧ R`), the answers differ by
+/// the count of the residue `A ∧ ¬R`. The pair is flagged only when the
+/// residue's *design weight* bounds that count by `t` — bit and keyed-hash
+/// atoms have designed weights (`1/2`, `1/modulus`); data-dependent atoms
+/// contribute the vacuous `[0, 1]`, so honest drill-downs over tabular
+/// attributes never fire this lint.
+fn pred_differencing(
+    workload: &mut WorkloadSpec,
+    (i, a, ca): (usize, ExprId, &HashSet<ExprId>),
+    (j, b, cb): (usize, ExprId, &HashSet<ExprId>),
+    n: usize,
+    t: usize,
+) -> Option<Finding> {
+    let (base_idx, base, fine_idx, _fine, extras) = if ca.len() < cb.len() && ca.is_subset(cb) {
+        let extras: Vec<ExprId> = cb.difference(ca).copied().collect();
+        (i, a, j, b, extras)
+    } else if cb.len() < ca.len() && cb.is_subset(ca) {
+        let extras: Vec<ExprId> = ca.difference(cb).copied().collect();
+        (j, b, i, a, extras)
+    } else {
+        return None;
+    };
+    let pool = workload.pool_mut();
+    let refinement = pool.and(extras);
+    let neg = pool.not(refinement);
+    let residue = pool.nnf(neg);
+    let residue = pool.and([base, residue]);
+    let (_, hi) = pool.weight_interval(residue);
+    let expected = n as f64 * hi;
+    if residue == pool.fals() || expected > t as f64 + 1e-9 {
+        return None;
+    }
+    let rendered = pool.render(residue);
+    Some(Finding {
+        lint: LintId::Differencing,
+        severity: Severity::Deny,
+        queries: vec![base_idx, fine_idx],
+        message: format!(
+            "query #{fine_idx} refines #{base_idx}: subtracting the exact answers counts the \
+             residue {rendered}, whose design weight bounds it to ≤ {expected:.2} of {n} rows \
+             (t = {t}) — the differencing/tracker shape of Theorems 1.1 and 2.8"
+        ),
+    })
+}
+
+fn density_pass(noises: &[Noise], n: usize, cfg: &LintConfig, report: &mut LintReport) {
+    if n == 0 {
+        return;
+    }
+    let m = noises.len();
+    // Theorem 1.1(i): all 2^n subset queries within α = o(n) reconstruct to
+    // 4α errors. Half the subsets already determine the rest, so 2^(n-1)
+    // accurate-to-n/4 queries is treated as the exhaustive regime.
+    if n < 63 {
+        let m_exh = noises
+            .iter()
+            .filter(|nz| nz.effective_alpha() <= n as f64 / 4.0)
+            .count() as u128;
+        if m_exh >= 1u128 << (n - 1) {
+            report.findings.push(Finding {
+                lint: LintId::ReconstructionDensity,
+                severity: Severity::Deny,
+                queries: vec![],
+                message: format!(
+                    "{m_exh} queries with error ≤ n/4 over only {n} rows reaches the exhaustive \
+                     Dinur–Nissim regime (2^(n−1) = {}): any consistent candidate dataset agrees \
+                     with the secret on all but 4α entries (Theorem 1.1(i))",
+                    1u128 << (n - 1)
+                ),
+            });
+        }
+    }
+    // Theorem 1.1(ii): m ≳ lp_ratio·n random queries within α = O(√n)
+    // admit LP decoding.
+    let alpha_cut = cfg.lp_alpha_factor * (n as f64).sqrt();
+    let m_lp = noises
+        .iter()
+        .filter(|nz| nz.effective_alpha() <= alpha_cut)
+        .count();
+    if (m_lp as f64) >= cfg.lp_ratio * n as f64 {
+        report.findings.push(Finding {
+            lint: LintId::ReconstructionDensity,
+            severity: Severity::Deny,
+            queries: vec![],
+            message: format!(
+                "{m_lp} of {m} queries have error ≤ {alpha_cut:.1} ≈ √n over {n} rows — past the \
+                 {}·n LP-decoding density of Theorem 1.1(ii); linear programming reconstructs \
+                 all but o(n) of the secret bits",
+                cfg.lp_ratio
+            ),
+        });
+    }
+}
+
+fn budget_pass(noises: &[Noise], cfg: &LintConfig, report: &mut LintReport) {
+    let Some(budget) = cfg.epsilon_budget else {
+        return;
+    };
+    // Exact or merely-bounded releases have unbounded worst-case ε.
+    let unbounded: Vec<usize> = noises
+        .iter()
+        .enumerate()
+        .filter(|(_, nz)| !matches!(nz, Noise::PureDp { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if !unbounded.is_empty() {
+        let shown: Vec<usize> = unbounded
+            .iter()
+            .copied()
+            .take(cfg.max_findings_per_lint)
+            .collect();
+        report.findings.push(Finding {
+            lint: LintId::BudgetExceeded,
+            severity: Severity::Deny,
+            queries: shown,
+            message: format!(
+                "{} queries are not released through a DP mechanism — under an ε-gated policy \
+                 their worst-case privacy loss is unbounded",
+                unbounded.len()
+            ),
+        });
+    }
+    let dp: Vec<(usize, f64)> = noises
+        .iter()
+        .enumerate()
+        .filter_map(|(i, nz)| match nz {
+            Noise::PureDp { epsilon } => Some((i, *epsilon)),
+            _ => None,
+        })
+        .collect();
+    if dp.is_empty() {
+        return;
+    }
+    let costs: Vec<f64> = dp.iter().map(|&(_, e)| e).collect();
+    let pre = PrivacyAccountant::new(budget).precheck(&costs);
+    if !pre.admissible {
+        let first = pre.first_refused.map(|k| dp[k].0);
+        report.findings.push(Finding {
+            lint: LintId::BudgetExceeded,
+            severity: Severity::Deny,
+            queries: first.into_iter().collect(),
+            message: format!(
+                "worst-case composed cost ε = {:.3} exceeds the budget {:.3}; the first query \
+                 past the budget is #{} — refusing up front spends nothing (the accountant's \
+                 precheck, basic composition)",
+                pre.total,
+                budget,
+                first.unwrap_or(0)
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_query::predicate::{
+        AllRowPredicate, IntRangePredicate, KeyedHashPredicate, NotRowPredicate, RowHashPredicate,
+        ValueEqualsPredicate,
+    };
+    use so_query::query::SubsetQuery;
+    use so_query::shape::PredShape;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default()
+    }
+
+    #[test]
+    fn subset_differencing_fires_on_nested_exact_pair() {
+        let mut w = WorkloadSpec::new(10);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1, 2, 3]), Noise::Exact);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1, 2]), Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        assert!(r.denies());
+        let d = r.findings_for(LintId::Differencing);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].queries, vec![0, 1], "superset first, subset second");
+        assert!(
+            d[0].message.contains("[3]"),
+            "isolated row named: {}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn subset_differencing_respects_threshold_and_noise() {
+        // Difference of 3 rows > t = 1: clean.
+        let mut w = WorkloadSpec::new(10);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1, 2, 3]), Noise::Exact);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0]), Noise::Exact);
+        assert_eq!(lint_workload(&mut w, &cfg()).count(LintId::Differencing), 0);
+        // Same nested pair under DP noise: differencing cannot be proven.
+        let mut w = WorkloadSpec::new(10);
+        let dp = Noise::PureDp { epsilon: 0.1 };
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1, 2, 3]), dp);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1, 2]), dp);
+        assert_eq!(lint_workload(&mut w, &cfg()).count(LintId::Differencing), 0);
+        // Incomparable subsets: clean.
+        let mut w = WorkloadSpec::new(10);
+        w.push_subset(&SubsetQuery::from_indices(10, &[0, 1]), Noise::Exact);
+        w.push_subset(&SubsetQuery::from_indices(10, &[1, 2]), Noise::Exact);
+        assert_eq!(lint_workload(&mut w, &cfg()).count(LintId::Differencing), 0);
+    }
+
+    #[test]
+    fn hash_tracker_pair_is_flagged_with_indices() {
+        // A = everyone, B = A ∧ ¬(hash residue with modulus ≥ n): the
+        // residue A ∧ hash has design weight 1/modulus ⇒ ≤ 1 expected row.
+        let n = 100;
+        let hash = RowHashPredicate {
+            hash: KeyedHashPredicate::new(0xBEEF, 128, 0),
+            cols: vec![0],
+        };
+        let b = AllRowPredicate {
+            parts: vec![
+                Box::new(IntRangePredicate {
+                    col: 0,
+                    lo: 0,
+                    hi: 1000,
+                }),
+                Box::new(NotRowPredicate {
+                    inner: Box::new(hash.clone()),
+                }),
+            ],
+        };
+        let mut w = WorkloadSpec::new(n);
+        // A carries the same range conjunct, so B strictly refines A.
+        let a = AllRowPredicate {
+            parts: vec![Box::new(IntRangePredicate {
+                col: 0,
+                lo: 0,
+                hi: 1000,
+            })],
+        };
+        w.push_predicate(&a, Noise::Exact);
+        w.push_predicate(&b, Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        let d = r.findings_for(LintId::Differencing);
+        assert_eq!(d.len(), 1, "findings: {:?}", r.findings);
+        assert_eq!(d[0].queries, vec![0, 1]);
+        assert_eq!(d[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn honest_drilldown_is_clean() {
+        // (dept), (dept ∧ sex=M): a textbook cross-tab. The residue's
+        // weight interval is vacuous, so nothing is provable — no finding.
+        let dept = ValueEqualsPredicate {
+            col: 0,
+            value: so_data::Value::Int(3),
+        };
+        let drill = AllRowPredicate {
+            parts: vec![
+                Box::new(ValueEqualsPredicate {
+                    col: 0,
+                    value: so_data::Value::Int(3),
+                }),
+                Box::new(ValueEqualsPredicate {
+                    col: 1,
+                    value: so_data::Value::Int(1),
+                }),
+            ],
+        };
+        let mut w = WorkloadSpec::new(50);
+        w.push_predicate(&dept, Noise::Exact);
+        w.push_predicate(&drill, Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        assert!(r.findings.is_empty(), "findings: {:?}", r.findings);
+    }
+
+    #[test]
+    fn prefix_descent_flags_only_past_the_weight_gate() {
+        // The Theorem 2.8 chain: prefixes of one record's bits, exact
+        // counts. Adjacent pairs (depth k, k+1) leave residue weight
+        // 2^-(k+1); with n = 100 that proves ≤ 1 row only once k+1 ≥ 7.
+        let n = 100usize;
+        let bits: Vec<bool> = (0..14).map(|i| i % 3 == 0).collect();
+        let mut w = WorkloadSpec::new(n);
+        for depth in 0..=bits.len() {
+            w.push_shape(
+                &PredShape::Prefix {
+                    bits: bits[..depth].to_vec(),
+                },
+                Noise::Exact,
+            );
+        }
+        let mut c = cfg();
+        c.max_findings_per_lint = 100;
+        let r = lint_workload(&mut w, &c);
+        let d = r.findings_for(LintId::Differencing);
+        assert!(!d.is_empty(), "deep descent must be flagged");
+        for f in &d {
+            // Every flagged pair's base prefix is past the weight gate:
+            // residue weight 2^-(base) · bound ≤ 1/n needs base ≥ 6.
+            let base = f.queries[0].min(f.queries[1]);
+            assert!(base >= 6, "shallow pair flagged: {f}");
+        }
+        // The adjacent pair (6, 7) specifically is caught.
+        assert!(
+            d.iter().any(|f| f.queries == vec![6, 7]),
+            "expected the (6,7) adjacent pair, got {:?}",
+            d.iter().map(|f| f.queries.clone()).collect::<Vec<_>>()
+        );
+        // The same chain under DP is clean.
+        let mut w = WorkloadSpec::new(n);
+        for depth in 0..=bits.len() {
+            w.push_shape(
+                &PredShape::Prefix {
+                    bits: bits[..depth].to_vec(),
+                },
+                Noise::PureDp { epsilon: 0.1 },
+            );
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert!(r.findings.is_empty(), "findings: {:?}", r.findings);
+    }
+
+    #[test]
+    fn density_flags_exhaustive_and_lp_regimes() {
+        // Exhaustive: all 2^8 subsets of an 8-row dataset, α = n/8 < n/4.
+        let mut w = WorkloadSpec::new(8);
+        for m in 0..(1u16 << 8) {
+            let idx: Vec<usize> = (0..8).filter(|&i| m & (1 << i) != 0).collect();
+            w.push_subset(
+                &SubsetQuery::from_indices(8, &idx),
+                Noise::Bounded { alpha: 1.0 },
+            );
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert!(r.denies());
+        assert!(r.count(LintId::ReconstructionDensity) >= 1);
+        // LP: 4n bounded-noise queries at α ≤ √n. (Use distinct masks.)
+        let n = 64usize;
+        let mut w = WorkloadSpec::new(n);
+        for k in 0..(4 * n) {
+            let idx: Vec<usize> = (0..n).filter(|&i| (i * 31 + k * 17) % 5 < 2).collect();
+            let mut q = SubsetQuery::from_indices(n, &idx);
+            // Perturb one bit per query to keep them distinct.
+            let mut mask = q.members().clone();
+            mask.set(k % n, !mask.get(k % n));
+            q = SubsetQuery::new(mask);
+            w.push_subset(&q, Noise::Bounded { alpha: 4.0 });
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::ReconstructionDensity), 1);
+        assert!(r.denies());
+        // Same m but DP with big noise: clean density.
+        let mut w = WorkloadSpec::new(n);
+        for k in 0..(4 * n) {
+            let idx: Vec<usize> = (0..n).filter(|&i| (i + k) % 3 == 0).collect();
+            w.push_subset(
+                &SubsetQuery::from_indices(n, &idx),
+                Noise::PureDp { epsilon: 0.05 },
+            );
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::ReconstructionDensity), 0);
+    }
+
+    #[test]
+    fn budget_pass_prechecks_statically() {
+        let mut c = cfg();
+        c.epsilon_budget = Some(1.0);
+        // Within budget: clean.
+        let mut w = WorkloadSpec::new(100);
+        for _ in 0..9 {
+            w.push_shape(
+                &PredShape::BitExtract {
+                    bit: 0,
+                    value: true,
+                },
+                Noise::PureDp { epsilon: 0.1 },
+            );
+        }
+        let r = lint_workload(&mut w, &c);
+        assert_eq!(r.count(LintId::BudgetExceeded), 0, "{:?}", r.findings);
+        // Over budget: the first offending query is named.
+        let mut w = WorkloadSpec::new(100);
+        for i in 0..15 {
+            w.push_shape(
+                &PredShape::BitExtract {
+                    bit: i,
+                    value: true,
+                },
+                Noise::PureDp { epsilon: 0.1 },
+            );
+        }
+        let r = lint_workload(&mut w, &c);
+        let b = r.findings_for(LintId::BudgetExceeded);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].queries, vec![10], "1.1 > 1.0 at the 11th query");
+        // Exact queries under an ε-gated policy are unbounded cost.
+        let mut w = WorkloadSpec::new(100);
+        w.push_shape(
+            &PredShape::BitExtract {
+                bit: 0,
+                value: true,
+            },
+            Noise::Exact,
+        );
+        let r = lint_workload(&mut w, &c);
+        assert_eq!(r.count(LintId::BudgetExceeded), 1);
+        assert!(r.denies());
+    }
+
+    #[test]
+    fn dead_and_duplicate_queries_warn() {
+        let mut w = WorkloadSpec::new(10);
+        let tru = w.pool_mut().tru();
+        let fals = w.pool_mut().fals();
+        w.push_expr(tru, Noise::Exact);
+        w.push_expr(fals, Noise::Exact);
+        w.push_subset(&SubsetQuery::from_indices(10, &[1, 2]), Noise::Exact);
+        w.push_subset(&SubsetQuery::from_indices(10, &[1, 2]), Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::Tautology), 1);
+        assert_eq!(r.count(LintId::Contradiction), 1);
+        let dups = r.findings_for(LintId::Duplicate);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].queries, vec![2, 3]);
+        // Warnings alone do not deny... but the duplicated exact subsets
+        // also difference against nothing (equal, not strict) — verify.
+        assert_eq!(r.count(LintId::Differencing), 0);
+        assert!(!r.denies());
+        // Noisy repeats are fine.
+        let mut w = WorkloadSpec::new(10);
+        let dp = Noise::PureDp { epsilon: 0.5 };
+        w.push_subset(&SubsetQuery::from_indices(10, &[1, 2]), dp);
+        w.push_subset(&SubsetQuery::from_indices(10, &[1, 2]), dp);
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::Duplicate), 0);
+    }
+
+    #[test]
+    fn pair_budget_truncates_and_reports_it() {
+        let mut w = WorkloadSpec::new(10);
+        for i in 0..10 {
+            w.push_subset(&SubsetQuery::from_indices(10, &[i]), Noise::Exact);
+        }
+        let mut c = cfg();
+        c.pair_budget = 5;
+        let r = lint_workload(&mut w, &c);
+        assert!(r.truncated);
+        assert_eq!(r.pairs_examined, 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Workload declarations for the static linter.
+//!
+//! A [`WorkloadSpec`] is the *plan* of a query workload — what will be
+//! asked, and with how much noise — declared before anything executes.
+//! Subset-sum queries are kept as their membership masks (the lints can do
+//! exact set arithmetic on those); predicate queries are lifted into the
+//! canonical IR of [`crate::ir`], so structurally equal predicates share an
+//! id and refinement relationships are visible symbolically.
+
+use so_data::BitVec;
+use so_query::predicate::RowPredicate;
+use so_query::query::SubsetQuery;
+use so_query::shape::PredShape;
+
+use crate::ir::{ExprId, PredPool};
+
+/// How a query's answers will be released — the noise annotation the lints
+/// reason about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Noise {
+    /// Exact answers (no noise). Differencing on exact pairs is arithmetic.
+    Exact,
+    /// Answers with worst-case additive error at most `alpha` (the `α` of
+    /// Theorem 1.1's bounded-error mechanisms).
+    Bounded {
+        /// Worst-case additive error bound.
+        alpha: f64,
+    },
+    /// Answers through a pure ε-DP mechanism (e.g. Laplace counts).
+    PureDp {
+        /// Per-query privacy-loss parameter.
+        epsilon: f64,
+    },
+}
+
+impl Noise {
+    /// Effective worst-case-style error magnitude used by the
+    /// reconstruction-density lint: 0 for exact answers, `α` for bounded
+    /// noise, and for pure DP the 99.9% quantile of the Laplace noise
+    /// (`ln(1000)/ε`) — the scale at which Theorem 1.1's "within α of the
+    /// true answer" premise effectively holds for the whole workload.
+    pub fn effective_alpha(&self) -> f64 {
+        match *self {
+            Noise::Exact => 0.0,
+            Noise::Bounded { alpha } => alpha,
+            Noise::PureDp { epsilon } => (1000.0f64).ln() / epsilon,
+        }
+    }
+}
+
+/// What a query asks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// A Dinur–Nissim subset-sum query, kept as its membership mask.
+    Subset(BitVec),
+    /// A predicate counting query, lifted into the pool.
+    Pred(ExprId),
+}
+
+/// One planned query: what is asked and how it will be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The question.
+    pub kind: QueryKind,
+    /// The release mechanism's noise annotation.
+    pub noise: Noise,
+}
+
+/// A declared workload over a dataset of `n_rows` records, ready for
+/// [`crate::lint::lint_workload`].
+pub struct WorkloadSpec {
+    n_rows: usize,
+    queries: Vec<QuerySpec>,
+    pool: PredPool,
+}
+
+impl WorkloadSpec {
+    /// An empty workload against a dataset of `n_rows` records.
+    pub fn new(n_rows: usize) -> Self {
+        WorkloadSpec {
+            n_rows,
+            queries: Vec::new(),
+            pool: PredPool::new(),
+        }
+    }
+
+    /// Number of records in the target dataset.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of planned queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff no queries are planned.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The planned queries, in declaration order.
+    pub fn queries(&self) -> &[QuerySpec] {
+        &self.queries
+    }
+
+    /// The predicate pool backing `Pred` queries.
+    pub fn pool(&self) -> &PredPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool (for building expressions directly).
+    pub fn pool_mut(&mut self) -> &mut PredPool {
+        &mut self.pool
+    }
+
+    /// Plans a subset-sum query. Returns its index.
+    ///
+    /// # Panics
+    /// Panics if the query's universe size disagrees with `n_rows`.
+    pub fn push_subset(&mut self, q: &SubsetQuery, noise: Noise) -> usize {
+        assert_eq!(
+            q.n(),
+            self.n_rows,
+            "subset query over universe of {} rows pushed into a workload over {}",
+            q.n(),
+            self.n_rows
+        );
+        self.push_kind(QueryKind::Subset(q.members().clone()), noise)
+    }
+
+    /// Plans every query of a subset workload in order.
+    pub fn push_subsets(&mut self, qs: &[SubsetQuery], noise: Noise) {
+        for q in qs {
+            self.push_subset(q, noise);
+        }
+    }
+
+    /// Plans a predicate counting query via its structural shape. Returns
+    /// its index.
+    pub fn push_predicate(&mut self, p: &dyn RowPredicate, noise: Noise) -> usize {
+        let id = self.pool.lift_row_predicate(p);
+        self.push_kind(QueryKind::Pred(id), noise)
+    }
+
+    /// Plans a predicate counting query from an explicit shape.
+    pub fn push_shape(&mut self, shape: &PredShape, noise: Noise) -> usize {
+        let id = self.pool.lift(shape);
+        self.push_kind(QueryKind::Pred(id), noise)
+    }
+
+    /// Plans a predicate counting query from an already-interned expression.
+    pub fn push_expr(&mut self, id: ExprId, noise: Noise) -> usize {
+        self.push_kind(QueryKind::Pred(id), noise)
+    }
+
+    fn push_kind(&mut self, kind: QueryKind, noise: Noise) -> usize {
+        self.queries.push(QuerySpec { kind, noise });
+        self.queries.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_query::predicate::IntRangePredicate;
+
+    #[test]
+    fn structurally_equal_predicates_share_an_id() {
+        let mut w = WorkloadSpec::new(10);
+        let p = IntRangePredicate {
+            col: 0,
+            lo: 1,
+            hi: 5,
+        };
+        let q = IntRangePredicate {
+            col: 0,
+            lo: 1,
+            hi: 5,
+        };
+        w.push_predicate(&p, Noise::Exact);
+        w.push_predicate(&q, Noise::Exact);
+        let ids: Vec<_> = w
+            .queries()
+            .iter()
+            .map(|s| match &s.kind {
+                QueryKind::Pred(id) => *id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids[0], ids[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn subset_universe_mismatch_panics() {
+        let mut w = WorkloadSpec::new(10);
+        let q = SubsetQuery::from_indices(5, &[0, 1]);
+        w.push_subset(&q, Noise::Exact);
+    }
+
+    #[test]
+    fn effective_alpha_orders_mechanisms() {
+        assert_eq!(Noise::Exact.effective_alpha(), 0.0);
+        assert_eq!(Noise::Bounded { alpha: 3.0 }.effective_alpha(), 3.0);
+        let dp = Noise::PureDp { epsilon: 0.5 }.effective_alpha();
+        assert!(dp > 13.0 && dp < 14.0, "ln(1000)/0.5 ≈ 13.8, got {dp}");
+    }
+}

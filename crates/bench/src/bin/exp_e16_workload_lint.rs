@@ -1,0 +1,7 @@
+//! Binary wrapper for experiment module `e16_workload_lint` (pass `--quick` to reduce scale).
+
+fn main() {
+    let scale = so_bench::Scale::from_args();
+    let tables = so_bench::experiments::e16_workload_lint::run(scale);
+    so_bench::print_tables(&tables);
+}

@@ -23,6 +23,7 @@ fn main() {
         ("E13", e::e13_membership::run),
         ("E14", e::e14_utility::run),
         ("E15", e::e15_kanon_composition::run),
+        ("E16", e::e16_workload_lint::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {

@@ -15,4 +15,5 @@ pub mod e12_census;
 pub mod e13_membership;
 pub mod e14_utility;
 pub mod e15_kanon_composition;
+pub mod e16_workload_lint;
 pub mod lt_legal_verdicts;

@@ -78,6 +78,23 @@ impl AdvancedComposition {
     }
 }
 
+/// Outcome of statically prechecking a workload of per-analysis ε costs
+/// against an accountant, *before* anything is spent. This is the API the
+/// `so-analyze` workload linter uses: a whole query workload is summed
+/// under worst-case (basic) composition and either admitted or refused as a
+/// unit, so refusal happens before a single answer is released.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPrecheck {
+    /// Worst-case total ε of the workload (basic composition).
+    pub total: f64,
+    /// Budget remaining in the accountant at precheck time.
+    pub remaining: f64,
+    /// True iff the whole workload fits in the remaining budget.
+    pub admissible: bool,
+    /// Index of the first analysis that would be refused, if any.
+    pub first_refused: Option<usize>,
+}
+
 /// A spendable privacy budget with a running ledger (basic composition).
 #[derive(Debug, Clone)]
 pub struct PrivacyAccountant {
@@ -113,6 +130,32 @@ impl PrivacyAccountant {
         self.spent += epsilon;
         self.ledger.push((label.to_owned(), epsilon));
         true
+    }
+
+    /// Statically sums the worst-case cost of a workload of per-analysis ε
+    /// values (basic composition) against the remaining budget, spending
+    /// nothing. Every cost must be positive and finite, mirroring
+    /// [`PrivacyAccountant::try_spend`].
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite cost.
+    pub fn precheck(&self, epsilons: &[f64]) -> BudgetPrecheck {
+        let remaining = self.remaining();
+        let mut total = 0.0;
+        let mut first_refused = None;
+        for (i, &eps) in epsilons.iter().enumerate() {
+            assert!(eps > 0.0 && eps.is_finite(), "bad epsilon {eps}");
+            total += eps;
+            if first_refused.is_none() && total > remaining + 1e-12 {
+                first_refused = Some(i);
+            }
+        }
+        BudgetPrecheck {
+            total,
+            remaining,
+            admissible: first_refused.is_none(),
+            first_refused,
+        }
     }
 
     /// Total ε spent so far.
@@ -189,6 +232,41 @@ mod tests {
         assert!(a.remaining() < 1e-12);
         assert_eq!(a.ledger().len(), 3);
         assert_eq!(a.ledger()[0].0, "q1");
+    }
+
+    #[test]
+    fn precheck_is_static_and_matches_try_spend() {
+        let mut a = PrivacyAccountant::new(1.0);
+        assert!(a.try_spend("prior", 0.3));
+        let ok = a.precheck(&[0.2, 0.2, 0.3]);
+        assert!(ok.admissible);
+        assert_eq!(ok.first_refused, None);
+        assert!((ok.total - 0.7).abs() < 1e-12);
+        assert!((ok.remaining - 0.7).abs() < 1e-12);
+        // Precheck spent nothing.
+        assert!((a.spent() - 0.3).abs() < 1e-12);
+
+        let too_much = a.precheck(&[0.2, 0.2, 0.4]);
+        assert!(!too_much.admissible);
+        assert_eq!(too_much.first_refused, Some(2));
+        // The verdict agrees with actually spending, query by query.
+        assert!(a.try_spend("q0", 0.2));
+        assert!(a.try_spend("q1", 0.2));
+        assert!(!a.try_spend("q2", 0.4));
+    }
+
+    #[test]
+    fn precheck_of_empty_workload_is_admissible() {
+        let a = PrivacyAccountant::new(0.5);
+        let r = a.precheck(&[]);
+        assert!(r.admissible);
+        assert_eq!(r.total, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon")]
+    fn precheck_rejects_nonfinite_cost() {
+        PrivacyAccountant::new(1.0).precheck(&[0.1, f64::INFINITY]);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # so-dp — differential privacy
@@ -31,7 +32,7 @@ pub mod samplers;
 pub mod svt;
 pub mod verify;
 
-pub use accountant::{AdvancedComposition, BasicComposition, PrivacyAccountant};
+pub use accountant::{AdvancedComposition, BasicComposition, BudgetPrecheck, PrivacyAccountant};
 pub use laplace_sum::LaplaceSum;
 pub use mechanisms::{
     exponential_mechanism, noisy_histogram, randomized_response, GaussianCount, GeometricCount,

@@ -74,17 +74,44 @@ impl QueryAuditor {
     }
 
     /// Records a query attempt; returns whether it may be answered.
+    ///
+    /// Prefer [`QueryAuditor::admit_with`] when the description is not
+    /// already rendered: it skips rendering entirely when the trail retains
+    /// nothing.
     pub fn admit(&mut self, description: &str) -> bool {
+        self.admit_with(|| description.to_owned())
+    }
+
+    /// Records a query attempt with a *lazy* description; returns whether it
+    /// may be answered. The description closure runs only if a trail record
+    /// will actually be retained, so callers in `m = 8n` attack loops with a
+    /// disabled trail never pay for rendering.
+    pub fn admit_with(&mut self, describe: impl FnOnce() -> String) -> bool {
         let admitted = self.max_queries.is_none_or(|cap| self.answered < cap);
-        let seq = self.seen;
-        self.seen += 1;
         if admitted {
             self.answered += 1;
         } else {
             self.refused += 1;
         }
+        self.record(describe, admitted);
+        admitted
+    }
+
+    /// Records a query as *refused by policy* (e.g. a static workload gate
+    /// vetoed it), independent of the query cap. The description closure
+    /// runs only if a trail record will be retained.
+    pub fn refuse_with(&mut self, describe: impl FnOnce() -> String) {
+        self.refused += 1;
+        self.record(describe, false);
+    }
+
+    /// Appends a trail record (honouring the retention policy) and advances
+    /// the global sequence number.
+    fn record(&mut self, describe: impl FnOnce() -> String, admitted: bool) {
+        let seq = self.seen;
+        self.seen += 1;
         match self.trail_cap {
-            Some(0) => return admitted,
+            Some(0) => return,
             Some(cap) if self.trail.len() == cap => {
                 self.trail.pop_front();
             }
@@ -92,10 +119,9 @@ impl QueryAuditor {
         }
         self.trail.push_back(AuditRecord {
             seq,
-            description: description.to_owned(),
+            description: describe(),
             admitted,
         });
-        admitted
     }
 
     /// Number of queries answered so far.
@@ -214,6 +240,39 @@ mod tests {
         assert_eq!(a.queries_refused(), 3);
         assert_eq!(a.queries_seen(), 8);
         assert_eq!(a.remaining(), Some(0));
+    }
+
+    #[test]
+    fn lazy_description_not_rendered_when_trail_disabled() {
+        let mut a = QueryAuditor::without_trail(None);
+        let rendered = std::cell::Cell::new(false);
+        assert!(a.admit_with(|| {
+            rendered.set(true);
+            "expensive".to_owned()
+        }));
+        assert!(!rendered.get(), "description rendered despite no retention");
+        // With retention on, the closure does run.
+        let mut b = QueryAuditor::new(None);
+        assert!(b.admit_with(|| {
+            rendered.set(true);
+            "expensive".to_owned()
+        }));
+        assert!(rendered.get());
+    }
+
+    #[test]
+    fn policy_refusal_counts_and_leaves_a_record() {
+        let mut a = QueryAuditor::new(None);
+        assert!(a.admit("fine"));
+        a.refuse_with(|| "vetoed by gate".to_owned());
+        assert_eq!(a.queries_answered(), 1);
+        assert_eq!(a.queries_refused(), 1);
+        assert_eq!(a.queries_seen(), 2);
+        let t = trail_vec(&a);
+        assert_eq!(t.len(), 2);
+        assert!(!t[1].admitted);
+        assert_eq!(t[1].description, "vetoed by gate");
+        assert_eq!(t[1].seq, 1);
     }
 
     #[test]

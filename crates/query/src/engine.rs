@@ -20,6 +20,7 @@ use so_data::{Dataset, SelectionVector};
 
 use crate::audit::QueryAuditor;
 use crate::predicate::RowPredicate;
+use crate::shape::PredShape;
 
 /// Compiles `p` into a selection bitmap over the rows of `ds`.
 pub fn scan_dataset(ds: &Dataset, p: &dyn RowPredicate) -> SelectionVector {
@@ -48,17 +49,22 @@ pub fn select_dataset_scalar(ds: &Dataset, p: &dyn RowPredicate) -> Vec<usize> {
 
 /// A counting-query server over one dataset, with auditing.
 ///
-/// Compiled predicate bitmaps are cached keyed by
-/// [`RowPredicate::describe`]: a repeated query (the shape of every
+/// Compiled predicate bitmaps are cached keyed by the *structural*
+/// [`RowPredicate::shape`]: a repeated query (the shape of every
 /// reconstruction attack — the same subset predicates asked over and over)
 /// answers from a popcount of the cached bitmap without rescanning. The
 /// cache never needs invalidation because [`Dataset`] is immutable.
-/// Correctness of the cache requires `describe()` to be *faithful*:
-/// predicates with equal descriptions must select the same rows.
+///
+/// Structural keys are what make the cache *sound*: equal shapes select
+/// equal rows by construction (closure-backed predicates carry a unique
+/// identity in their shape), unlike the human-facing `describe()` strings,
+/// where two differently-behaving predicates can share a label. Predicates
+/// whose shape is [`PredShape::Volatile`] (no structure, no stable
+/// identity) are answered correctly but never cached.
 pub struct CountingEngine<'a> {
     ds: &'a Dataset,
     auditor: QueryAuditor,
-    cache: HashMap<String, SelectionVector>,
+    cache: HashMap<PredShape, SelectionVector>,
 }
 
 impl<'a> CountingEngine<'a> {
@@ -85,14 +91,15 @@ impl<'a> CountingEngine<'a> {
     /// is exhausted (the "limit the number of queries" defence the paper
     /// mentions as one of the two ways to escape blatant non-privacy).
     pub fn count(&mut self, p: &dyn RowPredicate) -> Option<usize> {
-        let description = p.describe();
-        if !self.auditor.admit(&description) {
+        if !self.auditor.admit_with(|| p.describe()) {
             return None;
         }
-        let bitmap = self
-            .cache
-            .entry(description)
-            .or_insert_with(|| p.scan(self.ds));
+        let shape = p.shape();
+        if !shape.is_cache_stable() {
+            // No sound cache key — evaluate fresh, don't pollute the cache.
+            return Some(p.scan(self.ds).count());
+        }
+        let bitmap = self.cache.entry(shape).or_insert_with(|| p.scan(self.ds));
         Some(bitmap.count())
     }
 
@@ -106,6 +113,13 @@ impl<'a> CountingEngine<'a> {
         &self.auditor
     }
 
+    /// Mutable access to the auditor, so policy layers (e.g. the static
+    /// workload gate in `so-analyze`) can record their own refusals in the
+    /// same trail the answered queries land in.
+    pub fn auditor_mut(&mut self) -> &mut QueryAuditor {
+        &mut self.auditor
+    }
+
     /// The served dataset.
     pub fn dataset(&self) -> &'a Dataset {
         self.ds
@@ -115,7 +129,7 @@ impl<'a> CountingEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predicate::IntRangePredicate;
+    use crate::predicate::{FnRowPredicate, IntRangePredicate};
     use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
 
     fn ds() -> Dataset {
@@ -208,5 +222,46 @@ mod tests {
         // Two distinct predicates → exactly two cached bitmaps.
         assert_eq!(e.cached_predicates(), 2);
         assert_eq!(e.auditor().queries_answered(), 20);
+    }
+
+    /// Regression test for the describe()-keyed cache unsoundness: two
+    /// differently-behaving closure predicates sharing one label must not
+    /// return each other's cached counts. Under the old `describe()` key
+    /// scheme the second query aliased the first's bitmap and answered 5;
+    /// structural keys (per-instance opaque identity) keep them apart.
+    #[test]
+    fn same_label_different_closures_do_not_alias_the_cache() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        let everyone = FnRowPredicate::new("cohort", |_, _| true);
+        let nobody = FnRowPredicate::new("cohort", |_, _| false);
+        assert_eq!(everyone.describe(), nobody.describe());
+        assert_eq!(e.count(&everyone), Some(5));
+        assert_eq!(
+            e.count(&nobody),
+            Some(0),
+            "label collision returned the wrong predicate's cached count"
+        );
+        // And the cached entries stay distinct on repeat queries.
+        assert_eq!(e.count(&everyone), Some(5));
+        assert_eq!(e.count(&nobody), Some(0));
+        assert_eq!(e.cached_predicates(), 2);
+    }
+
+    /// Predicates that opt out of shape reflection entirely (default
+    /// `Volatile` shape) are answered correctly and never cached.
+    #[test]
+    fn volatile_shapes_are_answered_but_not_cached() {
+        struct Bare(i64);
+        impl RowPredicate for Bare {
+            fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
+                ds.get(row, 0).as_int().is_some_and(|v| v >= self.0)
+            }
+        }
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        assert_eq!(e.count(&Bare(15)), Some(4));
+        assert_eq!(e.count(&Bare(45)), Some(1), "distinct despite same shape");
+        assert_eq!(e.cached_predicates(), 0);
     }
 }

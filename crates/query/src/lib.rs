@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # so-query — statistical query engine
@@ -23,6 +24,7 @@ pub mod engine;
 pub mod mechanism;
 pub mod predicate;
 pub mod query;
+pub mod shape;
 pub mod workload;
 
 pub use audit::{AuditRecord, QueryAuditor};
@@ -32,11 +34,13 @@ pub use engine::{
 };
 pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
 pub use predicate::{
-    canonical_bytes, AllRowPredicate, AndPredicate, BitExtractPredicate, FnPredicate,
-    IntRangePredicate, KeyedHashPredicate, NotPredicate, OrPredicate, Predicate, PrefixPredicate,
-    RowHashPredicate, RowPredicate, ValueEqualsPredicate,
+    canonical_bytes, AllRowPredicate, AndPredicate, AnyRowPredicate, BitExtractPredicate,
+    FnPredicate, FnRowPredicate, IntRangePredicate, KeyedHashPredicate, NotPredicate,
+    NotRowPredicate, OrPredicate, Predicate, PrefixPredicate, RowHashPredicate, RowPredicate,
+    ValueEqualsPredicate,
 };
 pub use query::{count, matching_indices, CountQuery, SubsetQuery};
+pub use shape::PredShape;
 pub use workload::{
     all_subsets_workload, prefix_workload, random_subset_workload, tracker_workload,
 };

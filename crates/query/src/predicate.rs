@@ -11,6 +11,8 @@ use std::sync::Arc;
 use so_data::rng::keyed_hash;
 use so_data::{BitVec, Dataset, SelectionVector, Value};
 
+use crate::shape::{next_opaque_id, PredShape};
+
 /// A boolean predicate over records of type `R`.
 pub trait Predicate<R: ?Sized>: Send + Sync {
     /// Evaluates the predicate on one record.
@@ -19,6 +21,14 @@ pub trait Predicate<R: ?Sized>: Send + Sync {
     /// Human-readable description (for audit logs and experiment output).
     fn describe(&self) -> String {
         "<predicate>".to_owned()
+    }
+
+    /// Structural form of the predicate (see [`PredShape`]). The default is
+    /// [`PredShape::Volatile`] — structure unknown, never cached; typed
+    /// predicates override it so caches and the static workload linter can
+    /// reason about them.
+    fn shape(&self) -> PredShape {
+        PredShape::Volatile
     }
 }
 
@@ -30,6 +40,10 @@ impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for &P {
     fn describe(&self) -> String {
         (**self).describe()
     }
+
+    fn shape(&self) -> PredShape {
+        (**self).shape()
+    }
 }
 
 impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for Arc<P> {
@@ -39,6 +53,10 @@ impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for Arc<P> {
 
     fn describe(&self) -> String {
         (**self).describe()
+    }
+
+    fn shape(&self) -> PredShape {
+        (**self).shape()
     }
 }
 
@@ -50,14 +68,24 @@ impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for Box<P> {
     fn describe(&self) -> String {
         (**self).describe()
     }
+
+    fn shape(&self) -> PredShape {
+        (**self).shape()
+    }
 }
 
 /// Boxed predicate closure.
 type EvalFn<R> = Box<dyn Fn(&R) -> bool + Send + Sync>;
 
 /// Closure-backed predicate with a label.
+///
+/// The label is documentation only: two `FnPredicate`s may share one label
+/// while computing different things, so each instance also carries a
+/// process-unique identity that backs its [`Predicate::shape`]. Caches must
+/// key on the shape, never on [`Predicate::describe`].
 pub struct FnPredicate<R: ?Sized> {
     label: String,
+    id: u64,
     f: EvalFn<R>,
 }
 
@@ -66,6 +94,7 @@ impl<R: ?Sized> FnPredicate<R> {
     pub fn new(label: &str, f: impl Fn(&R) -> bool + Send + Sync + 'static) -> Self {
         FnPredicate {
             label: label.to_owned(),
+            id: next_opaque_id(),
             f: Box::new(f),
         }
     }
@@ -78,6 +107,10 @@ impl<R: ?Sized> Predicate<R> for FnPredicate<R> {
 
     fn describe(&self) -> String {
         self.label.clone()
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Opaque { id: self.id }
     }
 }
 
@@ -99,6 +132,10 @@ impl<R: ?Sized, P: Predicate<R>, Q: Predicate<R>> Predicate<R> for AndPredicate<
     fn describe(&self) -> String {
         format!("({}) AND ({})", self.left.describe(), self.right.describe())
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::And(vec![self.left.shape(), self.right.shape()])
+    }
 }
 
 /// Disjunction `p ∨ q`.
@@ -117,6 +154,10 @@ impl<R: ?Sized, P: Predicate<R>, Q: Predicate<R>> Predicate<R> for OrPredicate<P
     fn describe(&self) -> String {
         format!("({}) OR ({})", self.left.describe(), self.right.describe())
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Or(vec![self.left.shape(), self.right.shape()])
+    }
 }
 
 /// Negation `¬p`.
@@ -132,6 +173,10 @@ impl<R: ?Sized, P: Predicate<R>> Predicate<R> for NotPredicate<P> {
 
     fn describe(&self) -> String {
         format!("NOT ({})", self.inner.describe())
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Not(Box::new(self.inner.shape()))
     }
 }
 
@@ -151,6 +196,13 @@ impl Predicate<BitVec> for BitExtractPredicate {
 
     fn describe(&self) -> String {
         format!("bit[{}] == {}", self.bit, u8::from(self.value))
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::BitExtract {
+            bit: self.bit,
+            value: self.value,
+        }
     }
 }
 
@@ -212,6 +264,12 @@ impl Predicate<BitVec> for PrefixPredicate {
             .collect();
         format!("prefix == {bits}")
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Prefix {
+            bits: self.prefix.clone(),
+        }
+    }
 }
 
 /// A Leftover-Hash-Lemma-style random predicate: matches records whose keyed
@@ -271,6 +329,14 @@ impl Predicate<BitVec> for KeyedHashPredicate {
             self.key, self.modulus, self.target
         )
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::KeyedHash {
+            key: self.key,
+            modulus: self.modulus,
+            target: self.target,
+        }
+    }
 }
 
 impl Predicate<[Value]> for KeyedHashPredicate {
@@ -283,6 +349,14 @@ impl Predicate<[Value]> for KeyedHashPredicate {
             "H_{:#x}(row) mod {} == {}",
             self.key, self.modulus, self.target
         )
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::KeyedHash {
+            key: self.key,
+            modulus: self.modulus,
+            target: self.target,
+        }
     }
 }
 
@@ -339,6 +413,17 @@ pub trait RowPredicate: Send + Sync {
     fn describe(&self) -> String {
         "<row predicate>".to_owned()
     }
+
+    /// Structural form of the predicate (see [`PredShape`]). The default is
+    /// [`PredShape::Volatile`]: structure unknown and identity unstable, so
+    /// the [`crate::CountingEngine`] bitmap cache will evaluate the
+    /// predicate fresh on every query rather than risk returning another
+    /// predicate's cached rows. Typed predicates override this; opaque
+    /// closures should go through [`FnRowPredicate`], which carries a stable
+    /// unique identity instead.
+    fn shape(&self) -> PredShape {
+        PredShape::Volatile
+    }
 }
 
 /// Integer range test on one column: `lo ≤ ds[row][col] ≤ hi`.
@@ -372,6 +457,14 @@ impl RowPredicate for IntRangePredicate {
 
     fn describe(&self) -> String {
         format!("col{} in [{}, {}]", self.col, self.lo, self.hi)
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::IntRange {
+            col: self.col,
+            lo: self.lo,
+            hi: self.hi,
+        }
     }
 }
 
@@ -429,6 +522,13 @@ impl RowPredicate for ValueEqualsPredicate {
     fn describe(&self) -> String {
         format!("col{} == {}", self.col, self.value)
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::ValueEquals {
+            col: self.col,
+            value: self.value,
+        }
+    }
 }
 
 /// Conjunction of row predicates.
@@ -459,6 +559,109 @@ impl RowPredicate for AllRowPredicate {
         let parts: Vec<String> = self.parts.iter().map(|p| p.describe()).collect();
         parts.join(" AND ")
     }
+
+    fn shape(&self) -> PredShape {
+        PredShape::And(self.parts.iter().map(|p| p.shape()).collect())
+    }
+}
+
+/// Disjunction of row predicates (word-level OR of the child bitmaps).
+pub struct AnyRowPredicate {
+    /// Disjuncts (at least one must hold; empty = matches nothing).
+    pub parts: Vec<Box<dyn RowPredicate>>,
+}
+
+impl RowPredicate for AnyRowPredicate {
+    fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
+        self.parts.iter().any(|p| p.eval_row(ds, row))
+    }
+
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        let mut acc = SelectionVector::none(ds.n_rows());
+        for p in &self.parts {
+            acc.or_assign(&p.scan(ds));
+        }
+        acc
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.parts.iter().map(|p| p.describe()).collect();
+        parts.join(" OR ")
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Or(self.parts.iter().map(|p| p.shape()).collect())
+    }
+}
+
+/// Negation of a row predicate (word-level NOT of the child bitmap) — the
+/// `A ∧ ¬B` differencing shapes of Theorem 1.1 are built from this.
+pub struct NotRowPredicate {
+    /// The negated predicate.
+    pub inner: Box<dyn RowPredicate>,
+}
+
+impl RowPredicate for NotRowPredicate {
+    fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
+        !self.inner.eval_row(ds, row)
+    }
+
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        self.inner.scan(ds).not()
+    }
+
+    fn describe(&self) -> String {
+        format!("NOT ({})", self.inner.describe())
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Not(Box::new(self.inner.shape()))
+    }
+}
+
+/// Boxed evaluation closure over a dataset row.
+type RowEvalFn = Box<dyn Fn(&Dataset, usize) -> bool + Send + Sync>;
+
+/// Closure-backed row predicate with a label and a stable process-unique
+/// identity.
+///
+/// The identity — not the label — backs [`RowPredicate::shape`], so two
+/// `FnRowPredicate`s that happen to share a label can never alias each
+/// other's cached bitmaps in the [`crate::CountingEngine`].
+pub struct FnRowPredicate {
+    label: String,
+    id: u64,
+    f: RowEvalFn,
+}
+
+impl FnRowPredicate {
+    /// Wraps a closure.
+    pub fn new(label: &str, f: impl Fn(&Dataset, usize) -> bool + Send + Sync + 'static) -> Self {
+        FnRowPredicate {
+            label: label.to_owned(),
+            id: next_opaque_id(),
+            f: Box::new(f),
+        }
+    }
+
+    /// The stable identity assigned at construction.
+    pub fn opaque_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl RowPredicate for FnRowPredicate {
+    fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
+        (self.f)(ds, row)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::Opaque { id: self.id }
+    }
 }
 
 /// Keyed-hash predicate over a subset of columns of a row — the tabular
@@ -484,6 +687,15 @@ impl RowPredicate for RowHashPredicate {
             <KeyedHashPredicate as Predicate<[Value]>>::describe(&self.hash),
             self.cols
         )
+    }
+
+    fn shape(&self) -> PredShape {
+        PredShape::RowHash {
+            key: self.hash.key,
+            modulus: self.hash.modulus,
+            target: self.hash.target,
+            cols: self.cols.clone(),
+        }
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # singling-out — facade crate
@@ -9,6 +10,8 @@
 //!
 //! * [`data`] — datasets, schemas, distributions, synthetic generators
 //! * [`query`] — statistical-query engine and answer mechanisms
+//! * [`analyze`] — static predicate-algebra IR and pre-execution workload
+//!   linter (differencing / reconstruction attack shapes, gatekeeper mode)
 //! * [`lp`] — linear-programming solver (substrate for LP decoding)
 //! * [`dp`] — differential privacy mechanisms and accounting
 //! * [`kanon`] — k-anonymity, l-diversity, t-closeness
@@ -34,6 +37,7 @@ pub mod prelude {
     pub use singling_out_core::report::AuditReport;
     pub use so_data::rng::seeded_rng;
 }
+pub use so_analyze as analyze;
 pub use so_census as census;
 pub use so_data as data;
 pub use so_dp as dp;
