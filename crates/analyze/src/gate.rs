@@ -1,15 +1,26 @@
 //! Gatekeeper mode: the lint verdict wired into the counting engine.
 //!
 //! A [`GatedEngine`] wraps a [`CountingEngine`] behind the static verdict of
-//! [`lint_workload`]: the declared workload is linted once at construction,
-//! and if any pass denies, *every* query is refused before execution — the
-//! engine never touches the data, and each refusal lands in the audit trail
-//! tagged with the lint code that vetoed the workload. Refusing is a static
-//! decision with a citable reason, which is exactly the defence the paper
-//! says a query-serving system needs against "overly accurate answers to too
-//! many questions".
+//! [`lint_workload`]: it takes ownership of the declared workload, lints it
+//! once at construction, and then [`GatedEngine::execute`] either
+//!
+//! * refuses the workload — every answer is
+//!   [`WorkloadAnswer::Refused`] and the audit trail records **one refusal
+//!   per offending query index** (each tagged with the lint code that
+//!   flagged it, bounded by the auditor's trail cap), or
+//! * executes **the identical plan it linted**: the same [`WorkloadSpec`],
+//!   same pool, same expressions flow into
+//!   [`CountingEngine::execute_workload`] — there is no window for the
+//!   executed queries to drift from the linted ones.
+//!
+//! Refusing is a static decision with a citable reason, which is exactly the
+//! defence the paper says a query-serving system needs against "overly
+//! accurate answers to too many questions".
 
-use so_query::engine::CountingEngine;
+use std::collections::BTreeMap;
+
+use so_plan::PlanStats;
+use so_query::engine::{CountingEngine, WorkloadAnswer, WorkloadAnswers};
 use so_query::predicate::RowPredicate;
 
 use crate::lint::{lint_workload, LintConfig, LintReport, Severity};
@@ -24,14 +35,21 @@ use crate::workload::WorkloadSpec;
 /// in the description.
 pub struct GatedEngine<'a> {
     engine: CountingEngine<'a>,
+    workload: WorkloadSpec,
     report: LintReport,
 }
 
 impl<'a> GatedEngine<'a> {
-    /// Lints `workload` with `cfg` and places `engine` behind the verdict.
-    pub fn new(engine: CountingEngine<'a>, workload: &mut WorkloadSpec, cfg: &LintConfig) -> Self {
-        let report = lint_workload(workload, cfg);
-        GatedEngine { engine, report }
+    /// Lints `workload` with `cfg` and places `engine` behind the verdict,
+    /// taking ownership of the workload so the plan that was linted is the
+    /// plan that executes.
+    pub fn new(engine: CountingEngine<'a>, mut workload: WorkloadSpec, cfg: &LintConfig) -> Self {
+        let report = lint_workload(&mut workload, cfg);
+        GatedEngine {
+            engine,
+            workload,
+            report,
+        }
     }
 
     /// True iff the gate admits the workload (no deny-severity finding).
@@ -44,9 +62,65 @@ impl<'a> GatedEngine<'a> {
         &self.report
     }
 
-    /// Answers a counting query if the gate is open, else records a refusal
-    /// (with the vetoing lint code) and returns `None` — the engine never
-    /// evaluates a predicate of a denied workload.
+    /// The linted workload (as canonicalized by the lints).
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+
+    /// Executes the gated workload.
+    ///
+    /// If the gate is open this is exactly
+    /// [`CountingEngine::execute_workload`] on the workload that was linted
+    /// at construction. If the verdict denies, no query executes: every
+    /// answer is [`WorkloadAnswer::Refused`], and one refusal per offending
+    /// query index is recorded in the audit trail — tagged with the lint
+    /// code of the finding that flagged that index — so the trail names
+    /// which queries triggered the veto rather than a single blanket entry.
+    /// (The trail honors the auditor's cap; the refusal *counter* still
+    /// counts every offending index.)
+    pub fn execute(&mut self) -> WorkloadAnswers {
+        if self.report.denies() {
+            // First deny finding to flag each index wins.
+            let mut offending: BTreeMap<usize, &'static str> = BTreeMap::new();
+            for f in self
+                .report
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Deny)
+            {
+                for &q in &f.queries {
+                    offending.entry(q).or_insert_with(|| f.lint.code());
+                }
+            }
+            let pool = self.workload.pool();
+            for (&q, &code) in &offending {
+                let rendered = match &self.workload.queries()[q].kind {
+                    crate::workload::QueryKind::Pred(id) => pool.render(*id),
+                    crate::workload::QueryKind::Subset(m) => {
+                        format!("subset(|q| = {})", m.count_ones())
+                    }
+                };
+                self.engine
+                    .auditor_mut()
+                    .refuse_with(|| format!("[gate: {code}] query #{q}: {rendered}"));
+            }
+            return WorkloadAnswers {
+                answers: vec![WorkloadAnswer::Refused; self.workload.len()],
+                targets: vec![None; self.workload.len()],
+                stats: PlanStats {
+                    queries: self.workload.len(),
+                    ..PlanStats::default()
+                },
+            };
+        }
+        self.engine.execute_workload(&self.workload)
+    }
+
+    /// Answers a single counting query if the gate is open, else records a
+    /// refusal (with the vetoing lint code) and returns `None` — the engine
+    /// never evaluates a predicate of a denied workload. Retained for
+    /// query-at-a-time callers; batch callers should prefer
+    /// [`GatedEngine::execute`], which runs the linted plan itself.
     pub fn count(&mut self, p: &dyn RowPredicate) -> Option<usize> {
         if let Some(code) = self.deny_code() {
             self.engine
@@ -80,8 +154,9 @@ impl<'a> GatedEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Noise;
+    use crate::workload::{Noise, QueryKind};
     use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+    use so_query::audit::QueryAuditor;
     use so_query::predicate::{
         AllRowPredicate, IntRangePredicate, KeyedHashPredicate, NotRowPredicate, RowHashPredicate,
     };
@@ -124,30 +199,70 @@ mod tests {
         (a, b)
     }
 
+    fn tracker_workload(n_rows: usize, noise: Noise) -> WorkloadSpec {
+        let (a, b) = tracker_pair();
+        let mut w = WorkloadSpec::new(n_rows);
+        w.push_predicate(&a, noise);
+        w.push_predicate(&b, noise);
+        w
+    }
+
     #[test]
     fn flagged_workload_is_refused_before_any_answer() {
         let data = ds(100);
-        let (a, b) = tracker_pair();
-        let mut w = WorkloadSpec::new(data.n_rows());
-        w.push_predicate(&a, Noise::Exact);
-        w.push_predicate(&b, Noise::Exact);
-        let mut gated = GatedEngine::new(
-            CountingEngine::new(&data, None),
-            &mut w,
-            &LintConfig::default(),
-        );
+        let w = tracker_workload(data.n_rows(), Noise::Exact);
+        let mut gated =
+            GatedEngine::new(CountingEngine::new(&data, None), w, &LintConfig::default());
         assert!(!gated.is_open());
-        assert_eq!(gated.count(&a), None);
-        assert_eq!(gated.count(&b), None);
+        let out = gated.execute();
+        assert_eq!(
+            out.answers,
+            vec![WorkloadAnswer::Refused, WorkloadAnswer::Refused]
+        );
         let auditor = gated.engine().auditor();
         assert_eq!(auditor.queries_answered(), 0, "no query was ever answered");
+        // One refusal per offending query index, not one blanket entry.
         assert_eq!(auditor.queries_refused(), 2);
-        // The refusal reason is the differencing lint's code.
         let trail: Vec<_> = auditor.trail().collect();
+        assert_eq!(trail.len(), 2);
         assert!(trail.iter().all(|r| !r.admitted));
         assert!(
-            trail[0].description.starts_with("[gate: SO-DIFF]"),
-            "citable reason in the trail: {}",
+            trail[0]
+                .description
+                .starts_with("[gate: SO-DIFF] query #0:"),
+            "citable reason names the query: {}",
+            trail[0].description
+        );
+        assert!(
+            trail[1]
+                .description
+                .starts_with("[gate: SO-DIFF] query #1:"),
+            "second offending index recorded: {}",
+            trail[1].description
+        );
+    }
+
+    /// The per-index refusal trail honors the auditor's trail cap while the
+    /// refusal counter still counts every offending index.
+    #[test]
+    fn per_index_refusals_are_bounded_by_the_trail_cap() {
+        let data = ds(100);
+        let w = tracker_workload(data.n_rows(), Noise::Exact);
+        let auditor = QueryAuditor::with_trail_cap(None, 1);
+        let mut gated = GatedEngine::new(
+            CountingEngine::with_auditor(&data, auditor),
+            w,
+            &LintConfig::default(),
+        );
+        let out = gated.execute();
+        assert_eq!(out.answers.len(), 2);
+        let auditor = gated.engine().auditor();
+        assert_eq!(auditor.queries_refused(), 2, "counter sees both indices");
+        assert_eq!(auditor.trail_len(), 1, "trail keeps only the newest");
+        let trail: Vec<_> = auditor.trail().collect();
+        assert!(
+            trail[0].description.contains("query #1"),
+            "cap evicts oldest first: {}",
             trail[0].description
         );
     }
@@ -168,32 +283,62 @@ mod tests {
         let mut w = WorkloadSpec::new(data.n_rows());
         w.push_predicate(&young, Noise::Exact);
         w.push_predicate(&old, Noise::Exact);
-        let mut gated = GatedEngine::new(
-            CountingEngine::new(&data, None),
-            &mut w,
-            &LintConfig::default(),
-        );
+        let mut gated =
+            GatedEngine::new(CountingEngine::new(&data, None), w, &LintConfig::default());
         assert!(gated.is_open());
         assert_eq!(gated.report().verdict(), "PASS");
-        let total = gated.count(&young).unwrap() + gated.count(&old).unwrap();
+        let out = gated.execute();
+        let total: usize = out
+            .answers
+            .iter()
+            .map(|a| match a {
+                WorkloadAnswer::Count(c) => *c,
+                other => panic!("expected a count, got {other:?}"),
+            })
+            .sum();
         assert_eq!(total, data.n_rows());
         assert_eq!(gated.engine().auditor().queries_answered(), 2);
         assert_eq!(gated.engine().auditor().queries_refused(), 0);
     }
 
+    /// The acceptance criterion of the one-pipeline refactor: the gate
+    /// executes the *identical* plan it linted. Every executed target in the
+    /// engine's pool carries the same stable structural hash as the declared
+    /// expression in the linted workload's pool.
+    #[test]
+    fn gate_executes_the_same_plan_it_linted() {
+        let data = ds(100);
+        let w = tracker_workload(data.n_rows(), Noise::PureDp { epsilon: 0.1 });
+        let mut gated =
+            GatedEngine::new(CountingEngine::new(&data, None), w, &LintConfig::default());
+        assert!(gated.is_open(), "{:?}", gated.report().findings);
+        let out = gated.execute();
+        assert_eq!(out.answers.len(), 2);
+        let spec_hashes: Vec<u64> = gated
+            .workload()
+            .queries()
+            .iter()
+            .map(|q| match &q.kind {
+                QueryKind::Pred(id) => gated.workload().pool().structural_hash(*id),
+                _ => unreachable!(),
+            })
+            .collect();
+        let executed_hashes: Vec<u64> = out
+            .targets
+            .iter()
+            .map(|t| gated.engine().pool().structural_hash(t.unwrap()))
+            .collect();
+        assert_eq!(
+            spec_hashes, executed_hashes,
+            "the executed expressions are the linted expressions"
+        );
+    }
+
     #[test]
     fn same_pair_under_dp_noise_is_admitted() {
         let data = ds(100);
-        let (a, b) = tracker_pair();
-        let mut w = WorkloadSpec::new(data.n_rows());
-        let dp = Noise::PureDp { epsilon: 0.1 };
-        w.push_predicate(&a, dp);
-        w.push_predicate(&b, dp);
-        let gated = GatedEngine::new(
-            CountingEngine::new(&data, None),
-            &mut w,
-            &LintConfig::default(),
-        );
+        let w = tracker_workload(data.n_rows(), Noise::PureDp { epsilon: 0.1 });
+        let gated = GatedEngine::new(CountingEngine::new(&data, None), w, &LintConfig::default());
         assert!(gated.is_open(), "{:?}", gated.report().findings);
     }
 }

@@ -1,7 +1,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-//! # so-analyze — static predicate-algebra IR and workload linter
+//! # so-analyze — pre-execution workload linter
 //!
 //! The paper's central observation is that singling-out risk is a property
 //! of the *query workload*, not of any single answer: Dinur–Nissim
@@ -10,25 +10,28 @@
 //! alone, before a single count is released. This crate makes that
 //! recognition a first-class, pre-execution subsystem:
 //!
-//! * [`ir`] — a canonical predicate-algebra IR: `RowPredicate` trees are
-//!   lifted into an interned [`ir::PredPool`] with constant folding, NNF
-//!   normalization, and a stable structural hash that replaces fragile
-//!   `describe()` strings;
-//! * [`workload`] — [`workload::WorkloadSpec`], the declared plan of a
-//!   workload (queries plus noise annotations), the object the lints run
-//!   over;
+//! * the predicate-algebra IR and workload declarations come from
+//!   [`so_plan`] (re-exported here as [`ir`] and [`workload`]) — the *same*
+//!   hash-consed [`ir::PredPool`] the `so-query` execution engine compiles
+//!   bitmaps from, so the expressions the lints reason about are literally
+//!   the expressions that run;
 //! * [`lint`] — the static passes: differencing / tracker detection,
 //!   Dinur–Nissim reconstruction density, ε-budget precheck against the
 //!   `so-dp` accountant, and tautology/contradiction/duplicate hygiene;
 //! * [`gate`] — [`gate::GatedEngine`], a gatekeeper-mode
-//!   [`so_query::CountingEngine`] that refuses a statically flagged
-//!   workload before answering any query, with the lint verdict recorded in
-//!   the audit trail as a citable reason.
+//!   [`so_query::CountingEngine`] that lints the declared workload at
+//!   construction and then either refuses it (one citable refusal per
+//!   offending query in the audit trail) or executes the identical plan via
+//!   the whole-workload planner.
 
 pub mod gate;
-pub mod ir;
 pub mod lint;
-pub mod workload;
+
+// The IR and workload-spec modules moved down into `so-plan` so the linter
+// and the execution engine share one definition; the historical
+// `so_analyze::ir` / `so_analyze::workload` paths keep working.
+pub use so_plan::ir;
+pub use so_plan::workload;
 
 pub use gate::GatedEngine;
 pub use ir::{Atom, ExprId, PredNode, PredPool};

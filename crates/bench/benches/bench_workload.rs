@@ -1,0 +1,88 @@
+//! Criterion benches for whole-workload planning.
+//!
+//! The headline comparison: an E1-shaped batch of 1 000 overlapping
+//! conjunction queries over 100 000 rows, answered query-at-a-time with a
+//! fresh scan per query (the pre-planner baseline) versus compiled into one
+//! `QueryPlan` whose hash-consed shared subexpressions are scanned once and
+//! combined with word-level bitmap operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+use so_plan::workload::{Noise, WorkloadSpec};
+use so_query::predicate::{AllRowPredicate, IntRangePredicate, RowPredicate, ValueEqualsPredicate};
+use so_query::CountingEngine;
+
+const N_ROWS: usize = 100_000;
+const N_QUERIES: usize = 1_000;
+
+fn dataset(n: usize) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("dept", DataType::Int, AttributeRole::QuasiIdentifier),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    for i in 0..n {
+        b.push_row(vec![
+            Value::Int((i * 37 % 90) as i64),
+            Value::Int((i % 25) as i64),
+        ]);
+    }
+    b.finish()
+}
+
+/// The E1-shaped workload: every query is `age ∈ [lo, lo+9] ∧ dept = d`,
+/// cycling through 40 distinct age decades and 25 departments, so the 1 000
+/// queries share 65 atoms between them and repeat each conjunction.
+fn overlapping_queries(n_queries: usize) -> Vec<AllRowPredicate> {
+    (0..n_queries)
+        .map(|q| {
+            let lo = ((q % 40) * 2) as i64;
+            AllRowPredicate {
+                parts: vec![
+                    Box::new(IntRangePredicate {
+                        col: 0,
+                        lo,
+                        hi: lo + 9,
+                    }),
+                    Box::new(ValueEqualsPredicate {
+                        col: 1,
+                        value: Value::Int((q % 25) as i64),
+                    }),
+                ],
+            }
+        })
+        .collect()
+}
+
+fn bench_workload_planning(c: &mut Criterion) {
+    let ds = dataset(N_ROWS);
+    let queries = overlapping_queries(N_QUERIES);
+
+    let mut group = c.benchmark_group("workload_planning");
+    group.sample_size(10);
+
+    // Baseline: one fresh scan per query, no sharing — what a query-at-a-time
+    // loop over `p.scan(ds)` costs.
+    group.bench_function("query_at_a_time_100k_rows_1k_queries", |b| {
+        b.iter(|| queries.iter().map(|p| p.scan(&ds).count()).sum::<usize>());
+    });
+
+    // Planned: the whole batch through `execute_workload` — hash-consing
+    // dedups repeated conjunctions, shared atoms are scanned once, and every
+    // conjunction is a word-level AND over cached bitmaps.
+    group.bench_function("execute_workload_100k_rows_1k_queries", |b| {
+        b.iter(|| {
+            let mut spec = WorkloadSpec::new(ds.n_rows());
+            for p in &queries {
+                spec.push_predicate(p, Noise::Exact);
+            }
+            let mut engine = CountingEngine::new(&ds, None);
+            engine.execute_workload(&spec).answers.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_planning);
+criterion_main!(benches);

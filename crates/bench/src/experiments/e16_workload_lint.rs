@@ -7,8 +7,10 @@
 //! and the classic differencing tracker, alongside the E7 DP workload and an
 //! honest cross-tab, reporting per-lint finding counts and the verdict. The
 //! second table demonstrates gatekeeper mode: a `CountingEngine` behind the
-//! lint verdict refuses a flagged workload before answering a single query,
-//! while the honest workload flows through untouched.
+//! lint verdict refuses a flagged workload before answering a single query
+//! (one citable refusal per offending query index), while the honest
+//! workload flows through the whole-workload planner untouched —
+//! `GatedEngine::execute` runs the identical plan the linter saw.
 
 use so_analyze::{
     lint_workload, GatedEngine, LintConfig, LintId, LintReport, Noise, Severity, WorkloadSpec,
@@ -257,11 +259,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ),
         ("honest cross-tab / exact", honest_crosstab(data.n_rows())),
     ];
-    for (label, (preds, mut w)) in runs {
-        let mut gated = GatedEngine::new(CountingEngine::new(&data, None), &mut w, &cfg);
-        for p in &preds {
-            let _ = gated.count(p.as_ref());
-        }
+    for (label, (_preds, w)) in runs {
+        let mut gated = GatedEngine::new(CountingEngine::new(&data, None), w, &cfg);
+        let _ = gated.execute();
         let reason = gated
             .report()
             .findings

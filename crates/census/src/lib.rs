@@ -43,4 +43,4 @@ pub use microdata::{CensusConfig, CensusData, Person, Race, Sex};
 pub use reconstruct::{reconstruct_block, ReconOutcome, SolverBudget};
 pub use reidentify::{commercial_database, reidentify, CommercialConfig, ReidentifyOutcome};
 pub use swapping::{swap_records, SwapConfig};
-pub use tabulate::{tabulate_block, tabulate_block_scalar, BlockTables};
+pub use tabulate::{tabulate_block, tabulate_block_planned, tabulate_block_scalar, BlockTables};

@@ -63,6 +63,17 @@ impl LaplaceCount {
     pub fn expected_absolute_error(&self) -> f64 {
         1.0 / self.epsilon
     }
+
+    /// The two-sided `tail` quantile of the noise: the smallest `q` with
+    /// `P(|noise| > q) = tail`.
+    ///
+    /// Delegates to [`so_plan::laplace_tail_quantile`] — the single home of
+    /// this formula, shared with the workload planner's effective-α ordering
+    /// ([`so_plan::workload::Noise::effective_alpha`]) so mechanism and
+    /// planner can never disagree about a mechanism's error envelope.
+    pub fn tail_quantile(&self, tail: f64) -> f64 {
+        so_plan::laplace_tail_quantile(self.epsilon, tail)
+    }
 }
 
 /// Integer-valued ε-DP counting via two-sided geometric noise (the discrete
@@ -251,6 +262,25 @@ mod tests {
         assert!((e_small - 10.0).abs() < 0.5, "mae(0.1) = {e_small}");
         assert!((e_large - 1.0).abs() < 0.1, "mae(1.0) = {e_large}");
         assert_eq!(LaplaceCount::new(0.5).expected_absolute_error(), 2.0);
+    }
+
+    /// `tail_quantile` is the shared `so-plan` formula, and the empirical
+    /// tail mass beyond it matches the requested level.
+    #[test]
+    fn laplace_count_tail_quantile_is_calibrated() {
+        let m = LaplaceCount::new(0.5);
+        assert_eq!(
+            m.tail_quantile(1e-3),
+            so_plan::laplace_tail_quantile(0.5, 1e-3)
+        );
+        let q = m.tail_quantile(0.05);
+        let mut rng = seeded_rng(203);
+        let n = 200_000;
+        let beyond = (0..n)
+            .filter(|_| (m.release(70, &mut rng) - 70.0).abs() > q)
+            .count();
+        let rate = beyond as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "tail rate {rate}");
     }
 
     /// Empirical ε-DP check: the output distributions of the mechanism on

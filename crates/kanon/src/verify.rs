@@ -1,8 +1,57 @@
 //! Verification of the k-anonymity property.
+//!
+//! The adversary-visible grouping (classes with identical generalized boxes
+//! merge) is computed on the shared `so-plan` predicate IR: each box is
+//! lifted to a hash-consed expression, so two classes merge exactly when
+//! their boxes intern to the same [`ExprId`] — structural identity in the
+//! same pool the query planner and workload linter use, rather than a
+//! private deep-clone-and-hash of `GenValue` vectors.
 
 use std::collections::HashMap;
 
+use so_data::Value;
+use so_plan::{Atom, ExprId, PredPool};
+
 use crate::generalized::{AnonymizedDataset, GenValue};
+
+/// Interns one generalized cell as a predicate-IR expression.
+///
+/// `Exact` and `IntRange` cells map onto their true row predicates over QI
+/// position `2j`; taxonomy nodes have no tabular atom, so they are encoded
+/// injectively as a value test on the odd column `2j + 1` (identity is all
+/// the merge check needs). `Suppressed` is the `True` predicate.
+fn lift_cell(pool: &mut PredPool, j: usize, g: &GenValue) -> ExprId {
+    match g {
+        GenValue::Exact(v) => pool.atom(Atom::ValueEquals {
+            col: 2 * j,
+            value: *v,
+        }),
+        GenValue::IntRange { lo, hi } => pool.atom(Atom::IntRange {
+            col: 2 * j,
+            lo: *lo,
+            hi: *hi,
+        }),
+        GenValue::CategoryNode(node) => pool.atom(Atom::ValueEquals {
+            col: 2 * j + 1,
+            value: Value::Int(*node as i64),
+        }),
+        GenValue::Suppressed => pool.tru(),
+    }
+}
+
+/// Interns a whole generalized box as the conjunction of its cells.
+///
+/// Two boxes produce the same [`ExprId`] iff they are identical cell for
+/// cell (modulo suppressed cells, which are the neutral `True`), which is
+/// exactly the merge criterion of [`merged_class_sizes`].
+pub fn lift_box(pool: &mut PredPool, qi_box: &[GenValue]) -> ExprId {
+    let cells: Vec<ExprId> = qi_box
+        .iter()
+        .enumerate()
+        .map(|(j, g)| lift_cell(pool, j, g))
+        .collect();
+    pool.and(cells)
+}
 
 /// True iff every released equivalence class has size at least `k`.
 ///
@@ -14,7 +63,21 @@ pub fn is_k_anonymous(anon: &AnonymizedDataset, k: usize) -> bool {
 }
 
 /// Sizes of the classes as the adversary sees them (identical boxes merged).
+///
+/// Deficiency bookkeeping runs on interned expression ids: each class's box
+/// is lifted into one [`PredPool`] and sizes accumulate per distinct id.
 pub fn merged_class_sizes(anon: &AnonymizedDataset) -> Vec<usize> {
+    let mut pool = PredPool::new();
+    let mut by_expr: HashMap<ExprId, usize> = HashMap::new();
+    for c in anon.classes() {
+        *by_expr.entry(lift_box(&mut pool, &c.qi_box)).or_insert(0) += c.rows.len();
+    }
+    by_expr.into_values().collect()
+}
+
+/// Reference implementation of [`merged_class_sizes`] that groups by the
+/// raw `GenValue` vectors, kept as the oracle for the IR-keyed path.
+pub fn merged_class_sizes_scalar(anon: &AnonymizedDataset) -> Vec<usize> {
     let mut by_box: HashMap<Vec<GenValue>, usize> = HashMap::new();
     for c in anon.classes() {
         *by_box.entry(c.qi_box.clone()).or_insert(0) += c.rows.len();
@@ -88,5 +151,52 @@ mod tests {
         let anon = release(&[], false);
         assert!(is_k_anonymous(&anon, 100));
         assert_eq!(effective_k(&anon), 0);
+    }
+
+    /// Interning distinguishes every cell kind the release can carry: a
+    /// taxonomy node never collides with an exact integer of the same
+    /// numeric value, a point range never collides with the exact value,
+    /// and all-suppressed boxes coincide.
+    #[test]
+    fn lifted_boxes_are_injective_per_cell_kind() {
+        let mut pool = PredPool::new();
+        let exact = lift_box(&mut pool, &[GenValue::Exact(Value::Int(3))]);
+        let node = lift_box(&mut pool, &[GenValue::CategoryNode(3)]);
+        let point = lift_box(&mut pool, &[GenValue::IntRange { lo: 3, hi: 3 }]);
+        let sup_a = lift_box(&mut pool, &[GenValue::Suppressed, GenValue::Suppressed]);
+        let sup_b = lift_box(&mut pool, &[GenValue::Suppressed, GenValue::Suppressed]);
+        assert_ne!(exact, node);
+        assert_ne!(exact, point);
+        assert_ne!(node, point);
+        assert_eq!(sup_a, sup_b);
+        // Same cell in different QI positions stays distinct.
+        let left = lift_box(
+            &mut pool,
+            &[GenValue::Exact(Value::Int(3)), GenValue::Suppressed],
+        );
+        let right = lift_box(
+            &mut pool,
+            &[GenValue::Suppressed, GenValue::Exact(Value::Int(3))],
+        );
+        assert_ne!(left, right);
+    }
+
+    /// The IR-keyed grouping matches the raw-`GenValue` oracle.
+    #[test]
+    fn ir_grouping_matches_scalar_oracle() {
+        for (sizes, same_box) in [
+            (&[5usize, 5, 3][..], false),
+            (&[2, 2][..], true),
+            (&[2, 2][..], false),
+            (&[][..], false),
+            (&[1, 4, 1, 4][..], true),
+        ] {
+            let anon = release(sizes, same_box);
+            let mut planned = merged_class_sizes(&anon);
+            let mut scalar = merged_class_sizes_scalar(&anon);
+            planned.sort_unstable();
+            scalar.sort_unstable();
+            assert_eq!(planned, scalar, "sizes {sizes:?} same_box {same_box}");
+        }
     }
 }

@@ -28,4 +28,4 @@ pub use membership::{
 };
 pub use narayanan::{deanonymize, NarayananConfig, ScoreboardOutcome};
 pub use quasi::{class_size_histogram, uniqueness_fraction};
-pub use sweeney::{link_releases, link_releases_bitmap, LinkageOutcome};
+pub use sweeney::{link_releases, link_releases_bitmap, link_releases_planned, LinkageOutcome};

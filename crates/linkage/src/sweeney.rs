@@ -215,6 +215,82 @@ pub fn link_releases_bitmap(
     }
 }
 
+/// Workload-planned variant of [`link_releases`]: every released row's QI
+/// tuple becomes one conjunction of [`so_plan::Atom::ValueEquals`] atoms in
+/// a shared hash-consed [`so_plan::PredPool`], and the whole batch is
+/// compiled into a single [`so_plan::QueryPlan`] over the identified
+/// dataset.
+///
+/// The planner does the de-duplication the hash join does by hand: released
+/// rows with equal QI tuples collapse to one target expression, each
+/// distinct `(column, value)` atom is scanned exactly once, and every
+/// intersection is a word-level AND of cached child bitmaps. A row's verdict
+/// (unmatched / linked / ambiguous) is the popcount of its target bitmap.
+///
+/// Produces exactly the same [`LinkageOutcome`] as the hash join, which
+/// remains the reference implementation (see the equivalence test).
+///
+/// # Panics
+/// Panics if the QI column lists have different lengths.
+pub fn link_releases_planned(
+    released: &Dataset,
+    released_qi: &[usize],
+    identified: &Dataset,
+    identified_qi: &[usize],
+    id_col: usize,
+) -> LinkageOutcome {
+    use so_plan::{Atom, NodeCache, PredPool, QueryPlan};
+
+    assert_eq!(released_qi.len(), identified_qi.len(), "QI arity mismatch");
+    let mut pool = PredPool::new();
+    let targets: Vec<_> = (0..released.n_rows())
+        .map(|r| {
+            let atoms: Vec<_> = released_qi
+                .iter()
+                .zip(identified_qi)
+                .map(|(&rc, &ic)| {
+                    pool.atom(Atom::ValueEquals {
+                        col: ic,
+                        value: released.get(r, rc),
+                    })
+                })
+                .collect();
+            Some(pool.and(atoms))
+        })
+        .collect();
+    let plan = QueryPlan::compile(&pool, targets);
+    let mut cache = NodeCache::new();
+    let no_evaluators = std::collections::HashMap::new();
+    let _ = plan.execute(&pool, identified, &no_evaluators, &mut cache);
+
+    let mut links = Vec::new();
+    let mut unmatched = 0usize;
+    let mut ambiguous = 0usize;
+    for (r, target) in plan.targets().iter().enumerate() {
+        let bitmap = &cache[&target.expect("every released row has a target")];
+        match bitmap.count() {
+            0 => unmatched += 1,
+            1 => {
+                let row = bitmap.next_set_bit(0).expect("count is 1");
+                let id = identified
+                    .get(row, id_col)
+                    .as_int()
+                    .expect("identity column must be Int");
+                links.push(Link {
+                    released_row: r,
+                    claimed_id: id,
+                });
+            }
+            _ => ambiguous += 1,
+        }
+    }
+    LinkageOutcome {
+        links,
+        unmatched,
+        ambiguous,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +344,12 @@ mod tests {
         assert_eq!(bm.links, out.links);
         assert_eq!(bm.unmatched, out.unmatched);
         assert_eq!(bm.ambiguous, out.ambiguous);
+
+        // So does the workload-planned join.
+        let pl = link_releases_planned(&released, &[0], &identified, &[1], 0);
+        assert_eq!(pl.links, out.links);
+        assert_eq!(pl.unmatched, out.unmatched);
+        assert_eq!(pl.ambiguous, out.ambiguous);
     }
 
     #[test]
@@ -310,10 +392,15 @@ mod tests {
         assert!(precision > 0.97, "precision {precision}");
         assert!(recall > 0.9, "recall {recall}");
 
-        // Hash join and bitmap-index join agree on every row at scale.
+        // Hash join, bitmap-index join, and the workload-planned join agree
+        // on every row at scale.
         let bm = link_releases_bitmap(&med, &[mz, md, ms], &voters, &[vz, vd, vs], vid);
         assert_eq!(bm.links, out.links);
         assert_eq!(bm.unmatched, out.unmatched);
         assert_eq!(bm.ambiguous, out.ambiguous);
+        let pl = link_releases_planned(&med, &[mz, md, ms], &voters, &[vz, vd, vs], vid);
+        assert_eq!(pl.links, out.links);
+        assert_eq!(pl.unmatched, out.unmatched);
+        assert_eq!(pl.ambiguous, out.ambiguous);
     }
 }

@@ -19,15 +19,19 @@
 //! a canonical encoding, invariant across runs and processes) that replaces
 //! the fragile `describe()` strings wherever a machine-facing predicate
 //! identity is needed.
+//!
+//! Interning is children-first: a node's children are always interned before
+//! the node itself, so `a.index() < b.index()` whenever `a` is a
+//! subexpression of `b` — increasing-[`ExprId`] order is a valid bottom-up
+//! evaluation order, which is what [`crate::plan::QueryPlan`] exploits.
 
 use std::collections::HashMap;
 
 use so_data::{BitVec, Dataset, Value};
-use so_query::predicate::{
-    BitExtractPredicate, IntRangePredicate, KeyedHashPredicate, Predicate, RowHashPredicate,
-    RowPredicate, ValueEqualsPredicate,
-};
-use so_query::shape::{next_opaque_id, PredShape};
+
+use crate::kernels::{eval_atom_bits, eval_atom_row};
+use crate::predicate::{canonical_bytes, RowPredicate};
+use crate::shape::{fnv1a, next_opaque_id, PredShape};
 
 /// Handle to an interned expression in a [`PredPool`]. Within one pool,
 /// equal ids ⇔ structurally equal expressions.
@@ -38,6 +42,10 @@ impl ExprId {
     /// The raw pool index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> Self {
+        ExprId(u32::try_from(i).expect("pool overflow"))
     }
 }
 
@@ -89,7 +97,9 @@ pub enum Atom {
         value: bool,
     },
     /// Opaque predicate known only by a unique identity — never equal to any
-    /// other atom, weight unknown.
+    /// other atom, weight unknown. Executable only when a closure evaluator
+    /// is registered for the id (see
+    /// [`crate::workload::WorkloadSpec::push_predicate_arc`]).
     Opaque {
         /// Stable unique identity.
         id: u64,
@@ -111,18 +121,6 @@ pub enum PredNode {
     Or(Vec<ExprId>),
     /// Negation of a child.
     Not(ExprId),
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
 }
 
 /// A hash-consing arena of predicate expressions.
@@ -450,12 +448,67 @@ impl PredPool {
         self.lift(&shape)
     }
 
+    /// Re-interns an expression from another pool into this one, preserving
+    /// structure (and therefore the stable structural hash). `memo` caches
+    /// translations so shared subexpressions stay shared; reuse one memo map
+    /// for a whole workload import. This is how the executing engine adopts
+    /// the exact expressions a workload declared (and the linter saw) while
+    /// keeping its own persistent cross-workload pool.
+    pub fn import(
+        &mut self,
+        other: &PredPool,
+        id: ExprId,
+        memo: &mut HashMap<ExprId, ExprId>,
+    ) -> ExprId {
+        if let Some(&translated) = memo.get(&id) {
+            return translated;
+        }
+        let translated = match other.node(id).clone() {
+            PredNode::True => self.true_id,
+            PredNode::False => self.false_id,
+            PredNode::Atom(a) => self.atom(a),
+            PredNode::And(children) => {
+                let mapped: Vec<ExprId> = children
+                    .iter()
+                    .map(|&c| self.import(other, c, memo))
+                    .collect();
+                self.and(mapped)
+            }
+            PredNode::Or(children) => {
+                let mapped: Vec<ExprId> = children
+                    .iter()
+                    .map(|&c| self.import(other, c, memo))
+                    .collect();
+                self.or(mapped)
+            }
+            PredNode::Not(inner) => {
+                let mapped = self.import(other, inner, memo);
+                self.not(mapped)
+            }
+        };
+        memo.insert(id, translated);
+        translated
+    }
+
     /// The conjunct set of an expression: the children if it is a
     /// conjunction, else the expression itself. Meaningful on NNF'd ids.
     pub fn conjuncts(&self, id: ExprId) -> Vec<ExprId> {
         match self.node(id) {
             PredNode::And(children) => children.clone(),
             _ => vec![id],
+        }
+    }
+
+    /// True iff the expression contains an [`Atom::Opaque`] anywhere — i.e.
+    /// it is executable only with a registered closure evaluator.
+    pub fn contains_opaque(&self, id: ExprId) -> bool {
+        match self.node(id) {
+            PredNode::True | PredNode::False => false,
+            PredNode::Atom(a) => matches!(a, Atom::Opaque { .. }),
+            PredNode::And(children) | PredNode::Or(children) => {
+                children.iter().any(|&c| self.contains_opaque(c))
+            }
+            PredNode::Not(inner) => self.contains_opaque(*inner),
         }
     }
 
@@ -592,85 +645,6 @@ fn combine(results: impl Iterator<Item = Option<bool>>, strict_all: bool) -> Opt
     }
 }
 
-fn eval_atom_row(atom: &Atom, ds: &Dataset, row: usize) -> Option<bool> {
-    match atom {
-        Atom::IntRange { col, lo, hi } => Some(
-            IntRangePredicate {
-                col: *col,
-                lo: *lo,
-                hi: *hi,
-            }
-            .eval_row(ds, row),
-        ),
-        Atom::ValueEquals { col, value } => Some(
-            ValueEqualsPredicate {
-                col: *col,
-                value: *value,
-            }
-            .eval_row(ds, row),
-        ),
-        Atom::RowHash {
-            key,
-            modulus,
-            target,
-            cols,
-        } => Some(
-            RowHashPredicate {
-                hash: KeyedHashPredicate {
-                    key: *key,
-                    modulus: *modulus,
-                    target: *target,
-                },
-                cols: cols.clone(),
-            }
-            .eval_row(ds, row),
-        ),
-        Atom::KeyedHash {
-            key,
-            modulus,
-            target,
-        } => {
-            // Whole-row hash: all columns in order.
-            let vals: Vec<Value> = (0..ds.n_cols()).map(|c| ds.get(row, c)).collect();
-            let p = KeyedHashPredicate {
-                key: *key,
-                modulus: *modulus,
-                target: *target,
-            };
-            Some(<KeyedHashPredicate as Predicate<[Value]>>::eval(
-                &p,
-                vals.as_slice(),
-            ))
-        }
-        Atom::BitExtract { .. } | Atom::Opaque { .. } => None,
-    }
-}
-
-fn eval_atom_bits(atom: &Atom, record: &BitVec) -> Option<bool> {
-    match atom {
-        Atom::BitExtract { bit, value } => Some(
-            BitExtractPredicate {
-                bit: *bit,
-                value: *value,
-            }
-            .eval(record),
-        ),
-        Atom::KeyedHash {
-            key,
-            modulus,
-            target,
-        } => {
-            let p = KeyedHashPredicate {
-                key: *key,
-                modulus: *modulus,
-                target: *target,
-            };
-            Some(<KeyedHashPredicate as Predicate<BitVec>>::eval(&p, record))
-        }
-        _ => None,
-    }
-}
-
 fn encode_atom(atom: &Atom, out: &mut Vec<u8>) {
     match atom {
         Atom::IntRange { col, lo, hi } => {
@@ -682,7 +656,7 @@ fn encode_atom(atom: &Atom, out: &mut Vec<u8>) {
         Atom::ValueEquals { col, value } => {
             out.push(17);
             out.extend_from_slice(&(*col as u64).to_le_bytes());
-            out.extend_from_slice(&so_query::canonical_bytes(std::slice::from_ref(value)));
+            out.extend_from_slice(&canonical_bytes(std::slice::from_ref(value)));
         }
         Atom::RowHash {
             key,
@@ -724,7 +698,6 @@ fn encode_atom(atom: &Atom, out: &mut Vec<u8>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use so_query::predicate::PrefixPredicate;
 
     fn bit(pool: &mut PredPool, b: usize, v: bool) -> ExprId {
         pool.atom(Atom::BitExtract { bit: b, value: v })
@@ -840,19 +813,20 @@ mod tests {
     }
 
     #[test]
-    fn eval_bits_matches_prefix_predicate() {
+    fn eval_bits_matches_prefix_semantics() {
         let mut pool = PredPool::new();
-        let p = PrefixPredicate {
-            prefix: vec![true, false],
-        };
-        let id = pool.lift(&<PrefixPredicate as Predicate<BitVec>>::shape(&p));
+        let prefix = vec![true, false];
+        let id = pool.lift(&PredShape::Prefix {
+            bits: prefix.clone(),
+        });
         for bools in [
             vec![true, false, true],
             vec![true, true, false],
             vec![false, false, false],
         ] {
             let r = BitVec::from_bools(&bools);
-            assert_eq!(pool.eval_bits(id, &r), Some(p.eval(&r)));
+            let expected = prefix.iter().enumerate().all(|(i, &b)| r.get(i) == b);
+            assert_eq!(pool.eval_bits(id, &r), Some(expected));
         }
     }
 
@@ -881,5 +855,54 @@ mod tests {
         let a = p1.lift(&shape);
         let b = p2.lift(&shape);
         assert_eq!(p1.structural_hash(a), p2.structural_hash(b));
+    }
+
+    #[test]
+    fn import_preserves_structure_and_sharing() {
+        let mut src = PredPool::new();
+        let a = bit(&mut src, 0, true);
+        let b = bit(&mut src, 1, false);
+        let shared = src.and([a, b]);
+        let nb = src.not(b);
+        let second = src.and([shared, nb]); // folds: a ∧ b ∧ ¬b = false
+        assert_eq!(second, src.fals());
+        let tracker = src.not(shared);
+
+        let mut dst = PredPool::new();
+        // Warm dst so raw ids differ from src's.
+        dst.atom(Atom::BitExtract {
+            bit: 99,
+            value: true,
+        });
+        let mut memo = HashMap::new();
+        let shared_d = dst.import(&src, shared, &mut memo);
+        let tracker_d = dst.import(&src, tracker, &mut memo);
+        assert_eq!(
+            dst.structural_hash(shared_d),
+            src.structural_hash(shared),
+            "import preserves the stable hash"
+        );
+        assert_eq!(dst.structural_hash(tracker_d), src.structural_hash(tracker));
+        // The imported NOT shares its child with the imported conjunction.
+        match dst.node(tracker_d) {
+            PredNode::Not(inner) => assert_eq!(*inner, shared_d, "sharing survives import"),
+            other => panic!("expected Not, got {other:?}"),
+        }
+        // Importing again is a no-op (hash-consing in the destination).
+        let mut memo2 = HashMap::new();
+        assert_eq!(dst.import(&src, shared, &mut memo2), shared_d);
+    }
+
+    #[test]
+    fn contains_opaque_walks_the_tree() {
+        let mut pool = PredPool::new();
+        let structural = bit(&mut pool, 0, true);
+        let opaque = pool.atom(Atom::Opaque { id: 42 });
+        let mixed = pool.and([structural, opaque]);
+        assert!(!pool.contains_opaque(structural));
+        assert!(pool.contains_opaque(opaque));
+        assert!(pool.contains_opaque(mixed));
+        let not_mixed = pool.not(mixed);
+        assert!(pool.contains_opaque(not_mixed));
     }
 }

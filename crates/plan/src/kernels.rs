@@ -1,0 +1,238 @@
+//! Bitmap scan kernels — the one implementation of each atom's semantics.
+//!
+//! Every [`Atom`] of the IR has exactly one row-level and one columnar
+//! (bitmap) evaluation, defined here. `so-query`'s typed predicates
+//! (`IntRangePredicate`, `ValueEqualsPredicate`, `RowHashPredicate`, …)
+//! delegate to these kernels, and [`crate::plan::QueryPlan`] executes
+//! compiled workloads with them — so the linter, the single-query engine
+//! path, and the batched planner can never disagree about what a predicate
+//! selects.
+//!
+//! Atoms whose record type does not match return `None` rather than a wrong
+//! answer: bit-string atoms ([`Atom::BitExtract`]) have no tabular
+//! semantics, tabular atoms have no bit-string semantics, and
+//! [`Atom::Opaque`] atoms are executable only through a registered closure
+//! evaluator (see [`crate::workload::WorkloadSpec::push_predicate_arc`]).
+
+use so_data::rng::keyed_hash;
+use so_data::{BitVec, Dataset, SelectionVector, Value};
+
+use crate::ir::Atom;
+use crate::predicate::canonical_bytes;
+
+/// Evaluates an atom on one row of a tabular dataset. `None` when the atom
+/// has no tabular semantics ([`Atom::BitExtract`], [`Atom::Opaque`]).
+pub fn eval_atom_row(atom: &Atom, ds: &Dataset, row: usize) -> Option<bool> {
+    match atom {
+        Atom::IntRange { col, lo, hi } => Some(
+            ds.get(row, *col)
+                .as_int()
+                .is_some_and(|v| v >= *lo && v <= *hi),
+        ),
+        Atom::ValueEquals { col, value } => Some(ds.get(row, *col) == *value),
+        Atom::RowHash {
+            key,
+            modulus,
+            target,
+            cols,
+        } => {
+            let vals: Vec<Value> = cols.iter().map(|&c| ds.get(row, c)).collect();
+            Some(keyed_hash(*key, &canonical_bytes(&vals)) % *modulus == *target)
+        }
+        Atom::KeyedHash {
+            key,
+            modulus,
+            target,
+        } => {
+            let vals: Vec<Value> = (0..ds.n_cols()).map(|c| ds.get(row, c)).collect();
+            Some(keyed_hash(*key, &canonical_bytes(&vals)) % *modulus == *target)
+        }
+        Atom::BitExtract { .. } | Atom::Opaque { .. } => None,
+    }
+}
+
+/// Evaluates an atom on one bit-string record. `None` when the atom has no
+/// bit-string semantics (tabular and opaque atoms).
+pub fn eval_atom_bits(atom: &Atom, record: &BitVec) -> Option<bool> {
+    match atom {
+        Atom::BitExtract { bit, value } => Some(record.get(*bit) == *value),
+        Atom::KeyedHash {
+            key,
+            modulus,
+            target,
+        } => {
+            let bytes: Vec<u8> = record
+                .words()
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .collect();
+            Some(keyed_hash(*key, &bytes) % *modulus == *target)
+        }
+        _ => None,
+    }
+}
+
+/// Compiles an atom into a selection bitmap over the rows of `ds` — the
+/// columnar scan kernel. `None` when the atom has no tabular semantics.
+///
+/// Typed atoms read one column slice and pack 64 rows per word
+/// ([`SelectionVector::from_column`]); hash atoms walk rows (the hash is
+/// inherently row-at-a-time) but still emit a packed bitmap so downstream
+/// boolean combination stays word-parallel.
+pub fn scan_atom(atom: &Atom, ds: &Dataset) -> Option<SelectionVector> {
+    match atom {
+        Atom::IntRange { col, lo, hi } => {
+            let column = ds.column(*col);
+            Some(match column.int_values() {
+                Some(vals) => SelectionVector::from_column(vals, column.missing_mask(), |&v| {
+                    v >= *lo && v <= *hi
+                }),
+                // Non-Int column: as_int() is always None, nothing matches.
+                None => SelectionVector::none(ds.n_rows()),
+            })
+        }
+        Atom::ValueEquals { col, value } => Some(scan_value_equals(ds, *col, value)),
+        Atom::RowHash { .. } | Atom::KeyedHash { .. } => {
+            Some(SelectionVector::from_fn(ds.n_rows(), |row| {
+                eval_atom_row(atom, ds, row).expect("hash atoms have tabular semantics")
+            }))
+        }
+        Atom::BitExtract { .. } | Atom::Opaque { .. } => None,
+    }
+}
+
+/// Columnar exact-value kernel, one typed arm per [`Value`] variant.
+fn scan_value_equals(ds: &Dataset, col: usize, value: &Value) -> SelectionVector {
+    let column = ds.column(col);
+    let missing = column.missing_mask();
+    match value {
+        // `Missing == Missing` holds under Value's total order, so the
+        // Missing target selects exactly the masked rows.
+        Value::Missing => SelectionVector::from_fn(ds.n_rows(), |i| missing[i]),
+        Value::Int(x) => match column.int_values() {
+            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+            None => SelectionVector::none(ds.n_rows()),
+        },
+        // Value's float order is total_cmp, which separates -0.0 from
+        // +0.0 and equates NaN with itself; mirror it bit-exactly.
+        Value::Float(x) => match column.float_values() {
+            Some(vals) => SelectionVector::from_column(vals, missing, |v| {
+                v.total_cmp(x) == std::cmp::Ordering::Equal
+            }),
+            None => SelectionVector::none(ds.n_rows()),
+        },
+        Value::Str(x) => match column.str_values() {
+            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+            None => SelectionVector::none(ds.n_rows()),
+        },
+        Value::Bool(x) => match column.bool_values() {
+            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
+            None => SelectionVector::none(ds.n_rows()),
+        },
+        Value::Date(x) => match column.date_values() {
+            Some(vals) => {
+                let day = x.day_number();
+                SelectionVector::from_column(vals, missing, |&v| v == day)
+            }
+            None => SelectionVector::none(ds.n_rows()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema};
+
+    fn ds() -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("sex", DataType::Str, AttributeRole::QuasiIdentifier),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        let f = b.intern("F");
+        let m = b.intern("M");
+        for (age, sex) in [(30, f), (40, m), (50, f), (70, m), (90, f)] {
+            b.push_row(vec![Value::Int(age), Value::Str(sex)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn scan_matches_eval_row_for_every_tabular_atom() {
+        let ds = ds();
+        let f = ds.interner().get("F").unwrap();
+        let atoms = [
+            Atom::IntRange {
+                col: 0,
+                lo: 35,
+                hi: 75,
+            },
+            Atom::ValueEquals {
+                col: 1,
+                value: Value::Str(f),
+            },
+            Atom::RowHash {
+                key: 0xBEEF,
+                modulus: 2,
+                target: 0,
+                cols: vec![0, 1],
+            },
+            Atom::KeyedHash {
+                key: 0xCAFE,
+                modulus: 3,
+                target: 1,
+            },
+        ];
+        for atom in &atoms {
+            let bitmap = scan_atom(atom, &ds).expect("tabular atom scans");
+            for row in 0..ds.n_rows() {
+                assert_eq!(
+                    Some(bitmap.get(row)),
+                    eval_atom_row(atom, &ds, row),
+                    "atom {atom:?} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_atoms_have_no_tabular_scan() {
+        let ds = ds();
+        assert!(scan_atom(
+            &Atom::BitExtract {
+                bit: 0,
+                value: true
+            },
+            &ds
+        )
+        .is_none());
+        assert!(scan_atom(&Atom::Opaque { id: 1 }, &ds).is_none());
+    }
+
+    #[test]
+    fn bit_extract_eval_bits() {
+        let r = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(
+            eval_atom_bits(
+                &Atom::BitExtract {
+                    bit: 1,
+                    value: false
+                },
+                &r
+            ),
+            Some(true)
+        );
+        assert_eq!(
+            eval_atom_bits(
+                &Atom::IntRange {
+                    col: 0,
+                    lo: 0,
+                    hi: 1
+                },
+                &r
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared noise-magnitude arithmetic.
+//!
+//! Exactly one copy of the Laplace tail-quantile formula lives in the
+//! workspace — here. Both consumers delegate to it:
+//!
+//! * [`crate::workload::Noise::effective_alpha`] uses the 99.9% quantile to
+//!   map a pure-DP annotation onto Theorem 1.1's "within α of the true
+//!   answer" premise for the reconstruction-density lint;
+//! * `so-dp`'s `LaplaceCount::tail_quantile` exposes the same formula on the
+//!   executing mechanism, so lint-side and mechanism-side error estimates
+//!   can never drift apart.
+
+/// The (1 − `tail`) quantile of |X| for `X ~ Laplace(0, 1/epsilon)`:
+/// `ln(1/tail) / epsilon`.
+///
+/// In other words, a Laplace count with privacy-loss `epsilon` lands within
+/// this distance of the true answer with probability `1 − tail`. With
+/// `tail = 1e-3` this is the `ln(1000)/ε` effective-α used by the
+/// reconstruction-density lint.
+///
+/// # Panics
+/// Panics unless `epsilon > 0` and `0 < tail < 1`.
+pub fn laplace_tail_quantile(epsilon: f64, tail: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    assert!(
+        tail > 0.0 && tail < 1.0,
+        "tail probability must be in (0, 1), got {tail}"
+    );
+    (1.0 / tail).ln() / epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_closed_form() {
+        let q = laplace_tail_quantile(0.5, 1e-3);
+        assert!((q - (1000.0f64).ln() / 0.5).abs() < 1e-12);
+        // Tighter tails demand larger quantiles; more privacy loss, smaller.
+        assert!(laplace_tail_quantile(0.5, 1e-6) > q);
+        assert!(laplace_tail_quantile(1.0, 1e-3) < q);
+    }
+
+    #[test]
+    fn quantile_is_a_true_tail_bound() {
+        // P(|X| > q) = exp(-ε q) should equal the requested tail exactly.
+        for &(eps, tail) in &[(0.1, 1e-3), (1.0, 0.05), (2.0, 0.5)] {
+            let q = laplace_tail_quantile(eps, tail);
+            assert!(((-eps * q).exp() - tail).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_panics() {
+        laplace_tail_quantile(0.0, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail")]
+    fn bad_tail_panics() {
+        laplace_tail_quantile(1.0, 1.5);
+    }
+}

@@ -7,20 +7,25 @@
 //! an analyst asks how many individuals in a sub-population have a trait, and
 //! the engine answers.
 //!
-//! Execution is columnar: a predicate is compiled once into a packed
-//! [`SelectionVector`] bitmap by [`RowPredicate::scan`] (typed predicates
-//! read a column slice; compound predicates combine child bitmaps with
-//! word-level boolean ops), after which counting is a popcount and
-//! selection a bit-walk. The row-at-a-time implementations survive as
-//! `*_scalar` reference oracles.
+//! Execution goes through the `so-plan` compilation pipeline: a predicate's
+//! structural shape is lifted into the engine's hash-consed [`PredPool`],
+//! and the resulting [`ExprId`]-keyed node cache holds one compiled bitmap
+//! per distinct (sub)expression. Structurally equal predicates — however
+//! they were constructed, whoever asked them — share one entry, shared
+//! conjuncts are scanned once, and NOT/AND/OR evaluate as word-ops over
+//! child bitmaps. Whole workloads go through
+//! [`CountingEngine::execute_workload`], which plans a batch at once. The
+//! row-at-a-time implementations survive as `*_scalar` reference oracles.
 
 use std::collections::HashMap;
 
 use so_data::{Dataset, SelectionVector};
+use so_plan::ir::{ExprId, PredPool};
+use so_plan::plan::{NodeCache, PlanOutcome, PlanStats, QueryPlan};
+use so_plan::workload::{QueryKind, WorkloadSpec};
 
 use crate::audit::QueryAuditor;
 use crate::predicate::RowPredicate;
-use crate::shape::PredShape;
 
 /// Compiles `p` into a selection bitmap over the rows of `ds`.
 pub fn scan_dataset(ds: &Dataset, p: &dyn RowPredicate) -> SelectionVector {
@@ -47,34 +52,70 @@ pub fn select_dataset_scalar(ds: &Dataset, p: &dyn RowPredicate) -> Vec<usize> {
     (0..ds.n_rows()).filter(|&r| p.eval_row(ds, r)).collect()
 }
 
+/// The engine's answer to one workload query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadAnswer {
+    /// Exact count of matching rows.
+    ///
+    /// The engine always answers exactly; the workload's
+    /// [`so_plan::workload::Noise`] annotations describe how the *caller's
+    /// release mechanism* will perturb these counts (and are what the
+    /// `so-analyze` lints reason about) — they are not applied here.
+    Count(usize),
+    /// Refused by the query auditor (cap exhausted, or a policy layer such
+    /// as `so-analyze`'s `GatedEngine` denied the workload).
+    Refused,
+    /// Not answerable by the tabular engine: subset-sum queries (answer
+    /// those with a `SubsetSumMechanism` against the bit dataset) and
+    /// opaque predicates with no registered evaluator.
+    Unanswerable,
+}
+
+/// The result of executing a whole workload.
+pub struct WorkloadAnswers {
+    /// Per-query answers, in workload declaration order.
+    pub answers: Vec<WorkloadAnswer>,
+    /// Per-query target expressions in the *engine's* pool (`None` for
+    /// subset queries). Structurally equal queries share a target; the
+    /// targets' [`PredPool::structural_hash`] values equal those of the
+    /// workload's own pool, which is how `GatedEngine` asserts it executed
+    /// exactly the plan it linted.
+    pub targets: Vec<Option<ExprId>>,
+    /// What executing the plan actually did (scans, cache hits, …).
+    pub stats: PlanStats,
+}
+
+static NO_EVALUATORS: std::sync::OnceLock<HashMap<u64, std::sync::Arc<dyn RowPredicate>>> =
+    std::sync::OnceLock::new();
+
 /// A counting-query server over one dataset, with auditing.
 ///
-/// Compiled predicate bitmaps are cached keyed by the *structural*
-/// [`RowPredicate::shape`]: a repeated query (the shape of every
-/// reconstruction attack — the same subset predicates asked over and over)
-/// answers from a popcount of the cached bitmap without rescanning. The
-/// cache never needs invalidation because [`Dataset`] is immutable.
+/// Compiled predicate bitmaps are cached in an [`ExprId`]-keyed node cache
+/// over the engine's persistent [`PredPool`]: a repeated query (the shape of
+/// every reconstruction attack — the same subset predicates asked over and
+/// over) answers from a popcount of the cached bitmap without rescanning,
+/// and *structurally* equal predicates share an entry even when they are
+/// distinct objects from distinct call sites. The cache never needs
+/// invalidation because [`Dataset`] is immutable.
 ///
-/// Structural keys are what make the cache *sound*: equal shapes select
+/// Structural keys are what make the cache *sound*: equal expressions select
 /// equal rows by construction (closure-backed predicates carry a unique
 /// identity in their shape), unlike the human-facing `describe()` strings,
 /// where two differently-behaving predicates can share a label. Predicates
-/// whose shape is [`PredShape::Volatile`] (no structure, no stable
-/// identity) are answered correctly but never cached.
+/// whose shape is [`so_plan::PredShape::Volatile`] (no structure, no stable
+/// identity) are answered correctly but never interned or cached.
 pub struct CountingEngine<'a> {
     ds: &'a Dataset,
     auditor: QueryAuditor,
-    cache: HashMap<PredShape, SelectionVector>,
+    pool: PredPool,
+    cache: NodeCache,
+    stats: PlanStats,
 }
 
 impl<'a> CountingEngine<'a> {
     /// Serves `ds` with an optional cap on the number of queries.
     pub fn new(ds: &'a Dataset, max_queries: Option<usize>) -> Self {
-        CountingEngine {
-            ds,
-            auditor: QueryAuditor::new(max_queries),
-            cache: HashMap::new(),
-        }
+        Self::with_auditor(ds, QueryAuditor::new(max_queries))
     }
 
     /// Serves `ds` with a pre-configured auditor (e.g. one with a bounded
@@ -83,7 +124,9 @@ impl<'a> CountingEngine<'a> {
         CountingEngine {
             ds,
             auditor,
-            cache: HashMap::new(),
+            pool: PredPool::new(),
+            cache: NodeCache::new(),
+            stats: PlanStats::default(),
         }
     }
 
@@ -96,16 +139,139 @@ impl<'a> CountingEngine<'a> {
         }
         let shape = p.shape();
         if !shape.is_cache_stable() {
-            // No sound cache key — evaluate fresh, don't pollute the cache.
+            // No sound cache key — evaluate fresh; interning a volatile
+            // shape would mint a fresh opaque atom per call and grow the
+            // pool without bound.
             return Some(p.scan(self.ds).count());
         }
-        let bitmap = self.cache.entry(shape).or_insert_with(|| p.scan(self.ds));
-        Some(bitmap.count())
+        let id = self.pool.lift(&shape);
+        if let Some(b) = self.cache.get(&id) {
+            self.stats.cache_hits += 1;
+            return Some(b.count());
+        }
+        if shape.is_fully_structural() {
+            // Node-by-node bitmap evaluation: subexpressions land in the
+            // cache individually, so later queries sharing a conjunct reuse
+            // its bitmap even if the full query is new.
+            let plan = QueryPlan::compile(&self.pool, vec![Some(id)]);
+            let evals = NO_EVALUATORS.get_or_init(HashMap::new);
+            let (outcomes, stats) = plan.execute(&self.pool, self.ds, evals, &mut self.cache);
+            self.absorb(stats);
+            match outcomes[0] {
+                PlanOutcome::Count(c) => Some(c),
+                // Structural but non-tabular (bit-string shapes on a custom
+                // row predicate): fall back to the predicate's own scan.
+                PlanOutcome::Unanswerable => Some(p.scan(self.ds).count()),
+            }
+        } else {
+            // Contains an opaque atom: the closure itself is the only
+            // evaluator, so compile the whole predicate as one scan, cached
+            // under its (stable) lifted expression.
+            let b = p.scan(self.ds);
+            self.stats.atom_scans += 1;
+            self.stats.nodes_evaluated += 1;
+            let c = b.count();
+            self.cache.insert(id, b);
+            Some(c)
+        }
     }
 
-    /// Number of distinct predicate bitmaps currently cached.
+    /// Plans and executes a whole workload in one pass.
+    ///
+    /// Every predicate query is imported into the engine's pool —
+    /// hash-consing dedups structurally equal queries across the workload
+    /// *and* against everything the engine has already compiled — then a
+    /// single [`QueryPlan`] evaluates the distinct expressions bottom-up:
+    /// each shared subexpression is scanned once and each boolean node is
+    /// word-ops over child bitmaps. Answers come back in declaration order.
+    ///
+    /// Per query, the auditor admits or refuses as if the queries had been
+    /// asked one at a time, so a query cap bites mid-workload exactly where
+    /// it would have in a loop. Subset-sum queries are recorded as refusals
+    /// and answered [`WorkloadAnswer::Unanswerable`] — this engine serves
+    /// tabular counts; answer those against the bit dataset with a
+    /// `SubsetSumMechanism` (see `answer_all`).
+    pub fn execute_workload(&mut self, spec: &WorkloadSpec) -> WorkloadAnswers {
+        let mut memo = HashMap::new();
+        let n_queries = spec.len();
+        let mut targets: Vec<Option<ExprId>> = Vec::with_capacity(n_queries);
+        let mut plan_targets: Vec<Option<ExprId>> = Vec::with_capacity(n_queries);
+        let mut answers: Vec<WorkloadAnswer> = Vec::with_capacity(n_queries);
+        for q in spec.queries() {
+            match &q.kind {
+                QueryKind::Subset(members) => {
+                    let size = members.count_ones();
+                    self.auditor.refuse_with(|| {
+                        format!(
+                            "unanswerable: subset-sum query (|q| = {size}) \
+                             against the tabular counting engine"
+                        )
+                    });
+                    targets.push(None);
+                    plan_targets.push(None);
+                    answers.push(WorkloadAnswer::Unanswerable);
+                }
+                QueryKind::Pred(id) => {
+                    let tid = self.pool.import(spec.pool(), *id, &mut memo);
+                    targets.push(Some(tid));
+                    if self.auditor.admit_with(|| spec.pool().render(*id)) {
+                        plan_targets.push(Some(tid));
+                        // Placeholder; overwritten from the plan outcome.
+                        answers.push(WorkloadAnswer::Count(0));
+                    } else {
+                        plan_targets.push(None);
+                        answers.push(WorkloadAnswer::Refused);
+                    }
+                }
+            }
+        }
+        let plan = QueryPlan::compile(&self.pool, plan_targets);
+        let (outcomes, mut stats) =
+            plan.execute(&self.pool, self.ds, spec.evaluators(), &mut self.cache);
+        for (answer, outcome) in answers.iter_mut().zip(&outcomes) {
+            if matches!(answer, WorkloadAnswer::Count(_)) {
+                *answer = match outcome {
+                    PlanOutcome::Count(c) => WorkloadAnswer::Count(*c),
+                    PlanOutcome::Unanswerable => WorkloadAnswer::Unanswerable,
+                };
+            }
+        }
+        // The plan counts refused/subset queries (None targets) as
+        // unanswerable; report the real per-answer split instead.
+        stats.queries = n_queries;
+        stats.unanswerable = answers
+            .iter()
+            .filter(|a| matches!(a, WorkloadAnswer::Unanswerable))
+            .count();
+        self.absorb(stats);
+        WorkloadAnswers {
+            answers,
+            targets,
+            stats,
+        }
+    }
+
+    fn absorb(&mut self, stats: PlanStats) {
+        self.stats.nodes_evaluated += stats.nodes_evaluated;
+        self.stats.atom_scans += stats.atom_scans;
+        self.stats.cache_hits += stats.cache_hits;
+    }
+
+    /// Number of distinct compiled bitmaps currently cached (one per
+    /// distinct IR node the engine has evaluated, subexpressions included).
     pub fn cached_predicates(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Cumulative execution counters (scans, node evaluations, cache hits)
+    /// over the engine's lifetime.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// The engine's persistent predicate pool.
+    pub fn pool(&self) -> &PredPool {
+        &self.pool
     }
 
     /// Read access to the audit trail.
@@ -129,8 +295,14 @@ impl<'a> CountingEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predicate::{FnRowPredicate, IntRangePredicate};
+    use crate::predicate::{
+        AllRowPredicate, FnRowPredicate, IntRangePredicate, KeyedHashPredicate, NotRowPredicate,
+        RowHashPredicate,
+    };
     use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
+    use so_plan::workload::Noise;
+    use so_plan::PredShape;
+    use so_plan::SubsetQuery;
 
     fn ds() -> Dataset {
         let schema = Schema::new(vec![AttributeDef::new(
@@ -222,13 +394,17 @@ mod tests {
         // Two distinct predicates → exactly two cached bitmaps.
         assert_eq!(e.cached_predicates(), 2);
         assert_eq!(e.auditor().queries_answered(), 20);
+        // 2 scans, 18 cache hits.
+        assert_eq!(e.stats().atom_scans, 2);
+        assert_eq!(e.stats().cache_hits, 18);
     }
 
     /// Regression test for the describe()-keyed cache unsoundness: two
     /// differently-behaving closure predicates sharing one label must not
     /// return each other's cached counts. Under the old `describe()` key
     /// scheme the second query aliased the first's bitmap and answered 5;
-    /// structural keys (per-instance opaque identity) keep them apart.
+    /// structural identity (per-instance opaque id, now interned as distinct
+    /// `Atom::Opaque` expressions) keeps them apart.
     #[test]
     fn same_label_different_closures_do_not_alias_the_cache() {
         let ds = ds();
@@ -263,5 +439,156 @@ mod tests {
         assert_eq!(e.count(&Bare(15)), Some(4));
         assert_eq!(e.count(&Bare(45)), Some(1), "distinct despite same shape");
         assert_eq!(e.cached_predicates(), 0);
+        // And the pool stays clean too — no per-call opaque pollution.
+        assert!(e.pool().is_empty());
+    }
+
+    /// Structurally equal predicates share one cache entry even across the
+    /// single-query and workload paths.
+    #[test]
+    fn workload_and_single_query_paths_share_the_cache() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        let p = IntRangePredicate {
+            col: 0,
+            lo: 15,
+            hi: 45,
+        };
+        assert_eq!(e.count(&p), Some(3));
+        let mut w = WorkloadSpec::new(ds.n_rows());
+        w.push_predicate(&p, Noise::Exact);
+        let out = e.execute_workload(&w);
+        assert_eq!(out.answers, vec![WorkloadAnswer::Count(3)]);
+        // The workload answered from the single-query path's bitmap.
+        assert_eq!(out.stats.atom_scans, 0);
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(e.cached_predicates(), 1);
+    }
+
+    /// A planned tracker pair (`A`, `A ∧ ¬B`) scans the shared conjunct `A`
+    /// exactly once; the pair's second query is word-ops on top of it.
+    #[test]
+    fn planned_tracker_pair_scans_shared_conjunct_once() {
+        let ds = ds();
+        let range = || IntRangePredicate {
+            col: 0,
+            lo: 15,
+            hi: 45,
+        };
+        let hash = || RowHashPredicate {
+            hash: KeyedHashPredicate::new(0xBEEF, 256, 0),
+            cols: vec![0],
+        };
+        let mut w = WorkloadSpec::new(ds.n_rows());
+        w.push_predicate(&range(), Noise::Exact);
+        w.push_predicate(
+            &AllRowPredicate {
+                parts: vec![
+                    Box::new(range()),
+                    Box::new(NotRowPredicate {
+                        inner: Box::new(hash()),
+                    }),
+                ],
+            },
+            Noise::Exact,
+        );
+        let mut e = CountingEngine::new(&ds, None);
+        let out = e.execute_workload(&w);
+        // Exactly two dataset scans: the shared range atom and the hash
+        // atom. NOT and AND are word-ops, not scans.
+        assert_eq!(out.stats.atom_scans, 2, "shared conjunct scanned once");
+        let (WorkloadAnswer::Count(a), WorkloadAnswer::Count(b)) = (out.answers[0], out.answers[1])
+        else {
+            panic!("both queries answerable");
+        };
+        assert_eq!(a, 3);
+        assert!(b <= a, "A ∧ ¬B can't exceed A");
+        assert_eq!(
+            b,
+            count_dataset_scalar(
+                &ds,
+                &AllRowPredicate {
+                    parts: vec![
+                        Box::new(range()),
+                        Box::new(NotRowPredicate {
+                            inner: Box::new(hash()),
+                        }),
+                    ],
+                }
+            )
+        );
+    }
+
+    /// Workload execution respects the auditor cap mid-batch.
+    #[test]
+    fn workload_respects_query_cap() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, Some(2));
+        let mut w = WorkloadSpec::new(ds.n_rows());
+        for hi in [20, 30, 40] {
+            w.push_shape(&PredShape::IntRange { col: 0, lo: 0, hi }, Noise::Exact);
+        }
+        let out = e.execute_workload(&w);
+        assert_eq!(
+            out.answers,
+            vec![
+                WorkloadAnswer::Count(2),
+                WorkloadAnswer::Count(3),
+                WorkloadAnswer::Refused
+            ]
+        );
+        assert_eq!(e.auditor().queries_refused(), 1);
+    }
+
+    /// Subset queries are not answerable against a tabular engine and are
+    /// recorded as refusals in the audit trail.
+    #[test]
+    fn subset_queries_are_unanswerable_in_the_tabular_engine() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        let mut w = WorkloadSpec::new(ds.n_rows());
+        w.push_subset(
+            &SubsetQuery::from_indices(ds.n_rows(), &[0, 2]),
+            Noise::Exact,
+        );
+        w.push_shape(
+            &PredShape::IntRange {
+                col: 0,
+                lo: 0,
+                hi: 100,
+            },
+            Noise::Exact,
+        );
+        let out = e.execute_workload(&w);
+        assert_eq!(out.answers[0], WorkloadAnswer::Unanswerable);
+        assert_eq!(out.answers[1], WorkloadAnswer::Count(5));
+        assert_eq!(out.targets[0], None);
+        assert!(out.targets[1].is_some());
+        assert_eq!(e.auditor().queries_refused(), 1);
+        assert_eq!(e.auditor().queries_answered(), 1);
+    }
+
+    /// Workload targets carry the same stable structural hashes as the
+    /// spec's own pool — the executed plan is the declared plan.
+    #[test]
+    fn workload_targets_match_spec_hashes() {
+        let ds = ds();
+        let mut e = CountingEngine::new(&ds, None);
+        let mut w = WorkloadSpec::new(ds.n_rows());
+        let shape = PredShape::Not(Box::new(PredShape::IntRange {
+            col: 0,
+            lo: 15,
+            hi: 45,
+        }));
+        w.push_shape(&shape, Noise::Exact);
+        let out = e.execute_workload(&w);
+        let spec_id = match &w.queries()[0].kind {
+            QueryKind::Pred(id) => *id,
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            e.pool().structural_hash(out.targets[0].unwrap()),
+            w.pool().structural_hash(spec_id)
+        );
     }
 }

@@ -12,12 +12,18 @@
 //!   `p : X → {0,1}` on records and publishes **counts**
 //!   `M_#q(x) = Σ_i q(x_i)` (Theorem 2.5).
 //!
-//! This crate provides both: a generic [`Predicate`] abstraction with
-//! combinators and keyed-hash random predicate families (the Leftover-Hash-
-//! Lemma-style predicates of §2.2), row predicates over tabular
-//! [`so_data::Dataset`]s, subset-sum queries with exact / bounded-noise
-//! answer mechanisms, and a query auditor that tracks how much of the
-//! "fundamental law of information recovery" budget a client has consumed.
+//! This crate provides both: concrete typed predicates with combinators and
+//! keyed-hash random predicate families (the Leftover-Hash-Lemma-style
+//! predicates of §2.2), row predicates over tabular [`so_data::Dataset`]s,
+//! subset-sum queries with exact / bounded-noise answer mechanisms, and a
+//! query auditor that tracks how much of the "fundamental law of information
+//! recovery" budget a client has consumed.
+//!
+//! Compilation — predicate traits, structural shapes, the hash-consed IR,
+//! workload specs, and the bitmap kernels — lives below this crate in
+//! `so-plan`; the historical `so_query` paths for those items re-export it.
+//! [`CountingEngine`] executes single queries and whole workloads
+//! ([`CountingEngine::execute_workload`]) through that one pipeline.
 
 pub mod audit;
 pub mod engine;
@@ -30,7 +36,7 @@ pub mod workload;
 pub use audit::{AuditRecord, QueryAuditor};
 pub use engine::{
     count_dataset, count_dataset_scalar, scan_dataset, select_dataset, select_dataset_scalar,
-    CountingEngine,
+    CountingEngine, WorkloadAnswer, WorkloadAnswers,
 };
 pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
 pub use predicate::{

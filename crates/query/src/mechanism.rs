@@ -25,6 +25,16 @@ pub trait SubsetSumMechanism {
     /// Answers one query.
     fn answer(&mut self, query: &SubsetQuery) -> f64;
 
+    /// Answers a whole workload in declaration order — the batch entry point
+    /// the reconstruction attacks use, mirroring the predicate-side
+    /// `CountingEngine::execute_workload`. The default is the obvious loop;
+    /// mechanisms with batch structure may override it, but must keep the
+    /// same per-query answer distribution and the same internal state
+    /// evolution as repeated [`SubsetSumMechanism::answer`] calls.
+    fn answer_all(&mut self, queries: &[SubsetQuery]) -> Vec<f64> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+
     /// The dataset size `n` this mechanism serves.
     fn n(&self) -> usize;
 }

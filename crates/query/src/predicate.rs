@@ -1,78 +1,26 @@
-//! Predicates `p : X → {0,1}` over records.
+//! Concrete typed predicates `p : X → {0,1}` over records.
 //!
 //! The Article 29 Working Party defines singling out as "the possibility to
 //! isolate some or all records which identify an individual in the dataset";
 //! the paper formalizes the isolating object as a *predicate* on records
-//! (Definition 2.1). Everything downstream — isolation, predicate weight,
-//! the PSO game — is parameterized by this trait.
+//! (Definition 2.1). The [`Predicate`] / [`RowPredicate`] traits live in
+//! `so-plan` (the compilation pipeline sits below this crate); this module
+//! provides the concrete typed implementations — range / value / keyed-hash
+//! tests and the boolean combinators.
+//!
+//! Typed tabular predicates delegate their row evaluation and columnar scans
+//! to [`so_plan::kernels`], the single implementation of each atom's
+//! semantics — the same kernels the whole-workload planner executes — so a
+//! predicate counted one query at a time and the same predicate compiled
+//! inside a [`so_plan::QueryPlan`] can never disagree.
 
-use std::sync::Arc;
+pub use so_plan::predicate::{canonical_bytes, Predicate, RowPredicate};
 
 use so_data::rng::keyed_hash;
 use so_data::{BitVec, Dataset, SelectionVector, Value};
-
-use crate::shape::{next_opaque_id, PredShape};
-
-/// A boolean predicate over records of type `R`.
-pub trait Predicate<R: ?Sized>: Send + Sync {
-    /// Evaluates the predicate on one record.
-    fn eval(&self, record: &R) -> bool;
-
-    /// Human-readable description (for audit logs and experiment output).
-    fn describe(&self) -> String {
-        "<predicate>".to_owned()
-    }
-
-    /// Structural form of the predicate (see [`PredShape`]). The default is
-    /// [`PredShape::Volatile`] — structure unknown, never cached; typed
-    /// predicates override it so caches and the static workload linter can
-    /// reason about them.
-    fn shape(&self) -> PredShape {
-        PredShape::Volatile
-    }
-}
-
-impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for &P {
-    fn eval(&self, record: &R) -> bool {
-        (**self).eval(record)
-    }
-
-    fn describe(&self) -> String {
-        (**self).describe()
-    }
-
-    fn shape(&self) -> PredShape {
-        (**self).shape()
-    }
-}
-
-impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for Arc<P> {
-    fn eval(&self, record: &R) -> bool {
-        (**self).eval(record)
-    }
-
-    fn describe(&self) -> String {
-        (**self).describe()
-    }
-
-    fn shape(&self) -> PredShape {
-        (**self).shape()
-    }
-}
-
-impl<R: ?Sized, P: Predicate<R> + ?Sized> Predicate<R> for Box<P> {
-    fn eval(&self, record: &R) -> bool {
-        (**self).eval(record)
-    }
-
-    fn describe(&self) -> String {
-        (**self).describe()
-    }
-
-    fn shape(&self) -> PredShape {
-        (**self).shape()
-    }
-}
+use so_plan::ir::Atom;
+use so_plan::kernels;
+use so_plan::shape::{next_opaque_id, PredShape};
 
 /// Boxed predicate closure.
 type EvalFn<R> = Box<dyn Fn(&R) -> bool + Send + Sync>;
@@ -191,7 +139,14 @@ pub struct BitExtractPredicate {
 
 impl Predicate<BitVec> for BitExtractPredicate {
     fn eval(&self, record: &BitVec) -> bool {
-        record.get(self.bit) == self.value
+        kernels::eval_atom_bits(
+            &Atom::BitExtract {
+                bit: self.bit,
+                value: self.value,
+            },
+            record,
+        )
+        .expect("bit atoms have bit-string semantics")
     }
 
     fn describe(&self) -> String {
@@ -315,12 +270,15 @@ impl KeyedHashPredicate {
 
 impl Predicate<BitVec> for KeyedHashPredicate {
     fn eval(&self, record: &BitVec) -> bool {
-        let bytes: Vec<u8> = record
-            .words()
-            .iter()
-            .flat_map(|w| w.to_le_bytes())
-            .collect();
-        self.accepts_bytes(&bytes)
+        kernels::eval_atom_bits(
+            &Atom::KeyedHash {
+                key: self.key,
+                modulus: self.modulus,
+                target: self.target,
+            },
+            record,
+        )
+        .expect("keyed-hash atoms have bit-string semantics")
     }
 
     fn describe(&self) -> String {
@@ -360,72 +318,6 @@ impl Predicate<[Value]> for KeyedHashPredicate {
     }
 }
 
-/// Canonical byte encoding of a row for hashing: type tag + payload per cell.
-pub fn canonical_bytes(row: &[Value]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(row.len() * 9);
-    for v in row {
-        match v {
-            Value::Int(x) => {
-                out.push(1);
-                out.extend_from_slice(&x.to_le_bytes());
-            }
-            Value::Float(x) => {
-                out.push(2);
-                out.extend_from_slice(&x.to_bits().to_le_bytes());
-            }
-            Value::Str(s) => {
-                out.push(3);
-                out.extend_from_slice(&s.index().to_le_bytes());
-            }
-            Value::Bool(b) => {
-                out.push(4);
-                out.push(u8::from(*b));
-            }
-            Value::Date(d) => {
-                out.push(5);
-                out.extend_from_slice(&d.day_number().to_le_bytes());
-            }
-            Value::Missing => out.push(0),
-        }
-    }
-    out
-}
-
-/// A predicate over rows of a tabular [`Dataset`], evaluated positionally so
-/// implementations can avoid materializing rows.
-pub trait RowPredicate: Send + Sync {
-    /// Evaluates the predicate on row `row` of `ds`.
-    fn eval_row(&self, ds: &Dataset, row: usize) -> bool;
-
-    /// Evaluates the predicate over *every* row at once, returning a
-    /// selection bitmap (bit `i` set iff row `i` matches).
-    ///
-    /// The default implementation is the row-at-a-time loop and serves as
-    /// the reference oracle; typed predicates override it with columnar
-    /// scan kernels that read one column slice and combine results with
-    /// word-level boolean ops. Implementations must agree exactly with
-    /// [`RowPredicate::eval_row`] on every row.
-    fn scan(&self, ds: &Dataset) -> SelectionVector {
-        SelectionVector::from_fn(ds.n_rows(), |row| self.eval_row(ds, row))
-    }
-
-    /// Human-readable description.
-    fn describe(&self) -> String {
-        "<row predicate>".to_owned()
-    }
-
-    /// Structural form of the predicate (see [`PredShape`]). The default is
-    /// [`PredShape::Volatile`]: structure unknown and identity unstable, so
-    /// the [`crate::CountingEngine`] bitmap cache will evaluate the
-    /// predicate fresh on every query rather than risk returning another
-    /// predicate's cached rows. Typed predicates override this; opaque
-    /// closures should go through [`FnRowPredicate`], which carries a stable
-    /// unique identity instead.
-    fn shape(&self) -> PredShape {
-        PredShape::Volatile
-    }
-}
-
 /// Integer range test on one column: `lo ≤ ds[row][col] ≤ hi`.
 #[derive(Debug, Clone, Copy)]
 pub struct IntRangePredicate {
@@ -437,22 +329,23 @@ pub struct IntRangePredicate {
     pub hi: i64,
 }
 
+impl IntRangePredicate {
+    fn atom(&self) -> Atom {
+        Atom::IntRange {
+            col: self.col,
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
+}
+
 impl RowPredicate for IntRangePredicate {
     fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
-        ds.get(row, self.col)
-            .as_int()
-            .is_some_and(|v| v >= self.lo && v <= self.hi)
+        kernels::eval_atom_row(&self.atom(), ds, row).expect("tabular atom")
     }
 
     fn scan(&self, ds: &Dataset) -> SelectionVector {
-        let col = ds.column(self.col);
-        match col.int_values() {
-            Some(vals) => SelectionVector::from_column(vals, col.missing_mask(), |&v| {
-                v >= self.lo && v <= self.hi
-            }),
-            // Non-Int column: as_int() is always None, nothing matches.
-            None => SelectionVector::none(ds.n_rows()),
-        }
+        kernels::scan_atom(&self.atom(), ds).expect("tabular atom")
     }
 
     fn describe(&self) -> String {
@@ -477,46 +370,22 @@ pub struct ValueEqualsPredicate {
     pub value: Value,
 }
 
+impl ValueEqualsPredicate {
+    fn atom(&self) -> Atom {
+        Atom::ValueEquals {
+            col: self.col,
+            value: self.value,
+        }
+    }
+}
+
 impl RowPredicate for ValueEqualsPredicate {
     fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
-        ds.get(row, self.col) == self.value
+        kernels::eval_atom_row(&self.atom(), ds, row).expect("tabular atom")
     }
 
     fn scan(&self, ds: &Dataset) -> SelectionVector {
-        let col = ds.column(self.col);
-        let missing = col.missing_mask();
-        match &self.value {
-            // `Missing == Missing` holds under Value's total order, so the
-            // Missing target selects exactly the masked rows.
-            Value::Missing => SelectionVector::from_fn(ds.n_rows(), |i| missing[i]),
-            Value::Int(x) => match col.int_values() {
-                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-                None => SelectionVector::none(ds.n_rows()),
-            },
-            // Value's float order is total_cmp, which separates -0.0 from
-            // +0.0 and equates NaN with itself; mirror it bit-exactly.
-            Value::Float(x) => match col.float_values() {
-                Some(vals) => SelectionVector::from_column(vals, missing, |v| {
-                    v.total_cmp(x) == std::cmp::Ordering::Equal
-                }),
-                None => SelectionVector::none(ds.n_rows()),
-            },
-            Value::Str(x) => match col.str_values() {
-                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-                None => SelectionVector::none(ds.n_rows()),
-            },
-            Value::Bool(x) => match col.bool_values() {
-                Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-                None => SelectionVector::none(ds.n_rows()),
-            },
-            Value::Date(x) => match col.date_values() {
-                Some(vals) => {
-                    let day = x.day_number();
-                    SelectionVector::from_column(vals, missing, |&v| v == day)
-                }
-                None => SelectionVector::none(ds.n_rows()),
-            },
-        }
+        kernels::scan_atom(&self.atom(), ds).expect("tabular atom")
     }
 
     fn describe(&self) -> String {
@@ -675,10 +544,24 @@ pub struct RowHashPredicate {
     pub cols: Vec<usize>,
 }
 
+impl RowHashPredicate {
+    fn atom(&self) -> Atom {
+        Atom::RowHash {
+            key: self.hash.key,
+            modulus: self.hash.modulus,
+            target: self.hash.target,
+            cols: self.cols.clone(),
+        }
+    }
+}
+
 impl RowPredicate for RowHashPredicate {
     fn eval_row(&self, ds: &Dataset, row: usize) -> bool {
-        let vals: Vec<Value> = self.cols.iter().map(|&c| ds.get(row, c)).collect();
-        self.hash.eval(vals.as_slice())
+        kernels::eval_atom_row(&self.atom(), ds, row).expect("tabular atom")
+    }
+
+    fn scan(&self, ds: &Dataset) -> SelectionVector {
+        kernels::scan_atom(&self.atom(), ds).expect("tabular atom")
     }
 
     fn describe(&self) -> String {
@@ -859,17 +742,6 @@ mod tests {
     }
 
     #[test]
-    fn canonical_bytes_injective_across_types() {
-        // Int(1) and Bool(true) and Float(bits of 1) must encode differently.
-        let a = canonical_bytes(&[Value::Int(1)]);
-        let b = canonical_bytes(&[Value::Bool(true)]);
-        let c = canonical_bytes(&[Value::Float(f64::from_bits(1))]);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        assert_ne!(b, c);
-    }
-
-    #[test]
     fn row_hash_predicate_depends_only_on_selected_cols() {
         let ds = tiny_dataset();
         // Hash over sex only: rows 0 and 2 share "F" so they agree.
@@ -878,5 +750,30 @@ mod tests {
             cols: vec![1],
         };
         assert_eq!(p.eval_row(&ds, 0), p.eval_row(&ds, 2));
+    }
+
+    #[test]
+    fn typed_predicates_agree_with_plan_kernels() {
+        // The delegation means this can't drift, but assert the contract
+        // anyway: predicate scan == kernel scan == per-row kernel eval.
+        let ds = tiny_dataset();
+        let p = IntRangePredicate {
+            col: 0,
+            lo: 35,
+            hi: 50,
+        };
+        let via_pred = p.scan(&ds);
+        let via_kernel = so_plan::kernels::scan_atom(
+            &Atom::IntRange {
+                col: 0,
+                lo: 35,
+                hi: 50,
+            },
+            &ds,
+        )
+        .unwrap();
+        for r in 0..ds.n_rows() {
+            assert_eq!(via_pred.get(r), via_kernel.get(r));
+        }
     }
 }

@@ -1,71 +1,12 @@
 //! Query types: subset-sum queries over binary datasets and predicate
 //! counting queries over record collections.
 
-use so_data::BitVec;
-
 use crate::predicate::Predicate;
 
-/// A subset query `q ⊆ [n]` in the Dinur–Nissim setting: membership is a bit
-/// mask over record indices, and the true answer against `x ∈ {0,1}^n` is
-/// `Σ_{i∈q} x_i`.
-#[derive(Debug, Clone)]
-pub struct SubsetQuery {
-    members: BitVec,
-}
-
-impl SubsetQuery {
-    /// Builds a query from a membership mask.
-    pub fn new(members: BitVec) -> Self {
-        SubsetQuery { members }
-    }
-
-    /// Builds from explicit indices.
-    ///
-    /// # Panics
-    /// Panics if any index is `>= n`.
-    pub fn from_indices(n: usize, indices: &[usize]) -> Self {
-        let mut members = BitVec::zeros(n);
-        for &i in indices {
-            members.set(i, true);
-        }
-        SubsetQuery { members }
-    }
-
-    /// The membership mask.
-    pub fn members(&self) -> &BitVec {
-        &self.members
-    }
-
-    /// Universe size `n`.
-    pub fn n(&self) -> usize {
-        self.members.len()
-    }
-
-    /// Number of members `|q|`.
-    pub fn size(&self) -> usize {
-        self.members.count_ones()
-    }
-
-    /// True iff index `i` is in the subset.
-    pub fn contains(&self, i: usize) -> bool {
-        self.members.get(i)
-    }
-
-    /// Exact answer `Σ_{i∈q} x_i` against the secret dataset `x`.
-    ///
-    /// # Panics
-    /// Panics if `x.len() != n`.
-    pub fn true_answer(&self, x: &BitVec) -> u64 {
-        assert_eq!(x.len(), self.members.len(), "dataset/query size mismatch");
-        // Word-parallel AND + popcount.
-        self.members
-            .words()
-            .iter()
-            .zip(x.words())
-            .map(|(q, xv)| u64::from((q & xv).count_ones()))
-            .sum()
-    }
-}
+// The subset-sum query type moved into the `so-plan` compilation pipeline so
+// workload specs can carry it without depending on this crate; the historical
+// `so_query::query::SubsetQuery` path keeps working through this re-export.
+pub use so_plan::subset::SubsetQuery;
 
 /// A counting query `M_#q(x) = Σ_i q(x_i)` (the mechanism of Theorem 2.5),
 /// carrying its predicate.
@@ -112,6 +53,7 @@ pub fn matching_indices<R>(records: &[R], p: &(impl Predicate<R> + ?Sized)) -> V
 mod tests {
     use super::*;
     use crate::predicate::{BitExtractPredicate, FnPredicate};
+    use so_data::BitVec;
 
     #[test]
     fn subset_query_true_answer() {

@@ -1,299 +1,8 @@
-//! Structural reflection of predicates.
+//! Structural reflection of predicates — re-exported from `so-plan`.
 //!
-//! `describe()` strings are for humans: they collide (two closures can share
-//! a label, every custom [`crate::RowPredicate`] inherits the same default)
-//! and they are fragile as machine-facing keys. [`PredShape`] is the
-//! canonical structural form of a predicate — the node kind plus the data it
-//! carries, with combinator children held recursively. Equal shapes are
-//! guaranteed to select the same rows, which is exactly the contract a
-//! bitmap cache or a static workload linter needs:
-//!
-//! * [`crate::CountingEngine`] keys its compiled-bitmap cache by shape
-//!   (structural equality, with the [`PredShape::structural_hash`] as the
-//!   hash), closing the label-collision cache-unsoundness hole;
-//! * `so-analyze` lifts shapes into its interned predicate-algebra IR to run
-//!   differencing / reconstruction-density lints before execution.
-//!
-//! Closure-backed predicates cannot expose structure; they either carry a
-//! process-unique identity assigned at construction ([`PredShape::Opaque`],
-//! safe to cache because no two instances share an id) or refuse a stable
-//! identity altogether ([`PredShape::Volatile`], never cached).
+//! [`PredShape`] and the opaque-identity allocator moved into the `so-plan`
+//! compilation pipeline (which sits below this crate) so that the static
+//! linter, the workload planner, and this engine all share one definition.
+//! This module keeps the historical `so_query::shape::*` paths working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use so_data::Value;
-
-use crate::predicate::canonical_bytes;
-
-static OPAQUE_IDS: AtomicU64 = AtomicU64::new(0);
-
-/// Returns a fresh process-unique identity for an opaque (closure-backed)
-/// predicate. Assigned once at construction time so the same instance keeps
-/// the same shape for its whole life.
-pub fn next_opaque_id() -> u64 {
-    OPAQUE_IDS.fetch_add(1, Ordering::Relaxed)
-}
-
-/// The structural form of a predicate: atoms carry their full payload,
-/// combinators carry their children.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum PredShape {
-    /// Integer range atom `lo ≤ row[col] ≤ hi` (inclusive).
-    IntRange {
-        /// Column index.
-        col: usize,
-        /// Inclusive lower bound.
-        lo: i64,
-        /// Inclusive upper bound.
-        hi: i64,
-    },
-    /// Exact-value atom `row[col] == value`.
-    ValueEquals {
-        /// Column index.
-        col: usize,
-        /// Required value.
-        value: Value,
-    },
-    /// Keyed-hash residue atom over selected columns of a row
-    /// (the Theorem 2.10 refinement predicate).
-    RowHash {
-        /// Hash key.
-        key: u64,
-        /// Residue modulus (design weight `1/modulus`).
-        modulus: u64,
-        /// Accepted residue class.
-        target: u64,
-        /// Columns fed to the hash, in order.
-        cols: Vec<usize>,
-    },
-    /// Keyed-hash residue atom over a whole bit-string record
-    /// (the Leftover-Hash-Lemma predicates of §2.2).
-    KeyedHash {
-        /// Hash key.
-        key: u64,
-        /// Residue modulus (design weight `1/modulus`).
-        modulus: u64,
-        /// Accepted residue class.
-        target: u64,
-    },
-    /// Single-bit atom `record[bit] == value` over bit-string records.
-    BitExtract {
-        /// Bit position.
-        bit: usize,
-        /// Required value.
-        value: bool,
-    },
-    /// Fixed-leading-bits atom over bit-string records (uniform weight
-    /// `2^-len` — the Theorem 2.8 composition-attack predicate family).
-    Prefix {
-        /// Required leading bits.
-        bits: Vec<bool>,
-    },
-    /// Conjunction of children.
-    And(Vec<PredShape>),
-    /// Disjunction of children.
-    Or(Vec<PredShape>),
-    /// Negation of a child.
-    Not(Box<PredShape>),
-    /// Unknown structure with a *stable* process-unique identity: two equal
-    /// `Opaque` shapes are guaranteed to be the same underlying closure, so
-    /// caching by this shape is sound.
-    Opaque {
-        /// Identity from [`next_opaque_id`].
-        id: u64,
-    },
-    /// Unknown structure and no stable identity — the conservative default
-    /// for predicates that do not implement shape reflection. Never safe to
-    /// use as a cache key (`Volatile == Volatile` says nothing about the
-    /// underlying predicates agreeing).
-    Volatile,
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-impl PredShape {
-    /// True iff the shape can soundly key a cache: no [`PredShape::Volatile`]
-    /// node anywhere in the tree.
-    pub fn is_cache_stable(&self) -> bool {
-        match self {
-            PredShape::Volatile => false,
-            PredShape::And(children) | PredShape::Or(children) => {
-                children.iter().all(PredShape::is_cache_stable)
-            }
-            PredShape::Not(inner) => inner.is_cache_stable(),
-            _ => true,
-        }
-    }
-
-    /// Stable 64-bit structural digest (FNV-1a over a canonical byte
-    /// encoding). Stable across processes and runs — usable in logs, audit
-    /// trails, and cross-process cache-key comparisons where the fragile
-    /// `describe()` string used to be. Equality of shapes implies equality
-    /// of hashes; the converse holds up to FNV collisions, so soundness-
-    /// critical consumers (the bitmap cache) key on the full shape and use
-    /// the hash only as a digest.
-    pub fn structural_hash(&self) -> u64 {
-        let mut bytes = Vec::with_capacity(32);
-        self.encode(&mut bytes);
-        fnv1a(&bytes)
-    }
-
-    /// Canonical byte encoding: one tag byte per node, payload in
-    /// little-endian, children length-prefixed.
-    fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            PredShape::IntRange { col, lo, hi } => {
-                out.push(1);
-                out.extend_from_slice(&(*col as u64).to_le_bytes());
-                out.extend_from_slice(&lo.to_le_bytes());
-                out.extend_from_slice(&hi.to_le_bytes());
-            }
-            PredShape::ValueEquals { col, value } => {
-                out.push(2);
-                out.extend_from_slice(&(*col as u64).to_le_bytes());
-                out.extend_from_slice(&canonical_bytes(std::slice::from_ref(value)));
-            }
-            PredShape::RowHash {
-                key,
-                modulus,
-                target,
-                cols,
-            } => {
-                out.push(3);
-                out.extend_from_slice(&key.to_le_bytes());
-                out.extend_from_slice(&modulus.to_le_bytes());
-                out.extend_from_slice(&target.to_le_bytes());
-                out.extend_from_slice(&(cols.len() as u64).to_le_bytes());
-                for &c in cols {
-                    out.extend_from_slice(&(c as u64).to_le_bytes());
-                }
-            }
-            PredShape::KeyedHash {
-                key,
-                modulus,
-                target,
-            } => {
-                out.push(4);
-                out.extend_from_slice(&key.to_le_bytes());
-                out.extend_from_slice(&modulus.to_le_bytes());
-                out.extend_from_slice(&target.to_le_bytes());
-            }
-            PredShape::BitExtract { bit, value } => {
-                out.push(5);
-                out.extend_from_slice(&(*bit as u64).to_le_bytes());
-                out.push(u8::from(*value));
-            }
-            PredShape::Prefix { bits } => {
-                out.push(6);
-                out.extend_from_slice(&(bits.len() as u64).to_le_bytes());
-                for &b in bits {
-                    out.push(u8::from(b));
-                }
-            }
-            PredShape::And(children) => {
-                out.push(7);
-                out.extend_from_slice(&(children.len() as u64).to_le_bytes());
-                for c in children {
-                    c.encode(out);
-                }
-            }
-            PredShape::Or(children) => {
-                out.push(8);
-                out.extend_from_slice(&(children.len() as u64).to_le_bytes());
-                for c in children {
-                    c.encode(out);
-                }
-            }
-            PredShape::Not(inner) => {
-                out.push(9);
-                inner.encode(out);
-            }
-            PredShape::Opaque { id } => {
-                out.push(10);
-                out.extend_from_slice(&id.to_le_bytes());
-            }
-            PredShape::Volatile => out.push(11),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn structural_hash_distinguishes_payloads() {
-        let a = PredShape::IntRange {
-            col: 0,
-            lo: 1,
-            hi: 5,
-        };
-        let b = PredShape::IntRange {
-            col: 0,
-            lo: 1,
-            hi: 6,
-        };
-        let c = PredShape::IntRange {
-            col: 1,
-            lo: 1,
-            hi: 5,
-        };
-        assert_ne!(a.structural_hash(), b.structural_hash());
-        assert_ne!(a.structural_hash(), c.structural_hash());
-        assert_eq!(a.structural_hash(), a.clone().structural_hash());
-    }
-
-    #[test]
-    fn combinator_hash_depends_on_structure() {
-        let x = PredShape::BitExtract {
-            bit: 0,
-            value: true,
-        };
-        let y = PredShape::BitExtract {
-            bit: 1,
-            value: true,
-        };
-        let and = PredShape::And(vec![x.clone(), y.clone()]);
-        let or = PredShape::Or(vec![x.clone(), y.clone()]);
-        let swapped = PredShape::And(vec![y, x.clone()]);
-        assert_ne!(and.structural_hash(), or.structural_hash());
-        // Raw shapes are positional; canonicalization lives in so-analyze.
-        assert_ne!(and.structural_hash(), swapped.structural_hash());
-        assert_ne!(
-            PredShape::Not(Box::new(x.clone())).structural_hash(),
-            x.structural_hash()
-        );
-    }
-
-    #[test]
-    fn volatile_is_never_cache_stable() {
-        assert!(!PredShape::Volatile.is_cache_stable());
-        assert!(!PredShape::And(vec![
-            PredShape::BitExtract {
-                bit: 0,
-                value: true
-            },
-            PredShape::Volatile
-        ])
-        .is_cache_stable());
-        assert!(PredShape::Opaque { id: 7 }.is_cache_stable());
-        assert!(PredShape::Not(Box::new(PredShape::Opaque { id: 7 })).is_cache_stable());
-    }
-
-    #[test]
-    fn opaque_ids_are_unique() {
-        let a = next_opaque_id();
-        let b = next_opaque_id();
-        assert_ne!(a, b);
-    }
-}
+pub use so_plan::shape::{next_opaque_id, PredShape};

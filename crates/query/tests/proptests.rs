@@ -195,3 +195,126 @@ proptest! {
         prop_assert_eq!(select_dataset(&ds, &p), select_dataset_scalar(&ds, &p));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Whole-workload planning vs the scalar oracle.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use so_plan::workload::{Noise, WorkloadSpec};
+use so_query::{CountingEngine, FnRowPredicate, NotRowPredicate, WorkloadAnswer};
+
+/// A generated workload entry: a predicate over the two-column dataset of
+/// [`arb_dataset`], possibly negated, possibly a duplicate of an earlier
+/// entry, possibly an opaque closure.
+#[derive(Debug, Clone)]
+enum Entry {
+    Range { lo: i64, span: i64, negate: bool },
+    DuplicateOf(usize),
+    Opaque { modulus: i64 },
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<Entry>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (-60i64..60, 0i64..60, any::<bool>())
+                .prop_map(|(lo, span, negate)| Entry::Range { lo, span, negate }),
+            1 => (0usize..64).prop_map(Entry::DuplicateOf),
+            1 => (1i64..5).prop_map(|modulus| Entry::Opaque { modulus }),
+        ],
+        1..24,
+    )
+}
+
+fn entry_predicate(e: &Entry, entries: &[Entry]) -> Box<dyn RowPredicate> {
+    match e {
+        Entry::Range { lo, span, negate } => {
+            let inner = IntRangePredicate {
+                col: 0,
+                lo: *lo,
+                hi: lo + span,
+            };
+            if *negate {
+                Box::new(NotRowPredicate {
+                    inner: Box::new(inner),
+                })
+            } else {
+                Box::new(inner)
+            }
+        }
+        // Duplicates resolve to another range entry so structurally equal
+        // predicates genuinely repeat in the workload (opaque closures are
+        // identity-keyed, so duplicating one would not be structural).
+        Entry::DuplicateOf(i) => {
+            let target = &entries[i % entries.len()];
+            match target {
+                Entry::Range { .. } => entry_predicate(target, entries),
+                _ => Box::new(IntRangePredicate {
+                    col: 0,
+                    lo: 0,
+                    hi: 10,
+                }),
+            }
+        }
+        Entry::Opaque { modulus } => {
+            let m = *modulus;
+            Box::new(FnRowPredicate::new(
+                "mod-test",
+                move |ds, r| matches!(ds.get(r, 0), Value::Int(v) if v.rem_euclid(m) == 0),
+            ))
+        }
+    }
+}
+
+proptest! {
+    /// `execute_workload` answers every query exactly as the row-at-a-time
+    /// scalar oracle does — across duplicate and negated entries, opaque
+    /// closure predicates, and row counts with `n % 64 != 0` tails.
+    #[test]
+    fn execute_workload_matches_scalar_oracle(
+        ds in arb_dataset(),
+        entries in arb_entries(),
+    ) {
+        let preds: Vec<Box<dyn RowPredicate>> = entries
+            .iter()
+            .map(|e| entry_predicate(e, &entries))
+            .collect();
+        let mut spec = WorkloadSpec::new(ds.n_rows());
+        for (e, p) in entries.iter().zip(&preds) {
+            match e {
+                // Opaque closures must go in by Arc so the planner can
+                // execute them; structural predicates take the lift path.
+                Entry::Opaque { modulus } => {
+                    let m = *modulus;
+                    spec.push_predicate_arc(
+                        Arc::new(FnRowPredicate::new("mod-test", move |ds, r| {
+                            matches!(ds.get(r, 0), Value::Int(v) if v.rem_euclid(m) == 0)
+                        })),
+                        Noise::Exact,
+                    );
+                }
+                _ => {
+                    spec.push_predicate(p.as_ref(), Noise::Exact);
+                }
+            }
+        }
+        let mut engine = CountingEngine::new(&ds, None);
+        let out = engine.execute_workload(&spec);
+        prop_assert_eq!(out.answers.len(), preds.len());
+        for (i, (p, answer)) in preds.iter().zip(&out.answers).enumerate() {
+            let oracle = (0..ds.n_rows()).filter(|&r| p.eval_row(&ds, r)).count();
+            prop_assert_eq!(
+                answer,
+                &WorkloadAnswer::Count(oracle),
+                "query {} ({}) diverged from the scalar oracle",
+                i,
+                p.describe()
+            );
+        }
+        // Every Pred query got a target in the engine pool, and duplicates
+        // never inflate the distinct-target count.
+        prop_assert!(out.targets.iter().all(Option::is_some));
+        prop_assert!(out.stats.distinct_targets <= preds.len());
+    }
+}

@@ -10,22 +10,38 @@
 use so_data::BitVec;
 use so_query::{SubsetQuery, SubsetSumMechanism};
 
-/// Reconstructs `x` from an exact mechanism with `n + 1` queries: one for
-/// the full set and one for each complement-of-singleton.
+/// The differencing workload: the full set followed by every
+/// complement-of-singleton, `n + 1` queries total.
 ///
 /// Queries are built by toggling one bit of a shared all-ones membership
 /// bitmap, so constructing each complement-of-singleton costs `O(n/64)`
 /// words rather than an `O(n)` index vector.
-pub fn differencing_attack(mechanism: &mut dyn SubsetSumMechanism) -> BitVec {
-    let n = mechanism.n();
+pub fn differencing_workload(n: usize) -> Vec<SubsetQuery> {
     let mut mask = BitVec::ones(n);
-    let total = mechanism.answer(&SubsetQuery::new(mask.clone()));
-    let mut x = BitVec::zeros(n);
+    let mut queries = Vec::with_capacity(n + 1);
+    queries.push(SubsetQuery::new(mask.clone()));
     for t in 0..n {
         mask.set(t, false);
-        let partial = mechanism.answer(&SubsetQuery::new(mask.clone()));
+        queries.push(SubsetQuery::new(mask.clone()));
         mask.set(t, true);
-        x.set(t, (total - partial).round() >= 1.0);
+    }
+    queries
+}
+
+/// Reconstructs `x` from an exact mechanism with `n + 1` queries: one for
+/// the full set and one for each complement-of-singleton.
+///
+/// The attack is non-adaptive, so the whole [`differencing_workload`] is
+/// declared up front and submitted as one batch via
+/// [`SubsetSumMechanism::answer_all`] — the shape a workload linter (or the
+/// `so-query` planner) sees in its entirety before any answer is released.
+pub fn differencing_attack(mechanism: &mut dyn SubsetSumMechanism) -> BitVec {
+    let n = mechanism.n();
+    let answers = mechanism.answer_all(&differencing_workload(n));
+    let total = answers[0];
+    let mut x = BitVec::zeros(n);
+    for t in 0..n {
+        x.set(t, (total - answers[t + 1]).round() >= 1.0);
     }
     x
 }
@@ -41,17 +57,22 @@ pub fn averaging_differencing_attack(
 ) -> BitVec {
     assert!(repeats >= 1, "need at least one repetition");
     let n = mechanism.n();
-    let mut mask = BitVec::ones(n);
-    let avg = |mech: &mut dyn SubsetSumMechanism, q: &SubsetQuery| -> f64 {
-        (0..repeats).map(|_| mech.answer(q)).sum::<f64>() / repeats as f64
+    // Still non-adaptive: the full workload — each of the n + 1 differencing
+    // queries repeated `repeats` times — is declared and submitted at once.
+    let mut queries = Vec::with_capacity((n + 1) * repeats);
+    for q in differencing_workload(n) {
+        for _ in 0..repeats {
+            queries.push(q.clone());
+        }
+    }
+    let answers = mechanism.answer_all(&queries);
+    let avg = |j: usize| -> f64 {
+        answers[j * repeats..(j + 1) * repeats].iter().sum::<f64>() / repeats as f64
     };
-    let total = avg(mechanism, &SubsetQuery::new(mask.clone()));
+    let total = avg(0);
     let mut x = BitVec::zeros(n);
     for t in 0..n {
-        mask.set(t, false);
-        let partial = avg(mechanism, &SubsetQuery::new(mask.clone()));
-        mask.set(t, true);
-        x.set(t, total - partial >= 0.5);
+        x.set(t, total - avg(t + 1) >= 0.5);
     }
     x
 }

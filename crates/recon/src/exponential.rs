@@ -38,8 +38,9 @@ pub fn exhaustive_reconstruct(
     assert!(n <= 20, "exhaustive attack limited to n <= 20 (got {n})");
     let n_queries = 1usize << n;
 
-    // Issue all 2^n subset queries once.
-    let mut answers = Vec::with_capacity(n_queries);
+    // The attack is non-adaptive: declare all 2^n subset queries up front
+    // and submit the whole workload in one batch.
+    let mut queries = Vec::with_capacity(n_queries);
     for mask in 0..n_queries as u64 {
         let mut members = BitVec::zeros(n);
         for i in 0..n {
@@ -47,8 +48,9 @@ pub fn exhaustive_reconstruct(
                 members.set(i, true);
             }
         }
-        answers.push(mechanism.answer(&SubsetQuery::new(members)));
+        queries.push(SubsetQuery::new(members));
     }
+    let answers = mechanism.answer_all(&queries);
 
     // Search candidates; subset sums of a candidate are evaluated by popcount
     // over the mask intersection, with early abort on the first violation.

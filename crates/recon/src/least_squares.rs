@@ -54,19 +54,21 @@ pub fn least_squares_reconstruct<R: Rng>(
     rng: &mut R,
 ) -> LsqReconResult {
     let n = mechanism.n();
-    // Random queries as row bitmasks (words) for fast mat-vec.
+    // Random queries as row bitmasks (words) for fast mat-vec. The query set
+    // is non-adaptive, so it is declared in full and submitted as one batch.
     let words_per_row = n.div_ceil(64);
     let mut rows: Vec<u64> = Vec::with_capacity(m * words_per_row);
-    let mut answers = Vec::with_capacity(m);
+    let mut queries = Vec::with_capacity(m);
     for _ in 0..m {
         let mut members = BitVec::zeros(n);
         for i in 0..n {
             members.set(i, rng.gen::<bool>());
         }
         let q = SubsetQuery::new(members);
-        answers.push(mechanism.answer(&q));
         rows.extend_from_slice(q.members().words());
+        queries.push(q);
     }
+    let answers = mechanism.answer_all(&queries);
 
     let row = |j: usize| &rows[j * words_per_row..(j + 1) * words_per_row];
     let a_dot = |j: usize, x: &[f64]| -> f64 {

@@ -59,18 +59,17 @@ pub fn lp_reconstruct<R: Rng>(
     rng: &mut R,
 ) -> Result<LpReconResult, LpReconError> {
     let n = mechanism.n();
-    // Collect random queries and answers.
+    // Declare the full (non-adaptive) query set, then submit it as one
+    // batch — the mechanism sees the workload, not a drip of single queries.
     let mut queries = Vec::with_capacity(m);
-    let mut answers = Vec::with_capacity(m);
     for _ in 0..m {
         let mut members = BitVec::zeros(n);
         for i in 0..n {
             members.set(i, rng.gen::<bool>());
         }
-        let q = SubsetQuery::new(members);
-        answers.push(mechanism.answer(&q));
-        queries.push(q);
+        queries.push(SubsetQuery::new(members));
     }
+    let answers = mechanism.answer_all(&queries);
 
     // Build the LP: variables 0..n are x̃ ∈ [0,1]; n..n+m are e_q ≥ 0.
     let mut p = Problem::new(n + m, Objective::Minimize);

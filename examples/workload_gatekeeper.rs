@@ -91,25 +91,28 @@ fn main() {
         println!("   {f}");
     }
 
-    // 3. Gatekeeper mode: the engine refuses the flagged workload before
-    //    answering anything; the audit trail records the citable reason.
+    // 3. Gatekeeper mode: the gate owns the declared workload, lints it at
+    //    construction, and `execute()` either refuses every query (one
+    //    citable refusal per offending index in the audit trail) or runs the
+    //    identical plan through the whole-workload planner.
     let mut attack = WorkloadSpec::new(data.n_rows());
     attack.push_predicate(&all, Noise::Exact);
     attack.push_predicate(&tracked, Noise::Exact);
     let mut gated = GatedEngine::new(
         CountingEngine::new(&data, None),
-        &mut attack,
+        attack,
         &LintConfig::default(),
     );
     println!(
         "\n3. gatekeeper: gate is {}",
         if gated.is_open() { "open" } else { "closed" }
     );
-    for p in [&all as &dyn RowPredicate, &tracked] {
-        match gated.count(p) {
-            Some(c) => println!("   answered {c:>4}  {}", p.describe()),
-            None => println!("   REFUSED        {}", p.describe()),
-        }
+    let outcome = gated.execute();
+    for (p, answer) in [&all as &dyn RowPredicate, &tracked]
+        .into_iter()
+        .zip(&outcome.answers)
+    {
+        println!("   {answer:<18?} {}", p.describe());
     }
     let auditor = gated.engine().auditor();
     println!(

@@ -9,9 +9,11 @@
 //! crate:
 //!
 //! * [`data`] — datasets, schemas, distributions, synthetic generators
+//! * [`plan`] — the shared predicate compilation pipeline: hash-consed IR,
+//!   workload specs, query plans, bitmap kernels
 //! * [`query`] — statistical-query engine and answer mechanisms
-//! * [`analyze`] — static predicate-algebra IR and pre-execution workload
-//!   linter (differencing / reconstruction attack shapes, gatekeeper mode)
+//! * [`analyze`] — pre-execution workload linter over the shared IR
+//!   (differencing / reconstruction attack shapes, gatekeeper mode)
 //! * [`lp`] — linear-programming solver (substrate for LP decoding)
 //! * [`dp`] — differential privacy mechanisms and accounting
 //! * [`kanon`] — k-anonymity, l-diversity, t-closeness
@@ -44,5 +46,6 @@ pub use so_dp as dp;
 pub use so_kanon as kanon;
 pub use so_linkage as linkage;
 pub use so_lp as lp;
+pub use so_plan as plan;
 pub use so_query as query;
 pub use so_recon as recon;
