@@ -145,6 +145,15 @@ impl<'a> GatedEngine<'a> {
         &self.engine
     }
 
+    /// Sets the wrapped engine's worker thread count for plan execution
+    /// (see [`CountingEngine::set_threads`]). Sharded execution is
+    /// bit-identical to serial, so the gate's verdict and the executed
+    /// answers are unaffected — this only changes how fast an admitted
+    /// workload runs.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
     /// Unwraps the engine, discarding the gate.
     pub fn into_inner(self) -> CountingEngine<'a> {
         self.engine

@@ -1,0 +1,99 @@
+//! Criterion benches for sharded multi-threaded plan execution.
+//!
+//! The `shard_scaling` group records the thread-scaling curve of
+//! [`so_plan::ParallelExecutor`]: the E1-shaped batch of 1 000 overlapping
+//! conjunction queries executed at 1, 2, 4, and 8 worker threads over
+//! 100 000 and 1 000 000 rows. Before timing anything, every configuration
+//! is asserted **bit-identical** to the serial [`so_plan::QueryPlan`] path —
+//! the curve measures throughput of a computation whose output cannot vary
+//! with the thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+use so_plan::workload::{Noise, WorkloadSpec};
+use so_plan::{NodeCache, ParallelExecutor, QueryPlan};
+use so_query::predicate::{AllRowPredicate, IntRangePredicate, ValueEqualsPredicate};
+
+const N_QUERIES: usize = 1_000;
+
+fn dataset(n: usize) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("dept", DataType::Int, AttributeRole::QuasiIdentifier),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    for i in 0..n {
+        b.push_row(vec![
+            Value::Int((i * 37 % 90) as i64),
+            Value::Int((i % 25) as i64),
+        ]);
+    }
+    b.finish()
+}
+
+/// The E1-shaped workload of `bench_workload`: every query is
+/// `age ∈ [lo, lo+9] ∧ dept = d` over 40 decades × 25 departments, so the
+/// batch shares 65 atoms and repeats conjunctions.
+fn overlapping_spec(n_rows: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new(n_rows);
+    for q in 0..N_QUERIES {
+        let lo = ((q % 40) * 2) as i64;
+        let p = AllRowPredicate {
+            parts: vec![
+                Box::new(IntRangePredicate {
+                    col: 0,
+                    lo,
+                    hi: lo + 9,
+                }),
+                Box::new(ValueEqualsPredicate {
+                    col: 1,
+                    value: Value::Int((q % 25) as i64),
+                }),
+            ],
+        };
+        spec.push_predicate(&p, Noise::Exact);
+    }
+    spec
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+
+    for &n_rows in &[100_000usize, 1_000_000] {
+        let ds = dataset(n_rows);
+        let spec = overlapping_spec(n_rows);
+        let plan = QueryPlan::from_spec(&spec);
+
+        // Serial reference answers for the determinism pre-check.
+        let mut serial_cache = NodeCache::new();
+        let (serial, _) = plan.execute(spec.pool(), &ds, spec.evaluators(), &mut serial_cache);
+
+        for &threads in &[1usize, 2, 4, 8] {
+            let exec = ParallelExecutor::with_threads(threads);
+            // Answers must be bit-identical to serial at every thread count
+            // before we bother timing anything.
+            let mut check = NodeCache::new();
+            let (out, _) = exec.execute(&plan, spec.pool(), &ds, spec.evaluators(), &mut check);
+            assert_eq!(
+                out, serial,
+                "parallel answers diverged at {n_rows} rows, {threads} threads"
+            );
+
+            let label = format!("{}k_rows_1k_queries", n_rows / 1_000);
+            group.bench_function(BenchmarkId::new(label, format!("{threads}_threads")), |b| {
+                b.iter(|| {
+                    let mut cache = NodeCache::new();
+                    let (outcomes, _) =
+                        exec.execute(&plan, spec.pool(), &ds, spec.evaluators(), &mut cache);
+                    outcomes.len()
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

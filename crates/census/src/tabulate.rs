@@ -145,7 +145,7 @@ pub fn tabulate_block(people: &[Person]) -> BlockTables {
 /// Panics on an empty block (the Census suppresses empty blocks).
 pub fn tabulate_block_planned(people: &[Person]) -> BlockTables {
     use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
-    use so_plan::{Atom, NodeCache, PlanOutcome, PredPool, QueryPlan};
+    use so_plan::{Atom, NodeCache, ParallelExecutor, PlanOutcome, PredPool, QueryPlan};
 
     assert!(
         !people.is_empty(),
@@ -194,7 +194,9 @@ pub fn tabulate_block_planned(people: &[Person]) -> BlockTables {
     let plan = QueryPlan::compile(&pool, targets);
     let mut cache = NodeCache::new();
     let no_evaluators = std::collections::HashMap::new();
-    let (outcomes, _) = plan.execute(&pool, &ds, &no_evaluators, &mut cache);
+    // Sharded execution (SO_THREADS override); bit-identical to serial.
+    let (outcomes, _) =
+        ParallelExecutor::from_env().execute(&plan, &pool, &ds, &no_evaluators, &mut cache);
 
     let mut race_sex_band = [[[0usize; N_BANDS]; 2]; 5];
     let mut cells = outcomes.into_iter();

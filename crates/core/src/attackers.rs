@@ -132,7 +132,7 @@ impl PsoAttacker<BitModel, usize> for CountPostprocessAttacker {
             Some(weight),
             move |r: &BitVec| {
                 let bytes: Vec<u8> = r.words().iter().flat_map(|w| w.to_le_bytes()).collect();
-                keyed_hash(key, &bytes).is_multiple_of(modulus)
+                keyed_hash(key, &bytes) % modulus == 0
             },
         )
     }
@@ -264,7 +264,7 @@ impl PsoAttacker<TabularModel, Vec<ReleasedClass>> for KAnonClassAttacker {
         let combined_weight = w / k_prime as f64;
         let label = format!("({}) AND H mod {k_prime} == 0", class_pred.describe());
         FnPsoPredicate::boxed(&label, Some(combined_weight), move |r: &Vec<Value>| {
-            class_pred.matches(r) && keyed_hash(key, &canonical_bytes(r)).is_multiple_of(k_prime)
+            class_pred.matches(r) && keyed_hash(key, &canonical_bytes(r)) % k_prime == 0
         })
     }
 
@@ -309,7 +309,7 @@ impl PsoAttacker<TabularModel, Vec<ReleasedClass>> for BoundaryAttacker {
                 if let GenValue::IntRange { lo, hi } = g {
                     let span = (hi - lo + 1) as f64;
                     let score = span / class.size.max(1) as f64;
-                    if best.is_none_or(|(_, _, _, s)| score > s) {
+                    if best.map_or(true, |(_, _, _, s)| score > s) {
                         best = Some((ci, qi, *lo, score));
                     }
                 }

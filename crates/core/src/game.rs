@@ -334,33 +334,26 @@ where
         }
     };
 
-    let total = std::thread::scope(|scope| {
-        let chunk = config.trials.div_ceil(threads);
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    let mut acc = Tally::default();
-                    for t in lo..hi {
-                        let r = run_trial(t);
-                        acc.isolations += r.isolations;
-                        acc.pso_successes += r.pso_successes;
-                        acc.weight_rejections += r.weight_rejections;
-                    }
-                    acc
-                })
-            })
-            .collect();
-        let mut acc = Tally::default();
-        for h in handles {
-            let r = h.join().expect("game worker panicked");
+    // Shared chunked fan-out from so-plan: chunks come back in trial order
+    // and the tally is associative, so any thread count folds identically.
+    let total = so_plan::ParallelExecutor::with_threads(threads)
+        .map_chunks(config.trials, |trials| {
+            let mut acc = Tally::default();
+            for t in trials {
+                let r = run_trial(t);
+                acc.isolations += r.isolations;
+                acc.pso_successes += r.pso_successes;
+                acc.weight_rejections += r.weight_rejections;
+            }
+            acc
+        })
+        .into_iter()
+        .fold(Tally::default(), |mut acc, r| {
             acc.isolations += r.isolations;
             acc.pso_successes += r.pso_successes;
             acc.weight_rejections += r.weight_rejections;
-        }
-        acc
-    });
+            acc
+        });
 
     GameResult {
         n: config.n,

@@ -202,7 +202,7 @@ impl SliceFingerprintOracle {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        so_data::rng::keyed_hash(self.seed, &bytes).is_multiple_of(self.modulus)
+        so_data::rng::keyed_hash(self.seed, &bytes) % self.modulus == 0
     }
 }
 

@@ -39,6 +39,7 @@ pub mod ratings;
 pub mod rng;
 pub mod schema;
 pub mod selection;
+pub mod sharded;
 pub mod value;
 
 pub use bits::{column_counts, BitDataset, BitVec};
@@ -52,4 +53,5 @@ pub use population::{Population, PopulationConfig};
 pub use ratings::{RatingsConfig, RatingsData};
 pub use schema::{AttributeDef, AttributeRole, DataType, Schema};
 pub use selection::SelectionVector;
+pub use sharded::{word_aligned_ranges, ShardedDataset};
 pub use value::Value;

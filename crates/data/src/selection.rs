@@ -248,6 +248,71 @@ impl SelectionVector {
         &self.words
     }
 
+    /// Concatenates word-aligned shard bitmaps, in order, into one vector —
+    /// the deterministic merge step of sharded parallel execution. Shard
+    /// `i`'s bitmap covers the next `parts[i].len()` rows, and every part
+    /// except the last must end on a word (multiple-of-64) boundary, so the
+    /// merge is a pure word copy with no shifting.
+    ///
+    /// The merged vector's tail bits beyond the combined length are masked
+    /// to zero here regardless of what the final part's last word carried,
+    /// so a non-multiple-of-64 final shard can never leak set bits past
+    /// `n_rows` and over-count downstream popcounts.
+    ///
+    /// ```
+    /// use so_data::SelectionVector;
+    /// let a = SelectionVector::from_fn(64, |i| i % 2 == 0);
+    /// let b = SelectionVector::from_fn(70, |i| i % 2 == 0);
+    /// let merged = SelectionVector::concat_aligned([a, b]);
+    /// assert_eq!(merged.len(), 134);
+    /// assert_eq!(merged.count(), 67);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any part other than the last has a length that is not a
+    /// multiple of 64.
+    pub fn concat_aligned<I: IntoIterator<Item = SelectionVector>>(parts: I) -> SelectionVector {
+        let mut words: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for part in parts {
+            assert_eq!(
+                len % 64,
+                0,
+                "shard boundary at row {len} is not word-aligned"
+            );
+            words.extend_from_slice(&part.words);
+            len += part.len;
+        }
+        let mut out = SelectionVector { words, len };
+        out.mask_tail();
+        out
+    }
+
+    /// The bitmap restricted to rows `[range.start, range.end)` of `self`,
+    /// re-indexed from zero — a pure word copy thanks to the word-aligned
+    /// start. This is how a shard worker reads an already-cached full-length
+    /// bitmap for just its rows.
+    ///
+    /// # Panics
+    /// Panics unless `range.start` is a multiple of 64 and the range lies
+    /// within the vector.
+    pub fn slice_aligned(&self, range: std::ops::Range<usize>) -> SelectionVector {
+        assert_eq!(range.start % 64, 0, "slice start must be word-aligned");
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of range {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        let len = range.end - range.start;
+        let w0 = range.start / 64;
+        let words = self.words[w0..w0 + len.div_ceil(64)].to_vec();
+        let mut out = SelectionVector { words, len };
+        out.mask_tail();
+        out
+    }
+
     /// Zeroes the bits of the last word at positions `>= len`.
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
@@ -382,5 +447,79 @@ mod tests {
     fn and_length_mismatch_panics() {
         let mut a = SelectionVector::none(10);
         a.and_assign(&SelectionVector::none(11));
+    }
+
+    #[test]
+    fn concat_aligned_round_trips_any_split() {
+        // Splitting a bitmap at word boundaries and merging it back must be
+        // the identity, for totals on and off multiples of 64.
+        for n in [1usize, 63, 64, 65, 127, 128, 130, 300] {
+            let full = SelectionVector::from_fn(n, |i| i % 3 == 0);
+            for cut_words in [1usize, 2] {
+                let cut = cut_words * 64;
+                let parts = if cut < n {
+                    vec![full.slice_aligned(0..cut), full.slice_aligned(cut..n)]
+                } else {
+                    vec![full.slice_aligned(0..n)]
+                };
+                let merged = SelectionVector::concat_aligned(parts);
+                assert_eq!(merged, full, "n={n} cut={cut}");
+                assert_eq!(merged.count(), full.count(), "n={n} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn concat_aligned_masks_final_shard_tail() {
+        // The final shard ends mid-word (70 % 64 != 0). A NOT on the merged
+        // vector exercises the tail invariant: if merge left bits set past
+        // n_rows the popcount would over-count.
+        let a = SelectionVector::from_fn(64, |_| true);
+        let b = SelectionVector::from_fn(70, |_| true);
+        let merged = SelectionVector::concat_aligned([a, b]);
+        assert_eq!(merged.len(), 134);
+        assert_eq!(merged.count(), 134);
+        assert_eq!(merged.not().count(), 0);
+        // Tail word holds exactly 134 - 128 = 6 set bits, nothing above.
+        assert_eq!(merged.words().last().unwrap() >> (134 % 64), 0);
+    }
+
+    #[test]
+    fn concat_aligned_empty_and_single() {
+        let empty = SelectionVector::concat_aligned(std::iter::empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.count(), 0);
+        let one = SelectionVector::concat_aligned([SelectionVector::from_fn(10, |i| i < 3)]);
+        assert_eq!(one.len(), 10);
+        assert_eq!(one.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn concat_aligned_rejects_misaligned_interior_shard() {
+        let _ = SelectionVector::concat_aligned([
+            SelectionVector::none(10), // 10 % 64 != 0 and not the last part
+            SelectionVector::none(64),
+        ]);
+    }
+
+    #[test]
+    fn slice_aligned_matches_per_bit_reads() {
+        let full = SelectionVector::from_fn(200, |i| i % 7 == 0);
+        for (start, end) in [(0usize, 200usize), (64, 200), (128, 130), (64, 64)] {
+            let s = full.slice_aligned(start..end);
+            assert_eq!(s.len(), end - start);
+            for i in 0..s.len() {
+                assert_eq!(s.get(i), full.get(start + i), "start={start} i={i}");
+            }
+            // Slice tail must be masked even when end % 64 != 0.
+            assert_eq!(s.count(), (start..end).filter(|i| i % 7 == 0).count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn slice_aligned_rejects_misaligned_start() {
+        SelectionVector::none(100).slice_aligned(10..20);
     }
 }

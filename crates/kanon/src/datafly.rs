@@ -107,7 +107,7 @@ pub fn datafly_anonymize(
                 distinct.insert(hierarchies[qi].generalize(&ds.get(r, qi_cols[qi]), lvl), ());
             }
             let d = distinct.len();
-            if best.is_none_or(|(_, bd)| d > bd) {
+            if best.map_or(true, |(_, bd)| d > bd) {
                 best = Some((qi, d));
             }
         }

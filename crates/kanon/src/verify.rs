@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use so_data::Value;
-use so_plan::{Atom, ExprId, PredPool};
+use so_plan::{Atom, ExprId, ParallelExecutor, PredPool};
 
 use crate::generalized::{AnonymizedDataset, GenValue};
 
@@ -65,14 +65,34 @@ pub fn is_k_anonymous(anon: &AnonymizedDataset, k: usize) -> bool {
 /// Sizes of the classes as the adversary sees them (identical boxes merged).
 ///
 /// Deficiency bookkeeping runs on interned expression ids: each class's box
-/// is lifted into one [`PredPool`] and sizes accumulate per distinct id.
+/// is lifted into a [`PredPool`] and sizes accumulate per distinct id.
+/// Lifting fans out across worker threads
+/// ([`so_plan::ParallelExecutor`], `SO_THREADS` override): each chunk of
+/// classes lifts into its own local pool, and chunk results merge on the
+/// calling thread by exact structural re-interning
+/// ([`PredPool::import`]) — never by hash comparison — so the merged sizes
+/// are identical to the serial computation at every thread count.
 pub fn merged_class_sizes(anon: &AnonymizedDataset) -> Vec<usize> {
-    let mut pool = PredPool::new();
-    let mut by_expr: HashMap<ExprId, usize> = HashMap::new();
-    for c in anon.classes() {
-        *by_expr.entry(lift_box(&mut pool, &c.qi_box)).or_insert(0) += c.rows.len();
+    let classes = anon.classes();
+    let chunks = ParallelExecutor::from_env().map_chunks(classes.len(), |r| {
+        let mut pool = PredPool::new();
+        let mut by_expr: HashMap<ExprId, usize> = HashMap::new();
+        for c in &classes[r] {
+            *by_expr.entry(lift_box(&mut pool, &c.qi_box)).or_insert(0) += c.rows.len();
+        }
+        (pool, by_expr)
+    });
+    let mut master = PredPool::new();
+    let mut merged: HashMap<ExprId, usize> = HashMap::new();
+    for (chunk_pool, by_expr) in chunks {
+        let mut memo = HashMap::new();
+        for (id, size) in by_expr {
+            *merged
+                .entry(master.import(&chunk_pool, id, &mut memo))
+                .or_insert(0) += size;
+        }
     }
-    by_expr.into_values().collect()
+    merged.into_values().collect()
 }
 
 /// Reference implementation of [`merged_class_sizes`] that groups by the

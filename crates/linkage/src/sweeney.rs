@@ -239,7 +239,7 @@ pub fn link_releases_planned(
     identified_qi: &[usize],
     id_col: usize,
 ) -> LinkageOutcome {
-    use so_plan::{Atom, NodeCache, PredPool, QueryPlan};
+    use so_plan::{Atom, NodeCache, ParallelExecutor, PredPool, QueryPlan};
 
     assert_eq!(released_qi.len(), identified_qi.len(), "QI arity mismatch");
     let mut pool = PredPool::new();
@@ -261,7 +261,9 @@ pub fn link_releases_planned(
     let plan = QueryPlan::compile(&pool, targets);
     let mut cache = NodeCache::new();
     let no_evaluators = std::collections::HashMap::new();
-    let _ = plan.execute(&pool, identified, &no_evaluators, &mut cache);
+    // Sharded execution (SO_THREADS override); bit-identical to serial.
+    let _ =
+        ParallelExecutor::from_env().execute(&plan, &pool, identified, &no_evaluators, &mut cache);
 
     let mut links = Vec::new();
     let mut unmatched = 0usize;

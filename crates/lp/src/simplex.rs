@@ -264,7 +264,7 @@ impl Tableau {
             let mut best: Option<(usize, f64)> = None;
             for c in 0..limit {
                 let rc = self.cost(c);
-                if rc < -cfg.tolerance && best.is_none_or(|(_, b)| rc < b) {
+                if rc < -cfg.tolerance && best.map_or(true, |(_, b)| rc < b) {
                     best = Some((c, rc));
                 }
             }

@@ -80,61 +80,93 @@ pub fn eval_atom_bits(atom: &Atom, record: &BitVec) -> Option<bool> {
 /// inherently row-at-a-time) but still emit a packed bitmap so downstream
 /// boolean combination stays word-parallel.
 pub fn scan_atom(atom: &Atom, ds: &Dataset) -> Option<SelectionVector> {
+    scan_atom_range(atom, ds, 0..ds.n_rows())
+}
+
+/// The shard-local form of [`scan_atom`]: the same kernel restricted to the
+/// row range `rows`, emitting a bitmap of length `rows.len()` whose bit `i`
+/// is row `rows.start + i`. `scan_atom` is this over `0..n_rows`, so the
+/// serial and sharded execution paths cannot disagree — a shard-local bitmap
+/// over a word-aligned range holds exactly the corresponding words of the
+/// full-dataset bitmap.
+///
+/// # Panics
+/// Panics if the range extends past the dataset.
+pub fn scan_atom_range(
+    atom: &Atom,
+    ds: &Dataset,
+    rows: std::ops::Range<usize>,
+) -> Option<SelectionVector> {
+    assert!(
+        rows.start <= rows.end && rows.end <= ds.n_rows(),
+        "row range {}..{} out of range {}",
+        rows.start,
+        rows.end,
+        ds.n_rows()
+    );
+    let len = rows.len();
     match atom {
         Atom::IntRange { col, lo, hi } => {
             let column = ds.column(*col);
             Some(match column.int_values() {
-                Some(vals) => SelectionVector::from_column(vals, column.missing_mask(), |&v| {
-                    v >= *lo && v <= *hi
-                }),
+                Some(vals) => SelectionVector::from_column(
+                    &vals[rows.clone()],
+                    &column.missing_mask()[rows],
+                    |&v| v >= *lo && v <= *hi,
+                ),
                 // Non-Int column: as_int() is always None, nothing matches.
-                None => SelectionVector::none(ds.n_rows()),
+                None => SelectionVector::none(len),
             })
         }
-        Atom::ValueEquals { col, value } => Some(scan_value_equals(ds, *col, value)),
-        Atom::RowHash { .. } | Atom::KeyedHash { .. } => {
-            Some(SelectionVector::from_fn(ds.n_rows(), |row| {
-                eval_atom_row(atom, ds, row).expect("hash atoms have tabular semantics")
-            }))
-        }
+        Atom::ValueEquals { col, value } => Some(scan_value_equals(ds, *col, value, rows)),
+        Atom::RowHash { .. } | Atom::KeyedHash { .. } => Some(SelectionVector::from_fn(len, |i| {
+            eval_atom_row(atom, ds, rows.start + i).expect("hash atoms have tabular semantics")
+        })),
         Atom::BitExtract { .. } | Atom::Opaque { .. } => None,
     }
 }
 
-/// Columnar exact-value kernel, one typed arm per [`Value`] variant.
-fn scan_value_equals(ds: &Dataset, col: usize, value: &Value) -> SelectionVector {
+/// Columnar exact-value kernel over a row range, one typed arm per
+/// [`Value`] variant.
+fn scan_value_equals(
+    ds: &Dataset,
+    col: usize,
+    value: &Value,
+    rows: std::ops::Range<usize>,
+) -> SelectionVector {
     let column = ds.column(col);
-    let missing = column.missing_mask();
+    let missing = &column.missing_mask()[rows.clone()];
+    let len = rows.len();
     match value {
         // `Missing == Missing` holds under Value's total order, so the
         // Missing target selects exactly the masked rows.
-        Value::Missing => SelectionVector::from_fn(ds.n_rows(), |i| missing[i]),
+        Value::Missing => SelectionVector::from_fn(len, |i| missing[i]),
         Value::Int(x) => match column.int_values() {
-            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-            None => SelectionVector::none(ds.n_rows()),
+            Some(vals) => SelectionVector::from_column(&vals[rows], missing, |v| v == x),
+            None => SelectionVector::none(len),
         },
         // Value's float order is total_cmp, which separates -0.0 from
         // +0.0 and equates NaN with itself; mirror it bit-exactly.
         Value::Float(x) => match column.float_values() {
-            Some(vals) => SelectionVector::from_column(vals, missing, |v| {
+            Some(vals) => SelectionVector::from_column(&vals[rows], missing, |v| {
                 v.total_cmp(x) == std::cmp::Ordering::Equal
             }),
-            None => SelectionVector::none(ds.n_rows()),
+            None => SelectionVector::none(len),
         },
         Value::Str(x) => match column.str_values() {
-            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-            None => SelectionVector::none(ds.n_rows()),
+            Some(vals) => SelectionVector::from_column(&vals[rows], missing, |v| v == x),
+            None => SelectionVector::none(len),
         },
         Value::Bool(x) => match column.bool_values() {
-            Some(vals) => SelectionVector::from_column(vals, missing, |v| v == x),
-            None => SelectionVector::none(ds.n_rows()),
+            Some(vals) => SelectionVector::from_column(&vals[rows], missing, |v| v == x),
+            None => SelectionVector::none(len),
         },
         Value::Date(x) => match column.date_values() {
             Some(vals) => {
                 let day = x.day_number();
-                SelectionVector::from_column(vals, missing, |&v| v == day)
+                SelectionVector::from_column(&vals[rows], missing, |&v| v == day)
             }
-            None => SelectionVector::none(ds.n_rows()),
+            None => SelectionVector::none(len),
         },
     }
 }
@@ -208,6 +240,46 @@ mod tests {
         )
         .is_none());
         assert!(scan_atom(&Atom::Opaque { id: 1 }, &ds).is_none());
+    }
+
+    #[test]
+    fn range_scan_holds_the_aligned_words_of_the_full_scan() {
+        // Build enough rows to straddle word boundaries, then check every
+        // tabular atom kind: the shard-local bitmap over a word-aligned
+        // range must equal the full bitmap's slice over the same rows.
+        let schema = Schema::new(vec![AttributeDef::new(
+            "age",
+            DataType::Int,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..150i64 {
+            b.push_row(vec![Value::Int(i % 37)]);
+        }
+        let big = b.finish();
+        let atoms = [
+            Atom::IntRange {
+                col: 0,
+                lo: 5,
+                hi: 20,
+            },
+            Atom::ValueEquals {
+                col: 0,
+                value: Value::Int(7),
+            },
+            Atom::KeyedHash {
+                key: 0xCAFE,
+                modulus: 3,
+                target: 1,
+            },
+        ];
+        for atom in &atoms {
+            let full = scan_atom(atom, &big).expect("tabular");
+            for (lo, hi) in [(0usize, 64usize), (64, 128), (128, 150), (0, 150), (64, 64)] {
+                let part = scan_atom_range(atom, &big, lo..hi).expect("tabular");
+                assert_eq!(part, full.slice_aligned(lo..hi), "atom {atom:?} {lo}..{hi}");
+            }
+        }
     }
 
     #[test]

@@ -40,10 +40,15 @@
 //!   word-ops over child bitmaps.
 //! * [`noise`] — the one shared copy of the Laplace tail-quantile /
 //!   effective-α logic (see [`noise::laplace_tail_quantile`]).
+//! * [`parallel`] — [`ParallelExecutor`], sharded multi-threaded plan
+//!   execution over word-aligned row chunks ([`so_data::ShardedDataset`]),
+//!   bit-identical to the serial path at every thread count
+//!   (`SO_THREADS` override).
 
 pub mod ir;
 pub mod kernels;
 pub mod noise;
+pub mod parallel;
 pub mod plan;
 pub mod predicate;
 pub mod shape;
@@ -52,6 +57,7 @@ pub mod workload;
 
 pub use ir::{Atom, ExprId, PredNode, PredPool};
 pub use noise::laplace_tail_quantile;
+pub use parallel::{ParallelExecutor, THREADS_ENV};
 pub use plan::{NodeCache, PlanOutcome, PlanStats, QueryPlan};
 pub use predicate::{canonical_bytes, Predicate, RowPredicate};
 pub use shape::{next_opaque_id, PredShape};

@@ -1,0 +1,493 @@
+//! Sharded multi-threaded plan execution.
+//!
+//! A [`ParallelExecutor`] runs a compiled [`QueryPlan`]'s bitmap kernels on
+//! a [`std::thread::scope`] pool, one worker per word-aligned row shard of
+//! the dataset ([`so_data::ShardedDataset`]), and merges the per-shard
+//! results **deterministically in shard order**:
+//!
+//! ```text
+//!               ┌─ shard 0 rows [0, 64k)     ── scan/AND/OR/NOT ─┐
+//!   QueryPlan ──┼─ shard 1 rows [64k, 128k)  ── scan/AND/OR/NOT ─┼─ concat
+//!               └─ shard 2 rows [128k, n)    ── scan/AND/OR/NOT ─┘   words
+//!                                                                      │
+//!                                                   NodeCache ◀────────┘
+//! ```
+//!
+//! Because shard boundaries are multiples of 64, a shard-local
+//! [`SelectionVector`] occupies whole words of the full bitmap and the merge
+//! ([`SelectionVector::concat_aligned`]) is a pure word copy — answers are
+//! **bit-identical to the serial path for every thread count**, which is
+//! what lets a CI determinism gate diff transcripts across `SO_THREADS`
+//! settings. Each worker evaluates the plan's node order into a shard-local
+//! cache; the shared [`NodeCache`] is only read during the scatter phase
+//! (word-aligned slices of already-compiled bitmaps) and only written after
+//! the join barrier, in plan order.
+//!
+//! Thread count comes from the `SO_THREADS` environment variable
+//! ([`THREADS_ENV`]), defaulting to [`std::thread::available_parallelism`];
+//! no dependencies beyond `std` are involved. The executor also exposes
+//! [`ParallelExecutor::map_chunks`], the generic deterministic fan-out used
+//! by the subset-sum mechanisms, the k-anonymity class merge, and the PSO
+//! game loop.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use so_data::{Dataset, SelectionVector, ShardedDataset};
+
+use crate::ir::{Atom, ExprId, PredNode, PredPool};
+use crate::kernels::scan_atom_range;
+use crate::plan::{NodeCache, PlanOutcome, PlanStats, QueryPlan};
+use crate::predicate::RowPredicate;
+
+/// Environment variable overriding the worker thread count (a positive
+/// integer). Unset or unparsable values fall back to the machine's available
+/// parallelism.
+pub const THREADS_ENV: &str = "SO_THREADS";
+
+/// A deterministic scoped-thread executor with a fixed worker count.
+///
+/// Construction is cheap (no threads are kept alive between calls); workers
+/// are spawned per execution with [`std::thread::scope`], so borrowed
+/// datasets, pools, and caches flow in without `'static` bounds or new
+/// dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with an explicit worker count.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        ParallelExecutor { threads }
+    }
+
+    /// An executor honouring the [`THREADS_ENV`] (`SO_THREADS`) override,
+    /// defaulting to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::with_threads(threads_from(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes a compiled plan against `ds`, sharding rows across the
+    /// worker pool and merging per-shard bitmaps into `cache` in shard
+    /// order. Single-threaded executors (and datasets too small to split
+    /// into multiple word-aligned shards) delegate to the serial
+    /// [`QueryPlan::execute`] directly.
+    ///
+    /// Answers, the resulting cache contents, and the returned [`PlanStats`]
+    /// are identical to the serial path for every thread count: scans are
+    /// counted once per distinct atom (not once per shard), and opaque
+    /// predicates are evaluated per-shard through
+    /// [`RowPredicate::eval_row`], which the trait contract requires to
+    /// agree exactly with [`RowPredicate::scan`].
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        pool: &PredPool,
+        ds: &Dataset,
+        evaluators: &HashMap<u64, Arc<dyn RowPredicate>>,
+        cache: &mut NodeCache,
+    ) -> (Vec<PlanOutcome>, PlanStats) {
+        let sharded = ShardedDataset::new(ds, self.threads);
+        if self.threads == 1 || sharded.n_shards() <= 1 {
+            return plan.execute(pool, ds, evaluators, cache);
+        }
+        let mut stats = PlanStats {
+            queries: plan.targets().len(),
+            distinct_targets: {
+                let mut t: Vec<ExprId> = plan.targets().iter().flatten().copied().collect();
+                t.sort_unstable();
+                t.dedup();
+                t.len()
+            },
+            ..PlanStats::default()
+        };
+        // Scatter-phase planning (mirrors the serial path's bookkeeping): a
+        // node is evaluable iff it is already cached, is a constant, is an
+        // atom with tabular semantics (or a registered opaque evaluator), or
+        // is a boolean node over evaluable children. Increasing-id order
+        // guarantees children are classified before parents.
+        let mut available: Vec<bool> = vec![false; pool.len()];
+        let mut eval_ids: Vec<ExprId> = Vec::new();
+        for &id in plan.order() {
+            if cache.contains_key(&id) {
+                stats.cache_hits += 1;
+                available[id.index()] = true;
+                continue;
+            }
+            let ok = match pool.node(id) {
+                PredNode::True | PredNode::False => true,
+                PredNode::Atom(atom) => match atom {
+                    Atom::BitExtract { .. } => false,
+                    Atom::Opaque { id: oid } => evaluators.contains_key(oid),
+                    _ => true,
+                },
+                PredNode::And(children) | PredNode::Or(children) => {
+                    children.iter().all(|c| available[c.index()])
+                }
+                PredNode::Not(inner) => available[inner.index()],
+            };
+            available[id.index()] = ok;
+            if ok {
+                eval_ids.push(id);
+            }
+        }
+        if !eval_ids.is_empty() {
+            let shared_cache: &NodeCache = cache;
+            let eval: &[ExprId] = &eval_ids;
+            let shard_results: Vec<Vec<SelectionVector>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = sharded
+                    .ranges()
+                    .iter()
+                    .cloned()
+                    .map(|rows| {
+                        scope.spawn(move || {
+                            execute_shard(eval, pool, ds, evaluators, shared_cache, rows)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            // Merge barrier: concatenate each node's shard bitmaps in shard
+            // order and publish to the shared cache in plan order.
+            let mut columns: Vec<std::vec::IntoIter<SelectionVector>> =
+                shard_results.into_iter().map(Vec::into_iter).collect();
+            for &id in &eval_ids {
+                let merged = SelectionVector::concat_aligned(
+                    columns.iter_mut().map(|c| c.next().expect("shard result")),
+                );
+                debug_assert_eq!(merged.len(), ds.n_rows());
+                if matches!(pool.node(id), PredNode::Atom(_)) {
+                    stats.atom_scans += 1;
+                }
+                stats.nodes_evaluated += 1;
+                cache.insert(id, merged);
+            }
+        }
+        let outcomes: Vec<PlanOutcome> = plan
+            .targets()
+            .iter()
+            .map(|t| match t {
+                Some(id) => match cache.get(id) {
+                    Some(b) => PlanOutcome::Count(b.count()),
+                    None => {
+                        stats.unanswerable += 1;
+                        PlanOutcome::Unanswerable
+                    }
+                },
+                None => {
+                    stats.unanswerable += 1;
+                    PlanOutcome::Unanswerable
+                }
+            })
+            .collect();
+        (outcomes, stats)
+    }
+
+    /// Splits `0..n_items` into at most [`ParallelExecutor::threads`]
+    /// contiguous chunks of (near-)equal size, ascending and non-empty. The
+    /// partition depends only on `n_items` and the configured thread count —
+    /// never on scheduling — which is what keeps [`Self::map_chunks`]
+    /// deterministic.
+    pub fn chunk_ranges(&self, n_items: usize) -> Vec<Range<usize>> {
+        if n_items == 0 {
+            return Vec::new();
+        }
+        let chunks = self.threads.min(n_items);
+        let per = n_items.div_ceil(chunks);
+        (0..chunks)
+            .map(|i| i * per..((i + 1) * per).min(n_items))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Applies `f` to each chunk of `0..n_items` (see
+    /// [`Self::chunk_ranges`]) across the worker pool and returns the
+    /// results **in ascending chunk order**, regardless of which worker
+    /// finished first. With one thread (or one chunk) everything runs inline
+    /// on the caller's thread.
+    ///
+    /// `f` must be a pure function of its range for the combined result to
+    /// be independent of the thread count — give each item its own derived
+    /// RNG seed rather than sharing a stream across items.
+    pub fn map_chunks<T, F>(&self, n_items: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = self.chunk_ranges(n_items);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| scope.spawn(move || f(r)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chunk worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Default for ParallelExecutor {
+    /// Equivalent to [`ParallelExecutor::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Resolves the worker count from an optional `SO_THREADS` value, falling
+/// back to available parallelism (and 1 if that is unknown).
+fn threads_from(env: Option<&str>) -> usize {
+    env.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// One worker's pass: evaluates `eval_ids` (a valid bottom-up schedule) over
+/// the rows `rows`, returning the shard-local bitmaps in `eval_ids` order.
+/// Children resolve from the worker's own shard-local results or, for nodes
+/// compiled by an earlier execution, from word-aligned slices of the shared
+/// cache.
+fn execute_shard(
+    eval_ids: &[ExprId],
+    pool: &PredPool,
+    ds: &Dataset,
+    evaluators: &HashMap<u64, Arc<dyn RowPredicate>>,
+    cache: &NodeCache,
+    rows: Range<usize>,
+) -> Vec<SelectionVector> {
+    let len = rows.len();
+    let mut local: HashMap<ExprId, SelectionVector> = HashMap::with_capacity(eval_ids.len());
+    // Owned copy of child `c`'s shard bitmap (clone from this pass's local
+    // results, or an aligned slice of a previously cached full bitmap).
+    let fetch = |local: &HashMap<ExprId, SelectionVector>, c: ExprId| -> SelectionVector {
+        match local.get(&c) {
+            Some(b) => b.clone(),
+            None => cache[&c].slice_aligned(rows.clone()),
+        }
+    };
+    for &id in eval_ids {
+        let bitmap = match pool.node(id) {
+            PredNode::True => SelectionVector::all(len),
+            PredNode::False => SelectionVector::none(len),
+            PredNode::Atom(atom) => match scan_atom_range(atom, ds, rows.clone()) {
+                Some(b) => b,
+                None => match atom {
+                    Atom::Opaque { id: oid } => {
+                        let p = &evaluators[oid];
+                        SelectionVector::from_fn(len, |i| p.eval_row(ds, rows.start + i))
+                    }
+                    _ => unreachable!("non-evaluable atoms are filtered before the scatter"),
+                },
+            },
+            PredNode::And(children) => {
+                let mut acc = fetch(&local, children[0]);
+                for &c in &children[1..] {
+                    match local.get(&c) {
+                        Some(b) => acc.and_assign(b),
+                        None => acc.and_assign(&cache[&c].slice_aligned(rows.clone())),
+                    }
+                }
+                acc
+            }
+            PredNode::Or(children) => {
+                let mut acc = fetch(&local, children[0]);
+                for &c in &children[1..] {
+                    match local.get(&c) {
+                        Some(b) => acc.or_assign(b),
+                        None => acc.or_assign(&cache[&c].slice_aligned(rows.clone())),
+                    }
+                }
+                acc
+            }
+            PredNode::Not(inner) => {
+                let mut b = fetch(&local, *inner);
+                b.not_assign();
+                b
+            }
+        };
+        local.insert(id, bitmap);
+    }
+    eval_ids
+        .iter()
+        .map(|id| local.remove(id).expect("evaluated above"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::PredShape;
+    use crate::workload::{Noise, WorkloadSpec};
+    use so_data::{AttributeDef, AttributeRole, DataType, DatasetBuilder, Schema, Value};
+
+    fn ds(n: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+            AttributeDef::new("dept", DataType::Int, AttributeRole::QuasiIdentifier),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(vec![
+                Value::Int((i * 37 % 90) as i64),
+                Value::Int((i % 7) as i64),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn workload(n_rows: usize) -> WorkloadSpec {
+        let mut w = WorkloadSpec::new(n_rows);
+        for q in 0..40usize {
+            let lo = (q % 9 * 10) as i64;
+            let shape = PredShape::And(vec![
+                PredShape::IntRange {
+                    col: 0,
+                    lo,
+                    hi: lo + 19,
+                },
+                PredShape::Not(Box::new(PredShape::ValueEquals {
+                    col: 1,
+                    value: Value::Int((q % 7) as i64),
+                })),
+            ]);
+            w.push_shape(&shape, Noise::Exact);
+        }
+        w
+    }
+
+    /// The cross-thread-count invariant the whole module exists for.
+    #[test]
+    fn parallel_matches_serial_for_every_thread_count() {
+        for n in [1usize, 63, 64, 65, 127, 130, 1000] {
+            let data = ds(n);
+            let w = workload(n);
+            let plan = QueryPlan::from_spec(&w);
+            let mut serial_cache = NodeCache::new();
+            let (serial, serial_stats) =
+                plan.execute(w.pool(), &data, w.evaluators(), &mut serial_cache);
+            for threads in 1..=8 {
+                let mut cache = NodeCache::new();
+                let (out, stats) = ParallelExecutor::with_threads(threads).execute(
+                    &plan,
+                    w.pool(),
+                    &data,
+                    w.evaluators(),
+                    &mut cache,
+                );
+                assert_eq!(out, serial, "n={n} threads={threads}");
+                assert_eq!(stats, serial_stats, "n={n} threads={threads}");
+                // Cache contents are bit-identical too, not just counts.
+                assert_eq!(cache.len(), serial_cache.len());
+                for (id, bm) in &serial_cache {
+                    assert_eq!(cache[id], *bm, "n={n} threads={threads} node {id:?}");
+                }
+            }
+        }
+    }
+
+    /// A warm cache is reused: re-execution does zero scans and the
+    /// parallel path reports the same cache hits as the serial one.
+    #[test]
+    fn warm_cache_short_circuits_in_parallel() {
+        let data = ds(300);
+        let w = workload(300);
+        let plan = QueryPlan::from_spec(&w);
+        let exec = ParallelExecutor::with_threads(4);
+        let mut cache = NodeCache::new();
+        let (first, stats1) = exec.execute(&plan, w.pool(), &data, w.evaluators(), &mut cache);
+        assert!(stats1.atom_scans > 0);
+        let (again, stats2) = exec.execute(&plan, w.pool(), &data, w.evaluators(), &mut cache);
+        assert_eq!(first, again);
+        assert_eq!(stats2.atom_scans, 0);
+        assert_eq!(stats2.nodes_evaluated, 0);
+        assert_eq!(stats2.cache_hits, stats1.nodes_evaluated);
+    }
+
+    /// Mixed-availability workloads: unanswerable queries stay unanswerable
+    /// (and are not cached) while answerable ones still parallelize.
+    #[test]
+    fn unanswerable_nodes_survive_sharding() {
+        let data = ds(200);
+        let mut w = WorkloadSpec::new(200);
+        let i_opaque = w.push_shape(&PredShape::Opaque { id: u64::MAX }, Noise::Exact);
+        let i_ok = w.push_shape(
+            &PredShape::IntRange {
+                col: 0,
+                lo: 0,
+                hi: 44,
+            },
+            Noise::Exact,
+        );
+        let plan = QueryPlan::from_spec(&w);
+        let mut cache = NodeCache::new();
+        let (out, stats) = ParallelExecutor::with_threads(3).execute(
+            &plan,
+            w.pool(),
+            &data,
+            w.evaluators(),
+            &mut cache,
+        );
+        assert_eq!(out[i_opaque], PlanOutcome::Unanswerable);
+        assert!(matches!(out[i_ok], PlanOutcome::Count(_)));
+        assert_eq!(stats.unanswerable, 1);
+    }
+
+    #[test]
+    fn map_chunks_preserves_order_and_covers_everything() {
+        for threads in 1..=8 {
+            let exec = ParallelExecutor::with_threads(threads);
+            for n in [0usize, 1, 5, 8, 100] {
+                let ranges = exec.chunk_ranges(n);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Concatenated chunk results equal the sequential map.
+                let got: Vec<usize> = exec.map_chunks(n, |r| r.collect::<Vec<_>>()).concat();
+                assert_eq!(got, (0..n).collect::<Vec<_>>(), "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_from_env_parsing() {
+        assert_eq!(threads_from(Some("4")), 4);
+        assert_eq!(threads_from(Some(" 2 ")), 2);
+        let fallback = threads_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(threads_from(Some("0")), fallback, "zero is ignored");
+        assert_eq!(threads_from(Some("lots")), fallback, "garbage is ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ParallelExecutor::with_threads(0);
+    }
+}

@@ -87,7 +87,7 @@ impl QueryAuditor {
     /// will actually be retained, so callers in `m = 8n` attack loops with a
     /// disabled trail never pay for rendering.
     pub fn admit_with(&mut self, describe: impl FnOnce() -> String) -> bool {
-        let admitted = self.max_queries.is_none_or(|cap| self.answered < cap);
+        let admitted = self.max_queries.map_or(true, |cap| self.answered < cap);
         if admitted {
             self.answered += 1;
         } else {

@@ -16,11 +16,18 @@
 //! child bitmaps. Whole workloads go through
 //! [`CountingEngine::execute_workload`], which plans a batch at once. The
 //! row-at-a-time implementations survive as `*_scalar` reference oracles.
+//!
+//! Plan execution is sharded across worker threads
+//! ([`so_plan::parallel::ParallelExecutor`], `SO_THREADS` override): rows
+//! split into word-aligned chunks, each worker scans its chunk, and bitmaps
+//! merge in shard order — answers are bit-identical to serial execution at
+//! every thread count.
 
 use std::collections::HashMap;
 
 use so_data::{Dataset, SelectionVector};
 use so_plan::ir::{ExprId, PredPool};
+use so_plan::parallel::ParallelExecutor;
 use so_plan::plan::{NodeCache, PlanOutcome, PlanStats, QueryPlan};
 use so_plan::workload::{QueryKind, WorkloadSpec};
 
@@ -110,6 +117,7 @@ pub struct CountingEngine<'a> {
     pool: PredPool,
     cache: NodeCache,
     stats: PlanStats,
+    executor: ParallelExecutor,
 }
 
 impl<'a> CountingEngine<'a> {
@@ -127,7 +135,23 @@ impl<'a> CountingEngine<'a> {
             pool: PredPool::new(),
             cache: NodeCache::new(),
             stats: PlanStats::default(),
+            executor: ParallelExecutor::from_env(),
         }
+    }
+
+    /// Sets the worker thread count for plan execution (both single-query
+    /// compilation and whole workloads). Answers are bit-identical at every
+    /// thread count — sharding is word-aligned and merges in shard order —
+    /// so this is purely a throughput knob. The default comes from
+    /// [`ParallelExecutor::from_env`] (`SO_THREADS`, else available
+    /// parallelism).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.executor = ParallelExecutor::with_threads(threads);
+    }
+
+    /// The worker thread count plan execution currently uses.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
     }
 
     /// Answers a counting query exactly; returns `None` once the query cap
@@ -155,7 +179,9 @@ impl<'a> CountingEngine<'a> {
             // its bitmap even if the full query is new.
             let plan = QueryPlan::compile(&self.pool, vec![Some(id)]);
             let evals = NO_EVALUATORS.get_or_init(HashMap::new);
-            let (outcomes, stats) = plan.execute(&self.pool, self.ds, evals, &mut self.cache);
+            let (outcomes, stats) =
+                self.executor
+                    .execute(&plan, &self.pool, self.ds, evals, &mut self.cache);
             self.absorb(stats);
             match outcomes[0] {
                 PlanOutcome::Count(c) => Some(c),
@@ -226,8 +252,13 @@ impl<'a> CountingEngine<'a> {
             }
         }
         let plan = QueryPlan::compile(&self.pool, plan_targets);
-        let (outcomes, mut stats) =
-            plan.execute(&self.pool, self.ds, spec.evaluators(), &mut self.cache);
+        let (outcomes, mut stats) = self.executor.execute(
+            &plan,
+            &self.pool,
+            self.ds,
+            spec.evaluators(),
+            &mut self.cache,
+        );
         for (answer, outcome) in answers.iter_mut().zip(&outcomes) {
             if matches!(answer, WorkloadAnswer::Count(_)) {
                 *answer = match outcome {

@@ -16,6 +16,7 @@
 use rand::Rng;
 
 use so_data::BitVec;
+use so_plan::parallel::ParallelExecutor;
 
 use crate::query::SubsetQuery;
 
@@ -54,6 +55,22 @@ impl ExactSum {
 impl SubsetSumMechanism for ExactSum {
     fn answer(&mut self, query: &SubsetQuery) -> f64 {
         query.true_answer(&self.x) as f64
+    }
+
+    /// Batch answers fan out across worker threads (`SO_THREADS` override):
+    /// the mechanism is stateless and each answer is an exact integer
+    /// popcount, so chunked evaluation merged in declaration order is
+    /// bit-identical to the serial loop at every thread count.
+    fn answer_all(&mut self, queries: &[SubsetQuery]) -> Vec<f64> {
+        let x = &self.x;
+        ParallelExecutor::from_env()
+            .map_chunks(queries.len(), |r| {
+                queries[r]
+                    .iter()
+                    .map(|q| q.true_answer(x) as f64)
+                    .collect::<Vec<f64>>()
+            })
+            .concat()
     }
 
     fn n(&self) -> usize {
@@ -97,6 +114,12 @@ impl<R: Rng> SubsetSumMechanism for BoundedNoiseSum<R> {
         }
     }
 
+    // `answer_all` deliberately keeps the serial default: each answer draws
+    // from the mechanism's RNG, and the trait contract requires batch
+    // answers to evolve that state exactly as repeated `answer` calls would.
+    // Splitting the single noise stream across threads would change which
+    // query gets which draw depending on the thread count.
+
     fn n(&self) -> usize {
         self.x.len()
     }
@@ -136,6 +159,23 @@ impl SubsetSumMechanism for RoundingSum {
         // Floor to the grid: an integer truth exceeds the grid point below
         // it by at most grid − 1 = ⌊α⌋ ≤ α.
         (truth / self.grid()).floor() * self.grid()
+    }
+
+    /// Batch answers fan out across worker threads (`SO_THREADS` override):
+    /// rounding is a deterministic, stateless function of each query's exact
+    /// count, so chunked evaluation merged in declaration order is
+    /// bit-identical to the serial loop at every thread count.
+    fn answer_all(&mut self, queries: &[SubsetQuery]) -> Vec<f64> {
+        let x = &self.x;
+        let grid = self.grid();
+        ParallelExecutor::from_env()
+            .map_chunks(queries.len(), |r| {
+                queries[r]
+                    .iter()
+                    .map(|q| (q.true_answer(x) as f64 / grid).floor() * grid)
+                    .collect::<Vec<f64>>()
+            })
+            .concat()
     }
 
     fn n(&self) -> usize {
@@ -214,6 +254,23 @@ mod tests {
         // Answers land on the grid of spacing ⌊α⌋ + 1 = 2.
         assert_eq!(m.grid(), 2.0);
         assert_eq!(a1.rem_euclid(2.0), 0.0);
+    }
+
+    #[test]
+    fn batch_answers_match_the_serial_loop() {
+        // ExactSum and RoundingSum override `answer_all` with a chunked
+        // parallel path; the override must be indistinguishable from the
+        // default loop.
+        let queries: Vec<SubsetQuery> = (0..100)
+            .map(|i| SubsetQuery::from_indices(8, &[i % 8, (i + 3) % 8, (i * 5) % 8]))
+            .collect();
+        let mut exact = ExactSum::new(secret());
+        let serial: Vec<f64> = queries.iter().map(|q| exact.answer(q)).collect();
+        assert_eq!(exact.answer_all(&queries), serial);
+        let mut rounded = RoundingSum::new(secret(), 2.5);
+        let serial: Vec<f64> = queries.iter().map(|q| rounded.answer(q)).collect();
+        assert_eq!(rounded.answer_all(&queries), serial);
+        assert!(exact.answer_all(&[]).is_empty());
     }
 
     #[test]

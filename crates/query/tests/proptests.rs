@@ -317,4 +317,52 @@ proptest! {
         prop_assert!(out.targets.iter().all(Option::is_some));
         prop_assert!(out.stats.distinct_targets <= preds.len());
     }
+
+    /// Engine answers are invariant to the worker thread count: the same
+    /// workload (typed atoms, negations, duplicates, and opaque
+    /// `FnRowPredicate` closures) executed by a single-threaded engine and
+    /// a multi-threaded one produces identical answers, targets, and
+    /// execution stats — on row counts above and below the thread count and
+    /// off word boundaries.
+    #[test]
+    fn engine_answers_are_thread_count_invariant(
+        ds in arb_dataset(),
+        entries in arb_entries(),
+        threads in 2usize..9,
+    ) {
+        let preds: Vec<Box<dyn RowPredicate>> = entries
+            .iter()
+            .map(|e| entry_predicate(e, &entries))
+            .collect();
+        let mut spec = WorkloadSpec::new(ds.n_rows());
+        for (e, p) in entries.iter().zip(&preds) {
+            match e {
+                Entry::Opaque { modulus } => {
+                    let m = *modulus;
+                    spec.push_predicate_arc(
+                        Arc::new(FnRowPredicate::new("mod-test", move |ds, r| {
+                            matches!(ds.get(r, 0), Value::Int(v) if v.rem_euclid(m) == 0)
+                        })),
+                        Noise::Exact,
+                    );
+                }
+                _ => {
+                    spec.push_predicate(p.as_ref(), Noise::Exact);
+                }
+            }
+        }
+        let mut serial = CountingEngine::new(&ds, None);
+        serial.set_threads(1);
+        let a = serial.execute_workload(&spec);
+        let mut parallel = CountingEngine::new(&ds, None);
+        parallel.set_threads(threads);
+        prop_assert_eq!(parallel.threads(), threads);
+        let b = parallel.execute_workload(&spec);
+        prop_assert_eq!(&a.answers, &b.answers, "threads={}", threads);
+        prop_assert_eq!(&a.targets, &b.targets, "threads={}", threads);
+        prop_assert_eq!(a.stats, b.stats, "threads={}", threads);
+        // The single-query path shards too: same count, same cache reuse.
+        let probe = IntRangePredicate { col: 0, lo: -10, hi: 10 };
+        prop_assert_eq!(serial.count(&probe), parallel.count(&probe));
+    }
 }
