@@ -79,7 +79,9 @@ impl<'a> GatedEngine<'a> {
     /// (The trail honors the auditor's cap; the refusal *counter* still
     /// counts every offending index.)
     pub fn execute(&mut self) -> WorkloadAnswers {
+        let span = so_obs::span("gate.execute");
         if self.report.denies() {
+            crate::obs::gate_metrics().workloads_refused.inc();
             // First deny finding to flag each index wins.
             let mut offending: BTreeMap<usize, &'static str> = BTreeMap::new();
             for f in self
@@ -94,6 +96,7 @@ impl<'a> GatedEngine<'a> {
             }
             let pool = self.workload.pool();
             for (&q, &code) in &offending {
+                crate::obs::query_refusals(code).inc();
                 let rendered = match &self.workload.queries()[q].kind {
                     crate::workload::QueryKind::Pred(id) => pool.render(*id),
                     crate::workload::QueryKind::Subset(m) => {
@@ -104,6 +107,12 @@ impl<'a> GatedEngine<'a> {
                     .auditor_mut()
                     .refuse_with(|| format!("[gate: {code}] query #{q}: {rendered}"));
             }
+            if so_obs::enabled() {
+                span.finish_with(&[
+                    ("verdict", "refused".to_owned()),
+                    ("offending", offending.len().to_string()),
+                ]);
+            }
             return WorkloadAnswers {
                 answers: vec![WorkloadAnswer::Refused; self.workload.len()],
                 targets: vec![None; self.workload.len()],
@@ -113,7 +122,15 @@ impl<'a> GatedEngine<'a> {
                 },
             };
         }
-        self.engine.execute_workload(&self.workload)
+        crate::obs::gate_metrics().workloads_admitted.inc();
+        let out = self.engine.execute_workload(&self.workload);
+        if so_obs::enabled() {
+            span.finish_with(&[
+                ("verdict", "admitted".to_owned()),
+                ("queries", out.answers.len().to_string()),
+            ]);
+        }
+        out
     }
 
     /// Answers a single counting query if the gate is open, else records a
@@ -195,7 +212,7 @@ mod tests {
             cols: vec![0],
         };
         let a = AllRowPredicate {
-            parts: vec![Box::new(range.clone())],
+            parts: vec![Box::new(range)],
         };
         let b = AllRowPredicate {
             parts: vec![

@@ -26,6 +26,7 @@
 
 pub mod gate;
 pub mod lint;
+pub mod obs;
 
 // The IR and workload-spec modules moved down into `so-plan` so the linter
 // and the execution engine share one definition; the historical
@@ -38,4 +39,5 @@ pub use ir::{Atom, ExprId, PredNode, PredPool};
 pub use lint::{
     lint_workload, lint_workload_default, Finding, LintConfig, LintId, LintReport, Severity,
 };
+pub use obs::{gate_metrics, query_refusals, GateMetrics};
 pub use workload::{Noise, QueryKind, QuerySpec, WorkloadSpec};

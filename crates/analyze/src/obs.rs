@@ -1,0 +1,42 @@
+//! so-analyze observability: gate admission metrics published to the
+//! `so-obs` global registry.
+//!
+//! Workload-level verdicts land in two plain counters; per-query refusals
+//! are labeled by the lint code that flagged the query
+//! (`so_gate_query_refusals_total{code="SO-DIFF"}` etc.), so a metrics dump
+//! shows *which* attack shapes the gate is actually stopping.
+
+use std::sync::OnceLock;
+
+use so_obs::{global, Counter};
+
+/// Cached handles to the gate-layer metrics in the [`so_obs::global`]
+/// registry. Fetch once via [`gate_metrics`]; updates are lock-free.
+#[derive(Debug)]
+pub struct GateMetrics {
+    /// `so_gate_workloads_admitted_total` — workloads the gate let through
+    /// to execution.
+    pub workloads_admitted: Counter,
+    /// `so_gate_workloads_refused_total` — workloads refused before any
+    /// query executed.
+    pub workloads_refused: Counter,
+}
+
+/// The gate layer's global metric handles, registered on first use.
+pub fn gate_metrics() -> &'static GateMetrics {
+    static METRICS: OnceLock<GateMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        GateMetrics {
+            workloads_admitted: r.counter("so_gate_workloads_admitted_total"),
+            workloads_refused: r.counter("so_gate_workloads_refused_total"),
+        }
+    })
+}
+
+/// The per-lint-code refusal counter
+/// `so_gate_query_refusals_total{code=...}`. Looked up per call (refusal
+/// paths are cold); one labeled counter exists per distinct code.
+pub fn query_refusals(code: &str) -> Counter {
+    global().counter_with("so_gate_query_refusals_total", &[("code", code)])
+}

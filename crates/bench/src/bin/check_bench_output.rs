@@ -1,0 +1,35 @@
+//! Validates a recorded bench transcript (default: the repo's
+//! `bench_output.txt`, or the path given as the first argument) with
+//! [`so_bench::check_output::check_bench_output`]. Exits nonzero and lists
+//! every failure when the artifact no longer parses.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_output.txt".to_owned());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench_output: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = so_bench::check_output::check_bench_output(&text);
+    let report = so_bench::check_output::parse_bench_output(&text);
+    if failures.is_empty() {
+        println!(
+            "{path}: OK ({} timings, {} groups required)",
+            report.timings.len(),
+            so_bench::check_output::REQUIRED_GROUPS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{path}: INVALID");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

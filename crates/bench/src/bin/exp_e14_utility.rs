@@ -1,7 +1,7 @@
-//! Binary wrapper for experiment module `e14_utility` (pass `--quick` to reduce scale).
+//! Binary wrapper for experiment module `e14_utility` (pass `--quick` to reduce
+//! scale, `--metrics` to append a metrics dump; see `SO_TRACE` /
+//! `SO_METRICS` in the README's Observability section).
 
 fn main() {
-    let scale = so_bench::Scale::from_args();
-    let tables = so_bench::experiments::e14_utility::run(scale);
-    so_bench::print_tables(&tables);
+    so_bench::experiment_main(so_bench::experiments::e14_utility::run);
 }

@@ -1,4 +1,6 @@
-//! Runs every experiment in sequence (pass `--quick` to reduce scale).
+//! Runs every experiment in sequence (pass `--quick` to reduce scale,
+//! `--metrics` to append one cumulative metrics dump; `SO_TRACE` /
+//! `SO_METRICS` route spans and the dump to files).
 
 use so_bench::{experiments as e, print_tables, Scale};
 
@@ -6,6 +8,7 @@ use so_bench::{experiments as e, print_tables, Scale};
 type Experiment = (&'static str, fn(Scale) -> Vec<so_bench::Table>);
 
 fn main() {
+    so_obs::init_from_env();
     let scale = Scale::from_args();
     let runs: Vec<Experiment> = vec![
         ("E1", e::e01_exhaustive_reconstruction::run),
@@ -24,6 +27,7 @@ fn main() {
         ("E14", e::e14_utility::run),
         ("E15", e::e15_kanon_composition::run),
         ("E16", e::e16_workload_lint::run),
+        ("E17", e::e17_observability::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {
@@ -33,4 +37,9 @@ fn main() {
         print_tables(&tables);
         eprintln!(">>> {name} done in {:.1?}\n", start.elapsed());
     }
+    if std::env::args().any(|a| a == "--metrics") {
+        print!("{}", so_obs::global().render());
+    }
+    so_obs::write_metrics_if_env();
+    so_obs::flush();
 }

@@ -16,4 +16,5 @@ pub mod e13_membership;
 pub mod e14_utility;
 pub mod e15_kanon_composition;
 pub mod e16_workload_lint;
+pub mod e17_observability;
 pub mod lt_legal_verdicts;

@@ -1,0 +1,40 @@
+//! Process-isolated check of E17's registry cross-check: with no concurrent
+//! registry publishers (this file holds exactly one test), every cost-profile
+//! row's `local` cell must equal its `registry delta` cell — the acceptance
+//! bar that the metrics the table reports match `PlanStats` exactly.
+
+use so_bench::experiments::e17_observability;
+use so_bench::Scale;
+
+#[test]
+fn e17_local_and_registry_columns_match_exactly() {
+    let tables = e17_observability::run(Scale::Quick);
+    let csv = tables[0].to_csv();
+    let mut rows = 0;
+    for line in csv.lines().skip(2) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), 5, "bad row {line:?}");
+        let (metric, local, delta, matched) = (cells[1], cells[2], cells[3], cells[4]);
+        assert_eq!(local, delta, "{metric}: local != registry delta");
+        assert_eq!(matched, "yes", "{metric}: match column disagrees");
+        rows += 1;
+    }
+    assert_eq!(rows, 10, "expected the full cost profile:\n{csv}");
+
+    let cell = |metric: &str| -> f64 {
+        csv.lines()
+            .find(|l| l.contains(metric))
+            .unwrap_or_else(|| panic!("missing row {metric}"))
+            .split(',')
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(cell("atom scans") > 0.0, "scan metric must be nonzero");
+    assert!(cell("cache hits") > 0.0, "cache-hit metric must be nonzero");
+    assert!(
+        cell("epsilon spent") > 0.0,
+        "epsilon metric must be nonzero"
+    );
+}

@@ -230,32 +230,49 @@ where
     R: Rng + ?Sized,
 {
     assert!(config.n > 0 && config.trials > 0, "empty game");
+    let span = so_obs::span("pso.game");
+    let metrics = crate::obs::pso_metrics();
     let threshold = config.policy.threshold(config.n);
     let mut isolations = 0usize;
     let mut pso_successes = 0usize;
     let mut weight_rejections = 0usize;
     for _ in 0..config.trials {
+        let trial_start = std::time::Instant::now();
         let data = model.sample_dataset(config.n, rng);
         let output = mechanism.run(&data, rng);
         let predicate = attacker.attack(&output, rng);
-        if !isolates(&data, predicate.as_ref()) {
-            continue;
-        }
-        isolations += 1;
-        let weight = match (config.weight_check, predicate.weight_hint()) {
-            (WeightCheck::TrustHints { .. }, Some(hint)) => hint,
-            (WeightCheck::TrustHints { fallback_samples }, None) => {
-                estimate_weight(model, predicate.as_ref(), fallback_samples, rng)
+        if isolates(&data, predicate.as_ref()) {
+            isolations += 1;
+            let weight = match (config.weight_check, predicate.weight_hint()) {
+                (WeightCheck::TrustHints { .. }, Some(hint)) => hint,
+                (WeightCheck::TrustHints { fallback_samples }, None) => {
+                    estimate_weight(model, predicate.as_ref(), fallback_samples, rng)
+                }
+                (WeightCheck::MonteCarlo { samples }, _) => {
+                    estimate_weight(model, predicate.as_ref(), samples, rng)
+                }
+            };
+            if config.policy.is_negligible(weight, config.n) {
+                pso_successes += 1;
+            } else {
+                weight_rejections += 1;
             }
-            (WeightCheck::MonteCarlo { samples }, _) => {
-                estimate_weight(model, predicate.as_ref(), samples, rng)
-            }
-        };
-        if config.policy.is_negligible(weight, config.n) {
-            pso_successes += 1;
-        } else {
-            weight_rejections += 1;
         }
+        metrics
+            .trial_micros
+            .observe(trial_start.elapsed().as_micros() as f64);
+    }
+    metrics.games.inc();
+    metrics.trials.add(config.trials as u64);
+    metrics.isolations.add(isolations as u64);
+    metrics.successes.add(pso_successes as u64);
+    if so_obs::enabled() {
+        span.finish_with(&[
+            ("mechanism", mechanism.name()),
+            ("attacker", attacker.name()),
+            ("trials", config.trials.to_string()),
+            ("successes", pso_successes.to_string()),
+        ]);
     }
     GameResult {
         n: config.n,
@@ -291,6 +308,8 @@ where
 {
     assert!(config.n > 0 && config.trials > 0, "empty game");
     assert!(threads >= 1, "need at least one thread");
+    let span = so_obs::span("pso.game");
+    let metrics = crate::obs::pso_metrics();
     let threshold = config.policy.threshold(config.n);
 
     /// Per-trial outcome, combined associatively so ordering cannot matter.
@@ -302,6 +321,13 @@ where
     }
 
     let run_trial = |trial: usize| -> Tally {
+        // Workers publish only to the (commutative) timing histogram;
+        // counters and trace records are the coordinator's job, so metric
+        // state stays thread-count invariant.
+        let _timer = TrialTimer {
+            start: std::time::Instant::now(),
+            metrics,
+        };
         let mut rng =
             so_data::rng::seeded_rng(so_data::rng::derive_seed(master_seed, trial as u64));
         let data = model.sample_dataset(config.n, &mut rng);
@@ -355,6 +381,19 @@ where
             acc
         });
 
+    metrics.games.inc();
+    metrics.trials.add(config.trials as u64);
+    metrics.isolations.add(total.isolations as u64);
+    metrics.successes.add(total.pso_successes as u64);
+    if so_obs::enabled() {
+        span.finish_with(&[
+            ("mechanism", mechanism.name()),
+            ("attacker", attacker.name()),
+            ("trials", config.trials.to_string()),
+            ("successes", total.pso_successes.to_string()),
+            ("threads", threads.to_string()),
+        ]);
+    }
     GameResult {
         n: config.n,
         trials: config.trials,
@@ -365,6 +404,21 @@ where
         baseline_at_threshold: baseline_isolation_probability(config.n, threshold),
         mechanism: mechanism.name(),
         attacker: attacker.name(),
+    }
+}
+
+/// Observes a trial's wall-clock duration into the timing histogram when
+/// dropped, covering every exit path of a trial closure.
+struct TrialTimer {
+    start: std::time::Instant,
+    metrics: &'static crate::obs::PsoMetrics,
+}
+
+impl Drop for TrialTimer {
+    fn drop(&mut self) {
+        self.metrics
+            .trial_micros
+            .observe(self.start.elapsed().as_micros() as f64);
     }
 }
 

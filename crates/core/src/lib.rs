@@ -43,6 +43,7 @@ pub mod isolation;
 pub mod legal;
 pub mod mechanisms;
 pub mod negligible;
+pub mod obs;
 pub mod report;
 pub mod stats;
 pub mod variants;
@@ -56,6 +57,7 @@ pub use game::{
 pub use isolation::{isolates, matching_count, PsoPredicate};
 pub use legal::{Claim, Evidence, LegalStandard, Technology, Verdict};
 pub use negligible::NegligibilityPolicy;
+pub use obs::{pso_metrics, PsoMetrics};
 pub use report::AuditReport;
 pub use stats::wilson_interval;
 pub use variants::{baseline_group_isolation_probability, heavy_weight_threshold, isolates_group};

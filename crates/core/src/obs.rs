@@ -1,0 +1,56 @@
+//! PSO-game observability: trial counters and per-trial timing published to
+//! the `so-obs` global registry.
+//!
+//! Trial, isolation, and success counts are deterministic for a fixed seed;
+//! the per-trial timing histogram is wall-clock and export-only. In the
+//! parallel runner, workers touch only the histogram and the shared
+//! counters — both commutative — so metric totals are thread-count
+//! invariant; no ordered trace records are emitted from inside workers.
+
+use std::sync::OnceLock;
+
+use so_obs::{global, Counter, Histogram};
+
+/// Cached handles to the PSO-game metrics in the [`so_obs::global`]
+/// registry. Fetch once via [`pso_metrics`]; updates are lock-free.
+#[derive(Debug)]
+pub struct PsoMetrics {
+    /// `so_pso_games_total` — completed game runs (serial or parallel).
+    pub games: Counter,
+    /// `so_pso_trials_total` — Monte Carlo trials played.
+    pub trials: Counter,
+    /// `so_pso_isolations_total` — trials where the returned predicate
+    /// isolated a row (regardless of weight).
+    pub isolations: Counter,
+    /// `so_pso_successes_total` — trials counted as PSO successes
+    /// (isolation at negligible weight — the Definition 2.4 event).
+    pub successes: Counter,
+    /// `so_pso_trial_micros` — wall-clock per trial (export-only).
+    pub trial_micros: Histogram,
+}
+
+/// The PSO layer's global metric handles, registered on first use.
+pub fn pso_metrics() -> &'static PsoMetrics {
+    static METRICS: OnceLock<PsoMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        PsoMetrics {
+            games: r.counter("so_pso_games_total"),
+            trials: r.counter("so_pso_trials_total"),
+            isolations: r.counter("so_pso_isolations_total"),
+            successes: r.counter("so_pso_successes_total"),
+            trial_micros: r.histogram(
+                "so_pso_trial_micros",
+                &[
+                    10.0,
+                    100.0,
+                    1_000.0,
+                    10_000.0,
+                    100_000.0,
+                    1_000_000.0,
+                    10_000_000.0,
+                ],
+            ),
+        }
+    })
+}

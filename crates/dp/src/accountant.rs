@@ -125,10 +125,12 @@ impl PrivacyAccountant {
             "bad epsilon {epsilon}"
         );
         if self.spent + epsilon > self.budget + 1e-12 {
+            crate::obs::dp_metrics().budget_refusals.inc();
             return false;
         }
         self.spent += epsilon;
         self.ledger.push((label.to_owned(), epsilon));
+        crate::obs::dp_metrics().epsilon_spent.add(epsilon);
         true
     }
 

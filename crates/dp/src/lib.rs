@@ -28,6 +28,7 @@
 pub mod accountant;
 pub mod laplace_sum;
 pub mod mechanisms;
+pub mod obs;
 pub mod samplers;
 pub mod svt;
 pub mod verify;
@@ -38,6 +39,7 @@ pub use mechanisms::{
     exponential_mechanism, noisy_histogram, randomized_response, GaussianCount, GeometricCount,
     LaplaceCount,
 };
+pub use obs::{dp_metrics, DpMetrics};
 pub use samplers::{sample_gaussian, sample_laplace, sample_two_sided_geometric};
 pub use svt::{SparseVector, SvtAnswer};
 pub use verify::{audit_dp_pair, DpAuditConfig, DpAuditResult};

@@ -22,7 +22,11 @@ pub fn sample_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
     // Guard the logarithm's argument away from 0 (u = ±0.5 has prob. 0 but
     // floating point can graze it).
     let t = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
-    -b * u.signum() * t.ln()
+    let x = -b * u.signum() * t.ln();
+    let m = crate::obs::dp_metrics();
+    m.laplace_draws.inc();
+    m.noise_abs.observe(x.abs());
+    x
 }
 
 /// Samples the two-sided geometric distribution with parameter
@@ -43,7 +47,11 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(epsilon_over_delta: f64, rng:
                                              // (number of failures before first success).
     let g1 = sample_geometric_failures(1.0 - alpha, rng);
     let g2 = sample_geometric_failures(1.0 - alpha, rng);
-    g1 - g2
+    let x = g1 - g2;
+    let m = crate::obs::dp_metrics();
+    m.geometric_draws.inc();
+    m.noise_abs.observe(x.unsigned_abs() as f64);
+    x
 }
 
 /// Number of failures before the first success of a Bernoulli(p) sequence,
@@ -69,7 +77,11 @@ pub fn sample_gaussian<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
     );
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.gen();
-    sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    let x = sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let m = crate::obs::dp_metrics();
+    m.gaussian_draws.inc();
+    m.noise_abs.observe(x.abs());
+    x
 }
 
 #[cfg(test)]

@@ -54,6 +54,10 @@ pub struct OptimalSolution {
     pub x: Vec<f64>,
     /// Objective value at `x` (in the problem's own sense).
     pub objective: f64,
+    /// Simplex pivot iterations across both phases — the solver's cost
+    /// measure, surfaced so callers (and the `so-obs` metrics) can report
+    /// LP effort per attack.
+    pub iterations: usize,
 }
 
 /// LP outcome.
@@ -479,7 +483,11 @@ pub fn solve(p: &Problem, cfg: &SolverConfig) -> Result<Solution, LpError> {
     let objective = p.objective_value(&x);
     // `negate_objective` already handled by evaluating in original space.
     let _ = sf.negate_objective;
-    Ok(Solution::Optimal(OptimalSolution { x, objective }))
+    Ok(Solution::Optimal(OptimalSolution {
+        x,
+        objective,
+        iterations: t.iterations,
+    }))
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! Span-based tracing with a pluggable subscriber.
+//!
+//! By default no subscriber is installed and every [`span`] / [`event`] call
+//! is a single relaxed atomic load — instrumentation can stay in hot paths
+//! unconditionally. Installing a subscriber (once per process, e.g. the
+//! [`JsonLinesSubscriber`] behind the `SO_TRACE` env var) turns spans into
+//! timed records delivered on completion.
+//!
+//! Tracing is **observation only**: subscribers receive copies of names,
+//! durations, and rendered fields; nothing they do can flow back into
+//! experiment answers, which is what lets a CI gate diff transcripts with
+//! and without `SO_TRACE` set.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A rendered trace field: key plus stringified value.
+pub type Field = (&'static str, String);
+
+/// Receives completed spans and instant events.
+pub trait TraceSubscriber: Send + Sync {
+    /// A span finished after `micros` microseconds.
+    fn on_span(&self, name: &str, micros: u64, fields: &[Field]);
+
+    /// An instantaneous event occurred.
+    fn on_event(&self, name: &str, fields: &[Field]);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn TraceSubscriber>> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-wide subscriber. Returns false (and drops `s`) if a
+/// subscriber is already installed.
+pub fn set_subscriber(s: Box<dyn TraceSubscriber>) -> bool {
+    let installed = SUBSCRIBER.set(s).is_ok();
+    if installed {
+        ENABLED.store(true, Ordering::Release);
+    }
+    installed
+}
+
+/// True iff a subscriber is installed (one relaxed load — the hot-path
+/// guard).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits an instantaneous event to the subscriber, if any.
+pub fn event(name: &str, fields: &[Field]) {
+    if enabled() {
+        if let Some(s) = SUBSCRIBER.get() {
+            s.on_event(name, fields);
+        }
+    }
+}
+
+/// Flushes the installed subscriber, if any.
+pub fn flush() {
+    if let Some(s) = SUBSCRIBER.get() {
+        s.flush();
+    }
+}
+
+/// An in-flight span. Created by [`span`]; reports its wall-clock duration
+/// to the subscriber when finished (or dropped). When tracing is disabled
+/// the span is inert and costs nothing beyond one atomic load.
+#[must_use = "a span measures the scope it lives in"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a span named `name` (inert when tracing is disabled).
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Span {
+    /// Finishes the span, attaching rendered fields to the completion
+    /// record. Fields are only rendered by callers when tracing is enabled
+    /// (guard with [`enabled`] if rendering is expensive).
+    pub fn finish_with(mut self, fields: &[Field]) {
+        if let Some(start) = self.start.take() {
+            if let Some(s) = SUBSCRIBER.get() {
+                s.on_span(self.name, start.elapsed().as_micros() as u64, fields);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            if let Some(s) = SUBSCRIBER.get() {
+                s.on_span(self.name, start.elapsed().as_micros() as u64, &[]);
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A subscriber writing one JSON object per line to any `Write` sink —
+/// the `SO_TRACE=path` backend. Records carry a monotonic sequence number
+/// so interleaving is reconstructable.
+pub struct JsonLinesSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl JsonLinesSubscriber {
+    /// Writes JSON lines to the file at `path` (created / truncated).
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Writes JSON lines to an arbitrary sink (used by tests).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesSubscriber {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn write_record(&self, kind: &str, name: &str, micros: Option<u64>, fields: &[Field]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = format!(
+            "{{\"seq\":{seq},\"kind\":\"{kind}\",\"name\":\"{}\"",
+            json_escape(name)
+        );
+        if let Some(us) = micros {
+            line.push_str(&format!(",\"us\":{us}"));
+        }
+        for (k, v) in fields {
+            line.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+impl TraceSubscriber for JsonLinesSubscriber {
+    fn on_span(&self, name: &str, micros: u64, fields: &[Field]) {
+        self.write_record("span", name, Some(micros), fields);
+    }
+
+    fn on_event(&self, name: &str, fields: &[Field]) {
+        self.write_record("event", name, None, fields);
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink capturing everything written, for asserting on JSON lines.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_subscriber_writes_valid_records() {
+        let cap = Capture::default();
+        let sub = JsonLinesSubscriber::to_writer(Box::new(cap.clone()));
+        sub.on_span("plan.execute", 42, &[("queries", "10".to_owned())]);
+        sub.on_event("gate.refuse", &[("code", "SO-DIFF".to_owned())]);
+        sub.flush();
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"kind\":\"span\",\"name\":\"plan.execute\",\"us\":42,\"queries\":\"10\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"kind\":\"event\",\"name\":\"gate.refuse\",\"code\":\"SO-DIFF\"}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t"), "x\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn spans_are_inert_without_a_subscriber() {
+        // The global subscriber may or may not be installed by other tests
+        // in this binary; detached spans must be safe either way.
+        let s = span("inert");
+        s.finish_with(&[]);
+        let _auto = span("dropped");
+        // Dropping without finish_with must not panic.
+    }
+}

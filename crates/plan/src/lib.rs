@@ -44,10 +44,14 @@
 //!   execution over word-aligned row chunks ([`so_data::ShardedDataset`]),
 //!   bit-identical to the serial path at every thread count
 //!   (`SO_THREADS` override).
+//! * [`obs`] — the bridge to the `so-obs` global metrics registry: every
+//!   execution publishes its [`PlanStats`] counters and (export-only)
+//!   wall-clock histograms there.
 
 pub mod ir;
 pub mod kernels;
 pub mod noise;
+pub mod obs;
 pub mod parallel;
 pub mod plan;
 pub mod predicate;
@@ -57,6 +61,7 @@ pub mod workload;
 
 pub use ir::{Atom, ExprId, PredNode, PredPool};
 pub use noise::laplace_tail_quantile;
+pub use obs::{plan_metrics, registry_plan_stats, PlanMetrics};
 pub use parallel::{ParallelExecutor, THREADS_ENV};
 pub use plan::{NodeCache, PlanOutcome, PlanStats, QueryPlan};
 pub use predicate::{canonical_bytes, Predicate, RowPredicate};

@@ -102,6 +102,8 @@ impl ParallelExecutor {
         if self.threads == 1 || sharded.n_shards() <= 1 {
             return plan.execute(pool, ds, evaluators, cache);
         }
+        let started = std::time::Instant::now();
+        let span = so_obs::span("plan.execute");
         let mut stats = PlanStats {
             queries: plan.targets().len(),
             distinct_targets: {
@@ -145,14 +147,16 @@ impl ParallelExecutor {
         if !eval_ids.is_empty() {
             let shared_cache: &NodeCache = cache;
             let eval: &[ExprId] = &eval_ids;
-            let shard_results: Vec<Vec<SelectionVector>> = std::thread::scope(|scope| {
+            let shard_results: Vec<(Vec<SelectionVector>, u64)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = sharded
                     .ranges()
                     .iter()
                     .cloned()
                     .map(|rows| {
                         scope.spawn(move || {
-                            execute_shard(eval, pool, ds, evaluators, shared_cache, rows)
+                            let t0 = std::time::Instant::now();
+                            let out = execute_shard(eval, pool, ds, evaluators, shared_cache, rows);
+                            (out, t0.elapsed().as_micros() as u64)
                         })
                     })
                     .collect();
@@ -161,10 +165,32 @@ impl ParallelExecutor {
                     .map(|h| h.join().expect("shard worker panicked"))
                     .collect()
             });
+            // Per-shard observability is reported *after* the join barrier,
+            // in shard order, so trace files are deterministically ordered
+            // even though workers finish in any order. (Timings themselves
+            // are wall-clock and export-only.)
+            let metrics = crate::obs::plan_metrics();
+            for (shard, ((_, micros), rows)) in
+                shard_results.iter().zip(sharded.ranges()).enumerate()
+            {
+                metrics.shard_micros.observe(*micros as f64);
+                if so_obs::enabled() {
+                    so_obs::event(
+                        "plan.shard",
+                        &[
+                            ("shard", shard.to_string()),
+                            ("rows", rows.len().to_string()),
+                            ("us", micros.to_string()),
+                        ],
+                    );
+                }
+            }
             // Merge barrier: concatenate each node's shard bitmaps in shard
             // order and publish to the shared cache in plan order.
-            let mut columns: Vec<std::vec::IntoIter<SelectionVector>> =
-                shard_results.into_iter().map(Vec::into_iter).collect();
+            let mut columns: Vec<std::vec::IntoIter<SelectionVector>> = shard_results
+                .into_iter()
+                .map(|(bitmaps, _)| bitmaps.into_iter())
+                .collect();
             for &id in &eval_ids {
                 let merged = SelectionVector::concat_aligned(
                     columns.iter_mut().map(|c| c.next().expect("shard result")),
@@ -194,6 +220,16 @@ impl ParallelExecutor {
                 }
             })
             .collect();
+        crate::obs::record_execution(&stats, started.elapsed().as_micros() as u64);
+        if so_obs::enabled() {
+            span.finish_with(&[
+                ("queries", stats.queries.to_string()),
+                ("atom_scans", stats.atom_scans.to_string()),
+                ("cache_hits", stats.cache_hits.to_string()),
+                ("nodes_evaluated", stats.nodes_evaluated.to_string()),
+                ("shards", sharded.n_shards().to_string()),
+            ]);
+        }
         (outcomes, stats)
     }
 

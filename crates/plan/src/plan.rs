@@ -36,6 +36,11 @@ use crate::workload::{QueryKind, WorkloadSpec};
 pub type NodeCache = HashMap<ExprId, SelectionVector>;
 
 /// Counters describing what executing a plan actually did.
+///
+/// Each execution tallies its own `PlanStats` locally (the deterministic
+/// value engines and transcripts consume) and publishes the same counts to
+/// the [`so_obs::global`] metrics registry; the cumulative process-wide view
+/// is available as [`crate::obs::registry_plan_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanStats {
     /// Queries in the workload.
@@ -141,6 +146,8 @@ impl QueryPlan {
         evaluators: &HashMap<u64, Arc<dyn RowPredicate>>,
         cache: &mut NodeCache,
     ) -> (Vec<PlanOutcome>, PlanStats) {
+        let started = std::time::Instant::now();
+        let span = so_obs::span("plan.execute");
         let n = ds.n_rows();
         let mut stats = PlanStats {
             queries: self.targets.len(),
@@ -237,6 +244,15 @@ impl QueryPlan {
                 }
             })
             .collect();
+        crate::obs::record_execution(&stats, started.elapsed().as_micros() as u64);
+        if so_obs::enabled() {
+            span.finish_with(&[
+                ("queries", stats.queries.to_string()),
+                ("atom_scans", stats.atom_scans.to_string()),
+                ("cache_hits", stats.cache_hits.to_string()),
+                ("nodes_evaluated", stats.nodes_evaluated.to_string()),
+            ]);
+        }
         (outcomes, stats)
     }
 }

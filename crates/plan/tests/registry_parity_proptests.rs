@@ -1,0 +1,110 @@
+//! Property test for `PlanStats` parity between the locally tallied stats
+//! and the `so-obs` global registry mirror, across thread counts.
+//!
+//! This file holds exactly one test so the process-wide registry sees no
+//! concurrent publishers: each proptest case snapshots the registry,
+//! executes, and asserts the registry *delta* equals the execution's own
+//! `PlanStats` — serial and at every thread count 1–8, on row counts that
+//! land on and off 64-bit word boundaries.
+
+use proptest::prelude::*;
+
+use so_data::{AttributeDef, AttributeRole, DataType, Dataset, DatasetBuilder, Schema, Value};
+use so_plan::{NodeCache, Noise, ParallelExecutor, PlanStats, PredShape, QueryPlan, WorkloadSpec};
+
+fn build_ds(n_rows: usize) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("dept", DataType::Int, AttributeRole::QuasiIdentifier),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    for i in 0..n_rows {
+        b.push_row(vec![
+            Value::Int((i * 37 % 90) as i64),
+            Value::Int((i % 5) as i64),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_workload(n_rows: usize, ranges: &[(i64, i64)]) -> WorkloadSpec {
+    let mut w = WorkloadSpec::new(n_rows);
+    for &(lo, hi) in ranges {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        w.push_shape(&PredShape::IntRange { col: 0, lo, hi }, Noise::Exact);
+        w.push_shape(
+            &PredShape::And(vec![
+                PredShape::IntRange { col: 0, lo, hi },
+                PredShape::ValueEquals {
+                    col: 1,
+                    value: Value::Int((lo % 5).abs()),
+                },
+            ]),
+            Noise::Exact,
+        );
+    }
+    w
+}
+
+fn stats_delta(before: &PlanStats, after: &PlanStats) -> PlanStats {
+    PlanStats {
+        queries: after.queries - before.queries,
+        distinct_targets: after.distinct_targets - before.distinct_targets,
+        nodes_evaluated: after.nodes_evaluated - before.nodes_evaluated,
+        atom_scans: after.atom_scans - before.atom_scans,
+        cache_hits: after.cache_hits - before.cache_hits,
+        unanswerable: after.unanswerable - before.unanswerable,
+    }
+}
+
+fn executions() -> u64 {
+    so_obs::global()
+        .counter_value("so_plan_executions_total")
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every execution — serial and threads 1–8 — the registry's
+    /// counter deltas equal the locally returned `PlanStats`, and the
+    /// executions counter advances by exactly one.
+    #[test]
+    fn registry_mirrors_plan_stats_at_every_thread_count(
+        // Sizes straddle word boundaries (63, 64, 65, …) and thread counts.
+        n_rows in 1usize..200,
+        ranges in proptest::collection::vec((0i64..100, 0i64..100), 1..5),
+    ) {
+        let ds = build_ds(n_rows);
+        let w = build_workload(n_rows, &ranges);
+        let plan = QueryPlan::from_spec(&w);
+
+        let before = so_plan::registry_plan_stats();
+        let execs_before = executions();
+        let mut serial_cache = NodeCache::new();
+        let (_, serial_stats) =
+            plan.execute(w.pool(), &ds, w.evaluators(), &mut serial_cache);
+        prop_assert_eq!(
+            stats_delta(&before, &so_plan::registry_plan_stats()),
+            serial_stats,
+            "serial registry delta diverged"
+        );
+        prop_assert_eq!(executions() - execs_before, 1);
+
+        for threads in 1..=8usize {
+            let before = so_plan::registry_plan_stats();
+            let execs_before = executions();
+            let mut cache = NodeCache::new();
+            let (_, stats) = ParallelExecutor::with_threads(threads)
+                .execute(&plan, w.pool(), &ds, w.evaluators(), &mut cache);
+            prop_assert_eq!(&stats, &serial_stats, "threads={}", threads);
+            prop_assert_eq!(
+                stats_delta(&before, &so_plan::registry_plan_stats()),
+                stats,
+                "registry delta diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(executions() - execs_before, 1, "threads={}", threads);
+        }
+    }
+}

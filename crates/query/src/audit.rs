@@ -39,6 +39,7 @@ pub struct QueryAuditor {
     seen: usize,
     answered: usize,
     refused: usize,
+    dropped: usize,
 }
 
 impl QueryAuditor {
@@ -70,6 +71,7 @@ impl QueryAuditor {
             seen: 0,
             answered: 0,
             refused: 0,
+            dropped: 0,
         }
     }
 
@@ -106,14 +108,20 @@ impl QueryAuditor {
     }
 
     /// Appends a trail record (honouring the retention policy) and advances
-    /// the global sequence number.
+    /// the global sequence number. Records not retained — cap evictions and
+    /// `Some(0)` non-retention — count as dropped, so
+    /// `trail_len() + dropped_entries() == queries_seen()` always holds.
     fn record(&mut self, describe: impl FnOnce() -> String, admitted: bool) {
         let seq = self.seen;
         self.seen += 1;
         match self.trail_cap {
-            Some(0) => return,
+            Some(0) => {
+                self.drop_entry();
+                return;
+            }
             Some(cap) if self.trail.len() == cap => {
                 self.trail.pop_front();
+                self.drop_entry();
             }
             Some(_) | None => {}
         }
@@ -122,6 +130,14 @@ impl QueryAuditor {
             description: describe(),
             admitted,
         });
+        crate::obs::query_metrics()
+            .audit_trail_len
+            .set(self.trail.len() as f64);
+    }
+
+    fn drop_entry(&mut self) {
+        self.dropped += 1;
+        crate::obs::query_metrics().audit_dropped.inc();
     }
 
     /// Number of queries answered so far.
@@ -156,6 +172,14 @@ impl QueryAuditor {
     /// Number of records currently retained in the trail.
     pub fn trail_len(&self) -> usize {
         self.trail.len()
+    }
+
+    /// Number of attempts whose trail record was *not* retained: evictions
+    /// from a full capped trail plus every record under `Some(0)`
+    /// non-retention. Invariant:
+    /// `trail_len() + dropped_entries() == queries_seen()`.
+    pub fn dropped_entries(&self) -> usize {
+        self.dropped
     }
 }
 
@@ -273,6 +297,49 @@ mod tests {
         assert!(!t[1].admitted);
         assert_eq!(t[1].description, "vetoed by gate");
         assert_eq!(t[1].seq, 1);
+    }
+
+    #[test]
+    fn cap_overflow_accounting_tracks_evictions() {
+        // Regression: evictions from a full capped trail must be counted,
+        // and the invariant trail_len + dropped == seen must hold at every
+        // step and in every retention configuration.
+        let mut a = QueryAuditor::with_trail_cap(None, 3);
+        for i in 0..10 {
+            a.admit(&format!("q{i}"));
+            assert_eq!(
+                a.trail_len() + a.dropped_entries(),
+                a.queries_seen(),
+                "after query {i}"
+            );
+        }
+        assert_eq!(a.trail_len(), 3);
+        assert_eq!(a.dropped_entries(), 7, "10 seen, 3 retained");
+
+        // Zero retention: every record is dropped.
+        let mut b = QueryAuditor::without_trail(None);
+        for i in 0..4 {
+            b.admit(&format!("q{i}"));
+        }
+        assert_eq!(b.dropped_entries(), 4);
+        assert_eq!(b.trail_len() + b.dropped_entries(), b.queries_seen());
+
+        // Unbounded retention never drops.
+        let mut c = QueryAuditor::new(None);
+        for i in 0..4 {
+            c.admit(&format!("q{i}"));
+        }
+        assert_eq!(c.dropped_entries(), 0);
+        assert_eq!(c.trail_len() + c.dropped_entries(), c.queries_seen());
+
+        // Policy refusals are attempts too; their records evict like any
+        // other once the cap is hit.
+        let mut d = QueryAuditor::with_trail_cap(None, 1);
+        d.admit("kept-then-evicted");
+        d.refuse_with(|| "vetoed".to_owned());
+        assert_eq!(d.trail_len(), 1);
+        assert_eq!(d.dropped_entries(), 1);
+        assert_eq!(d.trail_len() + d.dropped_entries(), d.queries_seen());
     }
 
     #[test]

@@ -161,16 +161,22 @@ impl<'a> CountingEngine<'a> {
         if !self.auditor.admit_with(|| p.describe()) {
             return None;
         }
+        crate::obs::query_metrics().count_calls.inc();
         let shape = p.shape();
         if !shape.is_cache_stable() {
             // No sound cache key — evaluate fresh; interning a volatile
             // shape would mint a fresh opaque atom per call and grow the
             // pool without bound.
+            crate::obs::query_metrics().volatile_scans.inc();
             return Some(p.scan(self.ds).count());
         }
         let id = self.pool.lift(&shape);
         if let Some(b) = self.cache.get(&id) {
             self.stats.cache_hits += 1;
+            so_plan::obs::publish_stats(&PlanStats {
+                cache_hits: 1,
+                ..PlanStats::default()
+            });
             return Some(b.count());
         }
         if shape.is_fully_structural() {
@@ -196,6 +202,11 @@ impl<'a> CountingEngine<'a> {
             let b = p.scan(self.ds);
             self.stats.atom_scans += 1;
             self.stats.nodes_evaluated += 1;
+            so_plan::obs::publish_stats(&PlanStats {
+                atom_scans: 1,
+                nodes_evaluated: 1,
+                ..PlanStats::default()
+            });
             let c = b.count();
             self.cache.insert(id, b);
             Some(c)
@@ -218,6 +229,7 @@ impl<'a> CountingEngine<'a> {
     /// tabular counts; answer those against the bit dataset with a
     /// `SubsetSumMechanism` (see `answer_all`).
     pub fn execute_workload(&mut self, spec: &WorkloadSpec) -> WorkloadAnswers {
+        crate::obs::query_metrics().workloads.inc();
         let mut memo = HashMap::new();
         let n_queries = spec.len();
         let mut targets: Vec<Option<ExprId>> = Vec::with_capacity(n_queries);

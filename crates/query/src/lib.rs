@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # so-query — statistical query engine
 //!
@@ -28,6 +28,7 @@
 pub mod audit;
 pub mod engine;
 pub mod mechanism;
+pub mod obs;
 pub mod predicate;
 pub mod query;
 pub mod shape;
@@ -39,6 +40,7 @@ pub use engine::{
     CountingEngine, WorkloadAnswer, WorkloadAnswers,
 };
 pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
+pub use obs::{query_metrics, QueryMetrics};
 pub use predicate::{
     canonical_bytes, AllRowPredicate, AndPredicate, AnyRowPredicate, BitExtractPredicate,
     FnPredicate, FnRowPredicate, IntRangePredicate, KeyedHashPredicate, NotPredicate,

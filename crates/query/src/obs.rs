@@ -1,0 +1,52 @@
+//! so-query observability: engine call counters and audit-trail metrics
+//! published to the `so-obs` global registry.
+//!
+//! Plan-level counters (scans, node evaluations, cache hits) are published
+//! by `so-plan` itself; this module adds the engine-level view — how many
+//! single-query calls were served, how many bypassed the cache as volatile,
+//! how many workloads were executed — plus the [`QueryAuditor`] retention
+//! metrics (`so_query_audit_dropped_total`, `so_query_audit_trail_len`).
+//!
+//! [`QueryAuditor`]: crate::audit::QueryAuditor
+
+use std::sync::OnceLock;
+
+use so_obs::{global, Counter, Gauge};
+
+/// Cached handles to the query-layer metrics in the [`so_obs::global`]
+/// registry. Fetch once via [`query_metrics`]; updates are lock-free.
+#[derive(Debug)]
+pub struct QueryMetrics {
+    /// `so_query_count_calls_total` — single-query
+    /// [`CountingEngine::count`](crate::engine::CountingEngine::count)
+    /// calls admitted by the auditor.
+    pub count_calls: Counter,
+    /// `so_query_volatile_scans_total` — admitted calls answered by an
+    /// uncached scan because the predicate's shape is not cache-stable.
+    pub volatile_scans: Counter,
+    /// `so_query_workloads_total` — whole workloads executed through
+    /// [`CountingEngine::execute_workload`](crate::engine::CountingEngine::execute_workload).
+    pub workloads: Counter,
+    /// `so_query_audit_dropped_total` — audit-trail records not retained
+    /// (cap evictions plus zero-retention records), summed over all
+    /// auditors in the process.
+    pub audit_dropped: Counter,
+    /// `so_query_audit_trail_len` — retained trail depth of the most
+    /// recently updated auditor (last writer wins across auditors).
+    pub audit_trail_len: Gauge,
+}
+
+/// The query layer's global metric handles, registered on first use.
+pub fn query_metrics() -> &'static QueryMetrics {
+    static METRICS: OnceLock<QueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        QueryMetrics {
+            count_calls: r.counter("so_query_count_calls_total"),
+            volatile_scans: r.counter("so_query_volatile_scans_total"),
+            workloads: r.counter("so_query_workloads_total"),
+            audit_dropped: r.counter("so_query_audit_dropped_total"),
+            audit_trail_len: r.gauge("so_query_audit_trail_len"),
+        }
+    })
+}

@@ -30,11 +30,13 @@ pub mod differencing;
 pub mod exponential;
 pub mod least_squares;
 pub mod lp_decode;
+pub mod obs;
 
 pub use differencing::{averaging_differencing_attack, differencing_attack};
 pub use exponential::exhaustive_reconstruct;
 pub use least_squares::least_squares_reconstruct;
 pub use lp_decode::lp_reconstruct;
+pub use obs::{recon_metrics, ReconMetrics};
 
 use so_data::BitVec;
 

@@ -32,6 +32,8 @@ pub struct LpReconResult {
     pub queries_issued: usize,
     /// Total residual `Σ e_q` at the optimum.
     pub total_residual: f64,
+    /// Simplex pivot iterations spent solving the decoding LP.
+    pub lp_iterations: usize,
 }
 
 /// Errors from the attack.
@@ -58,6 +60,7 @@ pub fn lp_reconstruct<R: Rng>(
     m: usize,
     rng: &mut R,
 ) -> Result<LpReconResult, LpReconError> {
+    let span = so_obs::span("recon.lp");
     let n = mechanism.n();
     // Declare the full (non-adaptive) query set, then submit it as one
     // batch — the mechanism sees the workload, not a drip of single queries.
@@ -105,11 +108,23 @@ pub fn lp_reconstruct<R: Rng>(
     for (i, &v) in fractional.iter().enumerate() {
         reconstruction.set(i, v >= 0.5);
     }
+    let metrics = crate::obs::recon_metrics();
+    metrics.lp_attacks.inc();
+    metrics.lp_queries.add(m as u64);
+    metrics.lp_iterations.add(opt.iterations as u64);
+    if so_obs::enabled() {
+        span.finish_with(&[
+            ("n", n.to_string()),
+            ("queries", m.to_string()),
+            ("iterations", opt.iterations.to_string()),
+        ]);
+    }
     Ok(LpReconResult {
         reconstruction,
         fractional,
         queries_issued: m,
         total_residual: opt.objective,
+        lp_iterations: opt.iterations,
     })
 }
 

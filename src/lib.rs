@@ -21,6 +21,8 @@
 //! * [`linkage`] — re-identification and membership-inference attacks
 //! * [`census`] — census publication simulator and reconstruction
 //! * [`core`] — predicate singling out, the PSO game, and legal theorems
+//! * [`obs`] — observability substrate: metrics registry, span tracing,
+//!   Prometheus-style export (`SO_TRACE` / `SO_METRICS`)
 
 pub use singling_out_core as core;
 
@@ -46,6 +48,7 @@ pub use so_dp as dp;
 pub use so_kanon as kanon;
 pub use so_linkage as linkage;
 pub use so_lp as lp;
+pub use so_obs as obs;
 pub use so_plan as plan;
 pub use so_query as query;
 pub use so_recon as recon;
