@@ -91,13 +91,14 @@ pub fn parse_bench_output(text: &str) -> BenchReport {
 }
 
 /// Bench groups the recorded artifact must cover.
-pub const REQUIRED_GROUPS: [&str; 6] = [
+pub const REQUIRED_GROUPS: [&str; 7] = [
     "subset_sum_true_answer",
     "count_range_100k",
     "select_range_100k",
     "counting_engine_cached",
     "workload_planning",
     "shard_scaling",
+    "storage_scan",
 ];
 
 /// Validates a recorded transcript: all `time:` lines parse, every required

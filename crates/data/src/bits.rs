@@ -49,19 +49,48 @@ impl BitVec {
         BitVec { words, len }
     }
 
-    /// Builds from a slice of bools.
+    /// Builds from a slice of bools, packing a whole word at a time (the
+    /// old bit-at-a-time `set` loop re-read and re-wrote each word 64
+    /// times). Tail bits beyond `len` stay zero.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut v = BitVec::zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            v.set(i, b);
+        fn pack_word(chunk: &[bool]) -> u64 {
+            let mut word = 0u64;
+            for (b, &bit) in chunk.iter().enumerate() {
+                word |= u64::from(bit) << b;
+            }
+            word
         }
-        v
+        let mut words = Vec::with_capacity(bits.len().div_ceil(64));
+        let mut chunks = bits.chunks_exact(64);
+        words.extend((&mut chunks).map(pack_word));
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            words.push(pack_word(rem));
+        }
+        BitVec {
+            words,
+            len: bits.len(),
+        }
     }
 
-    /// Builds from an iterator of bools.
+    /// Builds from an iterator of bools, streaming 64 bits into each word
+    /// without materializing an intermediate `Vec<bool>`.
     pub fn from_iter_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let bits: Vec<bool> = iter.into_iter().collect();
-        Self::from_bools(&bits)
+        let mut words = Vec::new();
+        let mut word = 0u64;
+        let mut len = 0usize;
+        for bit in iter {
+            word |= u64::from(bit) << (len % 64);
+            len += 1;
+            if len % 64 == 0 {
+                words.push(word);
+                word = 0;
+            }
+        }
+        if len % 64 != 0 {
+            words.push(word);
+        }
+        BitVec { words, len }
     }
 
     /// Number of bits.

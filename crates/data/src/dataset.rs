@@ -7,11 +7,12 @@
 //! every equivalence-class grouping) a tight scan over a homogeneous vector.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::date::Date;
 use crate::interner::{Interner, Symbol};
 use crate::schema::{DataType, Schema};
+use crate::storage::{ColumnSegment, PackedColumn, StorageEngine};
 use crate::value::Value;
 
 /// Typed storage for one column.
@@ -77,6 +78,38 @@ impl ColumnData {
             ColumnData::Str(col) => col.push(Symbol::from_index(0)),
             ColumnData::Bool(col) => col.push(false),
             ColumnData::Date(col) => col.push(0),
+        }
+    }
+
+    fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Typed gather: copies the cells at `indices` (in order) into a new
+    /// vector of the same type — no per-cell boxing through [`Value`].
+    fn gather(&self, indices: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Date(v) => ColumnData::Date(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => std::mem::size_of_val(v.as_slice()),
+            ColumnData::Float(v) => std::mem::size_of_val(v.as_slice()),
+            ColumnData::Str(v) => std::mem::size_of_val(v.as_slice()),
+            ColumnData::Bool(v) => std::mem::size_of_val(v.as_slice()),
+            ColumnData::Date(v) => std::mem::size_of_val(v.as_slice()),
         }
     }
 }
@@ -162,6 +195,23 @@ impl Column {
         &self.missing
     }
 
+    /// Element type of this column.
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    /// New column holding the cells at `indices`, in order — a typed copy
+    /// (value slice + mask), never a [`Value`] round-trip.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        Column {
+            data: self.data.gather(indices),
+            missing: indices.iter().map(|&i| self.missing[i]).collect(),
+        }
+    }
+
     fn push(&mut self, v: Value, dtype: DataType) {
         if v.is_missing() {
             self.data.push_default();
@@ -177,13 +227,50 @@ impl Column {
     }
 }
 
+impl ColumnSegment for Column {
+    fn len(&self) -> usize {
+        self.missing.len()
+    }
+
+    fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    fn value(&self, row: usize) -> Value {
+        self.get(row)
+    }
+
+    fn is_missing(&self, row: usize) -> bool {
+        self.missing[row]
+    }
+
+    fn scan_bytes(&self) -> usize {
+        self.data.heap_bytes() + std::mem::size_of_val(self.missing.as_slice())
+    }
+}
+
 /// An immutable columnar dataset: `n` rows over a fixed [`Schema`].
+///
+/// The uncompressed typed columns are always present (they are the oracle
+/// representation and the source for raw-slice access); when the dataset's
+/// [`StorageEngine`] is [`StorageEngine::Packed`], compressed
+/// [`PackedColumn`] segments are built lazily, once per column, on first
+/// packed scan ([`Dataset::packed_column`]) and shared across clones.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Arc<Schema>,
     interner: Arc<Interner>,
     columns: Vec<Column>,
     n_rows: usize,
+    engine: StorageEngine,
+    /// Lazily built packed segments, one slot per column. `None` inside the
+    /// cell records "this column has no packed form" (e.g. Float), so the
+    /// encode attempt runs at most once.
+    packed: Arc<Vec<OnceLock<Option<PackedColumn>>>>,
+}
+
+fn packed_slots(n_cols: usize) -> Arc<Vec<OnceLock<Option<PackedColumn>>>> {
+    Arc::new((0..n_cols).map(|_| OnceLock::new()).collect())
 }
 
 impl Dataset {
@@ -248,14 +335,57 @@ impl Dataset {
         (0..self.n_cols()).map(|c| self.get(i, c)).collect()
     }
 
-    /// New dataset containing the given rows (in the given order). Shares the
-    /// schema and interner.
-    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
-        let mut b = DatasetBuilder::from_parts(self.schema.clone(), (*self.interner).clone());
-        for &i in indices {
-            b.push_row(self.row_values(i));
+    /// The storage engine scan kernels should use for this dataset.
+    pub fn engine(&self) -> StorageEngine {
+        self.engine
+    }
+
+    /// The same logical dataset under a different [`StorageEngine`].
+    /// Typed columns are shared-cloned; packed segments are rebuilt lazily
+    /// (a fresh cache, since the engines must never alias state).
+    pub fn with_engine(&self, engine: StorageEngine) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            interner: self.interner.clone(),
+            columns: self.columns.clone(),
+            n_rows: self.n_rows,
+            engine,
+            packed: packed_slots(self.columns.len()),
         }
-        b.finish()
+    }
+
+    /// The packed segment for column `c`, building it on first use.
+    ///
+    /// Returns `None` when the engine is [`StorageEngine::Uncompressed`] or
+    /// the column has no packed form (Float, pathological spans) — callers
+    /// fall back to the uncompressed oracle path. Thread-safe: concurrent
+    /// shard workers race at most on the one-time encode.
+    pub fn packed_column(&self, c: usize) -> Option<&PackedColumn> {
+        if !self.engine.is_packed() {
+            return None;
+        }
+        self.packed[c]
+            .get_or_init(|| PackedColumn::from_column(&self.columns[c]))
+            .as_ref()
+    }
+
+    /// New dataset containing the given rows (in the given order). Shares
+    /// the schema and the interner allocation (`Arc` clones — symbols in
+    /// the derived dataset resolve through the *same* interner), and copies
+    /// typed column slices directly without boxing cells through [`Value`].
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.gather(indices)).collect();
+        Dataset {
+            schema: self.schema.clone(),
+            interner: self.interner.clone(),
+            packed: packed_slots(columns.len()),
+            columns,
+            n_rows: indices.len(),
+            engine: self.engine,
+        }
     }
 
     /// Groups row indices by their tuple of values over `cols`.
@@ -381,13 +511,25 @@ impl DatasetBuilder {
         self.n_rows
     }
 
-    /// Freezes into an immutable [`Dataset`].
+    /// Freezes into an immutable [`Dataset`] under the process-default
+    /// storage engine ([`StorageEngine::from_env`], packed unless
+    /// `SO_STORAGE=unpacked`).
     pub fn finish(self) -> Dataset {
+        self.finish_with_engine(StorageEngine::from_env())
+    }
+
+    /// Freezes into an immutable [`Dataset`] under an explicit engine —
+    /// the constructor tests and benches use to compare the two layouts
+    /// deterministically, independent of the environment.
+    pub fn finish_with_engine(self, engine: StorageEngine) -> Dataset {
+        let packed = packed_slots(self.columns.len());
         Dataset {
             schema: self.schema,
             interner: Arc::new(self.interner),
             columns: self.columns,
             n_rows: self.n_rows,
+            engine,
+            packed,
         }
     }
 }
@@ -503,9 +645,73 @@ mod tests {
         assert_eq!(sub.n_rows(), 2);
         assert_eq!(sub.get(0, 1), Value::Int(30));
         assert_eq!(sub.get(1, 1), Value::Int(55));
-        // Symbols remain resolvable through the shared interner copy.
+        // Symbols remain resolvable through the shared interner.
         let sym = sub.get(0, 3).as_str_symbol().unwrap();
         assert_eq!(sub.resolve(sym), "CF");
+    }
+
+    #[test]
+    fn select_rows_shares_interner_allocation() {
+        // Regression: select_rows used to deep-clone the Interner and
+        // re-box every cell through Value. The derived dataset must resolve
+        // symbols through the *same* interner allocation.
+        let ds = toy_dataset();
+        let sub = ds.select_rows(&[1, 3]);
+        assert!(Arc::ptr_eq(ds.interner(), sub.interner()));
+        assert!(Arc::ptr_eq(ds.schema(), sub.schema()));
+        assert_eq!(sub.engine(), ds.engine());
+        // And a second derivation still shares it.
+        let subsub = sub.select_rows(&[0]);
+        assert!(Arc::ptr_eq(ds.interner(), subsub.interner()));
+    }
+
+    #[test]
+    fn select_rows_preserves_missing_and_duplicates() {
+        let mut b = DatasetBuilder::new(toy_schema());
+        let f = b.intern("F");
+        b.push_row(vec![
+            Value::Missing,
+            Value::Int(20),
+            Value::Str(f),
+            Value::Missing,
+        ]);
+        b.push_row(vec![
+            Value::Int(99),
+            Value::Missing,
+            Value::Missing,
+            Value::Str(f),
+        ]);
+        let ds = b.finish();
+        let sub = ds.select_rows(&[1, 0, 1]);
+        assert_eq!(sub.n_rows(), 3);
+        for (out_row, src_row) in [(0usize, 1usize), (1, 0), (2, 1)] {
+            assert_eq!(sub.row_values(out_row), ds.row_values(src_row));
+        }
+        assert!(sub.get(1, 0).is_missing());
+        assert_eq!(sub.get(0, 0), Value::Int(99));
+        // Empty selection keeps the schema and shares the interner.
+        let empty = ds.select_rows(&[]);
+        assert_eq!(empty.n_rows(), 0);
+        assert!(Arc::ptr_eq(ds.interner(), empty.interner()));
+    }
+
+    #[test]
+    fn storage_engine_plumbing() {
+        use crate::storage::StorageEngine;
+        let ds = toy_dataset().with_engine(StorageEngine::Uncompressed);
+        assert_eq!(ds.engine(), StorageEngine::Uncompressed);
+        // Uncompressed engine never exposes packed segments.
+        assert!(ds.packed_column(0).is_none());
+        let packed = ds.with_engine(StorageEngine::Packed);
+        assert_eq!(packed.engine(), StorageEngine::Packed);
+        let seg = packed.packed_column(1).expect("Int column packs");
+        use crate::storage::ColumnSegment as _;
+        for row in 0..packed.n_rows() {
+            assert_eq!(seg.value(row), packed.get(row, 1), "row {row}");
+        }
+        // Lazy cache: the same allocation answers the second call.
+        let again = packed.packed_column(1).unwrap();
+        assert!(std::ptr::eq(seg, again));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod rng;
 pub mod schema;
 pub mod selection;
 pub mod sharded;
+pub mod storage;
 pub mod value;
 
 pub use bits::{column_counts, BitDataset, BitVec};
@@ -54,4 +55,5 @@ pub use ratings::{RatingsConfig, RatingsData};
 pub use schema::{AttributeDef, AttributeRole, DataType, Schema};
 pub use selection::SelectionVector;
 pub use sharded::{word_aligned_ranges, ShardedDataset};
+pub use storage::{ColumnSegment, PackedCodes, PackedColumn, StorageEngine};
 pub use value::Value;

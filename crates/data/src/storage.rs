@@ -1,0 +1,891 @@
+//! Compressed columnar storage segments.
+//!
+//! The uncompressed [`crate::dataset::Column`] stores one machine word per
+//! cell (plus a byte-per-row missing mask) — simple, and the tested oracle
+//! for every scan kernel. At census scale (ROADMAP item 2: 100M+ rows) that
+//! layout is memory-bandwidth-bound: an `IntRange` scan over a column whose
+//! values span a few thousand distinct codes still streams 8 bytes per row.
+//!
+//! This module adds the packed engine:
+//!
+//! * [`PackedCodes`] — a bit-packed vector of fixed-width codes (1..=64
+//!   bits per row, width inferred from the domain), with chunked scan loops
+//!   that emit [`SelectionVector`] words directly;
+//! * [`PackedColumn`] — a column encoded as codes plus a decode rule
+//!   (`PackedRepr`): min-FoR (frame-of-reference) for `Int`, sorted
+//!   dictionaries for `Str`/`Bool`/`Date`. The missing mask is folded into
+//!   the code stream as one reserved code (`span + 1` / `dict.len()`), so a
+//!   packed scan never touches a second per-row array;
+//! * [`StorageEngine`] — which engine a [`crate::Dataset`] exposes to scan
+//!   kernels, selectable per-process via the `SO_STORAGE` environment
+//!   variable (packed by default);
+//! * [`ColumnSegment`] — the row-access surface both engines share, so
+//!   generic code (and tests) can treat either representation as "a column".
+//!
+//! `Float` columns have no packed form: their equality semantics are
+//! `total_cmp` bit-patterns and their domains rarely compress, so
+//! [`PackedColumn::from_column`] returns `None` and scans fall back to the
+//! uncompressed oracle path.
+//!
+//! Determinism contract: a packed scan must select *exactly* the rows the
+//! uncompressed kernel selects — the packed path is an encoding of the same
+//! answer, never an approximation. Proptests in `so-plan` pin this
+//! bit-for-bit.
+
+use std::ops::Range;
+
+use crate::dataset::Column;
+use crate::date::Date;
+use crate::interner::Symbol;
+use crate::schema::DataType;
+use crate::selection::SelectionVector;
+use crate::value::Value;
+
+/// Which physical layout a [`crate::Dataset`] exposes to scan kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageEngine {
+    /// One machine word per cell plus a missing mask — the tested oracle.
+    Uncompressed,
+    /// Dictionary / frame-of-reference bit-packed codes (the default).
+    #[default]
+    Packed,
+}
+
+impl StorageEngine {
+    /// Environment variable that selects the engine process-wide.
+    pub const ENV: &'static str = "SO_STORAGE";
+
+    /// Reads [`StorageEngine::ENV`]: `unpacked` / `uncompressed` / `oracle`
+    /// select [`StorageEngine::Uncompressed`]; anything else (including
+    /// unset) selects [`StorageEngine::Packed`].
+    pub fn from_env() -> Self {
+        Self::from_opt(std::env::var(Self::ENV).ok().as_deref())
+    }
+
+    /// [`StorageEngine::from_env`] with an injected value, for tests.
+    pub fn from_opt(value: Option<&str>) -> Self {
+        match value.map(str::trim) {
+            Some(s)
+                if s.eq_ignore_ascii_case("unpacked")
+                    || s.eq_ignore_ascii_case("uncompressed")
+                    || s.eq_ignore_ascii_case("oracle") =>
+            {
+                StorageEngine::Uncompressed
+            }
+            _ => StorageEngine::Packed,
+        }
+    }
+
+    /// True iff this is the packed engine.
+    pub fn is_packed(self) -> bool {
+        matches!(self, StorageEngine::Packed)
+    }
+
+    /// Stable lowercase label for bench ids and transcripts.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageEngine::Uncompressed => "unpacked",
+            StorageEngine::Packed => "packed",
+        }
+    }
+}
+
+/// Row access shared by every storage layout.
+///
+/// Implemented by the uncompressed [`Column`] and by [`PackedColumn`], so
+/// callers that walk rows (linters, equivalence tests, debug dumps) are
+/// generic over the engine.
+pub trait ColumnSegment {
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True iff the segment has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical element type of the column.
+    fn dtype(&self) -> DataType;
+
+    /// Cell value at `row` ([`Value::Missing`] if masked).
+    fn value(&self, row: usize) -> Value;
+
+    /// True iff the cell at `row` is missing.
+    fn is_missing(&self, row: usize) -> bool {
+        self.value(row).is_missing()
+    }
+
+    /// Heap bytes this layout touches to scan the whole segment.
+    fn scan_bytes(&self) -> usize;
+}
+
+fn mask_of(width: u32) -> u64 {
+    match width {
+        0 => 0,
+        64 => u64::MAX,
+        w => (1u64 << w) - 1,
+    }
+}
+
+/// Bits needed to represent every code in `0..=max_code`.
+fn width_for(max_code: u64) -> u32 {
+    64 - max_code.leading_zeros()
+}
+
+/// A bit-packed vector of fixed-width codes.
+///
+/// `len` codes of `width` bits each are laid out little-endian across `u64`
+/// words; a code may straddle two words. One zero pad word is kept at the
+/// end so extraction can always read a two-word window branch-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCodes {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedCodes {
+    /// Packs `len` codes of `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width > 64`, if the iterator yields a different number of
+    /// codes than `len`, or (debug builds) if a code exceeds the width.
+    pub fn pack<I: IntoIterator<Item = u64>>(width: u32, len: usize, codes: I) -> PackedCodes {
+        assert!(width <= 64, "code width {width} exceeds 64 bits");
+        let total_bits = len
+            .checked_mul(width as usize)
+            .expect("packed bit count overflows usize");
+        // +1 pad word keeps two-word extraction in bounds at the tail.
+        let mut words = vec![0u64; total_bits.div_ceil(64) + 1];
+        let mask = mask_of(width);
+        let mut n = 0usize;
+        for code in codes {
+            assert!(n < len, "more than {len} codes supplied");
+            debug_assert!(
+                width == 64 || code & !mask == 0,
+                "code {code} does not fit in {width} bits"
+            );
+            let bit = n * width as usize;
+            let (wi, off) = (bit >> 6, bit & 63);
+            words[wi] |= code << off;
+            if off + width as usize > 64 {
+                words[wi + 1] |= code >> (64 - off);
+            }
+            n += 1;
+        }
+        assert_eq!(n, len, "iterator yielded {n} codes, expected {len}");
+        PackedCodes { words, width, len }
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff there are no codes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per code.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Heap bytes of the packed words (incl. the pad word).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Code at row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "row {i} out of range {}", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let bit = i * self.width as usize;
+        let (wi, off) = (bit >> 6, bit & 63);
+        let pair = (self.words[wi] as u128) | ((self.words[wi + 1] as u128) << 64);
+        ((pair >> off) as u64) & mask_of(self.width)
+    }
+
+    /// Core packed scan: selects rows of `rows` whose code satisfies `f`,
+    /// emitting one [`SelectionVector`] word per 64 rows.
+    ///
+    /// The inner loop extracts codes through a two-word window (no branch on
+    /// straddling) and ORs predicate bits into an accumulator word — a
+    /// fixed-trip-count chunked shape the optimizer can unroll and
+    /// vectorize without any post-1.75 intrinsics.
+    ///
+    /// # Panics
+    /// Panics if `rows` extends past the codes.
+    fn scan_with(&self, rows: Range<usize>, mut f: impl FnMut(u64) -> bool) -> SelectionVector {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.len,
+            "row range {}..{} out of range {}",
+            rows.start,
+            rows.end,
+            self.len
+        );
+        let len = rows.len();
+        if self.width == 0 {
+            // Every row carries the single representable code 0.
+            return if f(0) {
+                SelectionVector::all(len)
+            } else {
+                SelectionVector::none(len)
+            };
+        }
+        let w = self.width as usize;
+        let mask = mask_of(self.width);
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0usize;
+        while i < len {
+            let block = 64.min(len - i);
+            let base = (rows.start + i) * w;
+            let mut word = 0u64;
+            for b in 0..block {
+                let bit = base + b * w;
+                let (wi, off) = (bit >> 6, bit & 63);
+                let pair = (self.words[wi] as u128) | ((self.words[wi + 1] as u128) << 64);
+                let code = ((pair >> off) as u64) & mask;
+                word |= u64::from(f(code)) << b;
+            }
+            words.push(word);
+            i += 64;
+        }
+        SelectionVector::from_words(words, len)
+    }
+
+    /// Rows of `rows` whose code equals `target`.
+    pub fn scan_eq(&self, target: u64, rows: Range<usize>) -> SelectionVector {
+        self.scan_with(rows, |code| code == target)
+    }
+
+    /// Rows of `rows` whose code lies in `lo..=hi`.
+    ///
+    /// Uses the classic unsigned trick `code - lo <= hi - lo`, one compare
+    /// per lane instead of two.
+    pub fn scan_range(&self, lo: u64, hi: u64, rows: Range<usize>) -> SelectionVector {
+        if lo > hi {
+            return SelectionVector::none(rows.len());
+        }
+        let span = hi - lo;
+        self.scan_with(rows, |code| code.wrapping_sub(lo) <= span)
+    }
+}
+
+/// Decode rule mapping packed codes back to typed values.
+#[derive(Debug, Clone)]
+enum PackedRepr {
+    /// Frame-of-reference: `value = min + code` for codes `0..=span`.
+    /// `has_values` is false when every row is missing (min/span unused).
+    Int {
+        min: i64,
+        span: u64,
+        has_values: bool,
+    },
+    /// Sorted distinct symbols; `code` indexes the dictionary.
+    Str { dict: Vec<Symbol> },
+    /// Sorted distinct bools (`false < true`).
+    Bool { dict: Vec<bool> },
+    /// Sorted distinct day numbers.
+    Date { dict: Vec<i32> },
+}
+
+/// A column stored as bit-packed codes plus a decode rule.
+///
+/// Missing cells are folded in as one reserved code — the first code past
+/// the value domain (`span + 1` for Int, `dict.len()` for dictionaries) —
+/// so scans read a single packed stream and missing rows fail every value
+/// comparison for free (their code is strictly greater than any value
+/// code).
+#[derive(Debug, Clone)]
+pub struct PackedColumn {
+    codes: PackedCodes,
+    /// The reserved code, present iff any row is missing.
+    missing_code: Option<u64>,
+    repr: PackedRepr,
+}
+
+impl PackedColumn {
+    /// Encodes an uncompressed column. Returns `None` when the column has no
+    /// packed form: `Float` columns (no compressible total-order domain)
+    /// and the pathological full-`i64`-span-plus-missing Int column whose
+    /// reserved code would not fit in 64 bits.
+    pub fn from_column(col: &Column) -> Option<PackedColumn> {
+        let missing = col.missing_mask();
+        let any_missing = missing.iter().any(|&m| m);
+        match col.dtype() {
+            DataType::Float => None,
+            DataType::Int => {
+                let vals = col.int_values().expect("dtype checked");
+                let mut present = vals
+                    .iter()
+                    .zip(missing)
+                    .filter(|&(_, &m)| !m)
+                    .map(|(v, _)| *v);
+                let (min, max, has_values) = match present.next() {
+                    None => (0, 0, false),
+                    Some(first) => {
+                        let (mut lo, mut hi) = (first, first);
+                        for v in present {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (lo, hi, true)
+                    }
+                };
+                let span = (max as i128 - min as i128) as u64;
+                if has_values && any_missing && span == u64::MAX {
+                    // span + 1 would overflow; keep this column uncompressed.
+                    return None;
+                }
+                let missing_code = any_missing.then(|| if has_values { span + 1 } else { 0 });
+                let max_code = missing_code.unwrap_or(if has_values { span } else { 0 });
+                let codes = PackedCodes::pack(
+                    width_for(max_code),
+                    vals.len(),
+                    vals.iter().zip(missing).map(|(v, &m)| {
+                        if m {
+                            missing_code.expect("missing row implies reserved code")
+                        } else {
+                            (*v as i128 - min as i128) as u64
+                        }
+                    }),
+                );
+                Some(PackedColumn {
+                    codes,
+                    missing_code,
+                    repr: PackedRepr::Int {
+                        min,
+                        span,
+                        has_values,
+                    },
+                })
+            }
+            DataType::Str => {
+                let vals = col.str_values().expect("dtype checked");
+                // Distinct symbols via a presence table over the max index —
+                // symbols are dense interner indices, so this is linear and
+                // yields the dictionary already sorted by index.
+                let mut seen: Vec<bool> = Vec::new();
+                for (v, &m) in vals.iter().zip(missing) {
+                    if m {
+                        continue;
+                    }
+                    let idx = v.index() as usize;
+                    if idx >= seen.len() {
+                        seen.resize(idx + 1, false);
+                    }
+                    seen[idx] = true;
+                }
+                let mut code_of: Vec<u64> = vec![0; seen.len()];
+                let mut dict: Vec<Symbol> = Vec::new();
+                for (idx, &present) in seen.iter().enumerate() {
+                    if present {
+                        code_of[idx] = dict.len() as u64;
+                        dict.push(Symbol::from_index(idx as u32));
+                    }
+                }
+                let (codes, missing_code) = Self::pack_dict_codes(
+                    dict.len(),
+                    any_missing,
+                    vals.iter()
+                        .zip(missing)
+                        .map(|(v, &m)| (!m).then(|| code_of[v.index() as usize])),
+                );
+                Some(PackedColumn {
+                    codes,
+                    missing_code,
+                    repr: PackedRepr::Str { dict },
+                })
+            }
+            DataType::Bool => {
+                let vals = col.bool_values().expect("dtype checked");
+                let mut has = [false; 2];
+                for (v, &m) in vals.iter().zip(missing) {
+                    if !m {
+                        has[usize::from(*v)] = true;
+                    }
+                }
+                let dict: Vec<bool> = [false, true]
+                    .into_iter()
+                    .filter(|&b| has[usize::from(b)])
+                    .collect();
+                let (codes, missing_code) = Self::pack_dict_codes(
+                    dict.len(),
+                    any_missing,
+                    vals.iter().zip(missing).map(|(v, &m)| {
+                        (!m).then(|| {
+                            dict.binary_search(v).expect("value collected into dict") as u64
+                        })
+                    }),
+                );
+                Some(PackedColumn {
+                    codes,
+                    missing_code,
+                    repr: PackedRepr::Bool { dict },
+                })
+            }
+            DataType::Date => {
+                let vals = col.date_values().expect("dtype checked");
+                let mut dict: Vec<i32> = vals
+                    .iter()
+                    .zip(missing)
+                    .filter(|&(_, &m)| !m)
+                    .map(|(v, _)| *v)
+                    .collect();
+                dict.sort_unstable();
+                dict.dedup();
+                let (codes, missing_code) = Self::pack_dict_codes(
+                    dict.len(),
+                    any_missing,
+                    vals.iter().zip(missing).map(|(v, &m)| {
+                        (!m).then(|| {
+                            dict.binary_search(v).expect("value collected into dict") as u64
+                        })
+                    }),
+                );
+                Some(PackedColumn {
+                    codes,
+                    missing_code,
+                    repr: PackedRepr::Date { dict },
+                })
+            }
+        }
+    }
+
+    /// Packs dictionary codes with `None` cells mapped to the reserved
+    /// missing code `dict_len`.
+    fn pack_dict_codes<I: ExactSizeIterator<Item = Option<u64>>>(
+        dict_len: usize,
+        any_missing: bool,
+        cells: I,
+    ) -> (PackedCodes, Option<u64>) {
+        let missing_code = any_missing.then_some(dict_len as u64);
+        let max_code = if any_missing {
+            dict_len as u64
+        } else {
+            (dict_len as u64).saturating_sub(1)
+        };
+        let len = cells.len();
+        let codes = PackedCodes::pack(
+            width_for(max_code),
+            len,
+            cells.map(|c| c.unwrap_or(dict_len as u64)),
+        );
+        (codes, missing_code)
+    }
+
+    /// The packed code stream.
+    pub fn codes(&self) -> &PackedCodes {
+        &self.codes
+    }
+
+    /// The reserved missing code, if any row is missing.
+    pub fn missing_code(&self) -> Option<u64> {
+        self.missing_code
+    }
+
+    /// The packed code a [`Value`] target maps to, or `None` when the value
+    /// cannot occur in this column (wrong type, outside the encoded domain).
+    pub fn code_for(&self, value: &Value) -> Option<u64> {
+        match (value, &self.repr) {
+            (Value::Missing, _) => self.missing_code,
+            (
+                Value::Int(x),
+                PackedRepr::Int {
+                    min,
+                    span,
+                    has_values,
+                },
+            ) => {
+                let offset = (*x as i128).checked_sub(*min as i128)?;
+                (*has_values && (0..=*span as i128).contains(&offset)).then_some(offset as u64)
+            }
+            (Value::Str(x), PackedRepr::Str { dict }) => dict
+                .binary_search_by_key(&x.index(), |s| s.index())
+                .ok()
+                .map(|i| i as u64),
+            (Value::Bool(x), PackedRepr::Bool { dict }) => {
+                dict.binary_search(x).ok().map(|i| i as u64)
+            }
+            (Value::Date(x), PackedRepr::Date { dict }) => {
+                dict.binary_search(&x.day_number()).ok().map(|i| i as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Packed `ValueEquals` kernel over `rows`: exact [`Value`] semantics —
+    /// `Missing` selects exactly the masked rows, a type-mismatched or
+    /// out-of-domain target selects nothing.
+    pub fn scan_value_equals(&self, value: &Value, rows: Range<usize>) -> SelectionVector {
+        match self.code_for(value) {
+            Some(code) => self.codes.scan_eq(code, rows),
+            None => SelectionVector::none(rows.len()),
+        }
+    }
+
+    /// Packed `IntRange` kernel over `rows`: selects non-missing Int cells
+    /// in `lo..=hi`; non-Int columns select nothing. Missing rows carry the
+    /// reserved code `span + 1`, strictly above every clamped range bound,
+    /// so they are excluded without consulting any mask.
+    pub fn scan_int_range(&self, lo: i64, hi: i64, rows: Range<usize>) -> SelectionVector {
+        let len = rows.len();
+        if let PackedRepr::Int {
+            min,
+            span,
+            has_values,
+        } = self.repr
+        {
+            if !has_values || lo > hi {
+                return SelectionVector::none(len);
+            }
+            let (min_i, lo_i, hi_i) = (min as i128, lo as i128, hi as i128);
+            let lo_c = lo_i.max(min_i) - min_i;
+            let hi_c = hi_i.min(min_i + span as i128) - min_i;
+            if lo_c > hi_c {
+                return SelectionVector::none(len);
+            }
+            self.codes.scan_range(lo_c as u64, hi_c as u64, rows)
+        } else {
+            SelectionVector::none(len)
+        }
+    }
+
+    /// Dictionary (or FoR parameter) heap bytes.
+    fn dict_bytes(&self) -> usize {
+        match &self.repr {
+            PackedRepr::Int { .. } => 0,
+            PackedRepr::Str { dict } => std::mem::size_of_val(dict.as_slice()),
+            PackedRepr::Bool { dict } => std::mem::size_of_val(dict.as_slice()),
+            PackedRepr::Date { dict } => std::mem::size_of_val(dict.as_slice()),
+        }
+    }
+
+    /// Heap bytes of the packed representation (codes + dictionary).
+    pub fn packed_bytes(&self) -> usize {
+        self.codes.packed_bytes() + self.dict_bytes()
+    }
+}
+
+impl ColumnSegment for PackedColumn {
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn dtype(&self) -> DataType {
+        match self.repr {
+            PackedRepr::Int { .. } => DataType::Int,
+            PackedRepr::Str { .. } => DataType::Str,
+            PackedRepr::Bool { .. } => DataType::Bool,
+            PackedRepr::Date { .. } => DataType::Date,
+        }
+    }
+
+    fn value(&self, row: usize) -> Value {
+        let code = self.codes.get(row);
+        if Some(code) == self.missing_code {
+            return Value::Missing;
+        }
+        match &self.repr {
+            PackedRepr::Int { min, .. } => Value::Int((*min as i128 + code as i128) as i64),
+            PackedRepr::Str { dict } => Value::Str(dict[code as usize]),
+            PackedRepr::Bool { dict } => Value::Bool(dict[code as usize]),
+            PackedRepr::Date { dict } => Value::Date(Date::from_day_number(dict[code as usize])),
+        }
+    }
+
+    fn is_missing(&self, row: usize) -> bool {
+        Some(self.codes.get(row)) == self.missing_code
+    }
+
+    fn scan_bytes(&self) -> usize {
+        self.packed_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, AttributeRole, Schema};
+    use crate::DatasetBuilder;
+
+    fn one_column(dtype: DataType, cells: Vec<Value>) -> crate::Dataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "c",
+            dtype,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        // Interned symbols must come from the builder; re-intern Str cells.
+        for cell in cells {
+            b.push_row(vec![cell]);
+        }
+        b.finish_with_engine(StorageEngine::Uncompressed)
+    }
+
+    #[test]
+    fn engine_from_opt() {
+        assert_eq!(StorageEngine::from_opt(None), StorageEngine::Packed);
+        assert_eq!(
+            StorageEngine::from_opt(Some("packed")),
+            StorageEngine::Packed
+        );
+        for s in ["unpacked", "UNCOMPRESSED", " oracle "] {
+            assert_eq!(
+                StorageEngine::from_opt(Some(s)),
+                StorageEngine::Uncompressed,
+                "{s:?}"
+            );
+        }
+        assert!(StorageEngine::Packed.is_packed());
+        assert!(!StorageEngine::Uncompressed.is_packed());
+    }
+
+    #[test]
+    fn width_inference() {
+        assert_eq!(width_for(0), 0);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+        assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn packed_codes_round_trip_across_widths() {
+        for width in [0u32, 1, 3, 7, 13, 31, 33, 63, 64] {
+            let mask = mask_of(width);
+            // 131 codes straddles word boundaries for every odd width.
+            let codes: Vec<u64> = (0..131u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                .collect();
+            let packed = PackedCodes::pack(width, codes.len(), codes.iter().copied());
+            assert_eq!(packed.width(), width);
+            assert_eq!(packed.len(), 131);
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(packed.get(i), c, "width {width} row {i}");
+            }
+            // scan_eq / scan_range agree with a per-row reference.
+            let target = codes[17];
+            let eq = packed.scan_eq(target, 0..codes.len());
+            let (lo, hi) = (mask / 4, mask / 2 + 1);
+            let range = packed.scan_range(lo, hi, 0..codes.len());
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(eq.get(i), c == target, "eq width {width} row {i}");
+                assert_eq!(
+                    range.get(i),
+                    c >= lo && c <= hi,
+                    "range width {width} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_codes_subrange_scans_match_full_slices() {
+        let codes: Vec<u64> = (0..200u64).map(|i| i % 5).collect();
+        let packed = PackedCodes::pack(3, codes.len(), codes.iter().copied());
+        let full = packed.scan_eq(2, 0..200);
+        for (lo, hi) in [(0usize, 64usize), (64, 128), (128, 200), (64, 64), (0, 200)] {
+            let part = packed.scan_eq(2, lo..hi);
+            assert_eq!(part, full.slice_aligned(lo..hi), "{lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let packed = PackedCodes::pack(4, 0, std::iter::empty());
+        assert!(packed.is_empty());
+        assert_eq!(packed.scan_eq(1, 0..0).len(), 0);
+        let packed = PackedCodes::pack(4, 3, [1u64, 2, 3]);
+        assert!(packed.scan_range(5, 2, 0..3).is_none());
+    }
+
+    #[test]
+    fn int_column_for_encoding_with_missing() {
+        let ds = one_column(
+            DataType::Int,
+            vec![
+                Value::Int(1000),
+                Value::Missing,
+                Value::Int(1003),
+                Value::Int(-5),
+                Value::Missing,
+            ],
+        );
+        let p = PackedColumn::from_column(ds.column(0)).expect("int packs");
+        // Domain -5..=1003 → span 1008, missing code 1009, width 10.
+        assert_eq!(p.codes().width(), 10);
+        assert_eq!(p.missing_code(), Some(1009));
+        assert_eq!(p.value(0), Value::Int(1000));
+        assert_eq!(p.value(1), Value::Missing);
+        assert_eq!(p.value(3), Value::Int(-5));
+        assert!(p.is_missing(4));
+        assert_eq!(p.dtype(), DataType::Int);
+        assert_eq!(p.len(), 5);
+
+        let hits = p.scan_int_range(-10, 1000, 0..5);
+        assert_eq!(hits.indices(), vec![0, 3]);
+        // Missing target selects exactly masked rows.
+        let miss = p.scan_value_equals(&Value::Missing, 0..5);
+        assert_eq!(miss.indices(), vec![1, 4]);
+        // Out-of-domain and wrong-type targets select nothing.
+        assert!(p.scan_value_equals(&Value::Int(9999), 0..5).is_none());
+        assert!(p.scan_value_equals(&Value::Bool(true), 0..5).is_none());
+    }
+
+    #[test]
+    fn int_extreme_span_and_missing_overflow_guard() {
+        let ds = one_column(
+            DataType::Int,
+            vec![Value::Int(i64::MIN), Value::Int(i64::MAX), Value::Missing],
+        );
+        // Full i64 span plus a missing row cannot reserve span + 1.
+        assert!(PackedColumn::from_column(ds.column(0)).is_none());
+
+        let ds = one_column(
+            DataType::Int,
+            vec![Value::Int(i64::MIN), Value::Int(i64::MAX)],
+        );
+        let p = PackedColumn::from_column(ds.column(0)).expect("64-bit span packs when complete");
+        assert_eq!(p.codes().width(), 64);
+        assert_eq!(p.value(0), Value::Int(i64::MIN));
+        assert_eq!(p.value(1), Value::Int(i64::MAX));
+        assert_eq!(p.scan_int_range(0, i64::MAX, 0..2).indices(), vec![1]);
+        assert_eq!(
+            p.scan_int_range(i64::MIN, i64::MAX, 0..2).indices(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn all_missing_and_constant_columns_pack_to_width_zero_or_one() {
+        let ds = one_column(DataType::Int, vec![Value::Missing, Value::Missing]);
+        let p = PackedColumn::from_column(ds.column(0)).expect("all-missing packs");
+        assert_eq!(p.codes().width(), 0);
+        assert!(p.is_missing(0) && p.is_missing(1));
+        assert_eq!(p.scan_value_equals(&Value::Missing, 0..2).count(), 2);
+        assert!(p.scan_value_equals(&Value::Int(0), 0..2).is_none());
+        assert!(p.scan_int_range(i64::MIN, i64::MAX, 0..2).is_none());
+
+        let ds = one_column(DataType::Int, vec![Value::Int(7), Value::Int(7)]);
+        let p = PackedColumn::from_column(ds.column(0)).expect("constant packs");
+        assert_eq!(p.codes().width(), 0);
+        assert_eq!(p.scan_value_equals(&Value::Int(7), 0..2).count(), 2);
+        assert!(p.scan_value_equals(&Value::Int(8), 0..2).is_none());
+        assert_eq!(p.scan_int_range(0, 10, 0..2).count(), 2);
+    }
+
+    #[test]
+    fn float_columns_have_no_packed_form() {
+        let ds = one_column(DataType::Float, vec![Value::Float(1.5), Value::Missing]);
+        assert!(PackedColumn::from_column(ds.column(0)).is_none());
+    }
+
+    #[test]
+    fn str_dictionary_encoding() {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "s",
+            DataType::Str,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        let c = b.intern("cherry");
+        let a = b.intern("apple");
+        let never = b.intern("never-used");
+        for v in [Value::Str(c), Value::Str(a), Value::Missing, Value::Str(c)] {
+            b.push_row(vec![v]);
+        }
+        let ds = b.finish_with_engine(StorageEngine::Uncompressed);
+        let p = PackedColumn::from_column(ds.column(0)).expect("str packs");
+        assert_eq!(p.dtype(), DataType::Str);
+        // Dict holds only symbols that occur (2 of them) + reserved missing.
+        assert_eq!(p.missing_code(), Some(2));
+        assert_eq!(p.codes().width(), 2);
+        assert_eq!(p.value(0), Value::Str(c));
+        assert_eq!(p.value(2), Value::Missing);
+        assert_eq!(
+            p.scan_value_equals(&Value::Str(c), 0..4).indices(),
+            vec![0, 3]
+        );
+        assert_eq!(p.scan_value_equals(&Value::Str(a), 0..4).indices(), vec![1]);
+        // Interned but never stored → out of dictionary → nothing.
+        assert!(p.scan_value_equals(&Value::Str(never), 0..4).is_none());
+        assert_eq!(
+            p.scan_value_equals(&Value::Missing, 0..4).indices(),
+            vec![2]
+        );
+        // IntRange on a Str column has Int semantics: nothing matches.
+        assert!(p.scan_int_range(0, 100, 0..4).is_none());
+    }
+
+    #[test]
+    fn bool_and_date_dictionary_encoding() {
+        let ds = one_column(
+            DataType::Bool,
+            vec![Value::Bool(true), Value::Missing, Value::Bool(true)],
+        );
+        let p = PackedColumn::from_column(ds.column(0)).expect("bool packs");
+        // Only `true` occurs: dict len 1, missing code 1, width 1.
+        assert_eq!(p.missing_code(), Some(1));
+        assert_eq!(
+            p.scan_value_equals(&Value::Bool(true), 0..3).indices(),
+            vec![0, 2]
+        );
+        assert!(p.scan_value_equals(&Value::Bool(false), 0..3).is_none());
+        assert_eq!(p.value(1), Value::Missing);
+
+        let d1 = Date::from_day_number(19000);
+        let d2 = Date::from_day_number(20011);
+        let ds = one_column(
+            DataType::Date,
+            vec![Value::Date(d2), Value::Date(d1), Value::Date(d2)],
+        );
+        let p = PackedColumn::from_column(ds.column(0)).expect("date packs");
+        assert_eq!(p.missing_code(), None);
+        assert_eq!(p.value(0), Value::Date(d2));
+        assert_eq!(
+            p.scan_value_equals(&Value::Date(d2), 0..3).indices(),
+            vec![0, 2]
+        );
+        assert!(p
+            .scan_value_equals(&Value::Date(Date::from_day_number(1)), 0..3)
+            .is_none());
+    }
+
+    #[test]
+    fn packed_bytes_shrink_vs_uncompressed() {
+        let cells: Vec<Value> = (0..10_000).map(|i| Value::Int(i % 100)).collect();
+        let ds = one_column(DataType::Int, cells);
+        let p = PackedColumn::from_column(ds.column(0)).expect("packs");
+        // 7-bit codes: ~1094 words ≈ 8.8 KB vs 80 KB of i64 + 10 KB mask.
+        assert_eq!(p.codes().width(), 7);
+        assert!(p.packed_bytes() < 10_000);
+        assert!(p.packed_bytes() < ds.column(0).scan_bytes() / 8);
+    }
+
+    #[test]
+    fn segment_trait_agrees_with_oracle_column() {
+        let ds = one_column(
+            DataType::Int,
+            vec![Value::Int(5), Value::Missing, Value::Int(-3), Value::Int(5)],
+        );
+        let col = ds.column(0);
+        let p = PackedColumn::from_column(col).expect("packs");
+        let (a, b): (&dyn ColumnSegment, &dyn ColumnSegment) = (col, &p);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.dtype(), b.dtype());
+        for row in 0..a.len() {
+            assert_eq!(a.value(row), b.value(row), "row {row}");
+            assert_eq!(a.is_missing(row), b.is_missing(row), "row {row}");
+        }
+    }
+}

@@ -134,6 +134,35 @@ proptest! {
         prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
     }
 
+    /// The word-at-a-time builders agree with a bit-at-a-time reference
+    /// (`zeros` + `set`), including `len % 64 != 0` tails, and uphold the
+    /// trailing-bits-are-zero invariant so `count_ones`, `low_u64`, and
+    /// `hamming_distance` see no garbage.
+    #[test]
+    fn bitvec_builders_agree_with_bit_at_a_time(
+        bits in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let mut reference = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            reference.set(i, b);
+        }
+        let from_slice = BitVec::from_bools(&bits);
+        let from_iter = BitVec::from_iter_bits(bits.iter().copied());
+        prop_assert_eq!(&from_slice, &reference);
+        prop_assert_eq!(&from_iter, &reference);
+        prop_assert_eq!(from_slice.words(), reference.words());
+        // Trailing bits beyond len are zero in the last word.
+        let tail = bits.len() % 64;
+        if tail != 0 {
+            prop_assert_eq!(from_slice.words().last().unwrap() >> tail, 0);
+            prop_assert_eq!(from_iter.words().last().unwrap() >> tail, 0);
+        }
+        prop_assert_eq!(from_slice.count_ones(), reference.count_ones());
+        prop_assert_eq!(from_iter.low_u64(), reference.low_u64());
+        prop_assert_eq!(from_slice.hamming_distance(&reference), 0);
+        prop_assert_eq!(from_iter.hamming_distance(&reference), 0);
+    }
+
     /// Hamming distance is a metric: symmetric, zero iff equal, triangle.
     #[test]
     fn hamming_is_a_metric(
@@ -233,6 +262,62 @@ proptest! {
         prop_assert_eq!(not.count(), n - va.count());
         prop_assert_eq!(va.and(&va.not()).count(), 0);
         prop_assert_eq!(va.or(&va.not()).count(), n);
+    }
+
+    /// Packed segments are a lossless re-encoding: decoded cells, missing
+    /// flags, equality scans, and range scans all agree with the
+    /// uncompressed oracle column on arbitrary datasets (any dtype mix,
+    /// ~10% missing cells).
+    #[test]
+    fn packed_segments_agree_with_oracle((dtypes, rows) in arb_dataset()) {
+        use so_data::{ColumnSegment, PackedColumn};
+        let ds = build_dataset(&dtypes, &rows);
+        for c in 0..ds.n_cols() {
+            let col = ds.column(c);
+            let Some(packed) = PackedColumn::from_column(col) else {
+                // Only Float columns lack a packed form at these sizes.
+                prop_assert_eq!(dtypes[c], DataType::Float);
+                continue;
+            };
+            prop_assert_eq!(packed.len(), ds.n_rows());
+            prop_assert_eq!(ColumnSegment::dtype(&packed), dtypes[c]);
+            for row in 0..ds.n_rows() {
+                prop_assert_eq!(packed.value(row), ds.get(row, c), "row {}", row);
+                prop_assert_eq!(
+                    packed.is_missing(row),
+                    col.missing_mask()[row],
+                    "row {}", row
+                );
+            }
+            // Equality scan against every cell value (incl. Missing).
+            for target_row in 0..ds.n_rows() {
+                let target = ds.get(target_row, c);
+                let hits = packed.scan_value_equals(&target, 0..ds.n_rows());
+                for row in 0..ds.n_rows() {
+                    prop_assert_eq!(
+                        hits.get(row),
+                        ds.get(row, c) == target,
+                        "target row {} row {}", target_row, row
+                    );
+                }
+            }
+            // Range scan against the oracle row semantics.
+            if dtypes[c] == DataType::Int {
+                let vals = col.int_values().unwrap();
+                let (lo, hi) = (
+                    vals.iter().copied().min().unwrap_or(0),
+                    vals.iter().copied().max().unwrap_or(0).saturating_sub(1),
+                );
+                let hits = packed.scan_int_range(lo, hi, 0..ds.n_rows());
+                for row in 0..ds.n_rows() {
+                    let expect = ds
+                        .get(row, c)
+                        .as_int()
+                        .is_some_and(|v| v >= lo && v <= hi);
+                    prop_assert_eq!(hits.get(row), expect, "row {}", row);
+                }
+            }
+        }
     }
 
     /// The transpose-based column_counts equals a per-bit count.

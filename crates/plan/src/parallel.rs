@@ -23,6 +23,27 @@
 //! (word-aligned slices of already-compiled bitmaps) and only written after
 //! the join barrier, in plan order.
 //!
+//! ## Scheduling: static shards vs morsels
+//!
+//! Two ways to hand ranges to the worker pool, selected by
+//! [`SchedulePolicy`] (`SO_SCHEDULE` env):
+//!
+//! * **static** — one contiguous range per worker (the classic layout).
+//!   Zero coordination, but a skewed shard (e.g. a worker descheduled by
+//!   the OS, or NUMA-unlucky pages) stalls the join barrier.
+//! * **morsel** — the row space is pre-cut into fixed-size word-aligned
+//!   morsels ([`MORSEL_ROWS`] rows) and workers *claim* the next morsel
+//!   index from a shared atomic cursor until none remain, so a slow worker
+//!   simply claims fewer morsels.
+//!
+//! Determinism is preserved under both: the morsel partition depends only
+//! on `n_rows` (never on which worker ran what), every result is tagged
+//! with its morsel index, and the merge sorts by index before
+//! concatenating — so answers, cache contents, and stats are bit-identical
+//! to the serial path for every thread count under either schedule. `Auto`
+//! (the default) uses morsels when there are enough of them to rebalance
+//! (≥ 2 per worker) and static shards otherwise.
+//!
 //! Thread count comes from the `SO_THREADS` environment variable
 //! ([`THREADS_ENV`]), defaulting to [`std::thread::available_parallelism`];
 //! no dependencies beyond `std` are involved. The executor also exposes
@@ -46,6 +67,47 @@ use crate::predicate::RowPredicate;
 /// parallelism.
 pub const THREADS_ENV: &str = "SO_THREADS";
 
+/// Environment variable selecting the range schedule: `static`, `morsel`,
+/// or anything else (including unset) for `auto`.
+pub const SCHEDULE_ENV: &str = "SO_SCHEDULE";
+
+/// Rows per morsel under morsel-driven scheduling: 1024 words. Word-aligned
+/// by construction, so morsel bitmaps merge by pure word copy, and small
+/// enough that a skewed worker re-balances at fine grain.
+pub const MORSEL_ROWS: usize = 1 << 16;
+
+/// How [`ParallelExecutor::execute`] cuts the row space into worker ranges.
+///
+/// Every policy produces bit-identical answers — the choice is purely a
+/// load-balancing strategy (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Morsels when there are at least two per worker, else static shards.
+    #[default]
+    Auto,
+    /// One contiguous word-aligned shard per worker.
+    Static,
+    /// Fixed-size word-aligned morsels claimed from an atomic cursor.
+    Morsel,
+}
+
+impl SchedulePolicy {
+    /// Reads [`SCHEDULE_ENV`] (`SO_SCHEDULE`): `static` or `morsel`
+    /// (case-insensitive) select those policies; anything else is `Auto`.
+    pub fn from_env() -> Self {
+        Self::from_opt(std::env::var(SCHEDULE_ENV).ok().as_deref())
+    }
+
+    /// [`SchedulePolicy::from_env`] with an injected value, for tests.
+    pub fn from_opt(value: Option<&str>) -> Self {
+        match value.map(str::trim) {
+            Some(s) if s.eq_ignore_ascii_case("static") => SchedulePolicy::Static,
+            Some(s) if s.eq_ignore_ascii_case("morsel") => SchedulePolicy::Morsel,
+            _ => SchedulePolicy::Auto,
+        }
+    }
+}
+
 /// A deterministic scoped-thread executor with a fixed worker count.
 ///
 /// Construction is cheap (no threads are kept alive between calls); workers
@@ -55,20 +117,37 @@ pub const THREADS_ENV: &str = "SO_THREADS";
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelExecutor {
     threads: usize,
+    policy: SchedulePolicy,
+    morsel_rows: usize,
 }
 
 impl ParallelExecutor {
-    /// An executor with an explicit worker count.
+    /// An executor with an explicit worker count. The schedule policy is
+    /// taken from the environment ([`SchedulePolicy::from_env`]) so
+    /// `SO_SCHEDULE` reaches engines that only configure a thread count.
     ///
     /// # Panics
     /// Panics if `threads` is zero.
     pub fn with_threads(threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one thread");
-        ParallelExecutor { threads }
+        Self::with_threads_and_policy(threads, SchedulePolicy::from_env())
     }
 
-    /// An executor honouring the [`THREADS_ENV`] (`SO_THREADS`) override,
-    /// defaulting to the machine's available parallelism.
+    /// An executor with an explicit worker count and schedule policy.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn with_threads_and_policy(threads: usize, policy: SchedulePolicy) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        ParallelExecutor {
+            threads,
+            policy,
+            morsel_rows: MORSEL_ROWS,
+        }
+    }
+
+    /// An executor honouring the [`THREADS_ENV`] (`SO_THREADS`) and
+    /// [`SCHEDULE_ENV`] (`SO_SCHEDULE`) overrides, defaulting to the
+    /// machine's available parallelism under the `Auto` schedule.
     pub fn from_env() -> Self {
         Self::with_threads(threads_from(std::env::var(THREADS_ENV).ok().as_deref()))
     }
@@ -76,6 +155,52 @@ impl ParallelExecutor {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured schedule policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Overrides the morsel size (tests exercise multi-morsel claiming on
+    /// small datasets with this).
+    ///
+    /// # Panics
+    /// Panics unless `rows` is a positive multiple of 64 (morsel boundaries
+    /// must stay word-aligned for the merge to be a pure word copy).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        assert!(
+            rows > 0 && rows % 64 == 0,
+            "morsel size must be a positive multiple of 64, got {rows}"
+        );
+        self.morsel_rows = rows;
+        self
+    }
+
+    /// The worker ranges for `n_rows` under the configured policy, plus the
+    /// schedule actually chosen (`"static"` / `"morsel"`, for traces). A
+    /// pure function of the executor configuration and `n_rows` — never of
+    /// runtime timing — which is what keeps execution deterministic.
+    fn plan_ranges(
+        &self,
+        sharded: &ShardedDataset,
+        n_rows: usize,
+    ) -> (Vec<Range<usize>>, &'static str) {
+        let n_morsels = n_rows.div_ceil(self.morsel_rows.max(1));
+        let use_morsels = match self.policy {
+            SchedulePolicy::Static => false,
+            SchedulePolicy::Morsel => true,
+            // Rebalancing needs slack: at least two morsels per worker.
+            SchedulePolicy::Auto => n_morsels >= 2 * self.threads,
+        };
+        if use_morsels {
+            let ranges = (0..n_morsels)
+                .map(|i| i * self.morsel_rows..((i + 1) * self.morsel_rows).min(n_rows))
+                .collect();
+            (ranges, "morsel")
+        } else {
+            (sharded.ranges().to_vec(), "static")
+        }
     }
 
     /// Executes a compiled plan against `ds`, sharding rows across the
@@ -144,60 +269,86 @@ impl ParallelExecutor {
                 eval_ids.push(id);
             }
         }
+        let (ranges, schedule) = self.plan_ranges(&sharded, ds.n_rows());
         if !eval_ids.is_empty() {
             let shared_cache: &NodeCache = cache;
             let eval: &[ExprId] = &eval_ids;
-            let shard_results: Vec<(Vec<SelectionVector>, u64)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = sharded
-                    .ranges()
-                    .iter()
-                    .cloned()
-                    .map(|rows| {
+            let range_slice: &[Range<usize>] = &ranges;
+            // Workers claim the next unprocessed range index from a shared
+            // cursor — under morsel scheduling a slow worker simply claims
+            // fewer morsels. Each result is tagged with its range index so
+            // the merge can restore deterministic range order regardless of
+            // which worker ran what.
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let workers = self.threads.min(range_slice.len());
+            let mut tagged: Vec<(usize, Vec<SelectionVector>, u64)> = std::thread::scope(|scope| {
+                let cursor = &cursor;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
                         scope.spawn(move || {
-                            let t0 = std::time::Instant::now();
-                            let out = execute_shard(eval, pool, ds, evaluators, shared_cache, rows);
-                            (out, t0.elapsed().as_micros() as u64)
+                            let mut done: Vec<(usize, Vec<SelectionVector>, u64)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(rows) = range_slice.get(i) else {
+                                    break;
+                                };
+                                let t0 = std::time::Instant::now();
+                                let out = execute_shard(
+                                    eval,
+                                    pool,
+                                    ds,
+                                    evaluators,
+                                    shared_cache,
+                                    rows.clone(),
+                                );
+                                done.push((i, out, t0.elapsed().as_micros() as u64));
+                            }
+                            done
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
                     .collect()
             });
-            // Per-shard observability is reported *after* the join barrier,
-            // in shard order, so trace files are deterministically ordered
+            tagged.sort_unstable_by_key(|&(i, _, _)| i);
+            debug_assert!(tagged.iter().enumerate().all(|(k, t)| k == t.0));
+            // Per-range observability is reported *after* the join barrier,
+            // in range order, so trace files are deterministically ordered
             // even though workers finish in any order. (Timings themselves
             // are wall-clock and export-only.)
             let metrics = crate::obs::plan_metrics();
-            for (shard, ((_, micros), rows)) in
-                shard_results.iter().zip(sharded.ranges()).enumerate()
-            {
+            for (i, _, micros) in &tagged {
                 metrics.shard_micros.observe(*micros as f64);
                 if so_obs::enabled() {
                     so_obs::event(
                         "plan.shard",
                         &[
-                            ("shard", shard.to_string()),
-                            ("rows", rows.len().to_string()),
+                            ("shard", i.to_string()),
+                            ("rows", range_slice[*i].len().to_string()),
                             ("us", micros.to_string()),
                         ],
                     );
                 }
             }
-            // Merge barrier: concatenate each node's shard bitmaps in shard
+            // Merge barrier: concatenate each node's range bitmaps in range
             // order and publish to the shared cache in plan order.
-            let mut columns: Vec<std::vec::IntoIter<SelectionVector>> = shard_results
+            let mut columns: Vec<std::vec::IntoIter<SelectionVector>> = tagged
                 .into_iter()
-                .map(|(bitmaps, _)| bitmaps.into_iter())
+                .map(|(_, bitmaps, _)| bitmaps.into_iter())
                 .collect();
             for &id in &eval_ids {
                 let merged = SelectionVector::concat_aligned(
                     columns.iter_mut().map(|c| c.next().expect("shard result")),
                 );
                 debug_assert_eq!(merged.len(), ds.n_rows());
-                if matches!(pool.node(id), PredNode::Atom(_)) {
+                if let PredNode::Atom(atom) = pool.node(id) {
                     stats.atom_scans += 1;
+                    // Storage metrics count once per distinct merged atom —
+                    // never per shard/morsel — so totals match the serial
+                    // path at every thread count.
+                    crate::obs::record_packed_scan(atom, ds);
                 }
                 stats.nodes_evaluated += 1;
                 cache.insert(id, merged);
@@ -227,7 +378,8 @@ impl ParallelExecutor {
                 ("atom_scans", stats.atom_scans.to_string()),
                 ("cache_hits", stats.cache_hits.to_string()),
                 ("nodes_evaluated", stats.nodes_evaluated.to_string()),
-                ("shards", sharded.n_shards().to_string()),
+                ("shards", ranges.len().to_string()),
+                ("schedule", schedule.to_string()),
             ]);
         }
         (outcomes, stats)
@@ -414,34 +566,127 @@ mod tests {
         w
     }
 
-    /// The cross-thread-count invariant the whole module exists for.
+    /// The cross-thread-count invariant the whole module exists for — under
+    /// every schedule policy, and for both storage engines.
     #[test]
     fn parallel_matches_serial_for_every_thread_count() {
+        use so_data::StorageEngine;
         for n in [1usize, 63, 64, 65, 127, 130, 1000] {
-            let data = ds(n);
-            let w = workload(n);
-            let plan = QueryPlan::from_spec(&w);
-            let mut serial_cache = NodeCache::new();
-            let (serial, serial_stats) =
-                plan.execute(w.pool(), &data, w.evaluators(), &mut serial_cache);
-            for threads in 1..=8 {
-                let mut cache = NodeCache::new();
-                let (out, stats) = ParallelExecutor::with_threads(threads).execute(
-                    &plan,
-                    w.pool(),
-                    &data,
-                    w.evaluators(),
-                    &mut cache,
-                );
-                assert_eq!(out, serial, "n={n} threads={threads}");
-                assert_eq!(stats, serial_stats, "n={n} threads={threads}");
-                // Cache contents are bit-identical too, not just counts.
-                assert_eq!(cache.len(), serial_cache.len());
-                for (id, bm) in &serial_cache {
-                    assert_eq!(cache[id], *bm, "n={n} threads={threads} node {id:?}");
+            for engine in [StorageEngine::Uncompressed, StorageEngine::Packed] {
+                let data = ds(n).with_engine(engine);
+                let w = workload(n);
+                let plan = QueryPlan::from_spec(&w);
+                let mut serial_cache = NodeCache::new();
+                let (serial, serial_stats) =
+                    plan.execute(w.pool(), &data, w.evaluators(), &mut serial_cache);
+                for threads in 1..=8 {
+                    for policy in [
+                        SchedulePolicy::Auto,
+                        SchedulePolicy::Static,
+                        SchedulePolicy::Morsel,
+                    ] {
+                        let exec = ParallelExecutor::with_threads_and_policy(threads, policy)
+                            // 128-row morsels so small datasets really
+                            // exercise multi-morsel cursor claiming.
+                            .with_morsel_rows(128);
+                        let mut cache = NodeCache::new();
+                        let (out, stats) =
+                            exec.execute(&plan, w.pool(), &data, w.evaluators(), &mut cache);
+                        let ctx = format!("n={n} threads={threads} {policy:?} {engine:?}");
+                        assert_eq!(out, serial, "{ctx}");
+                        assert_eq!(stats, serial_stats, "{ctx}");
+                        // Cache contents are bit-identical too, not just counts.
+                        assert_eq!(cache.len(), serial_cache.len(), "{ctx}");
+                        for (id, bm) in &serial_cache {
+                            assert_eq!(cache[id], *bm, "{ctx} node {id:?}");
+                        }
+                    }
                 }
             }
         }
+    }
+
+    /// Packed and uncompressed engines answer identically through the
+    /// parallel path (the engine only changes the scan representation).
+    #[test]
+    fn packed_engine_matches_oracle_through_executor() {
+        use so_data::StorageEngine;
+        let base = ds(1000);
+        let w = workload(1000);
+        let plan = QueryPlan::from_spec(&w);
+        let mut results = Vec::new();
+        for engine in [StorageEngine::Uncompressed, StorageEngine::Packed] {
+            let data = base.with_engine(engine);
+            let mut cache = NodeCache::new();
+            let (out, stats) = ParallelExecutor::with_threads_and_policy(4, SchedulePolicy::Morsel)
+                .with_morsel_rows(64)
+                .execute(&plan, w.pool(), &data, w.evaluators(), &mut cache);
+            results.push((out, stats));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    /// Morsel partitioning: word-aligned starts, exact coverage, pure
+    /// function of `n_rows` and the configured morsel size.
+    #[test]
+    fn morsel_ranges_are_word_aligned_and_cover() {
+        for n in [0usize, 1, 64, 127, 128, 129, 1000, 65_536, 65_537] {
+            let exec = ParallelExecutor::with_threads_and_policy(4, SchedulePolicy::Morsel)
+                .with_morsel_rows(128);
+            let data = ds(n.min(2000)); // sharded only needs n_rows
+            let sharded = ShardedDataset::new(&data, 4);
+            let (ranges, schedule) = exec.plan_ranges(&sharded, n);
+            assert_eq!(schedule, "morsel");
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "n={n}");
+                assert_eq!(r.start % 64, 0, "n={n}");
+                assert!(!r.is_empty(), "n={n}");
+                assert!(r.len() <= 128, "n={n}");
+                next = r.end;
+            }
+            assert_eq!(next, n, "n={n}");
+        }
+    }
+
+    /// Auto rebalances only when there are at least two morsels per worker.
+    #[test]
+    fn auto_policy_picks_morsels_only_with_slack() {
+        let data = ds(100);
+        let sharded = ShardedDataset::new(&data, 2);
+        let auto2 =
+            ParallelExecutor::with_threads_and_policy(2, SchedulePolicy::Auto).with_morsel_rows(64);
+        // 100 rows / 64-row morsels = 2 morsels < 2 * 2 workers → static.
+        assert_eq!(auto2.plan_ranges(&sharded, 100).1, "static");
+        // 256 rows = 4 morsels ≥ 2 * 2 workers → morsel.
+        assert_eq!(auto2.plan_ranges(&sharded, 256).1, "morsel");
+        let fixed = ParallelExecutor::with_threads_and_policy(2, SchedulePolicy::Static)
+            .with_morsel_rows(64);
+        assert_eq!(fixed.plan_ranges(&sharded, 10_000).1, "static");
+    }
+
+    #[test]
+    fn schedule_policy_parsing() {
+        assert_eq!(SchedulePolicy::from_opt(None), SchedulePolicy::Auto);
+        assert_eq!(SchedulePolicy::from_opt(Some("auto")), SchedulePolicy::Auto);
+        assert_eq!(
+            SchedulePolicy::from_opt(Some(" STATIC ")),
+            SchedulePolicy::Static
+        );
+        assert_eq!(
+            SchedulePolicy::from_opt(Some("Morsel")),
+            SchedulePolicy::Morsel
+        );
+        assert_eq!(
+            SchedulePolicy::from_opt(Some("garbage")),
+            SchedulePolicy::Auto
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn misaligned_morsel_size_panics() {
+        let _ = ParallelExecutor::with_threads(2).with_morsel_rows(100);
     }
 
     /// A warm cache is reused: re-execution does zero scans and the
@@ -511,6 +756,9 @@ mod tests {
         }
     }
 
+    /// `SO_THREADS=0`, negative, and garbage values must all fall back to
+    /// available parallelism — never reach `with_threads`'s `>= 1` assert.
+    /// (`-3` fails the `usize` parse, `0` fails the `>= 1` filter.)
     #[test]
     fn threads_from_env_parsing() {
         assert_eq!(threads_from(Some("4")), 4);
@@ -518,7 +766,15 @@ mod tests {
         let fallback = threads_from(None);
         assert!(fallback >= 1);
         assert_eq!(threads_from(Some("0")), fallback, "zero is ignored");
+        assert_eq!(threads_from(Some("-3")), fallback, "negative is ignored");
         assert_eq!(threads_from(Some("lots")), fallback, "garbage is ignored");
+        assert_eq!(threads_from(Some("")), fallback, "empty is ignored");
+        // And the constructor path built on it cannot panic for any of
+        // these: with_threads receives the fallback, which is >= 1.
+        for v in [Some("0"), Some("-3"), Some("lots"), None] {
+            let exec = ParallelExecutor::with_threads(threads_from(v));
+            assert!(exec.threads() >= 1, "{v:?}");
+        }
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!
 //! Plan execution is sharded across worker threads
 //! ([`so_plan::parallel::ParallelExecutor`], `SO_THREADS` override): rows
-//! split into word-aligned chunks, each worker scans its chunk, and bitmaps
-//! merge in shard order — answers are bit-identical to serial execution at
-//! every thread count.
+//! split into word-aligned chunks — static per-thread shards or
+//! morsel-driven work stealing (`SO_SCHEDULE`) — each worker scans its
+//! ranges, and bitmaps merge in range order, so answers are bit-identical
+//! to serial execution at every thread count under either schedule. Atom
+//! scans themselves run on the dataset's [`so_data::StorageEngine`]
+//! (`SO_STORAGE`): packed dictionary / frame-of-reference segments by
+//! default, the uncompressed oracle layout on request, with identical
+//! answers either way.
 
 use std::collections::HashMap;
 

@@ -86,8 +86,16 @@ use so_query::{
 
 /// Arbitrary two-column dataset (Int with missings, Str with missings).
 /// Row counts range over 1..200, so tail words with `n % 64 != 0` are the
-/// common case and exact multiples of 64 are exercised too.
+/// common case and exact multiples of 64 are exercised too. Built with
+/// [`DatasetBuilder::finish`], so it runs on whatever storage engine the
+/// environment selects (packed by default).
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    arb_rows().prop_map(|rows| build_dataset(rows, None))
+}
+
+type RowRecipe = (Option<i64>, Option<usize>);
+
+fn arb_rows() -> impl Strategy<Value = Vec<RowRecipe>> {
     // (present?, value) pairs stand in for Option strategies.
     proptest::collection::vec(
         (
@@ -96,21 +104,25 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
         ),
         1..200,
     )
-    .prop_map(|rows| {
-        let schema = Schema::new(vec![
-            AttributeDef::new("a", DataType::Int, AttributeRole::QuasiIdentifier),
-            AttributeDef::new("s", DataType::Str, AttributeRole::Sensitive),
+}
+
+fn build_dataset(rows: Vec<RowRecipe>, engine: Option<so_data::StorageEngine>) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("a", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("s", DataType::Str, AttributeRole::Sensitive),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    let syms: Vec<_> = (0..4).map(|i| b.intern(&format!("v{i}"))).collect();
+    for (a, s) in rows {
+        b.push_row(vec![
+            a.map_or(Value::Missing, Value::Int),
+            s.map_or(Value::Missing, |i| Value::Str(syms[i])),
         ]);
-        let mut b = DatasetBuilder::new(schema);
-        let syms: Vec<_> = (0..4).map(|i| b.intern(&format!("v{i}"))).collect();
-        for (a, s) in rows {
-            b.push_row(vec![
-                a.map_or(Value::Missing, Value::Int),
-                s.map_or(Value::Missing, |i| Value::Str(syms[i])),
-            ]);
-        }
-        b.finish()
-    })
+    }
+    match engine {
+        Some(e) => b.finish_with_engine(e),
+        None => b.finish(),
+    }
 }
 
 /// The oracle bitmap: evaluate `eval_row` on every row.
@@ -364,5 +376,57 @@ proptest! {
         // The single-query path shards too: same count, same cache reuse.
         let probe = IntRangePredicate { col: 0, lo: -10, hi: 10 };
         prop_assert_eq!(serial.count(&probe), parallel.count(&probe));
+    }
+
+    /// Engine answers are invariant to the storage engine: the same rows
+    /// served by a packed-layout engine and an uncompressed-layout engine
+    /// produce identical answers, targets, and execution stats — the packed
+    /// fast path must be unobservable from the query interface.
+    #[test]
+    fn engine_answers_are_storage_engine_invariant(
+        rows in arb_rows(),
+        entries in arb_entries(),
+        threads in 1usize..5,
+    ) {
+        use so_data::StorageEngine;
+        let oracle_ds = build_dataset(rows.clone(), Some(StorageEngine::Uncompressed));
+        let packed_ds = build_dataset(rows, Some(StorageEngine::Packed));
+        let preds: Vec<Box<dyn RowPredicate>> = entries
+            .iter()
+            .map(|e| entry_predicate(e, &entries))
+            .collect();
+        let build_spec = |ds: &Dataset| {
+            let mut spec = WorkloadSpec::new(ds.n_rows());
+            for (e, p) in entries.iter().zip(&preds) {
+                match e {
+                    Entry::Opaque { modulus } => {
+                        let m = *modulus;
+                        spec.push_predicate_arc(
+                            Arc::new(FnRowPredicate::new("mod-test", move |ds, r| {
+                                matches!(ds.get(r, 0), Value::Int(v) if v.rem_euclid(m) == 0)
+                            })),
+                            Noise::Exact,
+                        );
+                    }
+                    _ => {
+                        spec.push_predicate(p.as_ref(), Noise::Exact);
+                    }
+                }
+            }
+            spec
+        };
+        let mut oracle_engine = CountingEngine::new(&oracle_ds, None);
+        oracle_engine.set_threads(1);
+        let a = oracle_engine.execute_workload(&build_spec(&oracle_ds));
+        let mut packed_engine = CountingEngine::new(&packed_ds, None);
+        packed_engine.set_threads(threads);
+        let b = packed_engine.execute_workload(&build_spec(&packed_ds));
+        prop_assert_eq!(&a.answers, &b.answers, "threads={}", threads);
+        prop_assert_eq!(&a.targets, &b.targets, "threads={}", threads);
+        prop_assert_eq!(a.stats, b.stats, "threads={}", threads);
+        // Single-query scans agree too, cached and uncached.
+        let probe = IntRangePredicate { col: 0, lo: -10, hi: 10 };
+        prop_assert_eq!(oracle_engine.count(&probe), packed_engine.count(&probe));
+        prop_assert_eq!(oracle_engine.count(&probe), packed_engine.count(&probe));
     }
 }

@@ -1,0 +1,120 @@
+//! Storage engines: the packed layout against the uncompressed oracle.
+//!
+//! ```text
+//! cargo run --release --example storage_engines
+//! ```
+//!
+//! Builds one dataset twice — once per [`StorageEngine`] — and shows that
+//! the packed dictionary / frame-of-reference layout (the default) shrinks
+//! the bytes every scan touches while answering counting queries
+//! bit-identically to the uncompressed oracle, serial or sharded.
+
+use singling_out::data::{
+    AttributeDef, AttributeRole, ColumnSegment, DataType, Dataset, DatasetBuilder, Schema,
+    StorageEngine, Value,
+};
+use singling_out::query::{count_dataset, CountingEngine, IntRangePredicate, ValueEqualsPredicate};
+
+const N_ROWS: usize = 200_000;
+
+fn build(engine: StorageEngine) -> Dataset {
+    let schema = Schema::new(vec![
+        AttributeDef::new("age", DataType::Int, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("zip", DataType::Str, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("smoker", DataType::Bool, AttributeRole::Sensitive),
+    ]);
+    let mut b = DatasetBuilder::new(schema);
+    let zips: Vec<_> = (0..30).map(|z| b.intern(&format!("zip{z:02}"))).collect();
+    for i in 0..N_ROWS {
+        let age = (i * 37 % 90) as i64 + 10;
+        let zip = zips[i % zips.len()];
+        b.push_row(vec![
+            Value::Int(age),
+            Value::Str(zip),
+            if i % 97 == 0 {
+                Value::Missing
+            } else {
+                Value::Bool(i % 5 == 0)
+            },
+        ]);
+    }
+    b.finish_with_engine(engine)
+}
+
+fn main() {
+    println!("== storage engines: packed vs the uncompressed oracle ==\n");
+
+    let oracle = build(StorageEngine::Uncompressed);
+    let packed = build(StorageEngine::Packed);
+
+    // 1. The physical layouts differ; the logical rows do not.
+    println!(
+        "1. {} rows, 3 columns, built under both engines (SO_STORAGE selects\n   \
+         the process-wide default; this example pins each explicitly).",
+        N_ROWS
+    );
+    for c in 0..oracle.n_cols() {
+        let name = oracle.schema().attr(c).name.as_str();
+        let oracle_bytes = oracle.column(c).scan_bytes();
+        match packed.packed_column(c) {
+            Some(seg) => println!(
+                "   column {name:<7} oracle {:>9} B  -> packed {:>8} B  ({:>4.1}x smaller)",
+                oracle_bytes,
+                seg.packed_bytes(),
+                oracle_bytes as f64 / seg.packed_bytes() as f64,
+            ),
+            None => println!("   column {name:<7} oracle {oracle_bytes:>9} B  -> not packable"),
+        }
+    }
+
+    // 2. Scans answer identically on both layouts.
+    let range = IntRangePredicate {
+        col: 0,
+        lo: 30,
+        hi: 49,
+    };
+    let zip07 = ValueEqualsPredicate {
+        col: 1,
+        value: Value::Str(packed.interner().get("zip07").expect("interned")),
+    };
+    let missing = ValueEqualsPredicate {
+        col: 2,
+        value: Value::Missing,
+    };
+    println!("\n2. Scan equivalence (packed fast path vs oracle slice scan):");
+    for (label, a, b) in [
+        (
+            "age in [30, 49]",
+            count_dataset(&oracle, &range),
+            count_dataset(&packed, &range),
+        ),
+        (
+            "zip == zip07   ",
+            count_dataset(&oracle, &zip07),
+            count_dataset(&packed, &zip07),
+        ),
+        (
+            "smoker missing ",
+            count_dataset(&oracle, &missing),
+            count_dataset(&packed, &missing),
+        ),
+    ] {
+        assert_eq!(a, b, "{label} diverged between engines");
+        println!("   {label}  ->  {a:>6} rows under both engines");
+    }
+
+    // 3. The whole counting engine agrees too, at any thread count.
+    let mut oracle_engine = CountingEngine::new(&oracle, None);
+    oracle_engine.set_threads(1);
+    let mut packed_engine = CountingEngine::new(&packed, None);
+    packed_engine.set_threads(4);
+    let a = oracle_engine.count(&range).expect("uncapped");
+    let b = packed_engine.count(&range).expect("uncapped");
+    assert_eq!(a, b);
+    println!(
+        "\n3. CountingEngine (serial oracle vs packed at 4 threads): {a} == {b}.\n   \
+         The packed engine changes the cost of a scan, never its answer —\n   \
+         set SO_STORAGE=unpacked to fall back to the oracle layout, and see\n   \
+         the so_storage_* metrics in an SO_METRICS=stderr dump."
+    );
+}
