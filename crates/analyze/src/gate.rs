@@ -82,8 +82,9 @@ impl<'a> GatedEngine<'a> {
         let span = so_obs::span("gate.execute");
         if self.report.denies() {
             crate::obs::gate_metrics().workloads_refused.inc();
-            // First deny finding to flag each index wins.
-            let mut offending: BTreeMap<usize, &'static str> = BTreeMap::new();
+            // First deny finding to flag each index wins; the finding is
+            // kept whole so its evidence payload reaches the trail entry.
+            let mut offending: BTreeMap<usize, &crate::lint::Finding> = BTreeMap::new();
             for f in self
                 .report
                 .findings
@@ -91,11 +92,12 @@ impl<'a> GatedEngine<'a> {
                 .filter(|f| f.severity == Severity::Deny)
             {
                 for &q in &f.queries {
-                    offending.entry(q).or_insert_with(|| f.lint.code());
+                    offending.entry(q).or_insert(f);
                 }
             }
             let pool = self.workload.pool();
-            for (&q, &code) in &offending {
+            for (&q, &finding) in &offending {
+                let code = finding.lint.code();
                 crate::obs::query_refusals(code).inc();
                 let rendered = match &self.workload.queries()[q].kind {
                     crate::workload::QueryKind::Pred(id) => pool.render(*id),
@@ -103,9 +105,18 @@ impl<'a> GatedEngine<'a> {
                         format!("subset(|q| = {})", m.count_ones())
                     }
                 };
+                // Structured diagnostics after the `[gate: CODE] query #i`
+                // prefix: the evidence (rank, cell count, chain indices)
+                // lets an auditor re-check the refusal without re-linting.
+                let evidence = finding
+                    .evidence
+                    .as_ref()
+                    .filter(|ev| !ev.is_empty())
+                    .map(|ev| format!(" [{ev}]"))
+                    .unwrap_or_default();
                 self.engine
                     .auditor_mut()
-                    .refuse_with(|| format!("[gate: {code}] query #{q}: {rendered}"));
+                    .refuse_with(|| format!("[gate: {code}] query #{q}: {rendered}{evidence}"));
             }
             if so_obs::enabled() {
                 span.finish_with(&[
@@ -252,19 +263,32 @@ mod tests {
         let trail: Vec<_> = auditor.trail().collect();
         assert_eq!(trail.len(), 2);
         assert!(trail.iter().all(|r| !r.admitted));
+        let diff = crate::lint::LintId::Differencing.code();
         assert!(
             trail[0]
                 .description
-                .starts_with("[gate: SO-DIFF] query #0:"),
+                .starts_with(&format!("[gate: {diff}] query #0:")),
             "citable reason names the query: {}",
             trail[0].description
         );
         assert!(
             trail[1]
                 .description
-                .starts_with("[gate: SO-DIFF] query #1:"),
+                .starts_with(&format!("[gate: {diff}] query #1:")),
             "second offending index recorded: {}",
             trail[1].description
+        );
+        // Structured diagnostics ride after the prefix: the differencing
+        // finding's evidence (chain + residue bound) is in the entry.
+        assert!(
+            trail[0].description.contains("chain=[0, 1]"),
+            "evidence payload in the trail: {}",
+            trail[0].description
+        );
+        assert!(
+            trail[0].description.contains("width≤"),
+            "residue bound in the trail: {}",
+            trail[0].description
         );
     }
 
@@ -289,6 +313,13 @@ mod tests {
         assert!(
             trail[0].description.contains("query #1"),
             "cap evicts oldest first: {}",
+            trail[0].description
+        );
+        // The longer evidence-bearing entries still honor the cap bound:
+        // trail_len + dropped == seen, regardless of entry size.
+        assert!(
+            trail[0].description.contains("chain="),
+            "evidence survives the cap: {}",
             trail[0].description
         );
     }

@@ -15,17 +15,28 @@
 //!   hash-consed [`ir::PredPool`] the `so-query` execution engine compiles
 //!   bitmaps from, so the expressions the lints reason about are literally
 //!   the expressions that run;
-//! * [`lint`] — the static passes: differencing / tracker detection,
-//!   Dinur–Nissim reconstruction density, ε-budget precheck against the
-//!   `so-dp` accountant, and tautology/contradiction/duplicate hygiene;
+//! * [`matrix`] — the query-matrix abstraction: the workload lowered to an
+//!   abstract 0/1 matrix over atom-partition cells (NNF/sign analysis on
+//!   `ExprId`s, no data access), with GF(2)/rational structural-rank
+//!   estimation and a row-span solver;
+//! * [`lattice`] — budgeted tracker-chain search over the subset lattice of
+//!   derivable cell sets;
+//! * [`lint`] — the static passes: differencing / tracker detection, the
+//!   matrix-rank (`SO-LINREC`), tracker-chain (`SO-TRACKER`) and
+//!   cell-isolation (`SO-COVER`) passes, Dinur–Nissim reconstruction
+//!   density, ε-budget precheck against the `so-dp` accountant, and
+//!   tautology/contradiction/duplicate hygiene;
 //! * [`gate`] — [`gate::GatedEngine`], a gatekeeper-mode
 //!   [`so_query::CountingEngine`] that lints the declared workload at
 //!   construction and then either refuses it (one citable refusal per
-//!   offending query in the audit trail) or executes the identical plan via
-//!   the whole-workload planner.
+//!   offending query in the audit trail, with the finding's evidence
+//!   payload) or executes the identical plan via the whole-workload
+//!   planner.
 
 pub mod gate;
+pub mod lattice;
 pub mod lint;
+pub mod matrix;
 pub mod obs;
 
 // The IR and workload-spec modules moved down into `so-plan` so the linter
@@ -37,7 +48,9 @@ pub use so_plan::workload;
 pub use gate::GatedEngine;
 pub use ir::{Atom, ExprId, PredNode, PredPool};
 pub use lint::{
-    lint_workload, lint_workload_default, Finding, LintConfig, LintId, LintReport, Severity,
+    lint_workload, lint_workload_default, Evidence, Finding, LintConfig, LintId, LintReport,
+    Severity,
 };
-pub use obs::{gate_metrics, query_refusals, GateMetrics};
+pub use matrix::{Lowered, MatrixCaps, QueryMatrix};
+pub use obs::{gate_metrics, lint_metrics, query_refusals, GateMetrics, LintMetrics};
 pub use workload::{Noise, QueryKind, QuerySpec, WorkloadSpec};

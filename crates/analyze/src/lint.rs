@@ -13,6 +13,15 @@
 //!   Theorem 1.1(i) (error tolerance `α = o(n)`) and the polynomial
 //!   LP-decoding attack of Theorem 1.1(ii) (`m ≳ 4n` queries at
 //!   `α = O(√n)`);
+//! * **query-matrix passes** — the workload lowered to an abstract 0/1
+//!   matrix over atom-partition cells ([`crate::matrix`]): full structural
+//!   column rank over a partition with a narrow cell means the released
+//!   answers pin every cell count (`SO-LINREC`, the
+//!   Kasiviswanathan–Rudelson–Smith linear-reconstruction criterion,
+//!   arXiv:1210.2381); a chain of admitted differences reaching a narrow
+//!   region is a classic tracker (`SO-TRACKER`, [`crate::lattice`]); a
+//!   narrow cell in the rational row span of the exact releases is isolated
+//!   by an admitted combination (`SO-COVER`);
 //! * **ε-budget precheck** — statically sums worst-case privacy cost
 //!   against a [`PrivacyAccountant`] (basic composition) so an over-budget
 //!   workload is refused before its first answer, and exact-release queries
@@ -29,6 +38,9 @@ use so_data::BitVec;
 use so_dp::PrivacyAccountant;
 
 use crate::ir::ExprId;
+use crate::matrix::{
+    gf2_rank, lower_predicates, lower_subsets, Lowered, MatrixCaps, QueryMatrix, RowBasis,
+};
 use crate::workload::{Noise, QueryKind, WorkloadSpec};
 
 /// Identity of a lint pass.
@@ -46,10 +58,35 @@ pub enum LintId {
     Contradiction,
     /// A query repeated verbatim (structurally) under exact release.
     Duplicate,
+    /// The accurate-query matrix has full structural column rank over a
+    /// cell partition with a narrow cell — the KRS linear-reconstruction
+    /// feasibility criterion (arXiv:1210.2381).
+    LinearReconstruction,
+    /// A tracker chain: repeated differencing of admitted releases derives
+    /// a region narrow enough to single out (Theorem 2.8 beyond pairs).
+    TrackerChain,
+    /// A narrow cell lies in the rational row span of the exact releases —
+    /// an admitted combination isolates it.
+    CellCover,
 }
 
 impl LintId {
-    /// Stable machine-facing lint code.
+    /// Every lint, in pass order. The single source of truth for
+    /// enumeration (reports, metrics, experiments).
+    pub const ALL: [LintId; 9] = [
+        LintId::Tautology,
+        LintId::Contradiction,
+        LintId::Duplicate,
+        LintId::Differencing,
+        LintId::LinearReconstruction,
+        LintId::TrackerChain,
+        LintId::CellCover,
+        LintId::ReconstructionDensity,
+        LintId::BudgetExceeded,
+    ];
+
+    /// Stable machine-facing lint code. Each code string appears exactly
+    /// once in the workspace: here.
     pub fn code(self) -> &'static str {
         match self {
             LintId::Differencing => "SO-DIFF",
@@ -58,7 +95,15 @@ impl LintId {
             LintId::Tautology => "SO-TAUT",
             LintId::Contradiction => "SO-CONTRA",
             LintId::Duplicate => "SO-DUP",
+            LintId::LinearReconstruction => "SO-LINREC",
+            LintId::TrackerChain => "SO-TRACKER",
+            LintId::CellCover => "SO-COVER",
         }
+    }
+
+    /// Inverse of [`LintId::code`].
+    pub fn from_code(code: &str) -> Option<LintId> {
+        LintId::ALL.into_iter().find(|id| id.code() == code)
     }
 }
 
@@ -77,6 +122,56 @@ pub enum Severity {
     Deny,
 }
 
+/// Structured evidence behind a finding: the numbers a reviewer (or the
+/// refusal audit trail) can check without re-running the pass. Only the
+/// fields the firing pass actually computed are set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Evidence {
+    /// Structural rank estimate of the accurate-query matrix.
+    pub rank: Option<usize>,
+    /// Number of atom-partition cells (matrix columns).
+    pub cells: Option<usize>,
+    /// Contributing query indices, in derivation/combination order.
+    pub chain: Vec<usize>,
+    /// Design-width bound on the isolated region (expected rows).
+    pub width_hi: Option<f64>,
+    /// The isolated region, rendered.
+    pub region: Option<String>,
+}
+
+impl Evidence {
+    /// True iff no field is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Evidence::default()
+    }
+}
+
+impl std::fmt::Display for Evidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        let mut part = |f: &mut std::fmt::Formatter<'_>, s: String| {
+            let r = write!(f, "{sep}{s}");
+            sep = " ";
+            r
+        };
+        if let (Some(rank), Some(cells)) = (self.rank, self.cells) {
+            part(f, format!("rank={rank}/{cells}"))?;
+        } else if let Some(cells) = self.cells {
+            part(f, format!("cells={cells}"))?;
+        }
+        if !self.chain.is_empty() {
+            part(f, format!("chain={:?}", self.chain))?;
+        }
+        if let Some(w) = self.width_hi {
+            part(f, format!("width≤{w:.2}"))?;
+        }
+        if let Some(region) = &self.region {
+            part(f, format!("region={region}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// One diagnostic produced by a lint pass.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -89,6 +184,8 @@ pub struct Finding {
     pub queries: Vec<usize>,
     /// Human-readable explanation with the paper grounding.
     pub message: String,
+    /// Structured evidence, when the pass computed any.
+    pub evidence: Option<Evidence>,
 }
 
 impl std::fmt::Display for Finding {
@@ -102,7 +199,13 @@ impl std::fmt::Display for Finding {
             let ids: Vec<String> = self.queries.iter().map(|q| format!("#{q}")).collect();
             write!(f, " (queries {})", ids.join(", "))?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(ev) = &self.evidence {
+            if !ev.is_empty() {
+                write!(f, " [{ev}]")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -111,8 +214,11 @@ impl std::fmt::Display for Finding {
 pub struct LintReport {
     /// All findings, in pass order.
     pub findings: Vec<Finding>,
-    /// Number of query pairs the differencing pass examined.
+    /// Number of query pairs the differencing pass examined (candidate
+    /// pairs after structural bucketing, not all `m·(m−1)/2`).
     pub pairs_examined: usize,
+    /// Number of set differences the tracker-chain search examined.
+    pub tracker_combos_examined: usize,
     /// True iff a pass stopped early on its pair budget or finding cap —
     /// the absence of further findings is then *not* evidence of safety.
     pub truncated: bool,
@@ -171,6 +277,21 @@ pub struct LintConfig {
     pub pair_budget: usize,
     /// Per-lint cap on reported findings (diagnostic noise guard).
     pub max_findings_per_lint: usize,
+    /// Cap on atom-partition cells per query matrix; past it the matrix
+    /// passes are skipped and the report is marked truncated. Cell
+    /// refinement grows monotonically, so hitting the cap is invariant
+    /// under query permutation.
+    pub matrix_max_cells: usize,
+    /// Cap on the `n_rows × queries` bit volume of the subset-mask
+    /// lowering (the only matrix cost proportional to the dataset).
+    pub matrix_bit_budget: usize,
+    /// `SO-LINREC` needs at least this many cells: tiny partitions are the
+    /// differencing passes' territory and would only duplicate findings.
+    pub linrec_min_cells: usize,
+    /// Set-difference budget for the `SO-TRACKER` lattice search.
+    pub tracker_budget: usize,
+    /// Maximum queries per tracker chain.
+    pub max_chain_len: usize,
 }
 
 impl Default for LintConfig {
@@ -182,6 +303,11 @@ impl Default for LintConfig {
             epsilon_budget: None,
             pair_budget: 2_000_000,
             max_findings_per_lint: 8,
+            matrix_max_cells: 1024,
+            matrix_bit_budget: 1 << 23,
+            linrec_min_cells: 3,
+            tracker_budget: 20_000,
+            max_chain_len: 8,
         }
     }
 }
@@ -214,6 +340,16 @@ fn effectively_exact(a: Noise, b: Noise) -> bool {
 /// symbolic residues (`A ∧ ¬B`) into the workload's own pool; no queries
 /// are added, removed, or reordered.
 pub fn lint_workload(workload: &mut WorkloadSpec, cfg: &LintConfig) -> LintReport {
+    // Wall clock here is export-only: it feeds the `so_analyze_lint_micros`
+    // histogram for `SO_METRICS` dumps and never reaches a finding, report
+    // field, or transcript.
+    let start = std::time::Instant::now();
+    let report = lint_workload_passes(workload, cfg);
+    crate::obs::record_lint_run(&report, start.elapsed().as_micros() as u64);
+    report
+}
+
+fn lint_workload_passes(workload: &mut WorkloadSpec, cfg: &LintConfig) -> LintReport {
     let n = workload.n_rows();
     let noises: Vec<Noise> = workload.queries().iter().map(|q| q.noise).collect();
 
@@ -246,6 +382,7 @@ pub fn lint_workload(workload: &mut WorkloadSpec, cfg: &LintConfig) -> LintRepor
     let mut report = LintReport::default();
     dead_and_duplicate_pass(workload, &items, &noises, cfg, &mut report);
     differencing_pass(workload, &items, &noises, n, cfg, &mut report);
+    matrix_passes(workload, &nnf, n, cfg, &mut report);
     density_pass(&noises, n, cfg, &mut report);
     budget_pass(&noises, cfg, &mut report);
     report
@@ -286,6 +423,7 @@ fn dead_and_duplicate_pass(
                         message: "predicate normalizes to TRUE — it matches every record, \
                                   cannot isolate, and wastes a query"
                             .to_owned(),
+                        evidence: None,
                     });
                 }
                 if *nnf == pool.fals() && dead < cfg.max_findings_per_lint {
@@ -296,6 +434,7 @@ fn dead_and_duplicate_pass(
                         queries: vec![i],
                         message: "predicate normalizes to FALSE — the answer is always 0"
                             .to_owned(),
+                        evidence: None,
                     });
                 }
                 (0u8, vec![u64::from(nnf.index() as u32)])
@@ -308,6 +447,7 @@ fn dead_and_duplicate_pass(
                         severity: Severity::Warn,
                         queries: vec![i],
                         message: "empty subset query — the answer is always 0".to_owned(),
+                        evidence: None,
                     });
                 }
                 (1u8, mask.words().to_vec())
@@ -324,6 +464,7 @@ fn dead_and_duplicate_pass(
                         "query #{i} is structurally identical to #{first} under exact release — \
                          a repeated answer adds no information and aliases the bitmap cache"
                     ),
+                    evidence: None,
                 });
             }
         } else {
@@ -350,9 +491,65 @@ fn differencing_pass(
         })
         .collect();
 
+    // Quadratic-blowup guard: instead of testing all m·(m−1)/2 pairs,
+    // bucket on structure first and examine only candidates that could
+    // possibly fire.
+    //
+    // * Subsets: strict containment differing on 1..=t rows forces a
+    //   popcount gap in 1..=t — bucketing masks by popcount is *exact*, no
+    //   qualifying pair is ever skipped.
+    // * Predicates: a refinement pair shares every conjunct of its smaller
+    //   side, so the union of the per-conjunct posting lists is a sound
+    //   candidate superset.
+    //
+    // Candidates are examined in ascending (i, j) order — the same order
+    // the unbucketed pass used — so finding order is unchanged.
+    let mut pop_buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut postings: HashMap<ExprId, Vec<usize>> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            LintItem::Subset { mask } => {
+                pop_buckets.entry(mask.count_ones()).or_default().push(i);
+            }
+            LintItem::Pred { .. } => {
+                for &c in conjunct_sets[i].as_ref().expect("pred") {
+                    // Each posting list stays ascending in i because the
+                    // outer loop is; conjunct-set iteration order only
+                    // decides which lists get pushed first.
+                    postings.entry(c).or_default().push(i);
+                }
+            }
+        }
+    }
+
     let mut found = 0usize;
     'outer: for i in 0..items.len() {
-        for j in (i + 1)..items.len() {
+        let mut cands: Vec<usize> = Vec::new();
+        match &items[i] {
+            LintItem::Subset { mask } => {
+                let pop = mask.count_ones();
+                for gap in 1..=t {
+                    for p in [pop.checked_sub(gap), Some(pop + gap)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        if let Some(bucket) = pop_buckets.get(&p) {
+                            cands.extend(bucket.iter().copied().filter(|&j| j > i));
+                        }
+                    }
+                }
+            }
+            LintItem::Pred { .. } => {
+                for &c in conjunct_sets[i].as_ref().expect("pred") {
+                    if let Some(list) = postings.get(&c) {
+                        cands.extend(list.iter().copied().filter(|&j| j > i));
+                    }
+                }
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        for j in cands {
             if report.pairs_examined >= cfg.pair_budget || found >= cfg.max_findings_per_lint {
                 report.truncated = true;
                 break 'outer;
@@ -408,6 +605,12 @@ fn subset_differencing(i: usize, a: &BitVec, j: usize, b: &BitVec, t: usize) -> 
             diff.len(),
             diff
         ),
+        evidence: Some(Evidence {
+            chain: vec![sup_idx, sub_idx],
+            width_hi: Some(diff.len() as f64),
+            region: Some(format!("rows {diff:?}")),
+            ..Evidence::default()
+        }),
     })
 }
 
@@ -476,7 +679,197 @@ fn pred_differencing(
              residue {rendered}, whose design weight bounds it to ≤ {expected:.2} of {n} rows \
              (t = {t}) — the differencing/tracker shape of Theorems 1.1 and 2.8"
         ),
+        evidence: Some(Evidence {
+            chain: vec![base_idx, fine_idx],
+            width_hi: Some(expected),
+            region: Some(rendered),
+            ..Evidence::default()
+        }),
     })
+}
+
+/// Lowers each query family to its abstract matrix over atom-partition
+/// cells ([`crate::matrix`]) and runs the three structural passes.
+fn matrix_passes(
+    workload: &WorkloadSpec,
+    nnf: &[Option<ExprId>],
+    n: usize,
+    cfg: &LintConfig,
+    report: &mut LintReport,
+) {
+    // The accuracy cut is the LP-regime one: only rows answered to within
+    // α ≤ lp_alpha_factor·√n (Theorem 1.1(ii)'s accuracy) participate.
+    let alpha_cut = cfg.lp_alpha_factor * (n as f64).sqrt();
+    let caps = MatrixCaps {
+        max_cells: cfg.matrix_max_cells,
+        bit_budget: cfg.matrix_bit_budget,
+    };
+    for lowered in [
+        lower_subsets(workload, alpha_cut, caps),
+        lower_predicates(workload, nnf, alpha_cut, caps),
+    ] {
+        match lowered {
+            Lowered::Empty => {}
+            // Cell refinement grows monotonically, so hitting a cap does
+            // not depend on query order — but the skipped passes mean the
+            // report must not read as a clean bill.
+            Lowered::Truncated => report.truncated = true,
+            Lowered::Built(m) => {
+                linrec_pass(&m, cfg, report);
+                tracker_pass(&m, cfg, report);
+                cover_pass(&m, cfg, report);
+            }
+        }
+    }
+}
+
+/// `SO-LINREC`: full structural column rank over a partition that contains
+/// a narrow cell. GF(2) rank is tried first (cheap, word-parallel, and a
+/// sound *lower* bound on the rational rank for 0/1 matrices — full GF(2)
+/// column rank is proof); only if it falls short is the `f64` Gauss–Jordan
+/// estimate consulted.
+fn linrec_pass(m: &QueryMatrix, cfg: &LintConfig, report: &mut LintReport) {
+    let cells = m.cells.len();
+    if cells < cfg.linrec_min_cells {
+        return;
+    }
+    let t = cfg.isolation_threshold as f64;
+    // Without a narrow cell, full rank pins only counts of wide regions:
+    // reconstruction of aggregates, but nothing singled out.
+    let Some(narrow) = m
+        .cells
+        .iter()
+        .filter(|c| c.width_hi > 0.0 && c.width_hi <= t)
+        .min_by(|a, b| a.width_hi.total_cmp(&b.width_hi))
+    else {
+        return;
+    };
+    let mut rank = gf2_rank(&m.rows, cells);
+    if rank < cells {
+        rank = RowBasis::build(&m.rows, cells, |_| true).rank();
+    }
+    if rank < cells {
+        return;
+    }
+    report.findings.push(Finding {
+        lint: LintId::LinearReconstruction,
+        severity: Severity::Deny,
+        queries: m.queries.clone(),
+        message: format!(
+            "the {} sufficiently-accurate queries have full structural rank {rank} over the \
+             {cells} disjoint cells their atoms induce: the released answers determine every \
+             cell count, including the region [{}] of ≤ {:.2} expected rows — the KRS \
+             linear-reconstruction feasibility criterion (arXiv:1210.2381)",
+            m.queries.len(),
+            narrow.label,
+            narrow.width_hi,
+        ),
+        evidence: Some(Evidence {
+            rank: Some(rank),
+            cells: Some(cells),
+            width_hi: Some(narrow.width_hi),
+            region: Some(narrow.label.clone()),
+            ..Evidence::default()
+        }),
+    });
+}
+
+/// `SO-TRACKER`: budgeted chain search over the lattice of derivable cell
+/// sets ([`crate::lattice`]).
+fn tracker_pass(m: &QueryMatrix, cfg: &LintConfig, report: &mut LintReport) {
+    let t = cfg.isolation_threshold as f64;
+    let res = crate::lattice::search(
+        m,
+        t,
+        cfg.tracker_budget,
+        cfg.max_chain_len,
+        cfg.max_findings_per_lint,
+    );
+    report.tracker_combos_examined += res.combos_examined;
+    if res.truncated {
+        report.truncated = true;
+    }
+    for chain in res.chains {
+        let queries: Vec<usize> = chain.rows.iter().map(|&r| m.queries[r]).collect();
+        let region = chain
+            .cells
+            .iter()
+            .map(|&c| m.cells[c].label.as_str())
+            .collect::<Vec<_>>()
+            .join(" ∪ ");
+        let message = format!(
+            "tracker chain of {} admitted queries: repeated differencing of their answers \
+             derives the count of [{region}], bounded by design to ≤ {:.2} expected rows with \
+             total answer error < 0.5 — the tracker composition of Theorem 2.8, generalized \
+             over the cell lattice",
+            queries.len(),
+            chain.width_hi,
+        );
+        report.findings.push(Finding {
+            lint: LintId::TrackerChain,
+            severity: Severity::Deny,
+            queries: queries.clone(),
+            message,
+            evidence: Some(Evidence {
+                chain: queries,
+                width_hi: Some(chain.width_hi),
+                region: Some(region),
+                ..Evidence::default()
+            }),
+        });
+    }
+}
+
+/// `SO-COVER`: a narrow cell whose indicator lies in the rational row span
+/// of the bitwise-exact releases — some admitted linear combination of the
+/// answers *is* that cell's count. Reports the witnessing combination's
+/// query indices.
+fn cover_pass(m: &QueryMatrix, cfg: &LintConfig, report: &mut LintReport) {
+    let t = cfg.isolation_threshold as f64;
+    let cells = m.cells.len();
+    // Only exact releases combine safely for the attacker here: rational
+    // coefficients can scale bounded noise past any certification margin,
+    // so noisy rows are excluded from the span.
+    let basis = RowBasis::build(&m.rows, cells, |r| m.alphas[r] == 0.0);
+    if basis.rank() == 0 {
+        return;
+    }
+    let mut found = 0usize;
+    for (c, cell) in m.cells.iter().enumerate() {
+        if cell.width_hi <= 0.0 || cell.width_hi > t {
+            continue;
+        }
+        if found >= cfg.max_findings_per_lint {
+            report.truncated = true;
+            break;
+        }
+        let Some(rows) = basis.span_witness(c) else {
+            continue;
+        };
+        found += 1;
+        let queries: Vec<usize> = rows.iter().map(|&r| m.queries[r]).collect();
+        let message = format!(
+            "cell [{}] (≤ {:.2} expected rows) is isolated by an admitted combination: a \
+             rational combination of the exact answers to {} quer{} equals its count — the \
+             static precursor of an online cover attack",
+            cell.label,
+            cell.width_hi,
+            queries.len(),
+            if queries.len() == 1 { "y" } else { "ies" },
+        );
+        report.findings.push(Finding {
+            lint: LintId::CellCover,
+            severity: Severity::Deny,
+            queries: queries.clone(),
+            message,
+            evidence: Some(Evidence {
+                chain: queries,
+                width_hi: Some(cell.width_hi),
+                region: Some(cell.label.clone()),
+                ..Evidence::default()
+            }),
+        });
+    }
 }
 
 fn density_pass(noises: &[Noise], n: usize, cfg: &LintConfig, report: &mut LintReport) {
@@ -503,6 +896,7 @@ fn density_pass(noises: &[Noise], n: usize, cfg: &LintConfig, report: &mut LintR
                      with the secret on all but 4α entries (Theorem 1.1(i))",
                     1u128 << (n - 1)
                 ),
+                evidence: None,
             });
         }
     }
@@ -524,6 +918,7 @@ fn density_pass(noises: &[Noise], n: usize, cfg: &LintConfig, report: &mut LintR
                  all but o(n) of the secret bits",
                 cfg.lp_ratio
             ),
+            evidence: None,
         });
     }
 }
@@ -554,6 +949,7 @@ fn budget_pass(noises: &[Noise], cfg: &LintConfig, report: &mut LintReport) {
                  their worst-case privacy loss is unbounded",
                 unbounded.len()
             ),
+            evidence: None,
         });
     }
     let dp: Vec<(usize, f64)> = noises
@@ -583,6 +979,7 @@ fn budget_pass(noises: &[Noise], cfg: &LintConfig, report: &mut LintReport) {
                 budget,
                 first.unwrap_or(0)
             ),
+            evidence: None,
         });
     }
 }
@@ -869,14 +1266,223 @@ mod tests {
 
     #[test]
     fn pair_budget_truncates_and_reports_it() {
-        let mut w = WorkloadSpec::new(10);
+        // A nested chain: every adjacent pair survives popcount bucketing
+        // (gap exactly 1), so the pair budget still bites.
+        let mut w = WorkloadSpec::new(12);
         for i in 0..10 {
-            w.push_subset(&SubsetQuery::from_indices(10, &[i]), Noise::Exact);
+            w.push_subset(
+                &SubsetQuery::from_indices(12, &(0..=i).collect::<Vec<_>>()),
+                Noise::Exact,
+            );
         }
         let mut c = cfg();
         c.pair_budget = 5;
         let r = lint_workload(&mut w, &c);
         assert!(r.truncated);
         assert_eq!(r.pairs_examined, 5);
+    }
+
+    #[test]
+    fn popcount_bucketing_skips_hopeless_subset_pairs() {
+        // Ten disjoint singletons: every pair has popcount gap 0, so the
+        // bucketed pass examines no pair at all (the unbucketed pass
+        // examined 45).
+        let mut w = WorkloadSpec::new(16);
+        for i in 0..10 {
+            w.push_subset(&SubsetQuery::from_indices(16, &[i]), Noise::Exact);
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.pairs_examined, 0);
+        assert_eq!(r.count(LintId::Differencing), 0);
+        // Far-apart popcounts are skipped too: {0..7} vs {0}.
+        let mut w = WorkloadSpec::new(16);
+        w.push_subset(
+            &SubsetQuery::from_indices(16, &(0..8).collect::<Vec<_>>()),
+            Noise::Exact,
+        );
+        w.push_subset(&SubsetQuery::from_indices(16, &[0]), Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.pairs_examined, 0);
+    }
+
+    #[test]
+    fn lint_codes_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for id in LintId::ALL {
+            assert!(seen.insert(id.code()), "duplicate code {}", id.code());
+            assert_eq!(LintId::from_code(id.code()), Some(id));
+        }
+        assert_eq!(LintId::from_code("SO-NOPE"), None);
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn linrec_fires_on_full_rank_with_a_narrow_cell() {
+        // The classic linear release: population total plus all
+        // complements-of-one over 6 rows. Rank 7 ≥ cells 6, singleton
+        // cells everywhere.
+        let n = 6usize;
+        let mut w = WorkloadSpec::new(n);
+        w.push_subset(
+            &SubsetQuery::from_indices(n, &(0..n).collect::<Vec<_>>()),
+            Noise::Exact,
+        );
+        for i in 0..n {
+            let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            w.push_subset(&SubsetQuery::from_indices(n, &others), Noise::Exact);
+        }
+        let r = lint_workload(&mut w, &cfg());
+        let lr = r.findings_for(LintId::LinearReconstruction);
+        assert_eq!(lr.len(), 1, "findings: {:?}", r.findings);
+        assert_eq!(lr[0].severity, Severity::Deny);
+        assert_eq!(lr[0].queries, (0..=n).collect::<Vec<_>>());
+        let ev = lr[0].evidence.as_ref().expect("evidence");
+        assert_eq!(ev.rank, Some(n));
+        assert_eq!(ev.cells, Some(n));
+        assert_eq!(ev.width_hi, Some(1.0));
+        // The same release at LP-grade noise keeps LINREC (rank is noise-
+        // robust per KRS)…
+        let mut w = WorkloadSpec::new(n);
+        let noisy = Noise::Bounded { alpha: 1.0 };
+        w.push_subset(
+            &SubsetQuery::from_indices(n, &(0..n).collect::<Vec<_>>()),
+            noisy,
+        );
+        for i in 0..n {
+            let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            w.push_subset(&SubsetQuery::from_indices(n, &others), noisy);
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::LinearReconstruction), 1);
+        // …but DP noise past the α-cut silences every matrix pass.
+        let mut w = WorkloadSpec::new(n);
+        let dp = Noise::PureDp { epsilon: 0.5 };
+        w.push_subset(
+            &SubsetQuery::from_indices(n, &(0..n).collect::<Vec<_>>()),
+            dp,
+        );
+        for i in 0..n {
+            let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            w.push_subset(&SubsetQuery::from_indices(n, &others), dp);
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::LinearReconstruction), 0);
+        assert_eq!(r.count(LintId::TrackerChain), 0);
+        assert_eq!(r.count(LintId::CellCover), 0);
+    }
+
+    #[test]
+    fn tracker_chain_fires_where_pairwise_differencing_is_blind() {
+        // Predicate tracker that no conjunct-refinement pair can see:
+        // Q0 = 2-bit prefix (weight ¼), Q1 = hash residue (weight 1/32),
+        // Q2 = Q0 ∨ Q1. Every pairwise difference is wide (≥ 2.3 expected
+        // rows), but (Q2 − Q0) counts hash ∧ ¬prefix and Q1 minus that
+        // counts hash ∧ prefix: 100/128 < 1 expected rows — a genuine
+        // three-query tracker.
+        let n = 100usize;
+        let mut w = WorkloadSpec::new(n);
+        let prefix = {
+            let pool = w.pool_mut();
+            let b0 = pool.atom(crate::ir::Atom::BitExtract {
+                bit: 0,
+                value: true,
+            });
+            let b1 = pool.atom(crate::ir::Atom::BitExtract {
+                bit: 1,
+                value: false,
+            });
+            pool.and([b0, b1])
+        };
+        let hash = w.pool_mut().atom(crate::ir::Atom::KeyedHash {
+            key: 0xFEED,
+            modulus: 32,
+            target: 7,
+        });
+        let union = w.pool_mut().or([prefix, hash]);
+        w.push_expr(prefix, Noise::Exact);
+        w.push_expr(hash, Noise::Exact);
+        w.push_expr(union, Noise::Exact);
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(
+            r.count(LintId::Differencing),
+            0,
+            "no conjunct refinement pair exists: {:?}",
+            r.findings
+        );
+        let tr = r.findings_for(LintId::TrackerChain);
+        assert!(!tr.is_empty(), "findings: {:?}", r.findings);
+        assert!(r.denies());
+        let ev = tr[0].evidence.as_ref().expect("evidence");
+        assert!(ev.chain.len() >= 3, "true chain, not a pair: {ev}");
+        assert!(ev.width_hi.expect("width") <= 1.0);
+        assert!(r.tracker_combos_examined > 0);
+    }
+
+    #[test]
+    fn cover_fires_on_rational_combinations_beyond_differencing() {
+        // Overlapping pairs {0,1}, {1,2}, {0,2}: no containment anywhere,
+        // but e_row0 = ½(Q0 − Q1 + Q2). COVER must cite all three queries.
+        let mut w = WorkloadSpec::new(10);
+        for idx in [[0usize, 1], [1, 2], [0, 2]] {
+            w.push_subset(&SubsetQuery::from_indices(10, &idx), Noise::Exact);
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::Differencing), 0);
+        assert_eq!(r.count(LintId::TrackerChain), 0, "{:?}", r.findings);
+        let cv = r.findings_for(LintId::CellCover);
+        assert_eq!(
+            cv.len(),
+            3,
+            "each singleton cell is covered: {:?}",
+            r.findings
+        );
+        assert_eq!(cv[0].queries, vec![0, 1, 2]);
+        assert!(r.denies());
+        // Same masks under bounded noise: rational combinations amplify
+        // noise, so COVER stays silent.
+        let mut w = WorkloadSpec::new(10);
+        for idx in [[0usize, 1], [1, 2], [0, 2]] {
+            w.push_subset(
+                &SubsetQuery::from_indices(10, &idx),
+                Noise::Bounded { alpha: 0.2 },
+            );
+        }
+        let r = lint_workload(&mut w, &cfg());
+        assert_eq!(r.count(LintId::CellCover), 0);
+    }
+
+    #[test]
+    fn matrix_cell_cap_marks_the_report_truncated() {
+        let mut w = WorkloadSpec::new(40);
+        for i in 0..20 {
+            w.push_subset(
+                &SubsetQuery::from_indices(40, &[2 * i, 2 * i + 1]),
+                Noise::Exact,
+            );
+        }
+        let mut c = cfg();
+        c.matrix_max_cells = 4;
+        let r = lint_workload(&mut w, &c);
+        assert!(r.truncated);
+        assert_eq!(r.count(LintId::LinearReconstruction), 0);
+    }
+
+    #[test]
+    fn matrix_findings_are_permutation_invariant() {
+        // The three-query cover workload in both orders: identical code
+        // multisets, query indices mapped through the permutation.
+        let build = |order: [usize; 3]| {
+            let masks = [[0usize, 1], [1, 2], [0, 2]];
+            let mut w = WorkloadSpec::new(10);
+            for &k in &order {
+                w.push_subset(&SubsetQuery::from_indices(10, &masks[k]), Noise::Exact);
+            }
+            lint_workload(&mut w, &cfg())
+        };
+        let a = build([0, 1, 2]);
+        let b = build([2, 0, 1]);
+        for id in LintId::ALL {
+            assert_eq!(a.count(id), b.count(id), "{id} differs across orders");
+        }
     }
 }

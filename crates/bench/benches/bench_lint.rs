@@ -1,0 +1,61 @@
+//! Criterion benches for the static workload linter: what `lint_workload`
+//! costs on an honest cross-tab batch (the pass-everything common case) and
+//! on the E18 attack batteries that exercise the matrix passes end to end
+//! (cell partition, GF(2)/rational rank, tracker lattice search, covers).
+//! No dataset is ever touched — the linter is purely structural, so these
+//! numbers are the full admission-control overhead a gated engine adds per
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_analyze::{lint_workload, LintConfig, Noise};
+use so_bench::experiments::e18_query_matrix::{
+    complement_tracker_spec, cycle_release_spec, honest_crosstab_spec, pred_tracker_trio,
+};
+
+fn bench_lint_cost(c: &mut Criterion) {
+    let cfg = LintConfig::default();
+    let mut group = c.benchmark_group("lint_cost");
+    group.sample_size(10);
+
+    // The honest path: a department × sex cross-tab over 10 000 rows under
+    // pure DP. Every pass runs to completion and finds nothing.
+    group.bench_function("honest_crosstab_dp_10k_rows", |b| {
+        b.iter(|| {
+            let mut w = honest_crosstab_spec(10_000, Noise::PureDp { epsilon: 0.5 });
+            lint_workload(&mut w, &cfg).findings.len()
+        });
+    });
+
+    // The rank fallback at its worst: 101 adjacent-pair queries with no
+    // popcount gaps and no containments, so only the f64 elimination over
+    // the 101-cell partition certifies full rational rank.
+    group.bench_function("cycle_release_rank_101_queries", |b| {
+        b.iter(|| {
+            let mut w = cycle_release_spec(101, Noise::Exact);
+            lint_workload(&mut w, &cfg).findings.len()
+        });
+    });
+
+    // The tracker lattice under fire: the total plus 64 complements-of-one
+    // derives every singleton, driving the BFS chain search and covers.
+    group.bench_function("complement_tracker_64_queries", |b| {
+        b.iter(|| {
+            let mut w = complement_tracker_spec(64, Noise::Exact);
+            lint_workload(&mut w, &cfg).findings.len()
+        });
+    });
+
+    // Predicate lowering: the hash/bit-extract trio goes through NNF,
+    // sign-cell refinement, and design-weight intervals before the chain.
+    group.bench_function("pred_tracker_trio_lowering", |b| {
+        b.iter(|| {
+            let mut w = pred_tracker_trio(100, Noise::Exact);
+            lint_workload(&mut w, &cfg).findings.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint_cost);
+criterion_main!(benches);

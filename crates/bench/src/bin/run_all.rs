@@ -28,6 +28,7 @@ fn main() {
         ("E15", e::e15_kanon_composition::run),
         ("E16", e::e16_workload_lint::run),
         ("E17", e::e17_observability::run),
+        ("E18", e::e18_query_matrix::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {

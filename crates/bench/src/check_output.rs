@@ -91,7 +91,7 @@ pub fn parse_bench_output(text: &str) -> BenchReport {
 }
 
 /// Bench groups the recorded artifact must cover.
-pub const REQUIRED_GROUPS: [&str; 7] = [
+pub const REQUIRED_GROUPS: [&str; 8] = [
     "subset_sum_true_answer",
     "count_range_100k",
     "select_range_100k",
@@ -99,6 +99,7 @@ pub const REQUIRED_GROUPS: [&str; 7] = [
     "workload_planning",
     "shard_scaling",
     "storage_scan",
+    "lint_cost",
 ];
 
 /// Validates a recorded transcript: all `time:` lines parse, every required

@@ -181,9 +181,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "workload",
             "n",
             "queries",
-            "SO-DIFF",
-            "SO-RECON",
-            "SO-BUDGET",
+            LintId::Differencing.code(),
+            LintId::ReconstructionDensity.code(),
+            LintId::BudgetExceeded.code(),
             "warns",
             "truncated",
             "verdict",
@@ -355,7 +355,7 @@ mod tests {
             .map(|l| l.split(',').map(str::to_owned).collect())
             .collect();
         assert_eq!(g[0][1], "closed");
-        assert_eq!(g[0][2], "SO-DIFF");
+        assert_eq!(g[0][2], LintId::Differencing.code());
         assert_eq!(g[0][3], "0", "no query of the flagged workload answered");
         assert_eq!(g[0][4], "2");
         assert_eq!(g[1][1], "open");

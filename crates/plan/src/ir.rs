@@ -499,6 +499,96 @@ impl PredPool {
         }
     }
 
+    /// Every distinct atom [`ExprId`] reachable from `id`, in increasing id
+    /// order (which is deterministic: interning order). The sign analyses of
+    /// `so-analyze`'s query-matrix layer partition the record space on
+    /// exactly this atom set.
+    pub fn collect_atoms(&self, id: ExprId) -> Vec<ExprId> {
+        let mut out = Vec::new();
+        self.collect_atoms_into(id, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms_into(&self, id: ExprId, out: &mut Vec<ExprId>) {
+        match self.node(id) {
+            PredNode::True | PredNode::False => {}
+            PredNode::Atom(_) => out.push(id),
+            PredNode::And(children) | PredNode::Or(children) => {
+                for &c in children {
+                    self.collect_atoms_into(c, out);
+                }
+            }
+            PredNode::Not(inner) => self.collect_atoms_into(*inner, out),
+        }
+    }
+
+    /// The atom payload behind an id, if the node is an atom.
+    pub fn atom_payload(&self, id: ExprId) -> Option<&Atom> {
+        match self.node(id) {
+            PredNode::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The *design* weight of an atom id, if it has one: bit tests are
+    /// `1/2` under the uniform-bits model, keyed-hash residues `1/modulus`.
+    /// Data-dependent atoms (ranges, value tests, opaque closures) have no
+    /// design weight and return `None` — any bound derived from them must
+    /// stay vacuous.
+    pub fn atom_design_weight(&self, id: ExprId) -> Option<f64> {
+        let (lo, hi) = self.weight_interval(id);
+        (matches!(self.node(id), PredNode::Atom(_)) && lo == hi).then_some(hi)
+    }
+
+    /// Three-valued evaluation of an expression under a partial truth
+    /// assignment to its atoms: `Ok(b)` when the assignment decides the
+    /// expression, `Err(atom)` naming the first (in child order) blocking
+    /// undetermined atom otherwise. `assign` returns `None` for atoms the
+    /// assignment leaves open. This is the sign analysis the query-matrix
+    /// cell refinement splits on: a cell is split on exactly the atom that
+    /// blocks a query's membership from being decided.
+    pub fn eval_signed(
+        &self,
+        id: ExprId,
+        assign: &dyn Fn(ExprId) -> Option<bool>,
+    ) -> Result<bool, ExprId> {
+        match self.node(id) {
+            PredNode::True => Ok(true),
+            PredNode::False => Ok(false),
+            PredNode::Atom(_) => assign(id).ok_or(id),
+            PredNode::And(children) => self.eval_signed_nary(children, assign, true),
+            PredNode::Or(children) => self.eval_signed_nary(children, assign, false),
+            PredNode::Not(inner) => self.eval_signed(*inner, assign).map(|b| !b),
+        }
+    }
+
+    /// Shared And/Or arm of [`PredPool::eval_signed`]: a decisive child
+    /// (false for And, true for Or) wins even when siblings are
+    /// undetermined; otherwise the first blocking atom is reported.
+    fn eval_signed_nary(
+        &self,
+        children: &[ExprId],
+        assign: &dyn Fn(ExprId) -> Option<bool>,
+        strict_all: bool,
+    ) -> Result<bool, ExprId> {
+        let mut blocked: Option<ExprId> = None;
+        for &c in children {
+            match self.eval_signed(c, assign) {
+                Ok(b) if b != strict_all => return Ok(b),
+                Ok(_) => {}
+                Err(atom) => {
+                    blocked.get_or_insert(atom);
+                }
+            }
+        }
+        match blocked {
+            Some(atom) => Err(atom),
+            None => Ok(strict_all),
+        }
+    }
+
     /// True iff the expression contains an [`Atom::Opaque`] anywhere — i.e.
     /// it is executable only with a registered closure evaluator.
     pub fn contains_opaque(&self, id: ExprId) -> bool {
@@ -891,6 +981,58 @@ mod tests {
         // Importing again is a no-op (hash-consing in the destination).
         let mut memo2 = HashMap::new();
         assert_eq!(dst.import(&src, shared, &mut memo2), shared_d);
+    }
+
+    #[test]
+    fn collect_atoms_is_sorted_and_deduped() {
+        let mut pool = PredPool::new();
+        let a = bit(&mut pool, 0, true);
+        let b = bit(&mut pool, 1, true);
+        let na = pool.not(a);
+        let e = pool.or([na, b]);
+        let e2 = pool.and([a, e]);
+        let atoms = pool.collect_atoms(e2);
+        assert_eq!(atoms, vec![a, b], "a appears once despite two sites");
+        assert!(pool.collect_atoms(pool.tru()).is_empty());
+    }
+
+    #[test]
+    fn atom_design_weight_distinguishes_designed_from_data_dependent() {
+        let mut pool = PredPool::new();
+        let b = bit(&mut pool, 0, true);
+        assert_eq!(pool.atom_design_weight(b), Some(0.5));
+        let h = pool.atom(Atom::KeyedHash {
+            key: 1,
+            modulus: 64,
+            target: 0,
+        });
+        assert_eq!(pool.atom_design_weight(h), Some(1.0 / 64.0));
+        let r = pool.atom(Atom::IntRange {
+            col: 0,
+            lo: 0,
+            hi: 9,
+        });
+        assert_eq!(pool.atom_design_weight(r), None, "data-dependent");
+        let and = pool.and([b, h]);
+        assert_eq!(pool.atom_design_weight(and), None, "not an atom");
+    }
+
+    #[test]
+    fn eval_signed_reports_the_blocking_atom() {
+        let mut pool = PredPool::new();
+        let a = bit(&mut pool, 0, true);
+        let b = bit(&mut pool, 1, true);
+        let nb = pool.not(b);
+        let e = pool.and([a, nb]);
+        // A decisive false child wins even with b open.
+        let decided = pool.eval_signed(e, &|id| (id == a).then_some(false));
+        assert_eq!(decided, Ok(false));
+        // a = true leaves ¬b blocking on atom b.
+        let blocked = pool.eval_signed(e, &|id| (id == a).then_some(true));
+        assert_eq!(blocked, Err(b));
+        // Full assignment decides.
+        let done = pool.eval_signed(e, &|_| Some(true));
+        assert_eq!(done, Ok(false), "a ∧ ¬b with b=true is false");
     }
 
     #[test]
