@@ -34,6 +34,7 @@
 //!   planner.
 
 pub mod gate;
+pub mod incremental;
 pub mod lattice;
 pub mod lint;
 pub mod matrix;
@@ -46,6 +47,7 @@ pub use so_plan::ir;
 pub use so_plan::workload;
 
 pub use gate::GatedEngine;
+pub use incremental::{IncrementalGate, CBUDGET_CODE};
 pub use ir::{Atom, ExprId, PredNode, PredPool};
 pub use lint::{
     lint_workload, lint_workload_default, Evidence, Finding, LintConfig, LintId, LintReport,

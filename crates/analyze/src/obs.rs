@@ -25,6 +25,10 @@ pub struct GateMetrics {
     /// `so_gate_workloads_refused_total` — workloads refused before any
     /// query executed.
     pub workloads_refused: Counter,
+    /// `so_gate_relint_skipped_total` — workloads whose lint verdict was
+    /// served from the incremental gate's memo because the lint-relevant
+    /// signature (structural hashes, noises, row count) was unchanged.
+    pub relint_skipped: Counter,
 }
 
 /// The gate layer's global metric handles, registered on first use.
@@ -35,6 +39,7 @@ pub fn gate_metrics() -> &'static GateMetrics {
         GateMetrics {
             workloads_admitted: r.counter("so_gate_workloads_admitted_total"),
             workloads_refused: r.counter("so_gate_workloads_refused_total"),
+            relint_skipped: r.counter("so_gate_relint_skipped_total"),
         }
     })
 }

@@ -1,0 +1,7 @@
+//! Binary wrapper for experiment module `e19_incremental` (pass `--quick` to reduce
+//! scale, `--metrics` to append a metrics dump; see `SO_TRACE` /
+//! `SO_METRICS` in the README's Observability section).
+
+fn main() {
+    so_bench::experiment_main(so_bench::experiments::e19_incremental::run);
+}

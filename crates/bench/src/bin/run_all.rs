@@ -29,6 +29,7 @@ fn main() {
         ("E16", e::e16_workload_lint::run),
         ("E17", e::e17_observability::run),
         ("E18", e::e18_query_matrix::run),
+        ("E19", e::e19_incremental::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {

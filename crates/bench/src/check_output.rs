@@ -91,7 +91,7 @@ pub fn parse_bench_output(text: &str) -> BenchReport {
 }
 
 /// Bench groups the recorded artifact must cover.
-pub const REQUIRED_GROUPS: [&str; 8] = [
+pub const REQUIRED_GROUPS: [&str; 9] = [
     "subset_sum_true_answer",
     "count_range_100k",
     "select_range_100k",
@@ -99,6 +99,7 @@ pub const REQUIRED_GROUPS: [&str; 8] = [
     "workload_planning",
     "shard_scaling",
     "storage_scan",
+    "incremental_scan",
     "lint_cost",
 ];
 

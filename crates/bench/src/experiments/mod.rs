@@ -18,4 +18,5 @@ pub mod e15_kanon_composition;
 pub mod e16_workload_lint;
 pub mod e17_observability;
 pub mod e18_query_matrix;
+pub mod e19_incremental;
 pub mod lt_legal_verdicts;

@@ -249,13 +249,21 @@ impl ColumnSegment for Column {
     }
 }
 
-/// An immutable columnar dataset: `n` rows over a fixed [`Schema`].
+/// A columnar dataset: `n` rows over a fixed [`Schema`].
 ///
 /// The uncompressed typed columns are always present (they are the oracle
 /// representation and the source for raw-slice access); when the dataset's
 /// [`StorageEngine`] is [`StorageEngine::Packed`], compressed
 /// [`PackedColumn`] segments are built lazily, once per column, on first
 /// packed scan ([`Dataset::packed_column`]) and shared across clones.
+///
+/// Datasets are immutable once built except for [`Dataset::append_rows`],
+/// the mutation primitive behind the incremental engine's open delta
+/// segment. Every append bumps [`Dataset::version`] and installs a fresh
+/// packed-slot cache stamped with the new version, so a stale packed
+/// segment (encoded before the append) can never be served for the grown
+/// column: [`Dataset::packed_column`] refuses slots whose stamp does not
+/// match the dataset's current version.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Arc<Schema>,
@@ -263,14 +271,31 @@ pub struct Dataset {
     columns: Vec<Column>,
     n_rows: usize,
     engine: StorageEngine,
-    /// Lazily built packed segments, one slot per column. `None` inside the
-    /// cell records "this column has no packed form" (e.g. Float), so the
-    /// encode attempt runs at most once.
-    packed: Arc<Vec<OnceLock<Option<PackedColumn>>>>,
+    /// Monotone content version: 0 at build, +1 per [`Dataset::append_rows`].
+    version: u64,
+    /// Lazily built packed segments, stamped with the dataset version they
+    /// were allocated for (see [`PackedSlots`]).
+    packed: Arc<PackedSlots>,
 }
 
-fn packed_slots(n_cols: usize) -> Arc<Vec<OnceLock<Option<PackedColumn>>>> {
-    Arc::new((0..n_cols).map(|_| OnceLock::new()).collect())
+/// Version-keyed packed-segment cache: one lazy slot per column plus the
+/// dataset version the slots describe. `None` inside a cell records "this
+/// column has no packed form" (e.g. Float), so the encode attempt runs at
+/// most once. Mutation never writes through this structure — appends swap
+/// in a fresh `Arc<PackedSlots>` with a bumped stamp (copy-on-write), so
+/// clones of the pre-append dataset keep reading their own still-valid
+/// slots.
+#[derive(Debug)]
+struct PackedSlots {
+    version: u64,
+    slots: Vec<OnceLock<Option<PackedColumn>>>,
+}
+
+fn packed_slots(n_cols: usize, version: u64) -> Arc<PackedSlots> {
+    Arc::new(PackedSlots {
+        version,
+        slots: (0..n_cols).map(|_| OnceLock::new()).collect(),
+    })
 }
 
 impl Dataset {
@@ -340,6 +365,14 @@ impl Dataset {
         self.engine
     }
 
+    /// Monotone content version: 0 when built, bumped by every
+    /// [`Dataset::append_rows`]. Caches keyed on `(dataset identity,
+    /// version)` — the packed-segment slots here, the incremental engine's
+    /// per-segment selection caches above — use this to detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The same logical dataset under a different [`StorageEngine`].
     /// Typed columns are shared-cloned; packed segments are rebuilt lazily
     /// (a fresh cache, since the engines must never alias state).
@@ -347,26 +380,97 @@ impl Dataset {
         Dataset {
             schema: self.schema.clone(),
             interner: self.interner.clone(),
-            columns: self.columns.clone(),
             n_rows: self.n_rows,
             engine,
-            packed: packed_slots(self.columns.len()),
+            version: self.version,
+            packed: packed_slots(self.columns.len(), self.version),
+            columns: self.columns.clone(),
         }
     }
 
     /// The packed segment for column `c`, building it on first use.
     ///
-    /// Returns `None` when the engine is [`StorageEngine::Uncompressed`] or
-    /// the column has no packed form (Float, pathological spans) — callers
-    /// fall back to the uncompressed oracle path. Thread-safe: concurrent
+    /// Returns `None` when the engine is [`StorageEngine::Uncompressed`],
+    /// the column has no packed form (Float, pathological spans), or the
+    /// cached slots are stale (stamped with a version other than the
+    /// dataset's current one — impossible through the public API, where
+    /// [`Dataset::append_rows`] swaps in freshly stamped slots, but checked
+    /// anyway so a stale packed column is *never* served). Callers fall back
+    /// to the uncompressed oracle path on `None`. Thread-safe: concurrent
     /// shard workers race at most on the one-time encode.
     pub fn packed_column(&self, c: usize) -> Option<&PackedColumn> {
         if !self.engine.is_packed() {
             return None;
         }
-        self.packed[c]
+        if self.packed.version != self.version {
+            return None;
+        }
+        self.packed.slots[c]
             .get_or_init(|| PackedColumn::from_column(&self.columns[c]))
             .as_ref()
+    }
+
+    /// Appends rows in place — the mutation primitive behind the
+    /// incremental engine's open delta segment.
+    ///
+    /// Bumps [`Dataset::version`] and installs a fresh packed-slot cache
+    /// stamped with the new version (copy-on-write: clones taken before the
+    /// append keep their own slots and their own version, so they are
+    /// unaffected). Because the interner is shared and append-only-frozen,
+    /// [`Value::Str`] cells must carry symbols already interned — derive
+    /// them via [`Dataset::interner`] lookups or intern everything up front
+    /// in the builder.
+    ///
+    /// An empty `rows` slice is a no-op: no version bump, caches stay warm.
+    ///
+    /// # Panics
+    /// Panics on arity or type mismatch, or on a `Str` symbol outside the
+    /// shared interner.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) {
+        if rows.is_empty() {
+            return;
+        }
+        for values in rows {
+            assert_eq!(
+                values.len(),
+                self.columns.len(),
+                "row arity {} != schema arity {}",
+                values.len(),
+                self.columns.len()
+            );
+            for (c, v) in values.iter().enumerate() {
+                if let Value::Str(sym) = v {
+                    assert!(
+                        (sym.index() as usize) < self.interner.len(),
+                        "symbol {sym} not in the shared interner"
+                    );
+                }
+                self.columns[c].push(*v, self.schema.attr(c).dtype);
+            }
+            self.n_rows += 1;
+        }
+        self.version += 1;
+        self.packed = packed_slots(self.columns.len(), self.version);
+    }
+
+    /// An empty dataset over the same schema, interner, and engine — the
+    /// constructor for a fresh delta segment whose symbols resolve through
+    /// the base dataset's interner.
+    pub fn empty_like(&self) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            interner: self.interner.clone(),
+            columns: self
+                .schema
+                .attrs()
+                .iter()
+                .map(|a| Column::new(a.dtype))
+                .collect(),
+            n_rows: 0,
+            engine: self.engine,
+            version: 0,
+            packed: packed_slots(self.schema.attrs().len(), 0),
+        }
     }
 
     /// New dataset containing the given rows (in the given order). Shares
@@ -381,10 +485,11 @@ impl Dataset {
         Dataset {
             schema: self.schema.clone(),
             interner: self.interner.clone(),
-            packed: packed_slots(columns.len()),
+            packed: packed_slots(columns.len(), 0),
             columns,
             n_rows: indices.len(),
             engine: self.engine,
+            version: 0,
         }
     }
 
@@ -522,13 +627,14 @@ impl DatasetBuilder {
     /// the constructor tests and benches use to compare the two layouts
     /// deterministically, independent of the environment.
     pub fn finish_with_engine(self, engine: StorageEngine) -> Dataset {
-        let packed = packed_slots(self.columns.len());
+        let packed = packed_slots(self.columns.len(), 0);
         Dataset {
             schema: self.schema,
             interner: Arc::new(self.interner),
             columns: self.columns,
             n_rows: self.n_rows,
             engine,
+            version: 0,
             packed,
         }
     }
@@ -712,6 +818,91 @@ mod tests {
         // Lazy cache: the same allocation answers the second call.
         let again = packed.packed_column(1).unwrap();
         assert!(std::ptr::eq(seg, again));
+    }
+
+    #[test]
+    fn append_rows_bumps_version_and_refreshes_packed_cache() {
+        use crate::storage::{ColumnSegment as _, StorageEngine};
+        let mut ds = toy_dataset().with_engine(StorageEngine::Packed);
+        assert_eq!(ds.version(), 0);
+        let seg0 = ds.packed_column(1).expect("Int column packs") as *const _;
+        let f = ds.interner().get("F").unwrap();
+        let covid = ds.interner().get("COVID").unwrap();
+        ds.append_rows(&[vec![
+            Value::Int(99999),
+            Value::Int(61),
+            Value::Str(f),
+            Value::Str(covid),
+        ]]);
+        assert_eq!(ds.version(), 1);
+        assert_eq!(ds.n_rows(), 5);
+        assert_eq!(ds.get(4, 1), Value::Int(61));
+        // The packed segment is rebuilt for the new version and covers the
+        // appended row — the stale 4-row encoding is never served.
+        {
+            let seg1 = ds.packed_column(1).expect("still packs");
+            assert!(!std::ptr::eq(seg0, seg1));
+            assert_eq!(seg1.len(), 5);
+            for row in 0..5 {
+                assert_eq!(seg1.value(row), ds.get(row, 1), "row {row}");
+            }
+        }
+        let seg1 = ds.packed_column(1).unwrap() as *const _;
+        // Empty append is a no-op: version unchanged, cache stays warm.
+        ds.append_rows(&[]);
+        assert_eq!(ds.version(), 1);
+        assert!(std::ptr::eq(seg1, ds.packed_column(1).unwrap()));
+    }
+
+    #[test]
+    fn append_rows_leaves_pre_append_clones_untouched() {
+        use crate::storage::StorageEngine;
+        let mut ds = toy_dataset().with_engine(StorageEngine::Packed);
+        let before = ds.clone();
+        let before_seg = before.packed_column(1).unwrap() as *const _;
+        let f = ds.interner().get("F").unwrap();
+        ds.append_rows(&[vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Str(f),
+            Value::Missing,
+        ]]);
+        // Copy-on-write: the clone's rows, version, and packed slots are
+        // exactly what they were before the append.
+        assert_eq!(before.n_rows(), 4);
+        assert_eq!(before.version(), 0);
+        assert!(std::ptr::eq(before_seg, before.packed_column(1).unwrap()));
+        assert_eq!(ds.n_rows(), 5);
+    }
+
+    #[test]
+    fn empty_like_shares_schema_and_interner() {
+        let ds = toy_dataset();
+        let delta = ds.empty_like();
+        assert_eq!(delta.n_rows(), 0);
+        assert_eq!(delta.n_cols(), ds.n_cols());
+        assert_eq!(delta.engine(), ds.engine());
+        assert!(Arc::ptr_eq(ds.interner(), delta.interner()));
+        assert!(Arc::ptr_eq(ds.schema(), delta.schema()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the shared interner")]
+    fn append_rows_rejects_foreign_symbols() {
+        let mut ds = toy_dataset();
+        let foreign = {
+            let mut other = Interner::new();
+            for i in 0..100 {
+                other.intern(&format!("s{i}"));
+            }
+            other.intern("outsider")
+        };
+        ds.append_rows(&[vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Str(foreign),
+            Value::Missing,
+        ]]);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod dataset;
 pub mod date;
 pub mod dist;
 pub mod interner;
+pub mod obs;
 pub mod population;
 pub mod ratings;
 pub mod rng;
@@ -42,6 +43,7 @@ pub mod selection;
 pub mod sharded;
 pub mod storage;
 pub mod value;
+pub mod versioned;
 
 pub use bits::{column_counts, BitDataset, BitVec};
 pub use dataset::{Dataset, DatasetBuilder, RowRef};
@@ -50,6 +52,7 @@ pub use dist::{
     Categorical, ProductBernoulli, RecordDistribution, RowDistribution, UniformBits, Zipf,
 };
 pub use interner::{Interner, Symbol};
+pub use obs::{delta_metrics, DeltaMetrics};
 pub use population::{Population, PopulationConfig};
 pub use ratings::{RatingsConfig, RatingsData};
 pub use schema::{AttributeDef, AttributeRole, DataType, Schema};
@@ -57,3 +60,7 @@ pub use selection::SelectionVector;
 pub use sharded::{word_aligned_ranges, ShardedDataset};
 pub use storage::{ColumnSegment, PackedCodes, PackedColumn, StorageEngine};
 pub use value::Value;
+pub use versioned::{
+    compact_threshold_from_env, MutationEffect, VersionedDataset, DEFAULT_COMPACT_THRESHOLD,
+    DELTA_SEGMENT_ROWS,
+};

@@ -162,6 +162,27 @@ impl SelectionVector {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of rows selected in `self` but **not** in `mask` — the
+    /// word-parallel popcount of `self ∧ ¬mask`, computed without allocating
+    /// an intermediate bitmap. This is the tombstone-mask merge step of the
+    /// incremental engine: a cached segment selection popcounted against the
+    /// segment's tombstones yields the live match count directly.
+    ///
+    /// Because `self`'s tail bits beyond `len` are always zero, negating
+    /// `mask`'s words needs no tail handling: stray ones in `!mask` past the
+    /// end are annihilated by the AND.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn count_and_not(&self, mask: &SelectionVector) -> usize {
+        assert_eq!(self.len, mask.len, "selection length mismatch");
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .map(|(&a, &b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
     /// True iff no row is selected.
     pub fn is_none(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -287,13 +308,21 @@ impl SelectionVector {
     /// assert_eq!(merged.count(), 67);
     /// ```
     ///
+    /// Zero-row parts are skipped: a zero-row shard (an empty dataset, or a
+    /// delta segment that has seen no rows yet) contributes no words and no
+    /// rows, so it cannot trip the alignment requirement no matter where it
+    /// appears in the sequence.
+    ///
     /// # Panics
-    /// Panics if any part other than the last has a length that is not a
-    /// multiple of 64.
+    /// Panics if any non-empty part other than the last starts at a row
+    /// offset that is not a multiple of 64.
     pub fn concat_aligned<I: IntoIterator<Item = SelectionVector>>(parts: I) -> SelectionVector {
         let mut words: Vec<u64> = Vec::new();
         let mut len = 0usize;
         for part in parts {
+            if part.len == 0 {
+                continue;
+            }
             assert_eq!(
                 len % 64,
                 0,
@@ -330,6 +359,23 @@ impl SelectionVector {
         let mut out = SelectionVector { words, len };
         out.mask_tail();
         out
+    }
+
+    /// Extends the vector to `new_len` rows, the new positions unselected —
+    /// how a tombstone bitmap tracks a delta segment that just grew. The
+    /// existing bits are unchanged; growth is amortized O(new words).
+    ///
+    /// # Panics
+    /// Panics if `new_len < len` (tombstones never shrink; compaction
+    /// replaces them wholesale).
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(
+            new_len >= self.len,
+            "cannot shrink a selection from {} to {new_len} rows",
+            self.len
+        );
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
     }
 
     /// Zeroes the bits of the last word at positions `>= len`.
@@ -520,6 +566,114 @@ mod tests {
             SelectionVector::none(10), // 10 % 64 != 0 and not the last part
             SelectionVector::none(64),
         ]);
+    }
+
+    #[test]
+    fn concat_aligned_skips_zero_row_parts() {
+        // A zero-row shard contributes nothing and must never trip the
+        // alignment assert — including after a misaligned final-style part.
+        let tail = SelectionVector::from_fn(10, |i| i < 4);
+        let merged = SelectionVector::concat_aligned([
+            SelectionVector::none(0),
+            tail.clone(),
+            SelectionVector::none(0),
+        ]);
+        assert_eq!(merged.len(), 10);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged, tail);
+        // All-empty input: a well-formed zero-row vector.
+        let empty =
+            SelectionVector::concat_aligned([SelectionVector::none(0), SelectionVector::none(0)]);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_none());
+        // Zero-row parts interleaved with word-aligned parts stay aligned.
+        let a = SelectionVector::from_fn(64, |i| i % 2 == 0);
+        let b = SelectionVector::from_fn(30, |i| i % 2 == 1);
+        let merged = SelectionVector::concat_aligned([
+            SelectionVector::none(0),
+            a.clone(),
+            SelectionVector::none(0),
+            b.clone(),
+        ]);
+        assert_eq!(merged.len(), 94);
+        assert_eq!(merged.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn concat_and_slice_aligned_handle_empty_datasets() {
+        // Proptest-shaped sweep over zero-row shard placements: splitting a
+        // bitmap (including the n=0 bitmap) at any word-aligned cuts, with
+        // empty shards salted anywhere, must round-trip.
+        for n in [0usize, 1, 63, 64, 65, 128, 200] {
+            let full = SelectionVector::from_fn(n, |i| i % 5 == 0);
+            for cut in [0usize, 64, 128] {
+                let cut = cut.min(n);
+                if cut % 64 != 0 {
+                    continue;
+                }
+                let parts = vec![
+                    SelectionVector::none(0),
+                    full.slice_aligned(0..cut),
+                    SelectionVector::none(0),
+                    full.slice_aligned(cut..n),
+                    SelectionVector::none(0),
+                ];
+                let merged = SelectionVector::concat_aligned(parts);
+                assert_eq!(merged, full, "n={n} cut={cut}");
+            }
+            // slice_aligned at n=0 / empty aligned ranges is well-formed.
+            let s = full.slice_aligned(0..0);
+            assert_eq!(s.len(), 0);
+            assert!(s.is_none());
+            if n >= 64 {
+                let s = full.slice_aligned(64..64);
+                assert_eq!(s.len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn count_and_not_matches_materialized_difference() {
+        for n in [0usize, 1, 63, 64, 65, 130, 300] {
+            let sel = SelectionVector::from_fn(n, |i| i % 3 == 0);
+            let tomb = SelectionVector::from_fn(n, |i| i % 4 == 0);
+            let expect = sel.and(&tomb.not()).count();
+            assert_eq!(sel.count_and_not(&tomb), expect, "n={n}");
+            // Against no tombstones: the plain count.
+            assert_eq!(sel.count_and_not(&SelectionVector::none(n)), sel.count());
+            // Against all tombstones: zero survivors.
+            assert_eq!(sel.count_and_not(&SelectionVector::all(n)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn count_and_not_length_mismatch_panics() {
+        SelectionVector::none(10).count_and_not(&SelectionVector::none(11));
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_keeps_tail_clear() {
+        let mut v = SelectionVector::from_fn(10, |i| i % 2 == 0);
+        let before = v.indices();
+        v.grow(10); // no-op growth
+        assert_eq!(v.len(), 10);
+        v.grow(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.indices(), before, "old bits survive");
+        // New positions are unselected; NOT must select all of them.
+        assert_eq!(v.not().count(), 130 - before.len());
+        // From empty.
+        let mut e = SelectionVector::none(0);
+        e.grow(65);
+        assert_eq!(e.len(), 65);
+        assert!(e.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        SelectionVector::none(10).grow(9);
     }
 
     #[test]

@@ -648,6 +648,26 @@ mod tests {
         assert!(!StorageEngine::Uncompressed.is_packed());
     }
 
+    /// Pins the fallback behaviour for garbage and empty `SO_STORAGE`
+    /// values, mirroring the `SO_THREADS` treatment: anything that is not
+    /// a recognized engine name — including the empty string, whitespace,
+    /// numbers, and near-misses — falls back to the packed default rather
+    /// than erroring.
+    #[test]
+    fn engine_from_opt_garbage_and_empty_fall_back_to_default() {
+        for s in ["", "   ", "garbage", "0", "-1", "unpackedd", "pack ed", "☃"] {
+            assert_eq!(
+                StorageEngine::from_opt(Some(s)),
+                StorageEngine::default(),
+                "{s:?} must fall back to the default engine"
+            );
+        }
+        assert_eq!(StorageEngine::default(), StorageEngine::Packed);
+        // The env-reading constructor is built on from_opt, so the same
+        // inputs can never panic on the from_env path either.
+        assert_eq!(StorageEngine::from_opt(None), StorageEngine::default());
+    }
+
     #[test]
     fn width_inference() {
         assert_eq!(width_for(0), 0);

@@ -683,6 +683,23 @@ mod tests {
         );
     }
 
+    /// Pins the fallback behaviour for garbage and empty `SO_SCHEDULE`
+    /// values, mirroring the `SO_THREADS` treatment: anything that is not
+    /// `static` or `morsel` — including the empty string, whitespace, and
+    /// near-misses — falls back to [`SchedulePolicy::Auto`] rather than
+    /// erroring.
+    #[test]
+    fn schedule_policy_garbage_and_empty_fall_back_to_auto() {
+        for s in ["", "   ", "0", "-1", "staticc", "mor sel", "MORSELS", "☃"] {
+            assert_eq!(
+                SchedulePolicy::from_opt(Some(s)),
+                SchedulePolicy::Auto,
+                "{s:?} must fall back to Auto"
+            );
+        }
+        assert_eq!(SchedulePolicy::default(), SchedulePolicy::Auto);
+    }
+
     #[test]
     #[should_panic(expected = "multiple of 64")]
     fn misaligned_morsel_size_panics() {

@@ -14,7 +14,7 @@
 //! [`QueryAuditor::without_trail`] disables retention entirely; the
 //! answered/refused counters stay exact in every configuration.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// One entry in the audit trail.
 #[derive(Debug, Clone)]
@@ -150,10 +150,26 @@ impl QueryAuditor {
         self.refused
     }
 
-    /// Total query attempts seen (answered + refused), independent of how
-    /// many trail records are retained.
+    /// Total trail events seen (query attempts plus version-bump
+    /// annotations), independent of how many trail records are retained.
     pub fn queries_seen(&self) -> usize {
         self.seen
+    }
+
+    /// Records a dataset version bump in the audit trail so downstream
+    /// analysis can correlate answered queries with the dataset state they
+    /// ran against. The entry is informational — it does not count as a
+    /// query attempt (answered/refused stay put) — but it is bounded by the
+    /// trail cap like any other record and participates in the
+    /// `trail_len() + dropped_entries() == queries_seen()` invariant.
+    pub fn note_version_bump(&mut self, version: u64, touched: &BTreeSet<usize>) {
+        self.record(
+            || {
+                let cols: Vec<String> = touched.iter().map(|c| c.to_string()).collect();
+                format!("[version] v{version} touched columns [{}]", cols.join(", "))
+            },
+            true,
+        );
     }
 
     /// Remaining budget (`None` = unlimited).
@@ -282,6 +298,39 @@ mod tests {
             "expensive".to_owned()
         }));
         assert!(rendered.get());
+    }
+
+    #[test]
+    fn version_bump_notes_land_in_the_trail_without_counting_as_queries() {
+        let mut a = QueryAuditor::new(None);
+        assert!(a.admit("q0"));
+        let touched: BTreeSet<usize> = [2usize, 0].into_iter().collect();
+        a.note_version_bump(7, &touched);
+        assert!(a.admit("q1"));
+        assert_eq!(a.queries_answered(), 2);
+        assert_eq!(a.queries_refused(), 0);
+        assert_eq!(a.queries_seen(), 3);
+        let t = trail_vec(&a);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].seq, 1);
+        assert!(t[1].admitted);
+        assert_eq!(t[1].description, "[version] v7 touched columns [0, 2]");
+    }
+
+    #[test]
+    fn version_bump_notes_respect_the_trail_cap() {
+        let mut a = QueryAuditor::with_trail_cap(None, 2);
+        let touched: BTreeSet<usize> = [1usize].into_iter().collect();
+        for v in 0..5u64 {
+            a.note_version_bump(v, &touched);
+            assert_eq!(a.trail_len() + a.dropped_entries(), a.queries_seen());
+        }
+        assert_eq!(a.trail_len(), 2);
+        assert_eq!(a.dropped_entries(), 3);
+        assert_eq!(a.queries_answered(), 0);
+        let t = trail_vec(&a);
+        assert_eq!(t[0].description, "[version] v3 touched columns [1]");
+        assert_eq!(t[1].description, "[version] v4 touched columns [1]");
     }
 
     #[test]

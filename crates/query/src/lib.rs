@@ -27,11 +27,13 @@
 
 pub mod audit;
 pub mod engine;
+pub mod incremental;
 pub mod mechanism;
 pub mod obs;
 pub mod predicate;
 pub mod query;
 pub mod shape;
+pub mod transcript;
 pub mod workload;
 
 pub use audit::{AuditRecord, QueryAuditor};
@@ -39,6 +41,7 @@ pub use engine::{
     count_dataset, count_dataset_scalar, scan_dataset, select_dataset, select_dataset_scalar,
     CountingEngine, WorkloadAnswer, WorkloadAnswers,
 };
+pub use incremental::{IncrementalEngine, IncrementalStats};
 pub use mechanism::{BoundedNoiseSum, ExactSum, RoundingSum, SubsetSumMechanism};
 pub use obs::{query_metrics, QueryMetrics};
 pub use predicate::{
@@ -49,6 +52,7 @@ pub use predicate::{
 };
 pub use query::{count, matching_indices, CountQuery, SubsetQuery};
 pub use shape::PredShape;
+pub use transcript::{MutationOp, MutationTranscript, ReplayConfig, ReplayOutcome};
 pub use workload::{
     all_subsets_workload, prefix_workload, random_subset_workload, tracker_workload,
 };

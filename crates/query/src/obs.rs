@@ -34,6 +34,17 @@ pub struct QueryMetrics {
     /// `so_query_audit_trail_len` — retained trail depth of the most
     /// recently updated auditor (last writer wins across auditors).
     pub audit_trail_len: Gauge,
+    /// `so_query_delta_repairs_total` — segment caches rebuilt by the
+    /// incremental engine because the segment's dataset version moved
+    /// (delta-scan repair), including first-time builds.
+    pub delta_repairs: Counter,
+    /// `so_query_delta_hits_total` — segments served from a warm cache
+    /// (version unchanged since the last workload) by the incremental
+    /// engine.
+    pub delta_segment_hits: Counter,
+    /// `so_query_shortcut_atoms_total` — atom selections synthesized from a
+    /// delta segment's touched-column set instead of scanned.
+    pub shortcut_atoms: Counter,
 }
 
 /// The query layer's global metric handles, registered on first use.
@@ -47,6 +58,9 @@ pub fn query_metrics() -> &'static QueryMetrics {
             workloads: r.counter("so_query_workloads_total"),
             audit_dropped: r.counter("so_query_audit_dropped_total"),
             audit_trail_len: r.gauge("so_query_audit_trail_len"),
+            delta_repairs: r.counter("so_query_delta_repairs_total"),
+            delta_segment_hits: r.counter("so_query_delta_hits_total"),
+            shortcut_atoms: r.counter("so_query_shortcut_atoms_total"),
         }
     })
 }
