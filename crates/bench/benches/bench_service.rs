@@ -1,0 +1,76 @@
+//! Criterion bench for the serving layer: end-to-end request throughput of
+//! the framed wire protocol over real loopback sockets. Each iteration
+//! boots nothing — a multi-tenant [`so_serve`] instance is spawned once per
+//! case — and times N concurrent tenant sessions each submitting a fixed
+//! batch of subset-count workloads through its own TCP connection. Divide
+//! requests-per-iteration (stated in the transcript commentary) by the
+//! reported time for requests/sec; the 1→4→8 curve shows how the bounded
+//! worker pool multiplexes tenants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_plan::workload::Noise;
+use so_serve::{spawn, Response, ServerConfig, ServiceClient, TenantConfig, WireQuery};
+
+/// Rows per tenant dataset (kept small: this bench times the wire, the
+/// worker pool, and the engine dispatch — not a large scan).
+const N_ROWS: usize = 256;
+
+/// Workload requests each session submits per iteration.
+const REQUESTS_PER_SESSION: usize = 50;
+
+fn tenant_name(i: usize) -> String {
+    format!("tenant{i}")
+}
+
+/// One tenant session: connect, `hello`, then the full request batch.
+/// Returns a checksum so the transfers cannot be optimized away.
+fn run_session(addr: std::net::SocketAddr, tenant: usize) -> f64 {
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client.hello(&tenant_name(tenant)).expect("hello");
+    let mut acc = 0.0;
+    for r in 0..REQUESTS_PER_SESSION {
+        let members: Vec<usize> = (0..N_ROWS).filter(|x| (x + r) % 2 == 0).collect();
+        let queries = vec![WireQuery::Subset(members)];
+        match client.workload(queries, Noise::Exact).expect("workload") {
+            Response::Answers { answers } => acc += answers[0],
+            other => panic!("expected answers, got {other:?}"),
+        }
+    }
+    acc
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    for tenants in [1usize, 4, 8] {
+        let configs: Vec<TenantConfig> = (0..tenants)
+            .map(|i| TenantConfig::ungated(&tenant_name(i), N_ROWS, 0xBE_7C + i as u64))
+            .collect();
+        let server = spawn(
+            configs,
+            ServerConfig {
+                workers: tenants,
+                ..ServerConfig::default()
+            },
+            None,
+        )
+        .expect("server boots");
+        let addr = server.local_addr();
+        group.bench_function(format!("{tenants}_tenants"), |b| {
+            b.iter(|| {
+                let sessions: Vec<std::thread::JoinHandle<f64>> = (0..tenants)
+                    .map(|i| std::thread::spawn(move || run_session(addr, i)))
+                    .collect();
+                sessions
+                    .into_iter()
+                    .map(|h| h.join().expect("session thread"))
+                    .sum::<f64>()
+            });
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

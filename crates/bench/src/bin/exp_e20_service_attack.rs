@@ -1,0 +1,5 @@
+//! E20 — LP reconstruction against the production-style serving API.
+
+fn main() {
+    so_bench::experiment_main(so_bench::experiments::e20_service_attack::run);
+}

@@ -30,6 +30,7 @@ fn main() {
         ("E17", e::e17_observability::run),
         ("E18", e::e18_query_matrix::run),
         ("E19", e::e19_incremental::run),
+        ("E20", e::e20_service_attack::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {

@@ -19,4 +19,5 @@ pub mod e16_workload_lint;
 pub mod e17_observability;
 pub mod e18_query_matrix;
 pub mod e19_incremental;
+pub mod e20_service_attack;
 pub mod lt_legal_verdicts;

@@ -13,7 +13,7 @@
 //!   with answers to *all* subset queries within error `α = c·n`, any
 //!   candidate dataset consistent with the answers agrees with the true one
 //!   up to `4α` entries;
-//! * [`lp_decode`] — the polynomial attack of Theorem 1.1(ii) (in the
+//! * [`mod@lp_decode`] — the polynomial attack of Theorem 1.1(ii) (in the
 //!   linear-programming form of Dwork–McSherry–Talwar): `O(n)` random subset
 //!   queries with error `α = c·√n` suffice to reconstruct almost all of `x`;
 //! * [`least_squares`] — a projected-gradient least-squares decoder, the
@@ -35,7 +35,7 @@ pub mod obs;
 pub use differencing::{averaging_differencing_attack, differencing_attack};
 pub use exponential::exhaustive_reconstruct;
 pub use least_squares::least_squares_reconstruct;
-pub use lp_decode::lp_reconstruct;
+pub use lp_decode::{lp_attack_queries, lp_decode, lp_reconstruct};
 pub use obs::{recon_metrics, ReconMetrics};
 
 use so_data::BitVec;

@@ -54,16 +54,11 @@ impl std::fmt::Display for LpReconError {
 
 impl std::error::Error for LpReconError {}
 
-/// Runs the LP-decoding attack with `m` random subset queries.
-pub fn lp_reconstruct<R: Rng>(
-    mechanism: &mut dyn SubsetSumMechanism,
-    m: usize,
-    rng: &mut R,
-) -> Result<LpReconResult, LpReconError> {
-    let span = so_obs::span("recon.lp");
-    let n = mechanism.n();
-    // Declare the full (non-adaptive) query set, then submit it as one
-    // batch — the mechanism sees the workload, not a drip of single queries.
+/// The density-½ random subset workload of the attack: each of `n` indices
+/// is included in each of `m` queries independently with probability ½.
+/// Exposed so clients that speak to a *remote* mechanism (the `so-serve`
+/// wire protocol) can declare exactly the workload [`lp_reconstruct`] would.
+pub fn lp_attack_queries<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<SubsetQuery> {
     let mut queries = Vec::with_capacity(m);
     for _ in 0..m {
         let mut members = BitVec::zeros(n);
@@ -72,14 +67,45 @@ pub fn lp_reconstruct<R: Rng>(
         }
         queries.push(SubsetQuery::new(members));
     }
+    queries
+}
+
+/// Runs the LP-decoding attack with `m` random subset queries.
+pub fn lp_reconstruct<R: Rng>(
+    mechanism: &mut dyn SubsetSumMechanism,
+    m: usize,
+    rng: &mut R,
+) -> Result<LpReconResult, LpReconError> {
+    let n = mechanism.n();
+    // Declare the full (non-adaptive) query set, then submit it as one
+    // batch — the mechanism sees the workload, not a drip of single queries.
+    let queries = lp_attack_queries(n, m, rng);
     let answers = mechanism.answer_all(&queries);
+    lp_decode(n, &queries, &answers)
+}
+
+/// Decodes collected `answers` to the declared `queries` into a rounded
+/// reconstruction — the solve half of [`lp_reconstruct`], split out so the
+/// answers may come from anywhere (an in-process mechanism, or a statistical
+/// query service spoken to over a socket).
+///
+/// # Panics
+/// Panics when `queries` and `answers` have different lengths.
+pub fn lp_decode(
+    n: usize,
+    queries: &[SubsetQuery],
+    answers: &[f64],
+) -> Result<LpReconResult, LpReconError> {
+    assert_eq!(queries.len(), answers.len(), "one answer per query");
+    let span = so_obs::span("recon.lp");
+    let m = queries.len();
 
     // Build the LP: variables 0..n are x̃ ∈ [0,1]; n..n+m are e_q ≥ 0.
     let mut p = Problem::new(n + m, Objective::Minimize);
     for i in 0..n {
         p.set_bound(i, Bound::between(0.0, 1.0));
     }
-    for (j, (q, &a)) in queries.iter().zip(&answers).enumerate() {
+    for (j, (q, &a)) in queries.iter().zip(answers).enumerate() {
         let e = n + j;
         p.set_objective_coeff(e, 1.0);
         let mut coeffs: Vec<(usize, f64)> = (0..n)

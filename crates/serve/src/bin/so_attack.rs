@@ -1,0 +1,128 @@
+//! `so_attack` — the LP-reconstruction attack client.
+//!
+//! Speaks the wire protocol against a running `so_served` (or any
+//! [`so_serve::server`]) instance: binds to a tenant, declares the
+//! Dinur–Nissim density-½ subset workload, and LP-decodes the answers —
+//! the Cohen–Nissim attack loop, aimed at a production API rather than an
+//! in-process mechanism.
+//!
+//! ```text
+//! so_attack --addr HOST:PORT --tenant NAME [--ratio R] [--seed S]
+//!           [--noise exact|bounded:A|dp:E] [--probe-metrics]
+//! ```
+//!
+//! Exit status: 0 when the attack *resolved* — either reconstructed (the
+//! tenant was undefended) or refused with gate evidence (the defense held);
+//! 2 on usage or transport errors. The caller decides which outcome was
+//! supposed to happen.
+
+use so_data::rng::seeded_rng;
+use so_plan::workload::Noise;
+use so_serve::{lp_attack, AttackOutcome, ServiceClient};
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut tenant: Option<String> = None;
+    let mut ratio = 4.0f64;
+    let mut seed = 1234u64;
+    let mut noise = Noise::Exact;
+    let mut probe_metrics = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(val("--addr")),
+            "--tenant" => tenant = Some(val("--tenant")),
+            "--ratio" => ratio = parse(&val("--ratio"), "--ratio"),
+            "--seed" => seed = parse(&val("--seed"), "--seed"),
+            "--noise" => noise = parse_noise(&val("--noise")),
+            "--probe-metrics" => probe_metrics = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: so_attack --addr HOST:PORT --tenant NAME [--ratio R] \
+                     [--seed S] [--noise exact|bounded:A|dp:E] [--probe-metrics]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| die("--addr is required"));
+    let tenant = tenant.unwrap_or_else(|| die("--tenant is required"));
+    let addr = addr
+        .parse()
+        .unwrap_or_else(|_| die(&format!("--addr: cannot parse {addr:?}")));
+
+    let mut client = ServiceClient::connect(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let (gated, n) = client
+        .hello(&tenant)
+        .unwrap_or_else(|e| die(&format!("hello {tenant:?}: {e}")));
+    let m = ((ratio * n as f64).ceil() as usize).max(1);
+    println!("tenant {tenant:?}: gated={gated} n={n}; attacking with m={m} subset queries");
+
+    let mut rng = seeded_rng(seed);
+    match lp_attack(&mut client, n, m, noise, &mut rng) {
+        Ok(AttackOutcome::Reconstructed {
+            reconstruction,
+            queries_issued,
+            total_residual,
+        }) => {
+            println!(
+                "RECONSTRUCTED: {queries_issued} queries answered; candidate has \
+                 {} of {n} bits set; LP residual {total_residual:.4}",
+                reconstruction.count_ones()
+            );
+        }
+        Ok(AttackOutcome::Refused {
+            codes,
+            refusals,
+            first_evidence,
+        }) => {
+            println!(
+                "REFUSED: {refusals} per-query refusals, codes [{}], evidence: {first_evidence}",
+                codes.join(", ")
+            );
+        }
+        Err(e) => die(&format!("attack: {e}")),
+    }
+
+    if probe_metrics {
+        let text = client
+            .metrics()
+            .unwrap_or_else(|e| die(&format!("metrics: {e}")));
+        let lines = text.lines().filter(|l| l.starts_with("so_serve_")).count();
+        println!("metrics probe: {lines} so_serve_* series exported");
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {s:?}")))
+}
+
+fn parse_noise(s: &str) -> Noise {
+    if s == "exact" {
+        return Noise::Exact;
+    }
+    if let Some(alpha) = s.strip_prefix("bounded:") {
+        return Noise::Bounded {
+            alpha: parse(alpha, "--noise bounded"),
+        };
+    }
+    if let Some(eps) = s.strip_prefix("dp:") {
+        return Noise::PureDp {
+            epsilon: parse(eps, "--noise dp"),
+        };
+    }
+    die(&format!(
+        "--noise: expected exact|bounded:A|dp:E, got {s:?}"
+    ))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("so_attack: {msg}");
+    std::process::exit(2);
+}

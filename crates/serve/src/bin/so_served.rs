@@ -1,0 +1,111 @@
+//! `so_served` — the standalone service daemon.
+//!
+//! Boots the multi-tenant server on a loopback (or given) address with a
+//! demo tenant pair — `open` (ungated: the vulnerable production API) and
+//! `guarded` (lint gate + continual ε budget) — prints the bound address,
+//! and serves until killed. A timer thread drives the logical rate-limit
+//! clock at ~1 tick/ms, giving the token buckets real-time behavior without
+//! the library ever reading a wall clock.
+//!
+//! ```text
+//! so_served [--bind ADDR] [--workers N] [--rows N] [--seed S] [--max-requests N]
+//! ```
+//!
+//! `--max-requests` makes the daemon exit on its own after serving that
+//! many requests — CI smoke jobs use it so an orphaned daemon cannot
+//! outlive its job.
+
+use std::sync::atomic::Ordering;
+
+fn main() {
+    let mut bind = "127.0.0.1:0".to_owned();
+    let mut workers = 4usize;
+    let mut rows = 128usize;
+    let mut seed = 42u64;
+    let mut max_requests: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--bind" => bind = val("--bind"),
+            "--workers" => workers = parse(&val("--workers"), "--workers"),
+            "--rows" => rows = parse(&val("--rows"), "--rows"),
+            "--seed" => seed = parse(&val("--seed"), "--seed"),
+            "--max-requests" => {
+                max_requests = Some(parse(&val("--max-requests"), "--max-requests"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: so_served [--bind ADDR] [--workers N] [--rows N] \
+                     [--seed S] [--max-requests N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let tenants = vec![
+        so_serve::TenantConfig::ungated("open", rows, seed),
+        so_serve::TenantConfig::gated("guarded", rows, seed).with_continual_budget(1.0),
+    ];
+    let config = so_serve::ServerConfig {
+        workers,
+        tick_per_request: false,
+        ..so_serve::ServerConfig::default()
+    };
+    let handle = match so_serve::spawn(tenants, config, Some(&bind)) {
+        Ok(h) => h,
+        Err(e) => die(&format!("bind {bind}: {e}")),
+    };
+    // Line-oriented readiness signal for scripts: they wait for this line,
+    // then parse the port from it.
+    println!("so_served listening on {}", handle.local_addr());
+    println!("tenants: open (ungated), guarded (gated, continual ε = 1.0)");
+
+    // Drive the logical clock from real time: ~1 tick per millisecond.
+    let tick = handle.tick();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let timer_stop = std::sync::Arc::clone(&stop);
+    let timer = std::thread::spawn(move || {
+        while !timer_stop.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            tick.advance(1);
+        }
+    });
+
+    match max_requests {
+        None => {
+            // Serve until killed.
+            timer.join().expect("timer thread");
+        }
+        Some(cap) => {
+            // Poll the request counter and drain once the cap is reached.
+            let reg = so_obs::global();
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let served = reg.counter_value("so_serve_requests_total").unwrap_or(0);
+                if served >= cap {
+                    break;
+                }
+            }
+            println!("so_served served {cap} requests; draining");
+            stop.store(true, Ordering::Release);
+            let _ = timer.join();
+            handle.shutdown();
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("so_served: {msg}");
+    std::process::exit(2);
+}

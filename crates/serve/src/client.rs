@@ -1,0 +1,205 @@
+//! The wire-protocol client, and the LP-reconstruction attack run through
+//! it.
+//!
+//! [`ServiceClient`] is a deliberately thin session: connect, `hello`, then
+//! typed request/response pairs over the framed protocol. [`lp_attack`] is
+//! the Cohen–Nissim "Linear Program Reconstruction in Practice" loop aimed
+//! at that client: declare the Dinur–Nissim density-½ subset workload
+//! (exactly [`so_recon::lp_attack_queries`]), submit it over the socket,
+//! and LP-decode whatever comes back — the attacker never touches the
+//! server's memory, only its public query interface.
+
+use std::net::{SocketAddr, TcpStream};
+
+use rand::Rng;
+
+use so_data::BitVec;
+use so_plan::workload::Noise;
+use so_recon::{lp_attack_queries, lp_decode};
+
+use crate::proto::{
+    read_frame, write_frame, ProtoError, Request, Response, WireQuery, DEFAULT_MAX_FRAME,
+};
+
+/// A client-side session failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Framing / protocol-shape failure.
+    Proto(ProtoError),
+    /// The server answered, but not with the expected response shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Unexpected(e) => write!(f, "unexpected response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One framed session with the server.
+pub struct ServiceClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl ServiceClient {
+    /// Connects (no `hello` yet).
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response framing: every write is a complete message, so
+        // coalescing delays only add latency.
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let v = read_frame(&mut self.stream, self.max_frame)?;
+        Ok(Response::from_json(&v)?)
+    }
+
+    /// Binds the session to `tenant`; returns `(gated, n_rows)`.
+    pub fn hello(&mut self, tenant: &str) -> Result<(bool, usize), ClientError> {
+        match self.call(&Request::Hello {
+            tenant: tenant.to_owned(),
+        })? {
+            Response::Welcome { gated, n_rows, .. } => Ok((gated, n_rows)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a workload; the server's verdict comes back verbatim
+    /// (`Answers`, `Refused`, or an `Error` such as `SO-RATE`).
+    pub fn workload(
+        &mut self,
+        queries: Vec<WireQuery>,
+        noise: Noise,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::Workload { queries, noise })
+    }
+
+    /// The session tenant's budget state.
+    pub fn budget(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Budget)
+    }
+
+    /// The server's live metrics registry, rendered.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsDump { text } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(r: &Response) -> ClientError {
+    ClientError::Unexpected(format!("{r:?}"))
+}
+
+/// What the remote LP attack produced.
+#[derive(Debug)]
+pub enum AttackOutcome {
+    /// The server answered; the decoded reconstruction follows.
+    Reconstructed {
+        /// Rounded row-by-row guess at the secret column.
+        reconstruction: BitVec,
+        /// Queries the attack issued.
+        queries_issued: usize,
+        /// Total LP residual at the optimum.
+        total_residual: f64,
+    },
+    /// The server refused the workload — the defense held. The per-query
+    /// refusals come back for citation.
+    Refused {
+        /// Distinct gate codes cited, sorted.
+        codes: Vec<String>,
+        /// Refusals received (offending query indices).
+        refusals: usize,
+        /// First refusal's evidence payload, for the transcript.
+        first_evidence: String,
+    },
+}
+
+/// Runs the LP-reconstruction attack against an established session: `m`
+/// density-½ subset queries from `rng` (the same generator
+/// [`so_recon::lp_reconstruct`] uses in-process), submitted as one declared
+/// workload with `noise`, then LP-decoded.
+pub fn lp_attack<R: Rng>(
+    client: &mut ServiceClient,
+    n: usize,
+    m: usize,
+    noise: Noise,
+    rng: &mut R,
+) -> Result<AttackOutcome, ClientError> {
+    let queries = lp_attack_queries(n, m, rng);
+    let wire: Vec<WireQuery> = queries
+        .iter()
+        .map(|q| {
+            WireQuery::Subset(
+                q.members()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| b.then_some(i))
+                    .collect(),
+            )
+        })
+        .collect();
+    match client.workload(wire, noise)? {
+        Response::Answers { answers } => {
+            let decoded = lp_decode(n, &queries, &answers)
+                .map_err(|e| ClientError::Unexpected(e.to_string()))?;
+            Ok(AttackOutcome::Reconstructed {
+                reconstruction: decoded.reconstruction,
+                queries_issued: m,
+                total_residual: decoded.total_residual,
+            })
+        }
+        Response::Refused { refusals, .. } => {
+            let mut codes: Vec<String> = refusals.iter().map(|r| r.code.clone()).collect();
+            codes.sort();
+            codes.dedup();
+            let first_evidence = refusals
+                .first()
+                .map(|r| r.evidence.clone())
+                .unwrap_or_default();
+            Ok(AttackOutcome::Refused {
+                codes,
+                refusals: refusals.len(),
+                first_evidence,
+            })
+        }
+        other => Err(unexpected(&other)),
+    }
+}

@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! # so-serve — the multi-tenant statistical-query service
+//!
+//! Everything this repository knows about singling out assumes an attacker
+//! on the *other side of an API*: Dinur–Nissim reconstruction works against
+//! "a database access mechanism", and Cohen–Nissim ran it against a live
+//! production aggregation endpoint ("Linear Program Reconstruction in
+//! Practice", arXiv:1810.05692). This crate is that endpoint, std-only over
+//! TCP:
+//!
+//! * [`proto`] — a length-prefixed JSON-frame wire protocol (workload
+//!   declarations in, answers or evidence-bearing refusals out), with
+//!   [`json`] as its dependency-free parser/renderer;
+//! * [`tenant`] — per-tenant isolation: each tenant has its own dataset,
+//!   secret column, lint-gate policy, optional continual-release
+//!   ε-accountant ([`so_analyze::IncrementalGate`] semantics at the service
+//!   edge), token-bucket rate limit, and audit log;
+//! * [`limit`] — deterministic rate limiting over a logical clock, so
+//!   rate-limit refusals (and their `retry_after_ticks`) are reproducible
+//!   byte-for-byte in the experiments;
+//! * [`server`] — acceptor + bounded worker pool, graceful drain on
+//!   shutdown, and a plain-HTTP `GET /metrics` endpoint on the same port
+//!   exporting the live [`so_obs`] registry;
+//! * [`client`] — the typed session client, plus [`client::lp_attack`]: the
+//!   LP-reconstruction attack speaking the wire protocol, which experiment
+//!   E20 aims at an ungated tenant (≥95 % of rows reconstructed) and a
+//!   gated one (refused with `SO-RECON` evidence).
+
+pub mod client;
+pub mod json;
+pub mod limit;
+pub mod obs;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+
+pub use client::{lp_attack, AttackOutcome, ClientError, ServiceClient};
+pub use limit::{TickSource, TokenBucket};
+pub use obs::{serve_metrics, serve_refusals, ServeMetrics};
+pub use proto::{Request, Response, WireQuery, WireRefusal};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use tenant::{Tenant, TenantConfig, WorkloadOutcome};

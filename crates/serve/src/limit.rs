@@ -1,0 +1,151 @@
+//! Deterministic per-tenant rate limiting.
+//!
+//! The server never reads a wall clock (the determinism lint bans ambient
+//! time in library code), so the token bucket is driven by a **logical
+//! tick**: a shared monotone counter the embedding decides how to advance.
+//! The standalone daemon advances it from a timer thread (~1 tick/ms); the
+//! in-process test harness and the deterministic experiments advance it once
+//! per processed frame, which makes rate-limit refusals — including their
+//! `retry_after_ticks` payloads — byte-identical across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared monotone logical clock.
+#[derive(Debug, Clone, Default)]
+pub struct TickSource(Arc<AtomicU64>);
+
+impl TickSource {
+    /// A new source starting at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by `n` ticks and returns the new value.
+    pub fn advance(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::AcqRel) + n
+    }
+}
+
+/// A classic token bucket over the logical clock.
+///
+/// The bucket holds up to `capacity` tokens and gains one token every
+/// `refill_every` ticks (computed lazily from the tick delta, so no
+/// background work is needed). Each admitted request costs one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: u64,
+    refill_every: u64,
+    tokens: u64,
+    last_refill_tick: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket. `capacity` and `refill_every` must be positive.
+    pub fn new(capacity: u64, refill_every: u64) -> Self {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        assert!(refill_every > 0, "refill interval must be positive");
+        TokenBucket {
+            capacity,
+            refill_every,
+            tokens: capacity,
+            last_refill_tick: 0,
+        }
+    }
+
+    /// Credits any tokens earned since the last refill, then tries to spend
+    /// one. `Err(retry_after)` is the number of ticks after `tick` at which
+    /// the next token becomes available.
+    pub fn admit(&mut self, tick: u64) -> Result<(), u64> {
+        self.refill(tick);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            Ok(())
+        } else {
+            // After a clamped refill `last_refill_tick` may sit ahead of a
+            // stale caller tick; saturate rather than underflow.
+            let elapsed = tick.saturating_sub(self.last_refill_tick);
+            Err(self.refill_every - elapsed.min(self.refill_every - 1))
+        }
+    }
+
+    /// Tokens currently available at `tick` (after lazy refill).
+    pub fn available(&mut self, tick: u64) -> u64 {
+        self.refill(tick);
+        self.tokens
+    }
+
+    fn refill(&mut self, tick: u64) {
+        // Ticks are monotone per source, but a fresh bucket may observe a
+        // clock that started before it; clamp instead of underflowing.
+        let tick = tick.max(self.last_refill_tick);
+        let earned = (tick - self.last_refill_tick) / self.refill_every;
+        if earned > 0 {
+            self.tokens = (self.tokens + earned).min(self.capacity);
+            self.last_refill_tick += earned * self.refill_every;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_refusal_with_retry_after() {
+        let mut b = TokenBucket::new(3, 10);
+        assert!(b.admit(0).is_ok());
+        assert!(b.admit(0).is_ok());
+        assert!(b.admit(0).is_ok());
+        // Bucket empty; next token arrives at tick 10.
+        assert_eq!(b.admit(0), Err(10));
+        assert_eq!(b.admit(4), Err(6));
+        // At tick 10 one token has been earned.
+        assert!(b.admit(10).is_ok());
+        assert_eq!(b.admit(10), Err(10));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(2, 5);
+        assert!(b.admit(0).is_ok());
+        assert!(b.admit(0).is_ok());
+        // A long idle stretch earns at most `capacity` tokens.
+        assert_eq!(b.available(1_000), 2);
+        assert!(b.admit(1_000).is_ok());
+        assert!(b.admit(1_000).is_ok());
+        assert!(b.admit(1_000).is_err());
+    }
+
+    #[test]
+    fn retry_after_is_honest() {
+        let mut b = TokenBucket::new(1, 7);
+        assert!(b.admit(3).is_ok());
+        let retry = b.admit(3).unwrap_err();
+        // Waiting exactly `retry` ticks must succeed.
+        assert!(b.admit(3 + retry).is_ok());
+    }
+
+    #[test]
+    fn tick_source_is_shared() {
+        let t = TickSource::new();
+        let t2 = t.clone();
+        assert_eq!(t.now(), 0);
+        assert_eq!(t2.advance(5), 5);
+        assert_eq!(t.now(), 5);
+    }
+
+    #[test]
+    fn stale_bucket_clamps_old_clock() {
+        let mut b = TokenBucket::new(1, 10);
+        b.last_refill_tick = 50;
+        // A tick below last_refill_tick must not underflow.
+        assert!(b.admit(40).is_ok());
+        assert_eq!(b.admit(40), Err(10));
+    }
+}

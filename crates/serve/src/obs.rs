@@ -1,0 +1,60 @@
+//! Service observability: `so_serve_*` counters in the [`so_obs::global`]
+//! registry, exported live over the wire (`metrics` op and the HTTP
+//! `/metrics` endpoint).
+//!
+//! Every metric here is an *aggregate* over the whole server — no per-worker
+//! or per-connection labels — and counts only logical events (requests,
+//! refusals, frames), never durations. That keeps the registry dump
+//! deterministic for a fixed request sequence, whatever the worker-pool
+//! interleaving: the same property the rest of the system's metrics uphold
+//! across `SO_THREADS` / `SO_STORAGE` / `SO_SCHEDULE`.
+
+use std::sync::OnceLock;
+
+use so_obs::{global, Counter, Gauge};
+
+/// Cached handles to the service metrics. Fetch once via [`serve_metrics`];
+/// updates are lock-free.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// `so_serve_requests_total` — well-formed requests processed.
+    pub requests: Counter,
+    /// `so_serve_workloads_answered_total` — workloads admitted and
+    /// answered.
+    pub workloads_answered: Counter,
+    /// `so_serve_workloads_refused_total` — workloads refused by a tenant's
+    /// gate.
+    pub workloads_refused: Counter,
+    /// `so_serve_rate_limited_total` — requests pushed back with `SO-RATE`.
+    pub rate_limited: Counter,
+    /// `so_serve_proto_errors_total` — malformed frames / requests answered
+    /// with `SO-PROTO`.
+    pub proto_errors: Counter,
+    /// `so_serve_sessions_total` — accepted connections.
+    pub sessions: Counter,
+    /// `so_serve_active_sessions` — connections currently being served.
+    pub active_sessions: Gauge,
+}
+
+/// The service's global metric handles, registered on first use.
+pub fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ServeMetrics {
+            requests: r.counter("so_serve_requests_total"),
+            workloads_answered: r.counter("so_serve_workloads_answered_total"),
+            workloads_refused: r.counter("so_serve_workloads_refused_total"),
+            rate_limited: r.counter("so_serve_rate_limited_total"),
+            proto_errors: r.counter("so_serve_proto_errors_total"),
+            sessions: r.counter("so_serve_sessions_total"),
+            active_sessions: r.gauge("so_serve_active_sessions"),
+        }
+    })
+}
+
+/// `so_serve_query_refusals_total{code=…}` — per-gate-code refusal counts at
+/// the service edge (the serving twin of `so_gate_query_refusals_total`).
+pub fn serve_refusals(code: &str) -> Counter {
+    global().counter_with("so_serve_query_refusals_total", &[("code", code)])
+}

@@ -1,0 +1,623 @@
+//! Per-tenant state: data, gate policy, budget, rate limit, audit log.
+//!
+//! A tenant is one isolated statistical-query surface. Each holds
+//!
+//! * a tabular [`Dataset`] (for counting queries) and a secret bit column
+//!   (for subset-sum queries) — both derived deterministically from the
+//!   tenant seed;
+//! * a gate policy: an *ungated* tenant answers any well-formed workload
+//!   (the vulnerable production API of the reconstruction literature); a
+//!   *gated* tenant lints every workload with [`lint_workload`] first and
+//!   refuses with the same per-index, evidence-bearing entries as
+//!   [`so_analyze::GatedEngine`];
+//! * optionally a [`ContinualAccountant`], under which non-DP releases are
+//!   refused outright and admitted DP workloads spend ε — the
+//!   [`so_analyze::IncrementalGate`] `SO-CBUDGET` semantics, enforced at
+//!   the service edge;
+//! * a [`TokenBucket`] rate limit and an append-only refusal log in the
+//!   gate's audit format, so a wire refusal is as citable as an in-process
+//!   one.
+//!
+//! Tenants never share mutable state: a panic while serving one tenant (the
+//! worker catches it) cannot corrupt another tenant's accountant or bucket.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use so_analyze::lint::{lint_workload, LintConfig, Severity};
+use so_analyze::CBUDGET_CODE;
+use so_data::rng::{derive_seed, seeded_rng};
+use so_data::{
+    AttributeDef, AttributeRole, BitVec, DataType, Dataset, DatasetBuilder, Schema, StorageEngine,
+    Value,
+};
+use so_dp::{sample_laplace, ContinualAccountant};
+use so_plan::shape::PredShape;
+use so_plan::workload::{Noise, QueryKind, WorkloadSpec};
+use so_query::engine::{CountingEngine, WorkloadAnswer};
+
+use crate::limit::TokenBucket;
+use crate::proto::{ProtoError, WireQuery, WireRefusal};
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name (the `hello` handle).
+    pub name: String,
+    /// Rows in the tenant's dataset (and bits in its secret column).
+    pub n_rows: usize,
+    /// Master seed; the secret column and release-noise stream derive from
+    /// it, so a tenant's behavior is a pure function of its config.
+    pub seed: u64,
+    /// Whether workloads pass through the lint gate.
+    pub gated: bool,
+    /// Lint tunables for the gate (ignored when ungated).
+    pub lint: LintConfig,
+    /// When set, attach a [`ContinualAccountant`] with this ε budget.
+    pub continual_epsilon: Option<f64>,
+    /// Token-bucket capacity (burst size).
+    pub rate_capacity: u64,
+    /// Ticks per earned token.
+    pub rate_refill_every: u64,
+}
+
+impl TenantConfig {
+    /// An ungated tenant with a generous rate limit — the "production API
+    /// that answers everything" of the reconstruction literature.
+    pub fn ungated(name: &str, n_rows: usize, seed: u64) -> Self {
+        TenantConfig {
+            name: name.to_owned(),
+            n_rows,
+            seed,
+            gated: false,
+            lint: LintConfig::default(),
+            continual_epsilon: None,
+            rate_capacity: 4096,
+            rate_refill_every: 1,
+        }
+    }
+
+    /// A gated tenant with default lints and the same rate limit.
+    pub fn gated(name: &str, n_rows: usize, seed: u64) -> Self {
+        TenantConfig {
+            gated: true,
+            ..Self::ungated(name, n_rows, seed)
+        }
+    }
+
+    /// Adds continual-release budget accounting.
+    pub fn with_continual_budget(mut self, epsilon: f64) -> Self {
+        self.continual_epsilon = Some(epsilon);
+        self
+    }
+
+    /// Overrides the token-bucket parameters.
+    pub fn with_rate(mut self, capacity: u64, refill_every: u64) -> Self {
+        self.rate_capacity = capacity;
+        self.rate_refill_every = refill_every;
+        self
+    }
+}
+
+/// The outcome of one workload against a tenant.
+#[derive(Debug, Clone)]
+pub enum WorkloadOutcome {
+    /// Admitted: released answers, in declaration order.
+    Answered(Vec<f64>),
+    /// Refused by the gate: per-offending-index refusals, no query ran.
+    Refused(Vec<WireRefusal>),
+}
+
+/// One tenant's live state.
+pub struct Tenant {
+    config: TenantConfig,
+    dataset: Dataset,
+    secret: BitVec,
+    accountant: Option<ContinualAccountant>,
+    noise_rng: StdRng,
+    bucket: TokenBucket,
+    refusal_log: Vec<String>,
+    workloads_answered: u64,
+    workloads_refused: u64,
+}
+
+impl Tenant {
+    /// Builds the tenant: dataset and secret derived from the seed, a full
+    /// token bucket, a fresh accountant if budgeted.
+    pub fn new(config: TenantConfig) -> Self {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "age",
+            DataType::Int,
+            AttributeRole::QuasiIdentifier,
+        )]);
+        let mut rows = seeded_rng(derive_seed(config.seed, 0));
+        let mut b = DatasetBuilder::new(schema);
+        for _ in 0..config.n_rows {
+            b.push_row(vec![Value::Int(rows.gen_range(0..90))]);
+        }
+        let dataset = b.finish_with_engine(StorageEngine::from_env());
+        let mut secret_rng = seeded_rng(derive_seed(config.seed, 1));
+        let mut secret = BitVec::zeros(config.n_rows);
+        for i in 0..config.n_rows {
+            secret.set(i, secret_rng.gen::<bool>());
+        }
+        let noise_rng = seeded_rng(derive_seed(config.seed, 2));
+        let bucket = TokenBucket::new(config.rate_capacity, config.rate_refill_every);
+        let accountant = config.continual_epsilon.map(ContinualAccountant::new);
+        Tenant {
+            config,
+            dataset,
+            secret,
+            accountant,
+            noise_rng,
+            bucket,
+            refusal_log: Vec::new(),
+            workloads_answered: 0,
+            workloads_refused: 0,
+        }
+    }
+
+    /// The tenant name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Whether the lint gate is on.
+    pub fn gated(&self) -> bool {
+        self.config.gated
+    }
+
+    /// Row count / secret length.
+    pub fn n_rows(&self) -> usize {
+        self.config.n_rows
+    }
+
+    /// The secret column — server-side ground truth, used by the experiment
+    /// harness to score a reconstruction. Never crosses the wire.
+    pub fn secret(&self) -> &BitVec {
+        &self.secret
+    }
+
+    /// Budget state: `(accounting?, spent, remaining, version)`.
+    pub fn budget(&self) -> (bool, f64, f64, u64) {
+        match &self.accountant {
+            Some(a) => (true, a.spent(), a.remaining(), a.version()),
+            None => (false, 0.0, 0.0, 0),
+        }
+    }
+
+    /// Admits or rate-limits one request at `tick`.
+    pub fn admit(&mut self, tick: u64) -> Result<(), u64> {
+        self.bucket.admit(tick)
+    }
+
+    /// The refusal audit log, in `[gate: CODE] query #i: …` format.
+    pub fn refusal_log(&self) -> &[String] {
+        &self.refusal_log
+    }
+
+    /// `(answered, refused)` workload counters.
+    pub fn workload_counts(&self) -> (u64, u64) {
+        (self.workloads_answered, self.workloads_refused)
+    }
+
+    /// Lints (when gated), budget-checks (when budgeted), and answers one
+    /// workload. `Err` means the workload was malformed (e.g. a subset index
+    /// out of range) and nothing ran.
+    pub fn run_workload(
+        &mut self,
+        queries: &[WireQuery],
+        noise: Noise,
+    ) -> Result<WorkloadOutcome, ProtoError> {
+        let spec = self.build_spec(queries, noise)?;
+        let mut spec = spec;
+        if self.config.gated {
+            let report = lint_workload(&mut spec, &self.config.lint);
+            if report.denies() {
+                // Mirror `GatedEngine::execute` for query-attributed
+                // findings: the first deny finding to flag each index wins,
+                // entries ascend by index, and the finding's evidence rides
+                // along. Workload-level deny findings (empty `queries`,
+                // e.g. `SO-RECON`'s density verdict) follow in report
+                // order, carrying their message as the citable detail.
+                let mut offending: BTreeMap<usize, &so_analyze::Finding> = BTreeMap::new();
+                let denies = report
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity == Severity::Deny);
+                for f in denies.clone() {
+                    for &q in &f.queries {
+                        offending.entry(q).or_insert(f);
+                    }
+                }
+                let mut refusals: Vec<WireRefusal> = offending
+                    .iter()
+                    .map(|(&q, &finding)| WireRefusal {
+                        query: Some(q),
+                        code: finding.lint.code().to_owned(),
+                        evidence: finding
+                            .evidence
+                            .as_ref()
+                            .filter(|ev| !ev.is_empty())
+                            .map(|ev| ev.to_string())
+                            .unwrap_or_default(),
+                    })
+                    .collect();
+                for f in denies.filter(|f| f.queries.is_empty()) {
+                    refusals.push(WireRefusal {
+                        query: None,
+                        code: f.lint.code().to_owned(),
+                        evidence: f
+                            .evidence
+                            .as_ref()
+                            .filter(|ev| !ev.is_empty())
+                            .map(|ev| ev.to_string())
+                            .unwrap_or_else(|| f.message.clone()),
+                    });
+                }
+                return Ok(self.refuse(&spec, refusals));
+            }
+            if self.accountant.is_some() {
+                if let Some(refusals) = self.continual_budget_check(&spec) {
+                    return Ok(self.refuse(&spec, refusals));
+                }
+            }
+        }
+        let answers = self.answer(&spec);
+        self.workloads_answered += 1;
+        crate::obs::serve_metrics().workloads_answered.inc();
+        Ok(WorkloadOutcome::Answered(answers))
+    }
+
+    /// The `SO-CBUDGET` semantics of `IncrementalGate::execute_admitted`:
+    /// under an accountant every release must be pure DP, and the workload's
+    /// basic-composition sum must fit the remaining budget; admitted
+    /// workloads spend their ε.
+    fn continual_budget_check(&mut self, spec: &WorkloadSpec) -> Option<Vec<WireRefusal>> {
+        let acct = self.accountant.as_mut().expect("accountant attached");
+        let version = acct.version();
+        let non_dp: Vec<usize> = spec
+            .queries()
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !matches!(q.noise, Noise::PureDp { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if !non_dp.is_empty() {
+            return Some(
+                non_dp
+                    .into_iter()
+                    .map(|q| WireRefusal {
+                        query: Some(q),
+                        code: CBUDGET_CODE.to_owned(),
+                        evidence: "non-DP release under continual accounting".to_owned(),
+                    })
+                    .collect(),
+            );
+        }
+        let costs: Vec<f64> = spec
+            .queries()
+            .iter()
+            .map(|q| match q.noise {
+                Noise::PureDp { epsilon } => epsilon,
+                _ => unreachable!("non-DP queries refused above"),
+            })
+            .collect();
+        let check = acct.precheck(&costs);
+        if !check.admissible {
+            let (total, remaining) = (check.total, check.remaining);
+            return Some(
+                (0..spec.len())
+                    .map(|q| WireRefusal {
+                        query: Some(q),
+                        code: CBUDGET_CODE.to_owned(),
+                        evidence: format!(
+                            "workload ε {total:.4} > remaining {remaining:.4} at v{version}"
+                        ),
+                    })
+                    .collect(),
+            );
+        }
+        for &eps in &costs {
+            let ok = acct.try_spend(eps);
+            debug_assert!(ok, "precheck admitted the workload");
+        }
+        None
+    }
+
+    /// Records a refusal: audit entries in the gate's format, counters, and
+    /// the wire payload. No query of a refused workload executes.
+    fn refuse(&mut self, spec: &WorkloadSpec, refusals: Vec<WireRefusal>) -> WorkloadOutcome {
+        self.workloads_refused += 1;
+        crate::obs::serve_metrics().workloads_refused.inc();
+        for r in &refusals {
+            crate::obs::serve_refusals(&r.code).inc();
+            let evidence = if r.evidence.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", r.evidence)
+            };
+            self.refusal_log.push(match r.query {
+                Some(q) => format!(
+                    "[gate: {}] query #{q}: {}{evidence}",
+                    r.code,
+                    render_query(spec, q)
+                ),
+                None => format!("[gate: {}] workload:{evidence}", r.code),
+            });
+        }
+        WorkloadOutcome::Refused(refusals)
+    }
+
+    /// Answers an admitted workload: predicate counts through the tabular
+    /// engine, subset sums against the secret column, release noise from
+    /// the tenant's seeded stream — in declaration order, so the noise
+    /// consumed per answer is deterministic.
+    fn answer(&mut self, spec: &WorkloadSpec) -> Vec<f64> {
+        let mut engine = CountingEngine::new(&self.dataset, None);
+        let executed = engine.execute_workload(spec);
+        let mut answers = Vec::with_capacity(spec.len());
+        for (i, q) in spec.queries().iter().enumerate() {
+            let truth = match &q.kind {
+                QueryKind::Subset(mask) => mask
+                    .iter()
+                    .enumerate()
+                    .filter(|&(r, m)| m && self.secret.get(r))
+                    .count() as f64,
+                QueryKind::Pred(_) => match executed.answers[i] {
+                    WorkloadAnswer::Count(c) => c as f64,
+                    other => unreachable!("predicate answered {other:?}"),
+                },
+            };
+            let released = match q.noise {
+                Noise::Exact => truth,
+                Noise::Bounded { alpha } => {
+                    if alpha > 0.0 {
+                        truth + self.noise_rng.gen_range(-alpha..=alpha)
+                    } else {
+                        truth
+                    }
+                }
+                Noise::PureDp { epsilon } => {
+                    truth + sample_laplace(1.0 / epsilon, &mut self.noise_rng)
+                }
+            };
+            answers.push(released);
+        }
+        answers
+    }
+
+    /// Lowers wire queries into a [`WorkloadSpec`], bounds-checking subset
+    /// indices and column references.
+    fn build_spec(&self, queries: &[WireQuery], noise: Noise) -> Result<WorkloadSpec, ProtoError> {
+        let n = self.config.n_rows;
+        let n_cols = self.dataset.schema().len();
+        let mut spec = WorkloadSpec::new(n);
+        for q in queries {
+            match q {
+                WireQuery::Subset(_) => {
+                    let subset = q.to_subset(n)?.expect("subset kind");
+                    spec.push_subset(&subset, noise);
+                }
+                WireQuery::IntRange { col, lo, hi } => {
+                    check_col(*col, n_cols)?;
+                    spec.push_shape(
+                        &PredShape::IntRange {
+                            col: *col,
+                            lo: *lo,
+                            hi: *hi,
+                        },
+                        noise,
+                    );
+                }
+                WireQuery::ValueEq { col, value } => {
+                    check_col(*col, n_cols)?;
+                    spec.push_shape(
+                        &PredShape::ValueEquals {
+                            col: *col,
+                            value: Value::Int(*value),
+                        },
+                        noise,
+                    );
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn check_col(col: usize, n_cols: usize) -> Result<(), ProtoError> {
+    if col >= n_cols {
+        return Err(ProtoError::BadShape(format!(
+            "column {col} out of range ({n_cols} columns)"
+        )));
+    }
+    Ok(())
+}
+
+fn render_query(spec: &WorkloadSpec, q: usize) -> String {
+    match &spec.queries()[q].kind {
+        QueryKind::Pred(id) => spec.pool().render(*id),
+        QueryKind::Subset(m) => format!("subset(|q| = {})", m.count_ones()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset_attack(n: usize, m: usize, seed: u64) -> Vec<WireQuery> {
+        let mut rng = seeded_rng(seed);
+        so_recon::lp_attack_queries(n, m, &mut rng)
+            .iter()
+            .map(|q| {
+                WireQuery::Subset(
+                    q.members()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| b.then_some(i))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ungated_tenant_answers_exact_subset_sums() {
+        let mut t = Tenant::new(TenantConfig::ungated("open", 32, 7));
+        let queries = vec![
+            WireQuery::Subset((0..32).collect()),
+            WireQuery::Subset(vec![0, 1, 2]),
+        ];
+        match t.run_workload(&queries, Noise::Exact).unwrap() {
+            WorkloadOutcome::Answered(a) => {
+                assert_eq!(a[0], t.secret().count_ones() as f64);
+                let expect = (0..3).filter(|&i| t.secret().get(i)).count() as f64;
+                assert_eq!(a[1], expect);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.workload_counts(), (1, 0));
+    }
+
+    #[test]
+    fn gated_tenant_refuses_dense_attack_with_recon_evidence() {
+        let n = 24;
+        let mut t = Tenant::new(TenantConfig::gated("guarded", n, 7));
+        let queries = subset_attack(n, 4 * n, 11);
+        match t.run_workload(&queries, Noise::Exact).unwrap() {
+            WorkloadOutcome::Refused(refusals) => {
+                assert!(!refusals.is_empty());
+                // The density verdict is workload-level; it crosses the
+                // wire with `query: None` and the theorem grounding.
+                let recon = refusals
+                    .iter()
+                    .find(|r| r.code == "SO-RECON")
+                    .unwrap_or_else(|| panic!("{refusals:?}"));
+                assert_eq!(recon.query, None);
+                assert!(recon.evidence.contains("LP-decoding"), "{}", recon.evidence);
+                // Per-index refusals ascend, deduplicated.
+                let idx: Vec<usize> = refusals.iter().filter_map(|r| r.query).collect();
+                let mut sorted = idx.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(idx, sorted);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(t
+            .refusal_log()
+            .iter()
+            .any(|e| e.starts_with("[gate: SO-RECON] workload:")));
+        assert!(t
+            .refusal_log()
+            .iter()
+            .any(|e| e.starts_with("[gate: ") && e.contains("query #0: subset(|q| = ")));
+        assert_eq!(t.workload_counts(), (0, 1));
+    }
+
+    #[test]
+    fn same_attack_under_dp_noise_is_admitted() {
+        let n = 24;
+        let mut t = Tenant::new(TenantConfig::gated("guarded", n, 7));
+        let queries = subset_attack(n, 4 * n, 11);
+        let out = t
+            .run_workload(&queries, Noise::PureDp { epsilon: 0.05 })
+            .unwrap();
+        assert!(matches!(out, WorkloadOutcome::Answered(_)));
+    }
+
+    #[test]
+    fn accountant_refuses_non_dp_then_meters_dp() {
+        let mut t = Tenant::new(TenantConfig::gated("metered", 16, 3).with_continual_budget(1.0));
+        let q = vec![WireQuery::Subset(vec![0, 1])];
+        // Exact release: SO-CBUDGET outright.
+        match t.run_workload(&q, Noise::Exact).unwrap() {
+            WorkloadOutcome::Refused(r) => {
+                assert_eq!(r[0].code, CBUDGET_CODE);
+                assert!(r[0].evidence.contains("non-DP"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.budget().1, 0.0, "refusal spends nothing");
+        // DP releases spend until the budget runs out.
+        let dp = Noise::PureDp { epsilon: 0.4 };
+        assert!(matches!(
+            t.run_workload(&q, dp).unwrap(),
+            WorkloadOutcome::Answered(_)
+        ));
+        assert!(matches!(
+            t.run_workload(&q, dp).unwrap(),
+            WorkloadOutcome::Answered(_)
+        ));
+        let (_, spent, remaining, _) = t.budget();
+        assert!((spent - 0.8).abs() < 1e-12);
+        assert!((remaining - 0.2).abs() < 1e-12);
+        match t.run_workload(&q, dp).unwrap() {
+            WorkloadOutcome::Refused(r) => {
+                assert_eq!(r[0].code, CBUDGET_CODE);
+                assert!(r[0].evidence.contains("remaining"), "{:?}", r[0].evidence);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!((t.budget().1 - 0.8).abs() < 1e-12, "refusal spends nothing");
+    }
+
+    #[test]
+    fn predicate_queries_count_rows() {
+        let mut t = Tenant::new(TenantConfig::ungated("open", 64, 9));
+        let queries = vec![
+            WireQuery::IntRange {
+                col: 0,
+                lo: 0,
+                hi: 89,
+            },
+            WireQuery::ValueEq { col: 0, value: -1 },
+        ];
+        match t.run_workload(&queries, Noise::Exact).unwrap() {
+            WorkloadOutcome::Answered(a) => {
+                assert_eq!(a[0], 64.0, "ages all fall in 0..90");
+                assert_eq!(a[1], 0.0, "no negative ages");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_queries_run_nothing() {
+        let mut t = Tenant::new(TenantConfig::ungated("open", 8, 1));
+        assert!(t
+            .run_workload(&[WireQuery::Subset(vec![8])], Noise::Exact)
+            .is_err());
+        assert!(t
+            .run_workload(
+                &[WireQuery::IntRange {
+                    col: 5,
+                    lo: 0,
+                    hi: 1
+                }],
+                Noise::Exact
+            )
+            .is_err());
+        assert_eq!(t.workload_counts(), (0, 0));
+    }
+
+    #[test]
+    fn seeded_noise_stream_is_deterministic() {
+        let run = || {
+            let mut t = Tenant::new(TenantConfig::ungated("open", 16, 5));
+            let q = vec![WireQuery::Subset(vec![0, 1, 2, 3])];
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                match t.run_workload(&q, Noise::Bounded { alpha: 2.0 }).unwrap() {
+                    WorkloadOutcome::Answered(a) => out.extend(a),
+                    other => panic!("{other:?}"),
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

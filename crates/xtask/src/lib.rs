@@ -30,6 +30,8 @@
 //! own crate is excluded: its rule tables necessarily spell the tokens it
 //! hunts.
 
+pub mod verify;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
