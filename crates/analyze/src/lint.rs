@@ -344,7 +344,18 @@ pub fn lint_workload(workload: &mut WorkloadSpec, cfg: &LintConfig) -> LintRepor
     // histogram for `SO_METRICS` dumps and never reaches a finding, report
     // field, or transcript.
     let start = std::time::Instant::now();
+    let span = so_obs::span("gate.lint");
     let report = lint_workload_passes(workload, cfg);
+    if so_obs::enabled() {
+        span.finish_with(&[
+            ("queries", workload.len().to_string()),
+            ("findings", report.findings.len().to_string()),
+            (
+                "verdict",
+                if report.denies() { "deny" } else { "allow" }.to_owned(),
+            ),
+        ]);
+    }
     crate::obs::record_lint_run(&report, start.elapsed().as_micros() as u64);
     report
 }

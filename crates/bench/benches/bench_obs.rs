@@ -1,0 +1,70 @@
+//! Criterion bench for the observability layer itself: what the tentpole
+//! instrumentation costs on the serving hot path. Four cases, all with
+//! tracing *disabled* (the production default — no subscriber installed, so
+//! spans reduce to one relaxed atomic load):
+//!
+//! * `disabled_span` — open + finish a span with no subscriber;
+//! * `request_id_guard` — install/restore the thread-local correlation id;
+//! * `flight_push` — one ring push of a fully-populated [`RequestRecord`];
+//! * `labeled_counter` — resolve + increment a `{op, tenant}` counter
+//!   (registry lookup under the global mutex: the most expensive per-request
+//!   metric the server touches).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use so_serve::{FlightRecorder, RequestRecord};
+
+fn record(i: u64) -> RequestRecord {
+    RequestRecord {
+        tenant: "bench".to_owned(),
+        op: "workload".to_owned(),
+        request_id: format!("bench-{i}"),
+        outcome: "answered".to_owned(),
+        codes: Vec::new(),
+        evidence: String::new(),
+        epsilon_spent: 0.1,
+        rows_scanned: 256,
+        cache_hits: 1,
+        latency_micros: 120,
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| {
+            let span = so_obs::span(black_box("bench.span"));
+            span.finish_with(&[]);
+        });
+    });
+
+    group.bench_function("request_id_guard", |b| {
+        b.iter(|| {
+            let _g = so_obs::with_request_id(black_box("bench-1"));
+            black_box(so_obs::current_request_id())
+        });
+    });
+
+    group.bench_function("flight_push", |b| {
+        let mut recorder = FlightRecorder::new(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            recorder.push(black_box(record(i)));
+            recorder.total()
+        });
+    });
+
+    group.bench_function("labeled_counter", |b| {
+        b.iter(|| {
+            so_serve::obs::serve_requests_by_op(black_box("workload"), black_box("bench")).inc();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E21 — request correlation, the flight recorder, and labeled metrics.
+
+fn main() {
+    so_bench::experiment_main(so_bench::experiments::e21_flight_recorder::run);
+}

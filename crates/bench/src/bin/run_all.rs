@@ -31,6 +31,7 @@ fn main() {
         ("E18", e::e18_query_matrix::run),
         ("E19", e::e19_incremental::run),
         ("E20", e::e20_service_attack::run),
+        ("E21", e::e21_flight_recorder::run),
         ("LT", e::lt_legal_verdicts::run),
     ];
     for (name, f) in runs {

@@ -91,7 +91,7 @@ pub fn parse_bench_output(text: &str) -> BenchReport {
 }
 
 /// Bench groups the recorded artifact must cover.
-pub const REQUIRED_GROUPS: [&str; 10] = [
+pub const REQUIRED_GROUPS: [&str; 11] = [
     "subset_sum_true_answer",
     "count_range_100k",
     "select_range_100k",
@@ -102,6 +102,7 @@ pub const REQUIRED_GROUPS: [&str; 10] = [
     "incremental_scan",
     "lint_cost",
     "service_throughput",
+    "obs_overhead",
 ];
 
 /// Validates a recorded transcript: all `time:` lines parse, every required

@@ -20,4 +20,5 @@ pub mod e17_observability;
 pub mod e18_query_matrix;
 pub mod e19_incremental;
 pub mod e20_service_attack;
+pub mod e21_flight_recorder;
 pub mod lt_legal_verdicts;

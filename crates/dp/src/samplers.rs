@@ -26,7 +26,23 @@ pub fn sample_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
     let m = crate::obs::dp_metrics();
     m.laplace_draws.inc();
     m.noise_abs.observe(x.abs());
+    draw_event("laplace", b);
     x
+}
+
+/// Emits one `dp.draw` trace event when tracing is on. Deliberately records
+/// only the sampler and its *public* scale parameter — never the realized
+/// noise value, which would let a trace reader denoise released counts.
+fn draw_event(sampler: &str, scale: f64) {
+    if so_obs::enabled() {
+        so_obs::event(
+            "dp.draw",
+            &[
+                ("sampler", sampler.to_owned()),
+                ("scale", format!("{scale}")),
+            ],
+        );
+    }
 }
 
 /// Samples the two-sided geometric distribution with parameter
@@ -51,6 +67,7 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(epsilon_over_delta: f64, rng:
     let m = crate::obs::dp_metrics();
     m.geometric_draws.inc();
     m.noise_abs.observe(x.unsigned_abs() as f64);
+    draw_event("geometric", epsilon_over_delta);
     x
 }
 
@@ -81,6 +98,7 @@ pub fn sample_gaussian<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
     let m = crate::obs::dp_metrics();
     m.gaussian_draws.inc();
     m.noise_abs.observe(x.abs());
+    draw_event("gaussian", sigma);
     x
 }
 

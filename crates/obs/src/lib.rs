@@ -16,6 +16,9 @@
 //! * [`trace`] — span-based tracing with a pluggable [`TraceSubscriber`].
 //!   No-op by default (one atomic load per span); `SO_TRACE=path` installs
 //!   a [`JsonLinesSubscriber`] writing one JSON record per completed span.
+//!   A thread-local request-id context ([`with_request_id`]) tags every
+//!   span/event a request handler emits, so one trace file reconstructs
+//!   per-request span trees keyed by `request_id`.
 //!
 //! Determinism contract (enforced by the workspace's CI transcript gates):
 //! every metric value that can feed an experiment transcript is derived
@@ -35,7 +38,8 @@ pub mod trace;
 
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use trace::{
-    enabled, event, flush, set_subscriber, span, Field, JsonLinesSubscriber, Span, TraceSubscriber,
+    current_request_id, enabled, event, flush, set_subscriber, span, with_request_id, Field,
+    JsonLinesSubscriber, RequestIdGuard, Span, TraceSubscriber,
 };
 
 /// Environment variable naming the JSON-lines trace output path.

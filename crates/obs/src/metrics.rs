@@ -152,6 +152,26 @@ impl Histogram {
             .collect()
     }
 
+    /// An upper bound for the `q`-quantile of the observed distribution:
+    /// the smallest registered bucket bound whose cumulative count reaches
+    /// rank `ceil(q·count)`. Returns `None` with no observations, and
+    /// `f64::INFINITY` when the quantile falls in the `+Inf` overflow
+    /// bucket. Used by the serve slow-log summary ("p99 ≤ 500µs").
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let cum = self.cumulative_buckets();
+        for (i, &c) in cum.iter().enumerate() {
+            if c >= rank {
+                return Some(self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
     /// The finite bucket bounds this histogram was registered with.
     pub fn bounds(&self) -> &[f64] {
         &self.0.bounds
@@ -170,6 +190,23 @@ enum Metric {
 struct Key {
     name: String,
     labels: Vec<(String, String)>,
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed must be backslash-escaped or the
+/// rendered line is unparsable (a raw `"` terminates the value early, a raw
+/// newline splits the sample across lines).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn key(name: &str, labels: &[(&str, &str)]) -> Key {
@@ -225,9 +262,17 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or creates the gauge `name` with the given label set.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different metric type.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let mut m = self.metrics.lock().expect("metrics registry poisoned");
         match m
-            .entry(key(name, &[]))
+            .entry(key(name, labels))
             .or_insert_with(|| Metric::Gauge(Gauge::detached()))
         {
             Metric::Gauge(g) => g.clone(),
@@ -243,9 +288,20 @@ impl Registry {
     /// Panics if `name` is already registered as a different metric type, or
     /// if the bounds are not strictly increasing.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, bounds, &[])
+    }
+
+    /// Gets or creates the histogram `name` with the given label set (per-
+    /// series bucket bounds are fixed by the first registration of that
+    /// exact name+labels key).
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different metric type,
+    /// or if the bounds are not strictly increasing.
+    pub fn histogram_with(&self, name: &str, bounds: &[f64], labels: &[(&str, &str)]) -> Histogram {
         let mut m = self.metrics.lock().expect("metrics registry poisoned");
         match m
-            .entry(key(name, &[]))
+            .entry(key(name, labels))
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
@@ -269,8 +325,13 @@ impl Registry {
 
     /// Current value of a registered gauge, if present.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauge_value_with(name, &[])
+    }
+
+    /// Current value of a registered labeled gauge, if present.
+    pub fn gauge_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         let m = self.metrics.lock().expect("metrics registry poisoned");
-        match m.get(&key(name, &[])) {
+        match m.get(&key(name, labels)) {
             Some(Metric::Gauge(g)) => Some(g.get()),
             _ => None,
         }
@@ -296,10 +357,10 @@ impl Registry {
                 let mut parts: Vec<String> = k
                     .labels
                     .iter()
-                    .map(|(lk, lv)| format!("{lk}=\"{lv}\""))
+                    .map(|(lk, lv)| format!("{lk}=\"{}\"", escape_label_value(lv)))
                     .collect();
                 if let Some((lk, lv)) = extra {
-                    parts.push(format!("{lk}=\"{lv}\""));
+                    parts.push(format!("{lk}=\"{}\"", escape_label_value(&lv)));
                 }
                 if parts.is_empty() {
                     String::new()
@@ -428,6 +489,96 @@ mod tests {
         assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("lat_micros_sum 257"));
         assert!(text.contains("lat_micros_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_render() {
+        let r = Registry::new();
+        r.counter_with("odd_total", &[("tenant", "a\"b")]).inc();
+        r.counter_with("odd_total", &[("tenant", "c\\d")]).add(2);
+        r.counter_with("odd_total", &[("tenant", "e\nf")]).add(3);
+        let text = r.render();
+        assert!(
+            text.contains("odd_total{tenant=\"a\\\"b\"} 1"),
+            "quote must be escaped:\n{text}"
+        );
+        assert!(
+            text.contains("odd_total{tenant=\"c\\\\d\"} 2"),
+            "backslash must be escaped:\n{text}"
+        );
+        assert!(
+            text.contains("odd_total{tenant=\"e\\nf\"} 3"),
+            "newline must be escaped:\n{text}"
+        );
+        // Every rendered line is a single sample — a raw newline in a label
+        // value would have split one into two.
+        assert_eq!(text.lines().count(), 4, "TYPE line + 3 samples:\n{text}");
+    }
+
+    #[test]
+    fn labeled_gauges_and_histograms_are_distinct_series() {
+        let r = Registry::new();
+        r.gauge_with("eps_spent", &[("tenant", "open")]).set(1.5);
+        r.gauge_with("eps_spent", &[("tenant", "gated")]).set(0.25);
+        assert_eq!(
+            r.gauge_value_with("eps_spent", &[("tenant", "open")]),
+            Some(1.5)
+        );
+        assert_eq!(
+            r.gauge_value_with("eps_spent", &[("tenant", "gated")]),
+            Some(0.25)
+        );
+        assert_eq!(r.gauge_value("eps_spent"), None, "unlabeled absent");
+        let ha = r.histogram_with("lat_micros", &[10.0], &[("op", "a")]);
+        let hb = r.histogram_with("lat_micros", &[10.0], &[("op", "b")]);
+        ha.observe(5.0);
+        assert_eq!((ha.count(), hb.count()), (1, 0));
+        let text = r.render();
+        assert!(text.contains("lat_micros_bucket{op=\"a\",le=\"10\"} 1"));
+        assert!(text.contains("lat_micros_count{op=\"b\"} 0"));
+    }
+
+    #[test]
+    fn cumulative_buckets_with_empty_bounds() {
+        // Zero finite bounds: only the implicit +Inf bucket exists.
+        let h = Histogram::detached(&[]);
+        assert_eq!(h.cumulative_buckets(), vec![0]);
+        h.observe(3.0);
+        h.observe(-1.0);
+        assert_eq!(h.cumulative_buckets(), vec![2]);
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_buckets_all_overflow() {
+        let h = Histogram::detached(&[1.0, 2.0]);
+        for v in [10.0, 20.0, 30.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative_buckets(), vec![0, 0, 3]);
+    }
+
+    #[test]
+    fn quantile_upper_bound_edges() {
+        let h = Histogram::detached(&[10.0, 100.0, 1000.0]);
+        assert_eq!(h.quantile_upper_bound(0.99), None, "no observations");
+        for _ in 0..99 {
+            h.observe(5.0);
+        }
+        assert_eq!(h.quantile_upper_bound(0.99), Some(10.0));
+        h.observe(50.0);
+        // Rank ceil(0.99·100)=99 still inside the first bucket.
+        assert_eq!(h.quantile_upper_bound(0.99), Some(10.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(100.0));
+        // All-overflow observations land in +Inf.
+        let o = Histogram::detached(&[1.0]);
+        o.observe(99.0);
+        assert_eq!(o.quantile_upper_bound(0.5), Some(f64::INFINITY));
+        // Empty bounds: every quantile is the overflow bucket.
+        let e = Histogram::detached(&[]);
+        e.observe(1.0);
+        assert_eq!(e.quantile_upper_bound(0.0), Some(f64::INFINITY));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! experiment answers, which is what lets a CI gate diff transcripts with
 //! and without `SO_TRACE` set.
 
+use std::cell::RefCell;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -50,11 +51,61 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+thread_local! {
+    /// The request id governing spans/events emitted from this thread, set
+    /// by [`with_request_id`]. Thread-local because a serve worker handles
+    /// exactly one request at a time — every span the handler opens (gate,
+    /// plan, execute, dp) inherits the id without signature plumbing.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Tags every span and event emitted from the current thread with a
+/// `request_id` field until the returned guard drops. Nests: the guard
+/// restores the previous id (if any) on drop.
+///
+/// Cheap when tracing is disabled — the id is stored but only rendered into
+/// records when a subscriber is installed.
+pub fn with_request_id(id: &str) -> RequestIdGuard {
+    let prev = REQUEST_ID.with(|r| r.replace(Some(id.to_owned())));
+    RequestIdGuard { prev }
+}
+
+/// The request id currently governing this thread, if any.
+pub fn current_request_id() -> Option<String> {
+    REQUEST_ID.with(|r| r.borrow().clone())
+}
+
+/// RAII guard from [`with_request_id`]; restores the previous thread-local
+/// request id on drop.
+#[must_use = "the request id is cleared when the guard drops"]
+#[derive(Debug)]
+pub struct RequestIdGuard {
+    prev: Option<String>,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Appends the thread-local `request_id` field to `fields` unless the
+/// caller already supplied one. Only called when a subscriber is installed.
+fn with_context(fields: &[Field]) -> Vec<Field> {
+    let mut out = fields.to_vec();
+    if !fields.iter().any(|(k, _)| *k == "request_id") {
+        if let Some(id) = current_request_id() {
+            out.push(("request_id", id));
+        }
+    }
+    out
+}
+
 /// Emits an instantaneous event to the subscriber, if any.
 pub fn event(name: &str, fields: &[Field]) {
     if enabled() {
         if let Some(s) = SUBSCRIBER.get() {
-            s.on_event(name, fields);
+            s.on_event(name, &with_context(fields));
         }
     }
 }
@@ -95,7 +146,11 @@ impl Span {
     pub fn finish_with(mut self, fields: &[Field]) {
         if let Some(start) = self.start.take() {
             if let Some(s) = SUBSCRIBER.get() {
-                s.on_span(self.name, start.elapsed().as_micros() as u64, fields);
+                s.on_span(
+                    self.name,
+                    start.elapsed().as_micros() as u64,
+                    &with_context(fields),
+                );
             }
         }
     }
@@ -105,7 +160,11 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start.take() {
             if let Some(s) = SUBSCRIBER.get() {
-                s.on_span(self.name, start.elapsed().as_micros() as u64, &[]);
+                s.on_span(
+                    self.name,
+                    start.elapsed().as_micros() as u64,
+                    &with_context(&[]),
+                );
             }
         }
     }
@@ -227,6 +286,46 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\n\t"), "x\\n\\t");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn request_id_context_nests_and_restores() {
+        assert_eq!(current_request_id(), None);
+        {
+            let _outer = with_request_id("req-1");
+            assert_eq!(current_request_id().as_deref(), Some("req-1"));
+            {
+                let _inner = with_request_id("req-2");
+                assert_eq!(current_request_id().as_deref(), Some("req-2"));
+            }
+            assert_eq!(current_request_id().as_deref(), Some("req-1"));
+        }
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn context_appends_request_id_without_clobbering() {
+        let _g = with_request_id("ctx-9");
+        let got = with_context(&[("op", "workload".to_owned())]);
+        assert_eq!(
+            got,
+            vec![
+                ("op", "workload".to_owned()),
+                ("request_id", "ctx-9".to_owned())
+            ]
+        );
+        // An explicit request_id field wins over the ambient one.
+        let explicit = with_context(&[("request_id", "mine".to_owned())]);
+        assert_eq!(explicit, vec![("request_id", "mine".to_owned())]);
+    }
+
+    #[test]
+    fn context_is_per_thread() {
+        let _g = with_request_id("main-thread");
+        let other = std::thread::spawn(current_request_id)
+            .join()
+            .expect("thread");
+        assert_eq!(other, None, "request ids do not leak across threads");
     }
 
     #[test]

@@ -235,6 +235,7 @@ impl<'a> CountingEngine<'a> {
     /// `SubsetSumMechanism` (see `answer_all`).
     pub fn execute_workload(&mut self, spec: &WorkloadSpec) -> WorkloadAnswers {
         crate::obs::query_metrics().workloads.inc();
+        let span = so_obs::span("engine.workload");
         let mut memo = HashMap::new();
         let n_queries = spec.len();
         let mut targets: Vec<Option<ExprId>> = Vec::with_capacity(n_queries);
@@ -292,6 +293,14 @@ impl<'a> CountingEngine<'a> {
             .filter(|a| matches!(a, WorkloadAnswer::Unanswerable))
             .count();
         self.absorb(stats);
+        if so_obs::enabled() {
+            span.finish_with(&[
+                ("queries", n_queries.to_string()),
+                ("atom_scans", stats.atom_scans.to_string()),
+                ("cache_hits", stats.cache_hits.to_string()),
+                ("unanswerable", stats.unanswerable.to_string()),
+            ]);
+        }
         WorkloadAnswers {
             answers,
             targets,

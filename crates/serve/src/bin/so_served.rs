@@ -96,6 +96,18 @@ fn main() {
             stop.store(true, Ordering::Release);
             let _ = timer.join();
             handle.shutdown();
+            // Export-only latency summary on stderr: upper bounds of the
+            // histogram buckets holding the p50/p99 ranks.
+            let hist = &so_serve::serve_metrics().request_micros;
+            if let (Some(p50), Some(p99)) = (
+                hist.quantile_upper_bound(0.50),
+                hist.quantile_upper_bound(0.99),
+            ) {
+                eprintln!(
+                    "so_served latency: {} requests, p50 <= {p50} us, p99 <= {p99} us",
+                    hist.count()
+                );
+            }
         }
     }
 }

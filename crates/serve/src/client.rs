@@ -17,8 +17,11 @@ use so_data::BitVec;
 use so_plan::workload::Noise;
 use so_recon::{lp_attack_queries, lp_decode};
 
+use crate::flight::RequestRecord;
+use crate::json::Json;
 use crate::proto::{
-    read_frame, write_frame, ProtoError, Request, Response, WireQuery, DEFAULT_MAX_FRAME,
+    attach_request_id, read_frame, write_frame, ProtoError, Request, Response, WireQuery,
+    DEFAULT_MAX_FRAME,
 };
 
 /// A client-side session failure.
@@ -60,6 +63,8 @@ impl From<ProtoError> for ClientError {
 pub struct ServiceClient {
     stream: TcpStream,
     max_frame: usize,
+    next_request_id: Option<String>,
+    last_request_id: Option<String>,
 }
 
 impl ServiceClient {
@@ -72,14 +77,52 @@ impl ServiceClient {
         Ok(ServiceClient {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            next_request_id: None,
+            last_request_id: None,
         })
+    }
+
+    /// Tags the *next* request with `id`. The server echoes the id in its
+    /// response and threads it through its span tree, so a client-chosen id
+    /// stitches client-side and server-side traces together. One-shot: the
+    /// id applies to the next [`call`](Self::call) only.
+    pub fn set_next_request_id(&mut self, id: &str) {
+        self.next_request_id = Some(id.to_owned());
+    }
+
+    /// The `request_id` echoed in the most recent response (server-assigned
+    /// `srv-N` when the client did not supply one).
+    pub fn last_request_id(&self) -> Option<&str> {
+        self.last_request_id.as_deref()
     }
 
     /// Sends one request and reads one response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_json())?;
+        let mut frame = request.to_json();
+        if let Some(id) = self.next_request_id.take() {
+            frame = attach_request_id(frame, &id);
+        }
+        write_frame(&mut self.stream, &frame)?;
         let v = read_frame(&mut self.stream, self.max_frame)?;
+        self.last_request_id = match v.get("request_id") {
+            Some(Json::Str(id)) => Some(id.clone()),
+            _ => None,
+        };
         Ok(Response::from_json(&v)?)
+    }
+
+    /// The session tenant's flight-recorder dump:
+    /// `(cap, cumulative total, retained records oldest-first)`.
+    pub fn flight(&mut self) -> Result<(usize, u64, Vec<RequestRecord>), ClientError> {
+        match self.call(&Request::Flight)? {
+            Response::FlightDump {
+                cap,
+                total,
+                records,
+                ..
+            } => Ok((cap, total, records)),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Binds the session to `tenant`; returns `(gated, n_rows)`.

@@ -21,14 +21,20 @@
 //!   rate-limit refusals (and their `retry_after_ticks`) are reproducible
 //!   byte-for-byte in the experiments;
 //! * [`server`] — acceptor + bounded worker pool, graceful drain on
-//!   shutdown, and a plain-HTTP `GET /metrics` endpoint on the same port
-//!   exporting the live [`so_obs`] registry;
+//!   shutdown, and plain-HTTP `GET`/`HEAD` endpoints on the same port:
+//!   `/metrics` (the live [`so_obs`] registry), `/healthz`, and
+//!   `/flight/<tenant>` (the flight-recorder dump as JSON lines);
+//! * [`flight`] — the per-tenant flight recorder: a bounded ring
+//!   (`SO_FLIGHT_CAP`) of structured [`RequestRecord`]s — op, request id,
+//!   lint codes, refusal evidence, ε spent, rows scanned, export-only
+//!   latency — with an `SO_SLOWLOG_MICROS` stderr slow log;
 //! * [`client`] — the typed session client, plus [`client::lp_attack`]: the
 //!   LP-reconstruction attack speaking the wire protocol, which experiment
 //!   E20 aims at an ungated tenant (≥95 % of rows reconstructed) and a
 //!   gated one (refused with `SO-RECON` evidence).
 
 pub mod client;
+pub mod flight;
 pub mod json;
 pub mod limit;
 pub mod obs;
@@ -37,6 +43,7 @@ pub mod server;
 pub mod tenant;
 
 pub use client::{lp_attack, AttackOutcome, ClientError, ServiceClient};
+pub use flight::{FlightRecorder, RequestProfile, RequestRecord};
 pub use limit::{TickSource, TokenBucket};
 pub use obs::{serve_metrics, serve_refusals, ServeMetrics};
 pub use proto::{Request, Response, WireQuery, WireRefusal};

@@ -2,16 +2,52 @@
 //! registry, exported live over the wire (`metrics` op and the HTTP
 //! `/metrics` endpoint).
 //!
-//! Every metric here is an *aggregate* over the whole server — no per-worker
-//! or per-connection labels — and counts only logical events (requests,
-//! refusals, frames), never durations. That keeps the registry dump
-//! deterministic for a fixed request sequence, whatever the worker-pool
-//! interleaving: the same property the rest of the system's metrics uphold
-//! across `SO_THREADS` / `SO_STORAGE` / `SO_SCHEDULE`.
+//! Two layers:
+//!
+//! * **aggregates** ([`serve_metrics`]) — whole-server counters of logical
+//!   events (requests, refusals, frames), plus the export-only
+//!   `so_serve_request_micros` latency histogram;
+//! * **per-tenant labels** ([`serve_requests_by_op`],
+//!   [`serve_tenant_refusals`], [`serve_epsilon_gauges`],
+//!   [`serve_op_latency`]) — the burn-down / refusal / latency views the
+//!   paper's operator would actually watch, labeled `{tenant, op}` or
+//!   `{tenant, code}`. Tenant label cardinality is capped at
+//!   [`TENANT_LABEL_CAP`] distinct names; later tenants collapse into the
+//!   `other` label so an adversarial tenant churn cannot grow the registry
+//!   without bound. Op and code labels come from closed sets and need no
+//!   cap.
+//!
+//! Determinism: every counter and gauge value derives from logical events,
+//! so for a fixed request sequence the non-`_micros` dump is identical
+//! whatever the worker interleaving (CI diffs it across `SO_THREADS`).
+//! Wall clock feeds only `*_micros` histograms, which the diffs filter.
 
-use std::sync::OnceLock;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
 
-use so_obs::{global, Counter, Gauge};
+use so_obs::{global, Counter, Gauge, Histogram};
+
+/// Bucket bounds (µs) for the request-latency histograms: loopback
+/// request handling sits in the tens-to-hundreds of µs, LP-sized workloads
+/// in the ms range, so the grid is dense there and sparse above.
+pub const REQUEST_MICROS_BOUNDS: [f64; 12] = [
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    100_000.0,
+    500_000.0,
+    2_000_000.0,
+];
+
+/// Most distinct tenant names the labeled metrics will track; the
+/// `TENANT_LABEL_CAP + 1`-th tenant and beyond share the `other` label.
+pub const TENANT_LABEL_CAP: usize = 32;
 
 /// Cached handles to the service metrics. Fetch once via [`serve_metrics`];
 /// updates are lock-free.
@@ -34,6 +70,17 @@ pub struct ServeMetrics {
     pub sessions: Counter,
     /// `so_serve_active_sessions` — connections currently being served.
     pub active_sessions: Gauge,
+    /// `so_serve_request_micros` — export-only handling latency over all
+    /// requests; feeds the drain-time p99 summary, never a transcript.
+    pub request_micros: Histogram,
+    /// `so_serve_flight_records_total` — flight-recorder pushes across all
+    /// tenants.
+    pub flight_records: Counter,
+    /// `so_serve_slowlog_over_micros_total` — requests that crossed the
+    /// `SO_SLOWLOG_MICROS` threshold. Whether a request is "slow" is a
+    /// wall-clock fact, so the name keeps the `_micros` token and the
+    /// cross-configuration metric diffs filter it like the histograms.
+    pub slowlog_emitted: Counter,
 }
 
 /// The service's global metric handles, registered on first use.
@@ -49,6 +96,9 @@ pub fn serve_metrics() -> &'static ServeMetrics {
             proto_errors: r.counter("so_serve_proto_errors_total"),
             sessions: r.counter("so_serve_sessions_total"),
             active_sessions: r.gauge("so_serve_active_sessions"),
+            request_micros: r.histogram("so_serve_request_micros", &REQUEST_MICROS_BOUNDS),
+            flight_records: r.counter("so_serve_flight_records_total"),
+            slowlog_emitted: r.counter("so_serve_slowlog_over_micros_total"),
         }
     })
 }
@@ -57,4 +107,123 @@ pub fn serve_metrics() -> &'static ServeMetrics {
 /// the service edge (the serving twin of `so_gate_query_refusals_total`).
 pub fn serve_refusals(code: &str) -> Counter {
     global().counter_with("so_serve_query_refusals_total", &[("code", code)])
+}
+
+/// Maps a tenant name onto its metric label, enforcing the cardinality cap:
+/// the first [`TENANT_LABEL_CAP`] distinct names keep their own label,
+/// everything after shares `other`. First-come-first-kept is deterministic
+/// for a fixed request sequence.
+fn tenant_label(tenant: &str) -> String {
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut seen = match seen.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    label_for(&mut seen, tenant, TENANT_LABEL_CAP)
+}
+
+/// The pure capping rule behind [`tenant_label`], separated for tests.
+fn label_for(seen: &mut BTreeSet<String>, tenant: &str, cap: usize) -> String {
+    if seen.contains(tenant) {
+        return tenant.to_owned();
+    }
+    if seen.len() < cap {
+        seen.insert(tenant.to_owned());
+        return tenant.to_owned();
+    }
+    "other".to_owned()
+}
+
+/// `so_serve_requests_by_op_total{op,tenant}` — requests by wire op and
+/// tenant (`tenant="none"` for ops outside any tenant binding).
+pub fn serve_requests_by_op(op: &str, tenant: &str) -> Counter {
+    let t = tenant_label(tenant);
+    global().counter_with(
+        "so_serve_requests_by_op_total",
+        &[("op", op), ("tenant", &t)],
+    )
+}
+
+/// `so_serve_tenant_refusals_total{code,tenant}` — refusals by gate code
+/// *and* tenant: which principal keeps tripping `SO-RECON`.
+pub fn serve_tenant_refusals(code: &str, tenant: &str) -> Counter {
+    let t = tenant_label(tenant);
+    global().counter_with(
+        "so_serve_tenant_refusals_total",
+        &[("code", code), ("tenant", &t)],
+    )
+}
+
+/// ε burn-down gauges for one tenant:
+/// `(so_serve_tenant_epsilon_spent{tenant}, so_serve_tenant_epsilon_remaining{tenant})`.
+pub fn serve_epsilon_gauges(tenant: &str) -> (Gauge, Gauge) {
+    let t = tenant_label(tenant);
+    (
+        global().gauge_with("so_serve_tenant_epsilon_spent", &[("tenant", &t)]),
+        global().gauge_with("so_serve_tenant_epsilon_remaining", &[("tenant", &t)]),
+    )
+}
+
+/// `so_serve_op_micros{op,tenant}` — export-only per-op handling latency.
+pub fn serve_op_latency(op: &str, tenant: &str) -> Histogram {
+    let t = tenant_label(tenant);
+    global().histogram_with(
+        "so_serve_op_micros",
+        &REQUEST_MICROS_BOUNDS,
+        &[("op", op), ("tenant", &t)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_cap_collapses_overflow_into_other() {
+        let mut seen = BTreeSet::new();
+        assert_eq!(label_for(&mut seen, "a", 2), "a");
+        assert_eq!(label_for(&mut seen, "b", 2), "b");
+        // A third distinct tenant overflows…
+        assert_eq!(label_for(&mut seen, "c", 2), "other");
+        // …while established tenants keep their labels.
+        assert_eq!(label_for(&mut seen, "a", 2), "a");
+        assert_eq!(label_for(&mut seen, "b", 2), "b");
+        // Overflowed names stay collapsed (they were never admitted).
+        assert_eq!(label_for(&mut seen, "c", 2), "other");
+        assert_eq!(seen.len(), 2, "the set never grows past the cap");
+    }
+
+    #[test]
+    fn labeled_series_register_and_accumulate() {
+        serve_requests_by_op("workload", "obs-test-tenant").add(2);
+        assert!(
+            global()
+                .counter_value_with(
+                    "so_serve_requests_by_op_total",
+                    &[("op", "workload"), ("tenant", "obs-test-tenant")]
+                )
+                .unwrap()
+                >= 2
+        );
+        serve_tenant_refusals("SO-RECON", "obs-test-tenant").inc();
+        let (spent, remaining) = serve_epsilon_gauges("obs-test-tenant");
+        spent.set(0.75);
+        remaining.set(0.25);
+        assert_eq!(
+            global().gauge_value_with(
+                "so_serve_tenant_epsilon_spent",
+                &[("tenant", "obs-test-tenant")]
+            ),
+            Some(0.75)
+        );
+        serve_op_latency("workload", "obs-test-tenant").observe(120.0);
+        let text = global().render();
+        assert!(text.contains(
+            "so_serve_tenant_refusals_total{code=\"SO-RECON\",tenant=\"obs-test-tenant\"}"
+        ));
+        assert!(text.contains(
+            "so_serve_op_micros_bucket{op=\"workload\",tenant=\"obs-test-tenant\",le=\"250\"}"
+        ));
+    }
 }

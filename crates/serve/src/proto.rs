@@ -16,6 +16,12 @@
 //! |            | value_eq), `noise`                   | structured refusal      |
 //! | `budget`   | —                                    | accountant state        |
 //! | `metrics`  | —                                    | registry dump           |
+//! | `flight`   | —                                    | flight-recorder dump    |
+//!
+//! Any request may carry an optional `request_id` string (≤ 128 chars);
+//! the server echoes it — or a deterministic server-assigned `srv-N` — in
+//! every response, and the same id tags every trace span the request
+//! produces, so one trace file reconstructs per-request span trees.
 //!
 //! Responses always carry `"ok"`. Failures carry `error.code` — `SO-PROTO`
 //! (malformed frame or request), `SO-TENANT` (unknown tenant / no hello),
@@ -30,10 +36,49 @@ use std::io::{Read, Write};
 use so_plan::workload::Noise;
 use so_query::SubsetQuery;
 
+use crate::flight::RequestRecord;
 use crate::json::{parse, Json};
 
 /// Protocol version string echoed by `hello`.
 pub const PROTOCOL_VERSION: &str = "so-serve/1";
+
+/// Longest client-supplied `request_id` the server accepts. Correlation
+/// ids are labels, not payloads; an unbounded id would let a client stuff
+/// kilobytes into every trace span and flight record.
+pub const MAX_REQUEST_ID_LEN: usize = 128;
+
+/// Pulls the optional `request_id` out of a raw request object.
+///
+/// Returns `Ok(None)` when absent (the server then assigns `srv-N`),
+/// `Err` when present but not a non-empty string of at most
+/// [`MAX_REQUEST_ID_LEN`] characters.
+pub fn extract_request_id(v: &Json) -> Result<Option<String>, ProtoError> {
+    match v.get("request_id") {
+        None => Ok(None),
+        Some(Json::Str(s)) if !s.is_empty() && s.chars().count() <= MAX_REQUEST_ID_LEN => {
+            Ok(Some(s.clone()))
+        }
+        Some(Json::Str(_)) => Err(ProtoError::BadShape(format!(
+            "request_id must be 1..={MAX_REQUEST_ID_LEN} characters"
+        ))),
+        Some(_) => Err(ProtoError::BadShape(
+            "request_id must be a string".to_owned(),
+        )),
+    }
+}
+
+/// Stamps `request_id` onto a rendered message object (requests on the way
+/// out of the client, responses on the way out of the server). Non-objects
+/// pass through untouched.
+pub fn attach_request_id(v: Json, id: &str) -> Json {
+    match v {
+        Json::Obj(mut m) => {
+            m.insert("request_id".to_owned(), Json::Str(id.to_owned()));
+            Json::Obj(m)
+        }
+        other => other,
+    }
+}
 
 /// Default cap on a frame's payload length (1 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
@@ -326,6 +371,9 @@ pub enum Request {
     Budget,
     /// The live `so-obs` registry, rendered in the Prometheus text format.
     Metrics,
+    /// The session tenant's flight-recorder dump (not rate-limited:
+    /// introspection must stay reachable while a tenant is being throttled).
+    Flight,
 }
 
 impl Request {
@@ -347,6 +395,20 @@ impl Request {
             ]),
             Request::Budget => Json::obj(vec![("op", Json::str("budget"))]),
             Request::Metrics => Json::obj(vec![("op", Json::str("metrics"))]),
+            Request::Flight => Json::obj(vec![("op", Json::str("flight"))]),
+        }
+    }
+
+    /// The wire op discriminator — the `op` label on per-op metrics and
+    /// flight records.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Ping => "ping",
+            Request::Workload { .. } => "workload",
+            Request::Budget => "budget",
+            Request::Metrics => "metrics",
+            Request::Flight => "flight",
         }
     }
 
@@ -368,6 +430,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "budget" => Ok(Request::Budget),
             "metrics" => Ok(Request::Metrics),
+            "flight" => Ok(Request::Flight),
             "workload" => {
                 let queries = v
                     .get("queries")
@@ -449,6 +512,17 @@ pub enum Response {
         /// Prometheus-format registry render.
         text: String,
     },
+    /// The session tenant's flight-recorder dump.
+    FlightDump {
+        /// The tenant the records belong to.
+        tenant: String,
+        /// The ring capacity in force (`SO_FLIGHT_CAP`).
+        cap: usize,
+        /// All-time recorded requests (cap-invariant).
+        total: u64,
+        /// Retained records, oldest first.
+        records: Vec<RequestRecord>,
+    },
     /// Any error, including rate-limit pushback.
     Error {
         /// Error code (`SO-PROTO`, `SO-TENANT`, `SO-RATE`, `SO-SHUTDOWN`).
@@ -527,6 +601,26 @@ impl Response {
             Response::MetricsDump { text } => {
                 Json::obj(vec![("ok", Json::Bool(true)), ("metrics", Json::str(text))])
             }
+            Response::FlightDump {
+                tenant,
+                cap,
+                total,
+                records,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "flight",
+                    Json::obj(vec![
+                        ("tenant", Json::str(tenant)),
+                        ("cap", Json::num(*cap as f64)),
+                        ("total", Json::num(*total as f64)),
+                        (
+                            "records",
+                            Json::Arr(records.iter().map(RequestRecord::to_json).collect()),
+                        ),
+                    ]),
+                ),
+            ]),
             Response::Error {
                 code,
                 detail,
@@ -609,6 +703,25 @@ impl Response {
         if let Some(text) = v.get("metrics").and_then(Json::as_str) {
             return Ok(Response::MetricsDump {
                 text: text.to_owned(),
+            });
+        }
+        if let Some(fl) = v.get("flight") {
+            let records = fl
+                .get("records")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| shape("flight dump needs `records`"))?
+                .iter()
+                .map(RequestRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::FlightDump {
+                tenant: fl
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| shape("flight dump needs `tenant`"))?
+                    .to_owned(),
+                cap: fl.get("cap").and_then(Json::as_usize).unwrap_or(0),
+                total: fl.get("total").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                records,
             });
         }
         if let Some(accounting) = v.get("accounting").and_then(Json::as_bool) {
@@ -727,6 +840,59 @@ mod tests {
             detail: "bad frame".to_owned(),
             retry_after_ticks: None,
         });
+    }
+
+    #[test]
+    fn flight_op_and_dump_roundtrip() {
+        roundtrip_req(Request::Flight);
+        assert_eq!(Request::Flight.op_name(), "flight");
+        roundtrip_resp(Response::FlightDump {
+            tenant: "open".to_owned(),
+            cap: 256,
+            total: 999,
+            records: vec![crate::flight::RequestRecord {
+                tenant: "open".to_owned(),
+                op: "workload".to_owned(),
+                request_id: "att-1".to_owned(),
+                outcome: "answered".to_owned(),
+                codes: Vec::new(),
+                evidence: String::new(),
+                epsilon_spent: 0.5,
+                rows_scanned: 2048,
+                cache_hits: 7,
+                latency_micros: 321,
+            }],
+        });
+    }
+
+    #[test]
+    fn request_id_extraction_and_echo() {
+        let bare = Request::Ping.to_json();
+        assert_eq!(extract_request_id(&bare).unwrap(), None);
+        let tagged = attach_request_id(bare, "att-42");
+        assert_eq!(
+            extract_request_id(&tagged).unwrap().as_deref(),
+            Some("att-42")
+        );
+        // The tagged frame still parses as the same request.
+        assert_eq!(Request::from_json(&tagged).unwrap(), Request::Ping);
+        // Responses carry the echo without breaking shape-based parsing.
+        let resp = attach_request_id(Response::Pong.to_json(), "att-42");
+        assert_eq!(Response::from_json(&resp).unwrap(), Response::Pong);
+        assert_eq!(
+            resp.get("request_id").and_then(Json::as_str),
+            Some("att-42")
+        );
+        // Bad shapes are refused: empty, oversized, non-string.
+        let empty = attach_request_id(Request::Ping.to_json(), "");
+        assert!(extract_request_id(&empty).is_err());
+        let long = attach_request_id(Request::Ping.to_json(), &"x".repeat(200));
+        assert!(extract_request_id(&long).is_err());
+        let nonstr = Json::obj(vec![
+            ("op", Json::str("ping")),
+            ("request_id", Json::num(7.0)),
+        ]);
+        assert!(extract_request_id(&nonstr).is_err());
     }
 
     #[test]

@@ -18,14 +18,16 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use crate::flight::{slowlog_line, slowlog_micros_from_env, RequestRecord};
 use crate::limit::TickSource;
 use crate::proto::{
-    read_frame_with_prefix, write_frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    attach_request_id, extract_request_id, read_frame_with_prefix, write_frame, ProtoError,
+    Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use crate::tenant::{Tenant, TenantConfig, WorkloadOutcome};
 
@@ -61,6 +63,12 @@ struct Shared {
     queue_cv: Condvar,
     max_frame: usize,
     tick_per_request: bool,
+    /// Source of server-assigned request ids (`srv-N`): deterministic for a
+    /// sequential request stream, merely unique under concurrency.
+    request_seq: AtomicU64,
+    /// `SO_SLOWLOG_MICROS` threshold, read once at spawn; `None` disables
+    /// the stderr slow log.
+    slowlog_micros: Option<u64>,
 }
 
 /// A handle to a running server.
@@ -91,6 +99,8 @@ pub fn spawn(
         queue_cv: Condvar::new(),
         max_frame: config.max_frame,
         tick_per_request: config.tick_per_request,
+        request_seq: AtomicU64::new(0),
+        slowlog_micros: slowlog_micros_from_env(),
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -243,7 +253,7 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
     // Responses are complete messages; never let Nagle hold one back.
     let _ = stream.set_nodelay(true);
-    // Sniff the first 4 bytes: "GET " means a plain-HTTP metrics scrape
+    // Sniff the first 4 bytes: "GET " or "HEAD" means a plain-HTTP request
     // sharing the port; anything else is a frame-length prefix.
     let mut first = [0u8; 4];
     {
@@ -255,8 +265,8 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             return; // closed (or drained) before a full prefix
         }
     }
-    if &first == b"GET " {
-        serve_http_metrics(&mut stream);
+    if &first == b"GET " || &first == b"HEAD" {
+        serve_http(shared, &mut stream, first);
         return;
     }
 
@@ -314,6 +324,18 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 continue;
             }
         };
+        // Correlation id: validated before dispatch so a malformed id is an
+        // SO-PROTO answer, assigned (`srv-N`) when the client sent none.
+        let supplied = match extract_request_id(&value) {
+            Ok(id) => id,
+            Err(e) => {
+                crate::obs::serve_metrics().proto_errors.inc();
+                if respond(&mut stream, &proto_error(&e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
         let request = match Request::from_json(&value) {
             Ok(r) => r,
             Err(e) => {
@@ -335,19 +357,101 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             );
             return;
         }
-        let response = handle_request(shared, &mut session_tenant, request);
-        if respond(&mut stream, &response).is_err() {
+        let request_id = supplied.unwrap_or_else(|| {
+            format!(
+                "srv-{}",
+                shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1
+            )
+        });
+        let response = handle_request(shared, &mut session_tenant, request, &request_id);
+        if respond_with_id(&mut stream, &response, &request_id).is_err() {
             return;
         }
     }
+}
+
+/// What one dispatched request leaves behind for the flight recorder and
+/// the labeled metrics. `tenant == None` means the request ran outside any
+/// tenant binding (nothing to record against).
+#[derive(Debug, Default)]
+struct FlightDraft {
+    tenant: Option<String>,
+    /// False for pure introspection (`flight`): recording the act of
+    /// reading the recorder would make every inspection shift the ring.
+    record: bool,
+    outcome: &'static str,
+    codes: Vec<String>,
+    evidence: String,
+    epsilon_spent: f64,
+    rows_scanned: u64,
+    cache_hits: u64,
 }
 
 fn handle_request(
     shared: &Arc<Shared>,
     session_tenant: &mut Option<String>,
     request: Request,
+    request_id: &str,
+) -> Response {
+    // The wall clock below is export-only: it feeds the `*_micros`
+    // histograms, the flight record's latency field, and the stderr slow
+    // log — never a response body or transcript value.
+    let started = Instant::now();
+    let _rid = so_obs::with_request_id(request_id);
+    let span = so_obs::span("serve.request");
+    let op = request.op_name();
+    let mut draft = FlightDraft::default();
+    let response = dispatch(shared, session_tenant, request, &mut draft);
+    let micros = started.elapsed().as_micros() as u64;
+
+    let sm = crate::obs::serve_metrics();
+    sm.request_micros.observe(micros as f64);
+    let tenant_label = draft.tenant.as_deref().unwrap_or("none");
+    crate::obs::serve_requests_by_op(op, tenant_label).inc();
+    crate::obs::serve_op_latency(op, tenant_label).observe(micros as f64);
+
+    if draft.record {
+        if let Some(name) = &draft.tenant {
+            if let Some(tenant) = shared.tenants.get(name) {
+                let record = RequestRecord {
+                    tenant: name.clone(),
+                    op: op.to_owned(),
+                    request_id: request_id.to_owned(),
+                    outcome: draft.outcome.to_owned(),
+                    codes: std::mem::take(&mut draft.codes),
+                    evidence: std::mem::take(&mut draft.evidence),
+                    epsilon_spent: draft.epsilon_spent,
+                    rows_scanned: draft.rows_scanned,
+                    cache_hits: draft.cache_hits,
+                    latency_micros: micros,
+                };
+                if shared.slowlog_micros.is_some_and(|t| micros >= t) {
+                    sm.slowlog_emitted.inc();
+                    eprintln!("{}", slowlog_line(&record));
+                }
+                sm.flight_records.inc();
+                lock_clean(tenant).flight_mut().push(record);
+            }
+        }
+    }
+    if so_obs::enabled() {
+        span.finish_with(&[
+            ("op", op.to_owned()),
+            ("tenant", tenant_label.to_owned()),
+            ("outcome", draft.outcome.to_owned()),
+        ]);
+    }
+    response
+}
+
+fn dispatch(
+    shared: &Arc<Shared>,
+    session_tenant: &mut Option<String>,
+    request: Request,
+    draft: &mut FlightDraft,
 ) -> Response {
     crate::obs::serve_metrics().requests.inc();
+    draft.outcome = "ok";
     let tick = if shared.tick_per_request {
         shared.tick.advance(1)
     } else {
@@ -358,6 +462,8 @@ fn handle_request(
             Some(t) => {
                 let t = lock_clean(t);
                 *session_tenant = Some(tenant.clone());
+                draft.tenant = Some(tenant.clone());
+                draft.record = true;
                 Response::Welcome {
                     tenant,
                     gated: t.gated(),
@@ -365,18 +471,24 @@ fn handle_request(
                     version: PROTOCOL_VERSION.to_owned(),
                 }
             }
-            None => Response::Error {
-                code: "SO-TENANT".to_owned(),
-                detail: format!("unknown tenant {tenant:?}"),
-                retry_after_ticks: None,
-            },
+            None => {
+                draft.outcome = "error";
+                draft.codes = vec!["SO-TENANT".to_owned()];
+                Response::Error {
+                    code: "SO-TENANT".to_owned(),
+                    detail: format!("unknown tenant {tenant:?}"),
+                    retry_after_ticks: None,
+                }
+            }
         },
         Request::Ping => Response::Pong,
         Request::Metrics => Response::MetricsDump {
             text: so_obs::global().render(),
         },
-        Request::Budget | Request::Workload { .. } => {
+        Request::Budget | Request::Workload { .. } | Request::Flight => {
             let Some(name) = session_tenant.as_ref() else {
+                draft.outcome = "error";
+                draft.codes = vec!["SO-TENANT".to_owned()];
                 return Response::Error {
                     code: "SO-TENANT".to_owned(),
                     detail: "no tenant bound; send hello first".to_owned(),
@@ -388,8 +500,22 @@ fn handle_request(
                 .get(name)
                 .expect("session tenant exists: hello validated it");
             let mut tenant = lock_clean(tenant);
+            draft.tenant = Some(name.clone());
+            if matches!(request, Request::Flight) {
+                // Introspection is never rate-limited (a throttled tenant
+                // must still be inspectable) and never recorded.
+                return Response::FlightDump {
+                    tenant: name.clone(),
+                    cap: tenant.flight().cap(),
+                    total: tenant.flight().total(),
+                    records: tenant.flight().records(),
+                };
+            }
+            draft.record = true;
             if let Err(retry_after) = tenant.admit(tick) {
                 crate::obs::serve_metrics().rate_limited.inc();
+                draft.outcome = "rate_limited";
+                draft.codes = vec!["SO-RATE".to_owned()];
                 return Response::Error {
                     code: "SO-RATE".to_owned(),
                     detail: format!("tenant {name:?} over rate limit"),
@@ -399,6 +525,7 @@ fn handle_request(
             match request {
                 Request::Budget => {
                     let (accounting, spent, remaining, version) = tenant.budget();
+                    tenant.publish_epsilon_gauges();
                     Response::BudgetState {
                         accounting,
                         spent,
@@ -407,14 +534,30 @@ fn handle_request(
                     }
                 }
                 Request::Workload { queries, noise } => {
-                    match tenant.run_workload(&queries, noise) {
-                        Ok(WorkloadOutcome::Answered(answers)) => Response::Answers { answers },
-                        Ok(WorkloadOutcome::Refused(refusals)) => Response::Refused {
-                            refusals,
-                            queries: queries.len(),
-                        },
+                    let outcome = tenant.run_workload(&queries, noise);
+                    let profile = tenant.last_profile().clone();
+                    draft.codes = profile.codes;
+                    draft.evidence = profile.evidence;
+                    draft.epsilon_spent = profile.epsilon_spent;
+                    draft.rows_scanned = profile.rows_scanned;
+                    draft.cache_hits = profile.cache_hits;
+                    tenant.publish_epsilon_gauges();
+                    match outcome {
+                        Ok(WorkloadOutcome::Answered(answers)) => {
+                            draft.outcome = "answered";
+                            Response::Answers { answers }
+                        }
+                        Ok(WorkloadOutcome::Refused(refusals)) => {
+                            draft.outcome = "refused";
+                            Response::Refused {
+                                refusals,
+                                queries: queries.len(),
+                            }
+                        }
                         Err(e) => {
                             crate::obs::serve_metrics().proto_errors.inc();
+                            draft.outcome = "error";
+                            draft.codes = vec!["SO-PROTO".to_owned()];
                             proto_error(&e)
                         }
                     }
@@ -437,12 +580,29 @@ fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     write_frame(stream, &response.to_json())
 }
 
-/// Answers one `GET /metrics` scrape with the live registry and closes.
-fn serve_http_metrics(stream: &mut TcpStream) {
-    // Drain the request head (best effort — scrapers send a small header
-    // block; stop at the blank line or EOF).
+/// Like [`respond`], but first tags the response object with the request id
+/// it answers, so a client can correlate frames with its own trace.
+fn respond_with_id(
+    stream: &mut TcpStream,
+    response: &Response,
+    request_id: &str,
+) -> std::io::Result<()> {
+    write_frame(stream, &attach_request_id(response.to_json(), request_id))
+}
+
+/// Answers one plain-HTTP `GET`/`HEAD` request and closes. Routes:
+///
+/// * `/metrics` — the live [`so_obs::global`] registry, Prometheus text;
+/// * `/healthz` — `ok` while the acceptor is up (liveness probe);
+/// * `/flight/<tenant>` — that tenant's flight-recorder dump as JSON lines
+///   (includes `latency_micros`: HTTP output is export-only, never diffed).
+///
+/// `HEAD` returns the same status and `content-length` with an empty body.
+fn serve_http(shared: &Arc<Shared>, stream: &mut TcpStream, first: [u8; 4]) {
+    // Drain the request head (best effort — probes and scrapers send a
+    // small header block; stop at the blank line or EOF).
     let mut buf = [0u8; 512];
-    let mut head: Vec<u8> = b"GET ".to_vec();
+    let mut head: Vec<u8> = first.to_vec();
     loop {
         if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
             break;
@@ -452,19 +612,47 @@ fn serve_http_metrics(stream: &mut TcpStream) {
             Ok(n) => head.extend_from_slice(&buf[..n]),
         }
     }
-    let path_ok = head
+    let path: Vec<u8> = head
         .split(|&b| b == b' ')
         .nth(1)
-        .is_some_and(|p| p == b"/metrics" || p.starts_with(b"/metrics?"));
-    let (status, body) = if path_ok {
-        ("200 OK", so_obs::global().render())
-    } else {
-        ("404 Not Found", "only /metrics is served\n".to_owned())
-    };
+        .map(|p| p.split(|&b| b == b'?').next().unwrap_or(p).to_vec())
+        .unwrap_or_default();
+    let (status, body) = route_http(shared, &path);
     let response = format!(
         "HTTP/1.1 {status}\r\ncontent-type: text/plain; version=0.0.4\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+         content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
+    if &first != b"HEAD" {
+        let _ = stream.write_all(body.as_bytes());
+    }
+}
+
+/// The pure routing rule behind [`serve_http`], separated for tests:
+/// `(status line, body)` for a query-stripped request path.
+fn route_http(shared: &Arc<Shared>, path: &[u8]) -> (&'static str, String) {
+    match path {
+        b"/metrics" => ("200 OK", so_obs::global().render()),
+        b"/healthz" => ("200 OK", "ok\n".to_owned()),
+        _ if path.starts_with(b"/flight/") => {
+            let name = String::from_utf8_lossy(&path[b"/flight/".len()..]).into_owned();
+            match shared.tenants.get(&name) {
+                Some(tenant) => {
+                    let tenant = lock_clean(tenant);
+                    let mut body = String::new();
+                    for record in tenant.flight().records() {
+                        body.push_str(&record.to_json().render());
+                        body.push('\n');
+                    }
+                    ("200 OK", body)
+                }
+                None => ("404 Not Found", format!("unknown tenant {name:?}\n")),
+            }
+        }
+        _ => (
+            "404 Not Found",
+            "routes: /metrics /healthz /flight/<tenant>\n".to_owned(),
+        ),
+    }
 }

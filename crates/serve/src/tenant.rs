@@ -38,6 +38,7 @@ use so_plan::shape::PredShape;
 use so_plan::workload::{Noise, QueryKind, WorkloadSpec};
 use so_query::engine::{CountingEngine, WorkloadAnswer};
 
+use crate::flight::{FlightRecorder, RequestProfile};
 use crate::limit::TokenBucket;
 use crate::proto::{ProtoError, WireQuery, WireRefusal};
 
@@ -61,6 +62,9 @@ pub struct TenantConfig {
     pub rate_capacity: u64,
     /// Ticks per earned token.
     pub rate_refill_every: u64,
+    /// Flight-recorder ring capacity; `None` reads `SO_FLIGHT_CAP`
+    /// (default 256).
+    pub flight_cap: Option<usize>,
 }
 
 impl TenantConfig {
@@ -76,6 +80,7 @@ impl TenantConfig {
             continual_epsilon: None,
             rate_capacity: 4096,
             rate_refill_every: 1,
+            flight_cap: None,
         }
     }
 
@@ -97,6 +102,13 @@ impl TenantConfig {
     pub fn with_rate(mut self, capacity: u64, refill_every: u64) -> Self {
         self.rate_capacity = capacity;
         self.rate_refill_every = refill_every;
+        self
+    }
+
+    /// Overrides the flight-recorder ring capacity (tests; the daemon uses
+    /// `SO_FLIGHT_CAP`).
+    pub fn with_flight_cap(mut self, cap: usize) -> Self {
+        self.flight_cap = Some(cap);
         self
     }
 }
@@ -121,6 +133,8 @@ pub struct Tenant {
     refusal_log: Vec<String>,
     workloads_answered: u64,
     workloads_refused: u64,
+    flight: FlightRecorder,
+    last_profile: RequestProfile,
 }
 
 impl Tenant {
@@ -146,6 +160,10 @@ impl Tenant {
         let noise_rng = seeded_rng(derive_seed(config.seed, 2));
         let bucket = TokenBucket::new(config.rate_capacity, config.rate_refill_every);
         let accountant = config.continual_epsilon.map(ContinualAccountant::new);
+        let flight = match config.flight_cap {
+            Some(cap) => FlightRecorder::new(cap),
+            None => FlightRecorder::from_env(),
+        };
         Tenant {
             config,
             dataset,
@@ -156,6 +174,8 @@ impl Tenant {
             refusal_log: Vec::new(),
             workloads_answered: 0,
             workloads_refused: 0,
+            flight,
+            last_profile: RequestProfile::default(),
         }
     }
 
@@ -203,6 +223,36 @@ impl Tenant {
         (self.workloads_answered, self.workloads_refused)
     }
 
+    /// The tenant's flight recorder (read side: the `flight` op and
+    /// `GET /flight/<tenant>`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The tenant's flight recorder, writable — the server pushes one
+    /// [`crate::flight::RequestRecord`] per tenant-bound request.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// What the most recent [`Tenant::run_workload`] measured: lint codes,
+    /// refusal evidence, ε spent, rows scanned, cache hits. Zeros between
+    /// workloads.
+    pub fn last_profile(&self) -> &RequestProfile {
+        &self.last_profile
+    }
+
+    /// Publishes the tenant's ε burn-down gauges
+    /// (`so_serve_tenant_epsilon_{spent,remaining}`), a no-op without an
+    /// accountant.
+    pub fn publish_epsilon_gauges(&self) {
+        if let Some(a) = &self.accountant {
+            let (spent, remaining) = crate::obs::serve_epsilon_gauges(self.name());
+            spent.set(a.spent());
+            remaining.set(a.remaining());
+        }
+    }
+
     /// Lints (when gated), budget-checks (when budgeted), and answers one
     /// workload. `Err` means the workload was malformed (e.g. a subset index
     /// out of range) and nothing ran.
@@ -211,6 +261,7 @@ impl Tenant {
         queries: &[WireQuery],
         noise: Noise,
     ) -> Result<WorkloadOutcome, ProtoError> {
+        self.last_profile = RequestProfile::default();
         let spec = self.build_spec(queries, noise)?;
         let mut spec = spec;
         if self.config.gated {
@@ -324,6 +375,7 @@ impl Tenant {
             let ok = acct.try_spend(eps);
             debug_assert!(ok, "precheck admitted the workload");
         }
+        self.last_profile.epsilon_spent = costs.iter().sum();
         None
     }
 
@@ -332,8 +384,18 @@ impl Tenant {
     fn refuse(&mut self, spec: &WorkloadSpec, refusals: Vec<WireRefusal>) -> WorkloadOutcome {
         self.workloads_refused += 1;
         crate::obs::serve_metrics().workloads_refused.inc();
+        let mut codes: Vec<String> = refusals.iter().map(|r| r.code.clone()).collect();
+        codes.sort();
+        codes.dedup();
+        self.last_profile.evidence = refusals
+            .iter()
+            .map(|r| r.evidence.clone())
+            .find(|ev| !ev.is_empty())
+            .unwrap_or_default();
+        self.last_profile.codes = codes;
         for r in &refusals {
             crate::obs::serve_refusals(&r.code).inc();
+            crate::obs::serve_tenant_refusals(&r.code, &self.config.name).inc();
             let evidence = if r.evidence.is_empty() {
                 String::new()
             } else {
@@ -358,6 +420,17 @@ impl Tenant {
     fn answer(&mut self, spec: &WorkloadSpec) -> Vec<f64> {
         let mut engine = CountingEngine::new(&self.dataset, None);
         let executed = engine.execute_workload(spec);
+        let n = self.config.n_rows as u64;
+        let subset_queries = spec
+            .queries()
+            .iter()
+            .filter(|q| matches!(q.kind, QueryKind::Subset(_)))
+            .count() as u64;
+        // Rows touched: each dataset scan sweeps every row, and each
+        // subset sum walks the full mask — deterministic counts, fit for a
+        // transcript.
+        self.last_profile.rows_scanned = (executed.stats.atom_scans as u64 + subset_queries) * n;
+        self.last_profile.cache_hits = executed.stats.cache_hits as u64;
         let mut answers = Vec::with_capacity(spec.len());
         for (i, q) in spec.queries().iter().enumerate() {
             let truth = match &q.kind {
@@ -563,6 +636,60 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!((t.budget().1 - 0.8).abs() < 1e-12, "refusal spends nothing");
+    }
+
+    #[test]
+    fn request_profile_captures_codes_eps_rows_and_cache() {
+        let n = 24;
+        let mut t = Tenant::new(TenantConfig::gated("metered", n, 7).with_continual_budget(1.0));
+        // A refused attack: codes + evidence land in the profile.
+        let attack = subset_attack(n, 4 * n, 11);
+        t.run_workload(&attack, Noise::Exact).unwrap();
+        let p = t.last_profile().clone();
+        assert!(p.codes.contains(&"SO-RECON".to_owned()), "{:?}", p.codes);
+        assert!(!p.evidence.is_empty());
+        assert_eq!(p.epsilon_spent, 0.0, "refusals spend nothing");
+        assert_eq!(p.rows_scanned, 0, "refused workloads run nothing");
+        // An admitted DP workload: ε and rows recorded, profile reset.
+        let q = vec![WireQuery::Subset(vec![0, 1]), WireQuery::Subset(vec![2])];
+        t.run_workload(&q, Noise::PureDp { epsilon: 0.1 }).unwrap();
+        let p = t.last_profile().clone();
+        assert!(p.codes.is_empty(), "profile resets between workloads");
+        assert!((p.epsilon_spent - 0.2).abs() < 1e-12, "two queries × ε=0.1");
+        assert_eq!(
+            p.rows_scanned,
+            2 * n as u64,
+            "two subset sweeps over n rows"
+        );
+        // Predicate workloads count dataset scans; hash-consing answers the
+        // duplicate predicate from one scan, so rows_scanned is exactly n.
+        let mut open = Tenant::new(TenantConfig::ungated("open", 64, 9));
+        let pred = vec![
+            WireQuery::IntRange {
+                col: 0,
+                lo: 0,
+                hi: 40,
+            },
+            WireQuery::IntRange {
+                col: 0,
+                lo: 0,
+                hi: 40,
+            },
+        ];
+        open.run_workload(&pred, Noise::Exact).unwrap();
+        let p = open.last_profile();
+        assert_eq!(
+            p.rows_scanned, 64,
+            "two identical predicates, one scan: {p:?}"
+        );
+    }
+
+    #[test]
+    fn flight_cap_config_overrides_env_default() {
+        let t = Tenant::new(TenantConfig::ungated("open", 8, 1).with_flight_cap(4));
+        assert_eq!(t.flight().cap(), 4);
+        let t = Tenant::new(TenantConfig::ungated("open", 8, 1));
+        assert!(t.flight().cap() >= 1);
     }
 
     #[test]

@@ -338,6 +338,212 @@ fn http_metrics_endpoint_serves_the_registry() {
 }
 
 #[test]
+fn healthz_and_head_requests_through_the_sniffing_path() {
+    let server = boot(demo_tenants());
+
+    // GET /healthz answers a bare liveness probe.
+    let mut s = raw(&server);
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    s.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(body.ends_with("\r\n\r\nok\n"), "{body}");
+
+    // HEAD /metrics: same status + content-length, empty body.
+    let mut s = raw(&server);
+    s.write_all(b"HEAD /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    let mut head = String::new();
+    s.read_to_string(&mut head).unwrap();
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.ends_with("\r\n\r\n"),
+        "HEAD body must be empty: {head}"
+    );
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(len > 0, "HEAD still advertises the GET body length");
+
+    // HEAD of an unknown path is a body-less 404.
+    let mut s = raw(&server);
+    s.write_all(b"HEAD /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut head = String::new();
+    s.read_to_string(&mut head).unwrap();
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(head.ends_with("\r\n\r\n"), "{head}");
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_echo_and_server_assigns_sequence_numbers() {
+    let server = boot(demo_tenants());
+    let mut c = ServiceClient::connect(server.local_addr()).unwrap();
+
+    // Client-supplied id comes back verbatim.
+    c.set_next_request_id("probe-42");
+    c.ping().unwrap();
+    assert_eq!(c.last_request_id(), Some("probe-42"));
+
+    // Untagged requests get server-assigned `srv-N` ids, monotonic per
+    // server (the assignment counter only advances for untagged frames).
+    c.ping().unwrap();
+    let first = c.last_request_id().unwrap().to_owned();
+    c.ping().unwrap();
+    let second = c.last_request_id().unwrap().to_owned();
+    assert!(first.starts_with("srv-"), "{first}");
+    assert!(second.starts_with("srv-"), "{second}");
+    let n1: u64 = first["srv-".len()..].parse().unwrap();
+    let n2: u64 = second["srv-".len()..].parse().unwrap();
+    assert_eq!(
+        n2,
+        n1 + 1,
+        "sequential untagged requests get consecutive ids"
+    );
+
+    // A malformed id (wrong type) is refused as SO-PROTO without killing
+    // the session.
+    let mut s = raw(&server);
+    let bad = b"{\"op\":\"ping\",\"request_id\":7}";
+    s.write_all(&(bad.len() as u32).to_be_bytes()).unwrap();
+    s.write_all(bad).unwrap();
+    let resp = read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+    match Response::from_json(&resp).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "SO-PROTO"),
+        other => panic!("{other:?}"),
+    }
+    write_frame(&mut s, &Request::Ping.to_json()).unwrap();
+    let resp = read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(
+        Response::from_json(&resp).unwrap(),
+        Response::Pong
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn flight_recorder_captures_requests_and_serves_wire_and_http_dumps() {
+    let n = 24;
+    let server = boot(vec![
+        TenantConfig::ungated("open", n, 7).with_flight_cap(8),
+        TenantConfig::gated("guarded", n, 7).with_flight_cap(8),
+    ]);
+
+    // Drive one answered workload (tagged) and one refused attack.
+    let mut c = ServiceClient::connect(server.local_addr()).unwrap();
+    c.hello("guarded").unwrap();
+    c.set_next_request_id("atk-1");
+    let mut rng = so_data::rng::seeded_rng(99);
+    match lp_attack(&mut c, n, 4 * n, Noise::Exact, &mut rng).unwrap() {
+        AttackOutcome::Refused { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    // The flight op reads the ring over the wire — and is itself absent
+    // from it (introspection is never recorded).
+    let (cap, total, records) = c.flight().unwrap();
+    assert_eq!(cap, 8);
+    assert_eq!(total, 2, "hello + workload; the flight op is not recorded");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].op, "hello");
+    assert_eq!(records[0].outcome, "ok");
+    let wl = &records[1];
+    assert_eq!(wl.op, "workload");
+    assert_eq!(wl.request_id, "atk-1");
+    assert_eq!(wl.outcome, "refused");
+    assert!(wl.codes.iter().any(|c| c == "SO-RECON"), "{:?}", wl.codes);
+    assert!(!wl.evidence.is_empty(), "refusal evidence rides along");
+    assert_eq!(wl.rows_scanned, 0, "refused workloads never touch the data");
+    let (_, _, again) = c.flight().unwrap();
+    assert_eq!(again.len(), 2, "reading the recorder does not grow it");
+
+    // The same dump is one JSON line per record over HTTP.
+    let mut s = raw(&server);
+    s.write_all(b"GET /flight/guarded HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    s.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    let payload = body.split("\r\n\r\n").nth(1).unwrap();
+    assert_eq!(payload.lines().count(), 2, "{payload}");
+    assert!(payload.contains("\"request_id\":\"atk-1\""), "{payload}");
+    assert!(payload.contains("\"latency_micros\""), "{payload}");
+
+    // Unknown tenant: 404. Tenants never leak across dumps.
+    let mut s = raw(&server);
+    s.write_all(b"GET /flight/nobody HTTP/1.1\r\n\r\n").unwrap();
+    let mut body = String::new();
+    s.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 404"), "{body}");
+
+    // The labeled metrics saw the same traffic.
+    let text = c.metrics().unwrap();
+    assert!(
+        text.contains("so_serve_requests_by_op_total{op=\"workload\",tenant=\"guarded\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("so_serve_tenant_refusals_total{code=\"SO-RECON\",tenant=\"guarded\"}"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn flight_ring_evicts_oldest_but_total_keeps_counting() {
+    let server = boot(vec![TenantConfig::ungated("open", 8, 3).with_flight_cap(2)]);
+    let mut c = ServiceClient::connect(server.local_addr()).unwrap();
+    c.hello("open").unwrap();
+    for _ in 0..4 {
+        c.workload(vec![WireQuery::Subset(vec![0])], Noise::Exact)
+            .unwrap();
+    }
+    let (cap, total, records) = c.flight().unwrap();
+    assert_eq!(cap, 2);
+    assert_eq!(total, 5, "hello + 4 workloads, evictions included");
+    assert_eq!(records.len(), 2, "ring holds only the newest cap records");
+    assert!(records.iter().all(|r| r.op == "workload"));
+    assert!(
+        records.iter().all(|r| r.rows_scanned == 8),
+        "one subset query over 8 rows: {records:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn flight_requires_a_bound_tenant_but_ignores_rate_limits() {
+    let server = boot(vec![TenantConfig::ungated("tiny", 8, 1).with_rate(1, 1000)]);
+    let mut c = ServiceClient::connect(server.local_addr()).unwrap();
+
+    // No hello yet: introspection has no tenant to read.
+    match c.call(&Request::Flight).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "SO-TENANT"),
+        other => panic!("{other:?}"),
+    }
+
+    c.hello("tiny").unwrap();
+    let q = || vec![WireQuery::Subset(vec![0])];
+    c.workload(q(), Noise::Exact).unwrap();
+    // Bucket is now empty; workloads bounce…
+    match c.workload(q(), Noise::Exact).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "SO-RATE"),
+        other => panic!("{other:?}"),
+    }
+    // …but the throttled tenant can still inspect its own recorder, and the
+    // rate-limited attempt is itself on record.
+    let (_, _, records) = c.flight().unwrap();
+    let last = records.last().unwrap();
+    assert_eq!(last.outcome, "rate_limited");
+    assert_eq!(last.codes, vec!["SO-RATE".to_owned()]);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_drains_in_flight_sessions_and_refuses_late_requests() {
     let server = boot(demo_tenants());
     let addr = server.local_addr();

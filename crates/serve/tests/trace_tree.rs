@@ -1,0 +1,100 @@
+//! Proves the tentpole correlation claim end-to-end: one JSON-lines trace
+//! file from a served episode reconstructs a complete per-request span tree
+//! keyed by `request_id` — the serving span plus the gate, engine, plan,
+//! and DP layers it descended into, all carrying the id the client chose.
+//!
+//! Lives in its own integration-test binary because the trace subscriber is
+//! process-global (`OnceLock`): installing it here cannot race any other
+//! test.
+
+use std::collections::BTreeSet;
+
+use so_obs::JsonLinesSubscriber;
+use so_plan::workload::Noise;
+use so_serve::{Response, ServerConfig, ServiceClient, TenantConfig, WireQuery};
+
+#[test]
+fn one_trace_file_reconstructs_a_per_request_span_tree() {
+    let path = std::env::temp_dir().join(format!("so_trace_tree_{}.jsonl", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path").to_owned();
+    assert!(
+        so_obs::set_subscriber(Box::new(
+            JsonLinesSubscriber::create(&path).expect("trace file opens")
+        )),
+        "this binary installs the only subscriber"
+    );
+
+    let server = so_serve::spawn(
+        vec![TenantConfig::gated("traced", 24, 7).with_continual_budget(1.0)],
+        ServerConfig::default(),
+        None,
+    )
+    .expect("server boots");
+    let mut c = ServiceClient::connect(server.local_addr()).expect("connect");
+    c.hello("traced").expect("hello");
+    c.set_next_request_id("tree-1");
+    match c
+        .workload(
+            vec![WireQuery::Subset(vec![0]), WireQuery::Subset(vec![1, 2])],
+            Noise::PureDp { epsilon: 0.1 },
+        )
+        .expect("workload")
+    {
+        Response::Answers { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.last_request_id(), Some("tree-1"));
+    server.shutdown();
+    so_obs::flush();
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+
+    // Group the flat record stream by request id: every line tagged
+    // `tree-1` belongs to our workload's tree.
+    let tree: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"request_id\":\"tree-1\""))
+        .collect();
+    let names: BTreeSet<&str> = tree
+        .iter()
+        .filter_map(|l| {
+            l.split("\"name\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+        })
+        .collect();
+    for expected in [
+        "serve.request",
+        "gate.lint",
+        "engine.workload",
+        "plan.execute",
+    ] {
+        assert!(
+            names.contains(expected),
+            "span {expected:?} missing from the tree-1 tree; got {names:?}\n{text}"
+        );
+    }
+    // The DP layer's draw events join the same tree (sampler + public
+    // scale only — never the realized noise).
+    let draws: Vec<&&str> = tree.iter().filter(|l| l.contains("\"dp.draw\"")).collect();
+    assert_eq!(draws.len(), 2, "one draw per noised query\n{text}");
+    assert!(draws.iter().all(|l| l.contains("\"sampler\":\"laplace\"")));
+
+    // The serving root of the tree records the op and verdict.
+    let root = tree
+        .iter()
+        .find(|l| l.contains("\"serve.request\""))
+        .expect("root span present");
+    assert!(root.contains("\"op\":\"workload\""), "{root}");
+    assert!(root.contains("\"outcome\":\"answered\""), "{root}");
+
+    // Untraced requests stay out of this tree: the hello ran before our
+    // tag, so its records (if any) carry a different id.
+    assert!(
+        !text
+            .lines()
+            .any(|l| l.contains("\"op\":\"hello\"") && l.contains("tree-1")),
+        "{text}"
+    );
+}

@@ -83,6 +83,13 @@ pub const fn cases() -> &'static [CaseSpec] {
             ..NONE
         },
         CaseSpec {
+            name: "e21",
+            bin: "exp_e21_flight_recorder",
+            artifact: Some("experiments/e21_transcript.txt"),
+            expect_obs: true,
+            ..NONE
+        },
+        CaseSpec {
             name: "e17",
             bin: "exp_e17_observability",
             metrics_smoke_only: true,
@@ -136,6 +143,11 @@ pub const fn variants() -> &'static [Variant] {
         Variant {
             label: "morsel_t8",
             env: &[("SO_THREADS", "8"), ("SO_SCHEDULE", "morsel")],
+            traced: false,
+        },
+        Variant {
+            label: "flight4_t8",
+            env: &[("SO_THREADS", "8"), ("SO_FLIGHT_CAP", "4")],
             traced: false,
         },
         Variant {
@@ -225,13 +237,15 @@ pub fn first_difference(left: &str, right: &str) -> Option<Difference> {
 /// Environment variables that steer the engines; every run starts from a
 /// scrubbed slate so the invoking shell can't leak configuration into a
 /// variant.
-pub const SO_ENV_VARS: [&str; 6] = [
+pub const SO_ENV_VARS: [&str; 8] = [
     "SO_THREADS",
     "SO_STORAGE",
     "SO_SCHEDULE",
     "SO_COMPACT_THRESHOLD",
     "SO_TRACE",
     "SO_METRICS",
+    "SO_FLIGHT_CAP",
+    "SO_SLOWLOG_MICROS",
 ];
 
 #[cfg(test)]
@@ -261,7 +275,7 @@ mod tests {
             }
         }
         // Every experiment with a checked-in transcript must be swept.
-        for name in ["e18", "e19", "e20"] {
+        for name in ["e18", "e19", "e20", "e21"] {
             let c = cases.iter().find(|c| c.name == name).expect(name);
             assert!(c.artifact.is_some(), "{name} lost its artifact check");
         }
@@ -283,6 +297,10 @@ mod tests {
         assert!(vs
             .iter()
             .any(|v| v.env.contains(&("SO_SCHEDULE", "morsel"))));
+        // The flight-recorder cap must be swept: transcripts may print the
+        // cumulative total and newest few records, never anything
+        // cap-shaped.
+        assert!(vs.iter().any(|v| v.env.contains(&("SO_FLIGHT_CAP", "4"))));
         assert_eq!(vs.iter().filter(|v| v.traced).count(), 2);
         for v in vs {
             for (k, _) in v.env {
